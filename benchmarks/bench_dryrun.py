@@ -1,0 +1,75 @@
+"""§3.1 — the ``--dry-run`` mode.
+
+The paper: "This command only inspects the SASS code ... thereby making
+it possible to be executed without involving the GPU at all", saving
+the costly metric collection.  This bench measures the dry-run cost
+directly (it is real host work here) and compares it with the modelled
+cost of a full three-pillar run.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit, fmt_row
+from repro.core import GPUscout
+from repro.gpu import Simulator
+from repro.kernels.calibration import sgemm_spec
+from repro.kernels.sgemm import build_sgemm, sgemm_args, sgemm_launch
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return build_sgemm("shared")
+
+
+def test_bench_dryrun_cost(benchmark, kernel):
+    """Dry run: measured wall-clock of the static analysis alone."""
+    scout = GPUscout()
+    report = benchmark(lambda: scout.analyze(kernel, dry_run=True))
+    assert report.dry_run
+    assert report.findings  # it still finds the patterns
+    assert report.overhead.metrics_seconds == 0.0
+    assert report.overhead.pc_sampling_seconds == 0.0
+
+
+def test_bench_dryrun_vs_full(benchmark, kernel):
+    """Dry run skips the dominant (metric collection) cost entirely."""
+    n = 128
+    scout = GPUscout(spec=sgemm_spec())
+    sim = Simulator(sgemm_spec())
+    launch = sim.launch(kernel, sgemm_launch("shared", n, n),
+                        args=sgemm_args(n, n, n), max_blocks=4,
+                        functional_all=False)
+
+    def both():
+        dry = scout.analyze(kernel, dry_run=True)
+        full = scout.analyze(kernel, launch=launch)
+        return dry, full
+
+    dry, full = benchmark.pedantic(both, rounds=1, iterations=1)
+    lines = [
+        fmt_row(["mode", "modelled cost"], widths=(14, 22)),
+        "-" * 36,
+        fmt_row(["dry run",
+                 f"{dry.overhead.total_seconds*1e3:.2f} ms"],
+                widths=(14, 22)),
+        fmt_row(["full run",
+                 f"{full.overhead.total_seconds*1e3:.2f} ms"],
+                widths=(14, 22)),
+    ]
+    assert dry.overhead.total_seconds < full.overhead.total_seconds / 10
+    # findings themselves are identical between the two modes
+    assert {f.analysis for f in dry.findings} == \
+        {f.analysis for f in full.findings}
+    emit("dryrun_vs_full", lines)
+
+
+def test_bench_dryrun_works_on_raw_sass(benchmark):
+    """Dry run needs no launchable kernel — Pascal-era use case."""
+    text = build_sgemm("naive").sass_text
+
+    def analyze():
+        return GPUscout().analyze(text, dry_run=True)
+
+    report = benchmark(analyze)
+    assert report.findings

@@ -1,0 +1,154 @@
+"""§4.4 — Use Shared Atomics (histogram workload).
+
+The paper describes the detector and its expected dynamics without a
+dedicated case study; this bench supplies one (DESIGN.md lists it in
+the experiment index):
+
+* global atomics in a for-loop are flagged CRITICAL and produce heavy
+  ``lg_throttle`` (the §4.4 claim: "lg_throttle warp stall will occur
+  often");
+* switching to shared atomics (the recommendation) speeds the kernel
+  up and moves the pressure to the MIO pipe ("the user is therefore
+  advised to watch out for MIO stalls after updating the atomics");
+* atomic traffic resolves in the L2 ("usually resulting in 100 % L1
+  cache miss, and some atomics being resolved in the L2 cache").
+"""
+
+import pytest
+
+from benchmarks.common import emit, fmt_row, stall_share
+from repro.core import GPUscout, Severity
+from repro.gpu import GPUSpec, Simulator
+from repro.gpu.stalls import StallReason
+from repro.kernels.histogram import (
+    build_histogram,
+    histogram_args,
+    histogram_launch,
+)
+
+N_THREADS = 4096
+
+
+@pytest.fixture(scope="module")
+def results():
+    sim = Simulator(GPUSpec.small(1))
+    out = {}
+    for variant in ("global", "shared"):
+        ck = build_histogram(variant)
+        args = histogram_args(N_THREADS, skew=0.5)
+        out[variant] = (
+            ck,
+            sim.launch(ck, histogram_launch(N_THREADS), args=args,
+                       max_blocks=8, functional_all=False),
+        )
+    return out
+
+
+def test_bench_atomics_recommendation(benchmark, results):
+    """The detector's verdicts on both variants."""
+
+    def compute():
+        scout = GPUscout()
+        return {
+            v: scout.analyze(ck, dry_run=True)
+            for v, (ck, _) in results.items()
+        }
+
+    reports = benchmark.pedantic(compute, rounds=1, iterations=1)
+    g = reports["global"].findings_for("use_shared_atomics")[0]
+    s_findings = reports["shared"].findings_for("use_shared_atomics")
+    lines = [
+        fmt_row(["verdict", "global variant", "shared variant"],
+                widths=(30, 22, 22)),
+        "-" * 74,
+        fmt_row(["severity", g.severity.name,
+                 max((f.severity.name for f in s_findings), default="-")],
+                widths=(30, 22, 22)),
+        fmt_row(["global atomics in loop",
+                 g.details["global_atomics_in_loop"], 0],
+                widths=(30, 22, 22)),
+    ]
+    assert g.severity is Severity.CRITICAL
+    assert all(f.severity < Severity.CRITICAL for f in s_findings)
+    emit("tab_atomics_recommendation", lines)
+
+
+def test_bench_atomics_speedup_and_stalls(benchmark, results):
+    def compute():
+        g = results["global"][1]
+        s = results["shared"][1]
+        return {
+            "speedup": g.cycles / s.cycles,
+            "lg_global": stall_share(g, StallReason.LG_THROTTLE),
+            "lg_shared": stall_share(s, StallReason.LG_THROTTLE),
+            "mio_global": stall_share(g, StallReason.MIO_THROTTLE,
+                                      StallReason.SHORT_SCOREBOARD),
+            "mio_shared": stall_share(s, StallReason.MIO_THROTTLE,
+                                      StallReason.SHORT_SCOREBOARD),
+        }
+
+    v = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        fmt_row(["metric", "paper (qualitative)", "measured"],
+                widths=(28, 24, 18)),
+        "-" * 70,
+        fmt_row(["shared-atomics speedup", "faster", f"{v['speedup']:.2f}x"],
+                widths=(28, 24, 18)),
+        fmt_row(["lg_throttle share", "often -> reduced",
+                 f"{100*v['lg_global']:.0f} % -> {100*v['lg_shared']:.0f} %"],
+                widths=(28, 24, 18)),
+        fmt_row(["MIO-pipe share", "watch out after change",
+                 f"{100*v['mio_global']:.0f} % -> {100*v['mio_shared']:.0f} %"],
+                widths=(28, 24, 18)),
+    ]
+    assert v["speedup"] > 1.0
+    assert v["lg_shared"] < v["lg_global"]
+    assert v["mio_shared"] > v["mio_global"]
+    emit("tab_atomics_dynamics", lines)
+
+
+def test_bench_atomics_l2_resolution(benchmark, results):
+    from repro.metrics import derive_metric
+
+    def compute():
+        res = results["global"][1]
+        return (
+            derive_metric("derived__atomic_l2_resolution_pct", res),
+            res.device_counters.l2_sectors_by_space.get("atomic", 0),
+        )
+
+    l2_pct, atomic_sectors = benchmark.pedantic(compute, rounds=1,
+                                                iterations=1)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["atomics resolved in L2", "some (rest DRAM)",
+                 f"{l2_pct:.0f} %"]),
+        fmt_row(["atomic L2 sectors", "> 0", atomic_sectors]),
+    ]
+    assert atomic_sectors > 0
+    emit("tab_atomics_l2", lines)
+
+
+def test_bench_atomics_contention_sweep(benchmark, results):
+    """Skew sweep: contention amplifies the global variant's penalty."""
+
+    def compute():
+        sim = Simulator(GPUSpec.small(1))
+        rows = {}
+        for skew in (0.0, 0.5, 1.0):
+            cyc = {}
+            for variant in ("global", "shared"):
+                ck = build_histogram(variant)
+                args = histogram_args(N_THREADS, skew=skew)
+                res = sim.launch(ck, histogram_launch(N_THREADS), args=args,
+                                 max_blocks=4, functional_all=False)
+                cyc[variant] = res.cycles
+            rows[skew] = cyc["global"] / cyc["shared"]
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [fmt_row(["skew", "shared-atomics speedup"]), "-" * 44]
+    for skew, factor in rows.items():
+        lines.append(fmt_row([skew, f"{factor:.2f}x"]))
+    emit("tab_atomics_contention", lines)
+    assert rows[1.0] >= rows[0.0]

@@ -1,0 +1,108 @@
+"""§5.2 — Heat-transfer (Jacobi) case study.
+
+Paper rows regenerated:
+
+* texture-memory variant: throughput +61.1 %, kernel runtime −39.2 %
+  (i.e. ~1.65x faster);
+* TEX-throttle stall share: 0 % (naive) -> 24.65 % (texture);
+* texture traffic: 221,760 B requested, 11.5 % missing to L2
+  (scaled to our problem size — the ratio is the comparable part);
+* ``__restrict__``: +0.3 % only;
+* six I2F conversions flagged, unavoidable.
+"""
+
+import pytest
+
+from benchmarks.common import emit, fmt_row, heat_results, stall_share
+from repro.gpu.stalls import StallReason
+from repro.metrics import derive_metric
+
+
+@pytest.fixture(scope="module")
+def results():
+    return heat_results()
+
+
+def test_bench_heat_texture_speedup(benchmark, results):
+    def compute():
+        naive = results["naive"][1]
+        tex = results["texture"][1]
+        return naive.cycles / tex.cycles
+
+    speedup = benchmark.pedantic(compute, rounds=1, iterations=1)
+    runtime_cut = 100 * (1 - 1 / speedup)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["texture speedup", "1.65x", f"{speedup:.2f}x"]),
+        fmt_row(["runtime improvement", "39.2 %", f"{runtime_cut:.1f} %"]),
+    ]
+    assert 1.3 < speedup < 2.2
+    emit("tab_heat_texture_speedup", lines)
+
+
+def test_bench_heat_tex_throttle(benchmark, results):
+    def compute():
+        return (
+            stall_share(results["naive"][1], StallReason.TEX_THROTTLE),
+            stall_share(results["texture"][1], StallReason.TEX_THROTTLE),
+        )
+
+    before, after = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["TEX throttle naive", "0 %", f"{100*before:.2f} %"]),
+        fmt_row(["TEX throttle texture", "24.65 %", f"{100*after:.2f} %"]),
+    ]
+    assert before == 0.0
+    assert 0.10 < after < 0.45
+    emit("tab_heat_tex_throttle", lines)
+
+
+def test_bench_heat_texture_traffic(benchmark, results):
+    def compute():
+        res = results["texture"][1]
+        return (
+            derive_metric("l1tex__t_bytes_pipe_tex.sum", res),
+            derive_metric("derived__tex_cache_miss_pct", res),
+        )
+
+    tex_bytes, miss_pct = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["texture bytes requested", "221,760 B (8192^2)",
+                 f"{tex_bytes:,.0f} B (256x128)"]),
+        fmt_row(["texture cache miss -> L2", "11.5 %", f"{miss_pct:.1f} %"]),
+    ]
+    assert tex_bytes > 0
+    assert 5.0 < miss_pct < 40.0  # partial 2D locality, as in the paper
+    emit("tab_heat_texture_traffic", lines)
+
+
+def test_bench_heat_restrict_effect(benchmark, results):
+    def compute():
+        return results["naive"][1].cycles / results["restrict"][1].cycles
+
+    speedup = benchmark.pedantic(compute, rounds=1, iterations=1)
+    gain = 100 * (speedup - 1)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["__restrict__ improvement", "0.3 %", f"{gain:+.2f} %"]),
+    ]
+    assert abs(gain) < 2.0, "restrict must have only a marginal effect"
+    emit("tab_heat_restrict", lines)
+
+
+def test_bench_heat_conversions(benchmark, results):
+    from repro.core import GPUscout
+
+    def compute():
+        report = GPUscout().analyze(results["naive"][0], dry_run=True)
+        return report.findings_for("datatype_conversions")[0]
+
+    finding = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        fmt_row(["metric", "paper", "measured"]), "-" * 60,
+        fmt_row(["I2F conversions flagged", "6", finding.details["total"]]),
+    ]
+    assert finding.details["by_kind"] == {"I2F": 6}
+    emit("tab_heat_conversions", lines)

@@ -1,0 +1,104 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4 for the experiment index).  Results are printed as
+paper-vs-measured rows and appended to ``benchmarks/results/`` so the
+numbers survive pytest's output capturing; EXPERIMENTS.md freezes one
+recorded run.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+from typing import Optional
+
+from repro.gpu import LaunchConfig, Simulator
+from repro.gpu.simulator import LaunchResult
+from repro.gpu.stalls import StallReason
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def stall_share(result: LaunchResult, *reasons: StallReason) -> float:
+    """Combined share (0..1) of the given stall reasons among all
+    non-SELECTED stall cycles."""
+    totals = result.counters.stall_totals()
+    stall = sum(v for k, v in totals.items() if k is not StallReason.SELECTED)
+    if not stall:
+        return 0.0
+    return sum(totals.get(r, 0) for r in reasons) / stall
+
+
+def fmt_row(cols, widths=(34, 16, 16)) -> str:
+    return "".join(str(c).ljust(w) for c, w in zip(cols, widths))
+
+
+@functools.lru_cache(maxsize=None)
+def mixbench_results(iters: int = 2, n_threads: int = 8192,
+                     granularity: int = 8):
+    """All six mixbench variants on the calibrated spec (cached)."""
+    from repro.kernels.calibration import mixbench_spec
+    from repro.kernels.mixbench import build_mixbench, mixbench_args
+
+    sim = Simulator(mixbench_spec())
+    out = {}
+    for dtype in ("sp", "dp", "int"):
+        for vec in (False, True):
+            ck = build_mixbench(dtype, granularity, vectorized=vec)
+            args = mixbench_args(n_threads, granularity, dtype)
+            args["compute_iterations"] = iters
+            res = sim.launch(
+                ck,
+                LaunchConfig(grid=(n_threads // 256, 1), block=(256, 1)),
+                args=args, max_blocks=16, functional_all=False,
+            )
+            out[(dtype, vec)] = (ck, res)
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def heat_results(width: int = 256, height: int = 128):
+    """The three Jacobi variants on the calibrated spec (cached)."""
+    from repro.kernels.calibration import heat_spec
+    from repro.kernels.heat import build_heat, heat_args
+
+    sim = Simulator(heat_spec())
+    out = {}
+    for variant in ("naive", "restrict", "texture"):
+        ck = build_heat(variant)
+        args, t0 = heat_args(width, height, variant=variant)
+        tex = {"t_tex": t0.reshape(height, width)} \
+            if variant == "texture" else {}
+        res = sim.launch(
+            ck,
+            LaunchConfig(grid=(width // 256, height), block=(256, 1)),
+            args=args, textures=tex, max_blocks=32, functional_all=False,
+        )
+        out[variant] = (ck, res)
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def sgemm_results(n: int = 256, max_blocks: int = 8):
+    """The three SGEMM variants on the calibrated spec (cached)."""
+    from repro.kernels.calibration import sgemm_spec
+    from repro.kernels.sgemm import build_sgemm, sgemm_args, sgemm_launch
+
+    sim = Simulator(sgemm_spec())
+    out = {}
+    for variant in ("naive", "shared", "shared_vec"):
+        ck = build_sgemm(variant)
+        args = sgemm_args(n, n, n)
+        res = sim.launch(ck, sgemm_launch(variant, n, n), args=args,
+                         max_blocks=max_blocks, functional_all=False)
+        out[variant] = (ck, res)
+    return out

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Paper §5.2 walkthrough: 2D heat diffusion, naive vs texture memory.
+
+Runs a real multi-step Jacobi simulation on the simulated GPU (the
+functional executor computes actual temperatures — an ASCII rendering
+of the field is printed), then compares the naive and texture-memory
+variants the way the case study does.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro.core import GPUscout
+from repro.gpu import DeviceSession, LaunchConfig
+from repro.gpu.stalls import StallReason
+from repro.kernels.calibration import heat_spec
+from repro.kernels.heat import build_heat, heat_args, heat_reference
+
+W, H = 256, 128
+STEPS = 5
+SHADES = " .:-=+*#%@"
+
+
+def ascii_field(t: np.ndarray, rows: int = 16, cols: int = 64) -> str:
+    field = t.reshape(H, W)
+    ys = np.linspace(0, H - 1, rows).astype(int)
+    xs = np.linspace(0, W - 1, cols).astype(int)
+    sample = field[np.ix_(ys, xs)]
+    lo, hi = sample.min(), sample.max()
+    scale = (sample - lo) / (hi - lo + 1e-9)
+    return "\n".join(
+        "".join(SHADES[int(v * (len(SHADES) - 1))] for v in row)
+        for row in scale
+    )
+
+
+def run_simulation(variant: str):
+    """Multi-step Jacobi with device-resident ping-pong buffers — the
+    DeviceSession keeps temperatures on the (simulated) device between
+    launches, like a real CUDA solver."""
+    session = DeviceSession(heat_spec())
+    kernel = build_heat(variant)
+    _, t0 = heat_args(W, H, variant=variant)
+    cfg = LaunchConfig(grid=(W // 256, H), block=(256, 1))
+    scalars = {"w": W, "h": H, "k": np.float32(0.2), "amp": np.float32(0.05)}
+    last = None
+    if variant == "texture":
+        out = session.alloc((W * H,), np.float32)
+        cur_host = t0
+        for _ in range(STEPS):
+            tex = session.bind_texture(cur_host.reshape(H, W))
+            last = session.launch(kernel, cfg,
+                                  args={"t_out": out, **scalars},
+                                  textures={"t_tex": tex})
+            cur_host = session.download(out)
+        return kernel, last, cur_host, t0
+    cur = session.upload(t0)
+    nxt = session.alloc((W * H,), np.float32)
+    for _ in range(STEPS):
+        last = session.launch(kernel, cfg,
+                              args={"t_in": cur, "t_out": nxt, **scalars})
+        cur, nxt = nxt, cur
+    return kernel, last, session.download(cur), t0
+
+
+def main() -> None:
+    print(f"Jacobi heat transfer, {W}x{H}, {STEPS} steps\n")
+    kernel, naive_res, t_final, t0 = run_simulation("naive")
+
+    print("initial field:")
+    print(ascii_field(t0))
+    print("\nafter diffusion (smoothed, source-heated):")
+    print(ascii_field(t_final))
+
+    ref = heat_reference(t0, W, H, 0.2, 0.05, steps=STEPS)
+    print(f"\nmax |simulated - NumPy reference| = "
+          f"{np.abs(t_final - ref).max():.2e}")
+
+    print("\n### GPUscout on the naive kernel (paper recommends texture "
+          "or shared memory, vectorized loads, __restrict__, and flags "
+          "6 I2F conversions)\n")
+    scout = GPUscout(spec=heat_spec())
+    report = scout.analyze(kernel, launch=naive_res)
+    print(report.render())
+
+    print("\n### Applying the texture-memory recommendation\n")
+    tex_kernel, tex_res, tex_final, _ = run_simulation("texture")
+    assert np.allclose(tex_final, t_final, atol=1e-5)
+    speedup = naive_res.cycles / tex_res.cycles
+
+    def share(res, reason):
+        totals = res.counters.stall_totals()
+        stall = sum(v for k, v in totals.items()
+                    if k is not StallReason.SELECTED)
+        return totals.get(reason, 0) / stall if stall else 0.0
+
+    print(f"texture-variant speedup : {speedup:.2f}x "
+          f"(paper: +61.1 % throughput / -39.2 % runtime)")
+    print(f"TEX throttle stalls     : "
+          f"{100*share(naive_res, StallReason.TEX_THROTTLE):.1f} % -> "
+          f"{100*share(tex_res, StallReason.TEX_THROTTLE):.1f} % "
+          f"(paper: 0 % -> 24.65 %)")
+    c = tex_res.device_counters
+    miss = 100 * c.texture_misses / max(c.texture_hits + c.texture_misses, 1)
+    print(f"texture bytes requested : {c.texture_sectors * 32:,} B, "
+          f"{miss:.1f} % missing to L2 (paper: 221,760 B, 11.5 %)")
+
+
+if __name__ == "__main__":
+    main()

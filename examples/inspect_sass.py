@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Dry-run on raw disassembly — no GPU, no source code.
+
+GPUscout "operates directly on the disassembled SASS code without
+assuming the availability of the source CUDA program" (paper §3) and
+``--dry-run`` works "without involving the GPU at all" (§3.1).  This
+example feeds it the paper's own Listing 1 plus a synthetic spilling
+snippet, exactly as one would paste ``nvdisasm`` output.
+
+Run:  python examples/inspect_sass.py
+"""
+
+from repro.core import GPUscout
+
+# Verbatim from the paper (Listing 1, §4.6): adjacent read-only loads —
+# a texture-memory candidate pattern.
+PAPER_LISTING_1 = """
+LDG.E.SYS R0, [R2] ;
+LDG.E.SYS R5, [R4] ;
+LDG.E.SYS R7, [R4+-0x8] ;
+LDG.E.SYS R9, [R2+-0x8] ;
+STG.E.SYS [R6], R9 ;
+EXIT ;
+"""
+
+# A spilling loop, the Figure-2 pattern: STL/LDL with the value
+# produced by an IADD3.
+SPILL_SNIPPET = """
+        //## File "kernel.cu", line 17
+        /*0000*/ IADD3 R5, R1, R2, RZ ;
+        //## File "kernel.cu", line 18
+        /*0010*/ STL [0x4], R5 ;
+.LOOP:
+        //## File "kernel.cu", line 21
+        /*0020*/ LDL R6, [0x4] ;
+        /*0030*/ FFMA R7, R6, R6, R7 ;
+        /*0040*/ IADD3 R0, R0, 0x1, RZ ;
+        /*0050*/ ISETP.LT.AND P0, PT, R0, 0x40, PT ;
+        /*0060*/ @P0 BRA `(LOOP) ;
+        /*0070*/ STG.E.SYS [R8], R7 ;
+        /*0080*/ EXIT ;
+"""
+
+
+def main() -> None:
+    scout = GPUscout()
+
+    print("### Paper Listing 1 (texture-memory pattern)\n")
+    report = scout.analyze(PAPER_LISTING_1, dry_run=True)
+    print(report.render())
+
+    print("\n### Spilling loop (Figure 2 pattern)\n")
+    report = scout.analyze(SPILL_SNIPPET, dry_run=True)
+    print(report.render())
+
+    print("Tip: gpuscout analyze --sass your_kernel.sass --dry-run "
+          "does the same from the command line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Paper §5.3 walkthrough: the SGEMM optimization ladder.
+
+GPUscout guides three rounds:
+
+1. naive            -> recommends __restrict__/const and shared memory;
+2. shared tiling    -> newly recommends vectorized loads;
+3. shared + float4  -> warns about the register-pressure climb.
+
+Each rung is validated numerically against NumPy and timed on the
+calibrated simulator.
+
+Run:  python examples/sgemm_tuning.py
+"""
+
+import numpy as np
+
+from repro.core import GPUscout, Severity
+from repro.gpu import Simulator
+from repro.kernels.calibration import sgemm_spec
+from repro.kernels.sgemm import (
+    build_sgemm,
+    sgemm_args,
+    sgemm_launch,
+    sgemm_reference,
+)
+
+N = 128
+
+
+def main() -> None:
+    sim = Simulator(sgemm_spec())
+    scout = GPUscout(spec=sgemm_spec())
+    ladder = ("naive", "shared", "shared_vec")
+    cycles = {}
+    regs = {}
+
+    for rung, variant in enumerate(ladder, start=1):
+        kernel = build_sgemm(variant)
+        args = sgemm_args(N, N, N)
+        result = sim.launch(kernel, sgemm_launch(variant, N, N), args=args)
+        got = result.read_buffer("c")
+        assert np.allclose(got, sgemm_reference(args), rtol=1e-3, atol=1e-4)
+        cycles[variant] = result.cycles
+        regs[variant] = kernel.allocation.registers_used
+
+        print(f"\n{'='*70}\n### Rung {rung}: {variant} "
+              f"({result.cycles:,.0f} cycles, numerically verified)\n")
+        report = scout.analyze(kernel, launch=result)
+        for finding in report.findings:
+            tag = {Severity.INFO: "INFO", Severity.WARNING: "WARN",
+                   Severity.CRITICAL: "CRIT"}[finding.severity]
+            print(f"[{tag}] {finding.title}"
+                  + (f"  (registers {', '.join(finding.registers[:6])})"
+                     if finding.registers else ""))
+
+    print(f"\n{'='*70}\n### Ladder summary (paper §5.3)\n")
+    base = cycles["naive"]
+    print(f"{'variant':<14}{'cycles':>14}{'speedup':>10}{'regs':>6}")
+    print("-" * 46)
+    for variant in ladder:
+        print(f"{variant:<14}{cycles[variant]:>14,.0f}"
+              f"{base / cycles[variant]:>9.2f}x{regs[variant]:>6}")
+    print("\npaper: shared tiling ~54x (at 10240^2), +8.5 % more from")
+    print("float4 loads, registers 25 -> 72 with an occupancy warning")
+
+
+if __name__ == "__main__":
+    main()

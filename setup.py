@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept because the target environment installs with ``pip install -e .``
+without network access or the ``wheel`` package, which rules out PEP 517
+editable builds.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""GPUscout reproduction.
+
+A full Python reimplementation of *GPUscout: Locating Data
+Movement-related Bottlenecks on GPUs* (Sen, Vanecek, Schulz — SC-W
+2023), including every substrate the tool depends on:
+
+* :mod:`repro.sass` — SASS ISA model, nvdisasm-dialect parser/writer,
+  CFG/loop/liveness analyses, Volta occupancy calculator;
+* :mod:`repro.cudalite` — a miniature CUDA frontend compiled to SASS
+  with register allocation and spilling (the nvcc substitute);
+* :mod:`repro.gpu` — a Volta-class SM + memory-hierarchy simulator
+  producing warp stalls and hardware counters (the V100 substitute);
+* :mod:`repro.sampling` — CUPTI PC Sampling API substitute;
+* :mod:`repro.metrics` — Nsight Compute CLI substitute;
+* :mod:`repro.core` — GPUscout itself: the eight SASS bottleneck
+  analyses, three-pillar correlation, report rendering and the
+  ``--dry-run`` mode;
+* :mod:`repro.kernels` — the paper's case-study workloads (mixbench,
+  Jacobi heat transfer, SGEMM) in all compared variants.
+
+Quickstart::
+
+    from repro import GPUscout, LaunchConfig
+    from repro.kernels.sgemm import build_sgemm, sgemm_args, TILE
+
+    kernel = build_sgemm("naive")
+    args = sgemm_args(128, 128, 128)
+    report = GPUscout().analyze(
+        kernel,
+        LaunchConfig(grid=(8, 8), block=(TILE, TILE)),
+        args,
+        max_blocks=4,
+    )
+    print(report.render())
+"""
+
+from repro.core import GPUscout, ScoutReport, Finding, Severity
+from repro.cudalite import KernelBuilder, compile_kernel
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUscout",
+    "ScoutReport",
+    "Finding",
+    "Severity",
+    "KernelBuilder",
+    "compile_kernel",
+    "GPUSpec",
+    "LaunchConfig",
+    "Simulator",
+    "__version__",
+]

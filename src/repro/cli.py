@@ -1,0 +1,306 @@
+"""``gpuscout`` command-line interface.
+
+Mirrors the tool's workflow (paper §3.1): point it at a kernel — one of
+the built-in case-study kernels or a raw SASS listing — and it prints
+the three-section analysis report.  ``--dry-run`` restricts the run to
+the static SASS analysis (no GPU / simulator involvement).
+
+Examples::
+
+    gpuscout analyze --kernel sgemm:naive --size 256
+    gpuscout analyze --kernel heat:texture --size 512 --dry-run
+    gpuscout analyze --sass my_kernel.sass --dry-run
+    gpuscout list-kernels
+    gpuscout disasm --kernel mixbench:sp:naive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import GPUscout
+from repro.gpu import GPUSpec, LaunchConfig
+
+__all__ = ["main", "build_parser", "resolve_kernel"]
+
+
+def _kernel_catalog() -> dict[str, str]:
+    """Built-in kernel specs and their descriptions."""
+    out = {}
+    for dtype in ("sp", "dp", "int"):
+        for var in ("naive", "vec"):
+            out[f"mixbench:{dtype}:{var}"] = (
+                f"mixbench benchmark_func, {dtype} {var}"
+            )
+    for var in ("naive", "restrict", "texture"):
+        out[f"heat:{var}"] = f"2D Jacobi heat step, {var}"
+    for var in ("naive", "shared", "shared_vec"):
+        out[f"sgemm:{var}"] = f"SGEMM, {var}"
+    for var in ("global", "shared"):
+        out[f"histogram:{var}"] = f"histogram, {var} atomics"
+    for var in ("atomic", "shared", "warp"):
+        out[f"reduction:{var}"] = f"sum reduction, {var}"
+    return out
+
+
+def resolve_kernel(spec: str, size: int, compute_iterations: int = 8):
+    """Build (compiled kernel, launch config, args, textures) for a
+    built-in kernel spec like ``sgemm:shared`` or ``mixbench:sp:vec``."""
+    parts = spec.split(":")
+    family = parts[0]
+    if family == "mixbench":
+        from repro.kernels.mixbench import build_mixbench, mixbench_args
+
+        dtype = parts[1] if len(parts) > 1 else "sp"
+        vec = len(parts) > 2 and parts[2] == "vec"
+        granularity = 8
+        n_threads = max(size, 256)
+        ck = build_mixbench(dtype, granularity, vectorized=vec)
+        args = mixbench_args(n_threads, granularity, dtype)
+        args["compute_iterations"] = compute_iterations
+        config = LaunchConfig(grid=(n_threads // 256, 1), block=(256, 1))
+        return ck, config, args, {}
+    if family == "heat":
+        from repro.kernels.heat import build_heat, heat_args
+
+        variant = parts[1] if len(parts) > 1 else "naive"
+        w = h = max(size, 64)
+        ck = build_heat(variant)
+        args, t0 = heat_args(w, h, variant=variant)
+        textures = {"t_tex": t0.reshape(h, w)} if variant == "texture" else {}
+        config = LaunchConfig(grid=(-(-w // 16), -(-h // 16)), block=(16, 16))
+        return ck, config, args, textures
+    if family == "sgemm":
+        from repro.kernels.sgemm import (
+            TILE,
+            build_sgemm,
+            sgemm_args,
+            sgemm_launch,
+        )
+
+        variant = parts[1] if len(parts) > 1 else "naive"
+        n = max(size - size % TILE, 2 * TILE)
+        ck = build_sgemm(variant)
+        args = sgemm_args(n, n, n)
+        return ck, sgemm_launch(variant, n, n), args, {}
+    if family == "histogram":
+        from repro.kernels.histogram import (
+            build_histogram,
+            histogram_args,
+            histogram_launch,
+        )
+
+        variant = parts[1] if len(parts) > 1 else "global"
+        n_threads = max(size - size % 256, 256)
+        ck = build_histogram(variant)
+        args = histogram_args(n_threads, skew=0.5)
+        return ck, histogram_launch(n_threads), args, {}
+    if family == "reduction":
+        from repro.kernels.reduction import (
+            BLOCK,
+            build_reduction,
+            reduction_args,
+            reduction_launch,
+        )
+
+        variant = parts[1] if len(parts) > 1 else "shared"
+        n = max(size - size % BLOCK, 4 * BLOCK)
+        ck = build_reduction(variant)
+        return ck, reduction_launch(n), reduction_args(n), {}
+    raise SystemExit(f"unknown kernel family {family!r}; try list-kernels")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpuscout",
+        description="Locate data movement-related bottlenecks in (simulated) "
+                    "GPU kernels — reproduction of Sen et al., SC-W 2023.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="run the GPUscout analysis")
+    src = p_an.add_mutually_exclusive_group(required=True)
+    src.add_argument("--kernel", help="built-in kernel spec (see list-kernels)")
+    src.add_argument("--sass", help="path to an nvdisasm-style SASS listing")
+    p_an.add_argument("--size", type=int, default=256,
+                      help="problem size (threads / matrix dim / grid dim)")
+    p_an.add_argument("--compute-iterations", type=int, default=8,
+                      help="mixbench compute iterations")
+    p_an.add_argument("--dry-run", action="store_true",
+                      help="static SASS analysis only (no GPU involvement)")
+    p_an.add_argument("--max-blocks", type=int, default=None,
+                      help="cap simulated blocks (extrapolate counters)")
+    p_an.add_argument("--color", action="store_true", help="colored output")
+    p_an.add_argument("--html", metavar="PATH", default=None,
+                      help="also write the interactive HTML report "
+                           "(paper Figure 7)")
+    p_an.add_argument("--extended", action="store_true",
+                      help="also run the extension analyses "
+                           "(uncoalesced access, predication efficiency)")
+    p_an.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the findings as JSON (use '-' "
+                           "for stdout instead of the text report)")
+
+    p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
+    p_dis.add_argument("--kernel", required=True)
+    p_dis.add_argument("--source", action="store_true",
+                       help="also print the pseudo-CUDA source")
+    p_dis.add_argument("--ptx", action="store_true",
+                       help="print the PTX stage instead of SASS")
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="old-vs-new metric comparison of two kernels (Figure 7's "
+             "'Metrics Comparison' section)",
+    )
+    p_cmp.add_argument("--old", required=True, help="baseline kernel spec")
+    p_cmp.add_argument("--new", required=True, help="modified kernel spec")
+    p_cmp.add_argument("--size", type=int, default=256)
+    p_cmp.add_argument("--compute-iterations", type=int, default=8)
+    p_cmp.add_argument("--max-blocks", type=int, default=8)
+    p_cmp.add_argument("--html", metavar="PATH", default=None,
+                       help="write the comparison as HTML")
+
+    p_exp = sub.add_parser(
+        "explain",
+        help="the GPUscout manual: verbose interpretation of a warp-stall "
+             "reason or an ncu metric (paper §3.2, footnote 3)",
+    )
+    p_exp.add_argument("name", nargs="?", default=None,
+                       help="stall reason (e.g. stalled_lg_throttle) or "
+                            "metric name; omit to list everything")
+
+    sub.add_parser("list-kernels", help="list built-in kernel specs")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an
+        # error; park stdout on devnull so interpreter shutdown does
+        # not re-raise while flushing
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-kernels":
+        for name, desc in sorted(_kernel_catalog().items()):
+            print(f"{name:<24s} {desc}")
+        return 0
+    if args.command == "disasm":
+        ck, _, _, _ = resolve_kernel(args.kernel, 256)
+        if args.source:
+            print(ck.kernel.source)
+        print(ck.ptx_text if args.ptx else ck.sass_text)
+        return 0
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "explain":
+        return _run_explain(args.name)
+    # analyze
+    from repro.core import all_analyses
+
+    scout = GPUscout(
+        analyses=all_analyses() if args.extended else None,
+        spec=GPUSpec.v100(),
+    )
+    if args.sass:
+        with open(args.sass) as fh:
+            text = fh.read()
+        report = scout.analyze(text, dry_run=True)
+        if not args.dry_run:
+            print("note: raw SASS supports static analysis only; "
+                  "running as --dry-run", file=sys.stderr)
+    else:
+        ck, config, kargs, textures = resolve_kernel(
+            args.kernel, args.size, args.compute_iterations
+        )
+        report = scout.analyze(
+            ck, config, kargs, textures=textures,
+            dry_run=args.dry_run,
+            max_blocks=args.max_blocks or 8,
+        )
+    if args.json == "-":
+        from repro.core import report_to_json
+
+        print(report_to_json(report))
+    else:
+        print(report.render(color=args.color))
+        if args.json:
+            from repro.core import report_to_json
+
+            with open(args.json, "w") as fh:
+                fh.write(report_to_json(report))
+            print(f"JSON findings written to {args.json}", file=sys.stderr)
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(report.render_html())
+        print(f"interactive report written to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _run_explain(name: Optional[str]) -> int:
+    """``gpuscout explain``: the tool's manual for stalls and metrics."""
+    from repro.gpu.stalls import STALL_EXPLANATIONS, StallReason
+    from repro.metrics.names import METRIC_REGISTRY
+
+    if name is None:
+        print("Warp-stall reasons:")
+        for reason in StallReason:
+            print(f"  {reason.cupti_name}")
+        print("\nMetrics:")
+        for metric in METRIC_REGISTRY:
+            print(f"  {metric}")
+        print("\nUse: gpuscout explain <name>")
+        return 0
+    stem = name.removeprefix("stalled_")
+    for reason in StallReason:
+        if reason.value == stem:
+            print(f"{reason.cupti_name}:")
+            print(f"  {STALL_EXPLANATIONS[reason]}")
+            return 0
+    spec = METRIC_REGISTRY.get(name)
+    if spec is not None:
+        print(f"{spec.name} [{spec.unit}]:")
+        print(f"  {spec.description}")
+        return 0
+    print(f"unknown stall reason or metric: {name!r}", file=sys.stderr)
+    return 1
+
+
+def _run_compare(args) -> int:
+    """``gpuscout compare``: analyze two kernels and show the
+    new-vs-old metric comparison."""
+    from repro.core.compare import compare_reports
+
+    scout = GPUscout(spec=GPUSpec.v100())
+    reports = []
+    for spec in (args.old, args.new):
+        ck, config, kargs, textures = resolve_kernel(
+            spec, args.size, args.compute_iterations
+        )
+        reports.append(
+            scout.analyze(ck, config, kargs, textures=textures,
+                          max_blocks=args.max_blocks)
+        )
+    comparison = compare_reports(reports[0], reports[1])
+    print(comparison.render())
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(reports[1].render_html(comparison=comparison))
+        print(f"interactive comparison written to {args.html}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""GPUscout core: the three-pillar bottleneck analysis engine.
+
+This is the paper's contribution proper.  :class:`~repro.core.engine.GPUscout`
+runs the eight static SASS analyses (§4.1–§4.7 plus the vectorized-read
+detection), correlates CUPTI-style warp-stall samples to the flagged
+instructions, collects the curated ncu metric sets, and renders the
+terminal report of Figures 2/5.  ``--dry-run`` skips everything that
+needs the (simulated) GPU.
+"""
+
+from repro.core.findings import Finding, Severity, SourceLoc
+from repro.core.base import (
+    Analysis,
+    AnalysisContext,
+    all_analyses,
+    default_analyses,
+    extension_analyses,
+)
+from repro.core.engine import GPUscout, ScoutReport
+from repro.core.overhead import OverheadBreakdown
+from repro.core.compare import ComparisonReport, MetricDelta, compare_reports
+from repro.core.html_report import render_html
+from repro.core.jsonout import report_to_dict, report_to_json
+
+# importing the analysis modules registers them (paper §4 defaults,
+# then the §7-style extensions)
+from repro.core import (  # noqa: F401
+    vectorize,
+    spilling,
+    shared_mem,
+    atomics,
+    restrict,
+    texture,
+    conversions,
+    coalescing,
+    divergence,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "SourceLoc",
+    "Analysis",
+    "AnalysisContext",
+    "all_analyses",
+    "default_analyses",
+    "extension_analyses",
+    "GPUscout",
+    "ScoutReport",
+    "OverheadBreakdown",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare_reports",
+    "render_html",
+    "report_to_dict",
+    "report_to_json",
+]

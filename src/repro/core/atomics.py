@@ -1,0 +1,109 @@
+"""§4.4 — Use Shared Atomics.
+
+Global atomics (``ATOM``/``RED``) serialize kernel-wide and typically
+resolve in the L2 cache; shared atomics (``ATOMS``) serialize only
+within a thread block.  GPUscout displays the counts of both with
+source lines and warns about global atomics inside for-loops, where
+repeated serialization amplifies the penalty.
+
+Stalls: ``lg_throttle`` now; after switching to shared atomics, watch
+``mio_throttle`` (MIO pipeline utilization rises).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+from repro.sass.isa import OpClass
+
+__all__ = ["SharedAtomicsAnalysis"]
+
+
+@register_analysis
+class SharedAtomicsAnalysis(Analysis):
+    """Flag global atomics; suggest block-level (shared) atomics."""
+
+    name = "use_shared_atomics"
+    description = "Global atomics that could serialize at block level instead"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        global_atoms = [
+            i for i, ins in enumerate(program)
+            if ins.opcode.op_class is OpClass.ATOMIC_GLOBAL
+        ]
+        shared_atoms = [
+            i for i, ins in enumerate(program)
+            if ins.opcode.op_class is OpClass.ATOMIC_SHARED
+        ]
+        findings: list[Finding] = []
+        if global_atoms:
+            in_loop_pcs = [i for i in global_atoms if ctx.in_loop(i)]
+            in_loop = bool(in_loop_pcs)
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Consider using shared atomics",
+                    severity=Severity.CRITICAL if in_loop else Severity.WARNING,
+                    message=(
+                        f"{len(global_atoms)} global atomic instruction(s) "
+                        f"(ATOM/RED) vs {len(shared_atoms)} shared atomic(s) "
+                        "(ATOMS) detected. Global atomics are a kernel-wide "
+                        "serialization, typically resolved in the L2 cache."
+                        + (
+                            f" {len(in_loop_pcs)} of them execute inside a "
+                            "for-loop, where repeated serialization amplifies "
+                            "the performance degradation."
+                            if in_loop
+                            else ""
+                        )
+                    ),
+                    recommendation=(
+                        "Accumulate into a __shared__ buffer with shared "
+                        "atomics (block-level serialization) and merge to "
+                        "global memory once per block. Shared atomics raise "
+                        "MIO pipeline utilization — watch for MIO throttle "
+                        "stalls after updating the atomics."
+                    ),
+                    pcs=sorted(global_atoms),
+                    locations=[ctx.loc(i) for i in sorted(global_atoms)],
+                    in_loop=in_loop,
+                    details={
+                        "global_atomics": len(global_atoms),
+                        "shared_atomics": len(shared_atoms),
+                        "global_atomics_in_loop": len(in_loop_pcs),
+                    },
+                    stall_focus=[StallReason.LG_THROTTLE,
+                                 StallReason.MIO_THROTTLE],
+                    metric_focus=[
+                        "smsp__inst_executed_op_global_atom.sum",
+                        "smsp__inst_executed_op_shared_atom.sum",
+                        "derived__atomic_l2_resolution_pct",
+                    ],
+                )
+            )
+        elif shared_atoms:
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Shared atomics in use",
+                    severity=Severity.INFO,
+                    message=(
+                        f"{len(shared_atoms)} shared atomic instruction(s) "
+                        "(ATOMS) detected and no global atomics — "
+                        "serialization is already block-level."
+                    ),
+                    recommendation=(
+                        "Watch MIO throttle stalls: shared atomics utilize "
+                        "the MIO pipelines."
+                    ),
+                    pcs=sorted(shared_atoms),
+                    locations=[ctx.loc(i) for i in sorted(shared_atoms)],
+                    in_loop=any(ctx.in_loop(i) for i in shared_atoms),
+                    details={"shared_atomics": len(shared_atoms)},
+                    stall_focus=[StallReason.MIO_THROTTLE],
+                    metric_focus=["smsp__inst_executed_op_shared_atom.sum"],
+                )
+            )
+        return findings

@@ -1,0 +1,180 @@
+"""Old-versus-new comparison of two GPUscout runs.
+
+Paper §7 (Figure 7) plans a "Metrics Comparison" section that "will
+point at metrics to observe after modifying the code, and hence, a
+new-versus-old comparison of the obtained metric values will be
+available here, showing how selected metrics rise/fall due to the
+change".  :func:`compare_reports` implements exactly that: it pairs the
+metrics and stall distributions of a baseline run and a modified run,
+flags the metrics each finding said to watch, and renders the
+rise/fall table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.engine import ScoutReport
+from repro.gpu.stalls import StallReason
+from repro.metrics.names import METRIC_REGISTRY
+
+__all__ = ["MetricDelta", "ComparisonReport", "compare_reports"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's before/after pair."""
+
+    name: str
+    before: float
+    after: float
+    #: True when a finding of the baseline run asked to watch this metric
+    watched: bool
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.before == 0:
+            return None if self.after == 0 else float("inf")
+        return 100.0 * (self.after - self.before) / abs(self.before)
+
+    @property
+    def direction(self) -> str:
+        if self.after > self.before:
+            return "rise"
+        if self.after < self.before:
+            return "fall"
+        return "same"
+
+
+@dataclass
+class ComparisonReport:
+    """Structured new-vs-old comparison."""
+
+    baseline_kernel: str
+    modified_kernel: str
+    metric_deltas: list[MetricDelta] = field(default_factory=list)
+    stall_deltas: list[tuple[StallReason, float, float]] = field(
+        default_factory=list
+    )
+    speedup: Optional[float] = None
+
+    def watched(self) -> list[MetricDelta]:
+        return [d for d in self.metric_deltas if d.watched]
+
+    def render(self) -> str:
+        lines = [
+            "-" * 72,
+            f"GPUscout metrics comparison: '{self.baseline_kernel}' (old) "
+            f"vs '{self.modified_kernel}' (new)",
+            "-" * 72,
+        ]
+        if self.speedup is not None:
+            lines.append(f"Kernel speedup (old/new cycles): {self.speedup:.2f}x")
+            lines.append("")
+        watched = self.watched()
+        if watched:
+            lines.append("Metrics the old run's findings asked to watch:")
+            lines.extend(self._rows(watched))
+            lines.append("")
+        others = [d for d in self.metric_deltas if not d.watched]
+        if others:
+            lines.append("Other collected metrics:")
+            lines.extend(self._rows(others))
+            lines.append("")
+        if self.stall_deltas:
+            lines.append("Warp-stall distribution (share of stall samples):")
+            for reason, before, after in self.stall_deltas:
+                arrow = "->"
+                lines.append(
+                    f"  {reason.cupti_name:<30s} {100*before:6.1f} % {arrow} "
+                    f"{100*after:6.1f} %"
+                )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _rows(deltas: list[MetricDelta]) -> list[str]:
+        out = []
+        for d in deltas:
+            spec = METRIC_REGISTRY.get(d.name)
+            unit = spec.unit if spec else ""
+            change = d.change_pct
+            change_txt = (
+                "new" if change == float("inf")
+                else "=" if change is None or d.direction == "same"
+                else f"{change:+.1f} %"
+            )
+            out.append(
+                f"  {d.name:<52s} {d.before:>14.2f} -> {d.after:>14.2f} "
+                f"{unit:<12s} {change_txt}"
+            )
+        return out
+
+
+def compare_reports(old: ScoutReport, new: ScoutReport) -> ComparisonReport:
+    """Build the new-vs-old comparison of two (dynamic) runs.
+
+    Both reports must come from full runs (metrics + sampling present);
+    dry runs carry nothing to compare.
+    """
+    if old.metrics is None or new.metrics is None:
+        raise ValueError("comparison needs two full (non-dry-run) reports")
+    watched_names = {
+        name for f in old.findings for name in f.metric_focus
+    }
+
+    def value_of(report: ScoutReport, name: str) -> Optional[float]:
+        if name in report.metrics.values:
+            return report.metrics.values[name]
+        if report.launch is not None:
+            # ncu would need another pass; we can derive it directly
+            from repro.metrics.derive import derive_metric
+
+            return derive_metric(name, report.launch)
+        return None
+
+    names = list(dict.fromkeys(list(old.metrics.values)
+                               + list(new.metrics.values)))
+    deltas = []
+    for n in names:
+        before = value_of(old, n)
+        after = value_of(new, n)
+        if before is None or after is None:
+            continue
+        deltas.append(
+            MetricDelta(name=n, before=before, after=after,
+                        watched=n in watched_names)
+        )
+    # watched metrics first, then by magnitude of relative change
+    deltas.sort(key=lambda d: (
+        not d.watched,
+        -(abs(d.change_pct) if d.change_pct not in (None, float("inf"))
+          else 1e9),
+    ))
+
+    stall_deltas: list[tuple[StallReason, float, float]] = []
+    if old.sampling is not None and new.sampling is not None:
+        reasons = sorted(
+            set(old.sampling.by_reason()) | set(new.sampling.by_reason()),
+            key=lambda r: r.value,
+        )
+        for reason in reasons:
+            if reason is StallReason.SELECTED:
+                continue
+            before = old.sampling.stall_share(reason)
+            after = new.sampling.stall_share(reason)
+            if before or after:
+                stall_deltas.append((reason, before, after))
+        stall_deltas.sort(key=lambda t: -(t[1] + t[2]))
+
+    speedup = None
+    if old.launch is not None and new.launch is not None \
+            and new.launch.cycles > 0:
+        speedup = old.launch.cycles / new.launch.cycles
+    return ComparisonReport(
+        baseline_kernel=old.kernel,
+        modified_kernel=new.kernel,
+        metric_deltas=deltas,
+        stall_deltas=stall_deltas,
+        speedup=speedup,
+    )

@@ -1,0 +1,63 @@
+"""§4.7 — Datatype Conversions.
+
+Conversions (``I2F``, ``F2F``, ``F2I``, ``I2I``) are expensive: they
+add instructions and occupy conversion pipelines.  GPUscout presents a
+total count per conversion kind with the corresponding source lines;
+whether they are avoidable is left to the user (the Jacobi case study's
+six I2F conversions were inherent to the algorithm).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+
+__all__ = ["DatatypeConversionsAnalysis"]
+
+
+@register_analysis
+class DatatypeConversionsAnalysis(Analysis):
+    """Count datatype-conversion instructions and report their lines."""
+
+    name = "datatype_conversions"
+    description = "Datatype conversion instructions (I2F/F2F/F2I/I2I)"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        convs = [
+            (i, ins) for i, ins in enumerate(program)
+            if ins.opcode.is_conversion
+        ]
+        if not convs:
+            return []
+        by_kind = Counter(ins.opcode.base for _, ins in convs)
+        pcs = [i for i, _ in convs]
+        kinds_txt = ", ".join(f"{n}x {k}" for k, n in sorted(by_kind.items()))
+        in_loop = any(ctx.in_loop(i) for i in pcs)
+        return [
+            Finding(
+                analysis=self.name,
+                title="Datatype conversions detected",
+                severity=Severity.WARNING if in_loop else Severity.INFO,
+                message=(
+                    f"{len(convs)} datatype conversion(s) detected "
+                    f"({kinds_txt}). Conversions increase the instruction "
+                    "count and can keep several GPU pipelines busy."
+                    + (" Some occur inside for-loops." if in_loop else "")
+                ),
+                recommendation=(
+                    "Avoid conversions such as F2F and I2F where feasible — "
+                    "e.g. keep literals and accumulators in the data's "
+                    "native type. Some conversions are inherent to the "
+                    "algorithm and cannot be removed."
+                ),
+                pcs=pcs,
+                locations=[ctx.loc(i) for i in pcs],
+                in_loop=in_loop,
+                details={"by_kind": dict(by_kind), "total": len(convs)},
+                stall_focus=[],
+                metric_focus=["smsp__sass_inst_executed_op_conversion.sum"],
+            )
+        ]

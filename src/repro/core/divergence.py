@@ -1,0 +1,104 @@
+"""Extension analysis: predication / divergence efficiency.
+
+Not part of the paper's §4 suite (registered per §7's extension
+mechanism).  nvcc compiles short conditionals to *predicated*
+instructions: both arms occupy issue slots for every warp, and lanes
+failing the guard do no useful work.  Heavily-predicated regions —
+especially predicated *memory* operations, which still cost L1TEX
+wavefronts for the active lanes — are worth restructuring (hoist the
+condition, reshape blocks so warps are condition-uniform).
+
+The analysis reports the predicated fraction of the instruction stream,
+complementary-guard pairs (``@P`` ... ``@!P`` on the same predicate —
+a branch-free if/else where a warp pays for both arms), and predicated
+memory operations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.base import Analysis, AnalysisContext, register_extension
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+
+__all__ = ["PredicationEfficiencyAnalysis"]
+
+
+@register_extension
+class PredicationEfficiencyAnalysis(Analysis):
+    """Quantify predication cost and flag dual-arm predicated regions."""
+
+    name = "predication_efficiency"
+    description = "Predicated-execution share and if/else arm costs (extension)"
+
+    #: predicated fraction above which the finding is a WARNING
+    warn_fraction = 0.3
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        total = len(program)
+        if total == 0:
+            return []
+        predicated: list[int] = []
+        by_pred: dict[int, dict[bool, list[int]]] = defaultdict(
+            lambda: {True: [], False: []}
+        )
+        pred_mem: list[int] = []
+        for i, ins in enumerate(program):
+            if ins.pred is None or (ins.pred.is_zero and not ins.pred_negated):
+                continue
+            if ins.opcode.base in ("BRA", "EXIT", "RET"):
+                continue  # guards on control flow are the cheap idiom
+            predicated.append(i)
+            by_pred[ins.pred.index][ins.pred_negated].append(i)
+            if ins.opcode.is_memory:
+                pred_mem.append(i)
+        if not predicated:
+            return []
+        fraction = len(predicated) / total
+        dual_arm = {
+            p: arms for p, arms in by_pred.items()
+            if arms[True] and arms[False]
+        }
+        severity = Severity.WARNING if fraction >= self.warn_fraction \
+            else Severity.INFO
+        msg = (
+            f"{len(predicated)} of {total} instructions "
+            f"({100*fraction:.0f} %) execute under a predicate guard; "
+            f"{len(pred_mem)} of them are memory operations."
+        )
+        if dual_arm:
+            pairs = ", ".join(f"P{p}" for p in sorted(dual_arm))
+            msg += (
+                f" Predicates {pairs} guard both polarities (@P and @!P): "
+                "every warp issues both arms of the conditional."
+            )
+        pcs = predicated
+        return [
+            Finding(
+                analysis=self.name,
+                title="Heavy predicated execution",
+                severity=severity,
+                message=msg,
+                recommendation=(
+                    "If warps are usually condition-uniform, the cost is "
+                    "only issue slots; if lanes diverge, restructure so "
+                    "threads in a warp take the same path (tile shapes, "
+                    "sorted work queues) or hoist the condition out of hot "
+                    "loops. Predicated loads/stores still spend L1TEX "
+                    "wavefronts for their active lanes."
+                ),
+                pcs=pcs,
+                locations=[ctx.loc(i) for i in pcs[:8]],
+                in_loop=any(ctx.in_loop(i) for i in pcs),
+                details={
+                    "predicated_instructions": len(predicated),
+                    "predicated_fraction": round(fraction, 3),
+                    "predicated_memory_ops": len(pred_mem),
+                    "dual_arm_predicates": sorted(dual_arm),
+                },
+                stall_focus=[StallReason.NOT_SELECTED],
+                metric_focus=["smsp__inst_executed.sum"],
+            )
+        ]

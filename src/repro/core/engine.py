@@ -1,0 +1,236 @@
+"""GPUscout orchestration: the four-stage workflow of paper §3.1.
+
+1. **Configuration** — a compiled kernel (or raw SASS text) plus the
+   launch setup.
+2. **Static code instrumentation** — the registered SASS analyses run
+   over the disassembly.
+3. **Dynamic data collection** — skipped under ``--dry-run``; otherwise
+   the kernel executes on the simulated GPU, CUPTI-style PC samples are
+   drawn, and the curated ncu metric sets are collected.
+4. **Data evaluation** — stalls and metrics are correlated to each
+   finding's instructions and the terminal report is rendered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import Analysis, AnalysisContext, default_analyses
+from repro.core.findings import Finding
+from repro.core.overhead import OverheadBreakdown
+from repro.cudalite.compiler import CompiledKernel
+from repro.errors import AnalysisError
+from repro.gpu.config import GPUSpec
+from repro.gpu.simulator import LaunchConfig, LaunchResult, Simulator
+from repro.gpu.stalls import StallReason
+from repro.metrics.collector import MetricReport, NsightComputeCLI
+from repro.metrics.names import METRIC_SETS
+from repro.sampling.pcsampler import PCSampler, PCSamplingResult
+from repro.sampling.stall_report import LineStallProfile, build_line_profiles
+from repro.ptx.analysis import PTXAtomicsSummary
+from repro.sass.isa import Program
+from repro.sass.parser import parse_sass
+
+__all__ = ["GPUscout", "ScoutReport"]
+
+
+@dataclass
+class ScoutReport:
+    """Everything one GPUscout run produced."""
+
+    kernel: str
+    findings: list[Finding]
+    dry_run: bool
+    program: Program
+    sampling: Optional[PCSamplingResult] = None
+    line_profiles: dict[int, LineStallProfile] = field(default_factory=dict)
+    metrics: Optional[MetricReport] = None
+    launch: Optional[LaunchResult] = None
+    overhead: Optional[OverheadBreakdown] = None
+    #: PTX-level §4.4 atomics summary (None when only raw SASS given)
+    ptx_atomics: Optional["PTXAtomicsSummary"] = None
+
+    def findings_for(self, analysis: str) -> list[Finding]:
+        return [f for f in self.findings if f.analysis == analysis]
+
+    def has_finding(self, analysis: str) -> bool:
+        return any(f.analysis == analysis for f in self.findings)
+
+    def render(self, color: bool = False) -> str:
+        from repro.core.report import render_report
+
+        return render_report(self, color=color)
+
+    def render_html(self, comparison=None) -> str:
+        """The Figure-7 interactive frontend as a standalone HTML page."""
+        from repro.core.html_report import render_html
+
+        return render_html(self, comparison=comparison)
+
+
+class GPUscout:
+    """The analyzer.  See the module docstring for the workflow.
+
+    Parameters mirror the tool's configuration stage: which analyses to
+    run, the GPU to execute on, the PC sampling period, and how many
+    blocks to simulate per launch (``max_blocks``) before extrapolating.
+    """
+
+    def __init__(
+        self,
+        analyses: Optional[Sequence[Analysis]] = None,
+        spec: Optional[GPUSpec] = None,
+        sampler: Optional[PCSampler] = None,
+        ncu: Optional[NsightComputeCLI] = None,
+    ):
+        self.analyses = list(analyses) if analyses is not None else default_analyses()
+        self.spec = spec or GPUSpec.v100()
+        self.sampler = sampler or PCSampler()
+        self.ncu = ncu or NsightComputeCLI()
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        kernel: Union[CompiledKernel, Program, str],
+        config: Optional[LaunchConfig] = None,
+        args: Optional[dict] = None,
+        textures: Optional[dict] = None,
+        dry_run: bool = False,
+        max_blocks: Optional[int] = None,
+        launch: Optional[LaunchResult] = None,
+    ) -> ScoutReport:
+        """Run the full GPUscout workflow on ``kernel``.
+
+        ``kernel`` may be a cudalite :class:`CompiledKernel`, an
+        already-parsed :class:`Program`, or raw nvdisasm text.  With
+        ``dry_run`` only the static SASS analysis runs — no GPU (i.e.
+        simulator) involvement at all, usable on architectures ncu does
+        not support (paper §3.1).  A pre-existing ``launch`` result can
+        be supplied to correlate against (avoids re-simulation).
+        """
+        program, compiled = self._resolve(kernel)
+        t0 = time.perf_counter()
+        ctx = AnalysisContext(program, compiled)
+        findings: list[Finding] = []
+        for analysis in self.analyses:
+            findings.extend(analysis.run(ctx))
+        findings.sort(key=lambda f: (-int(f.severity), f.analysis))
+        # PTX-level cross-check of the atomics analysis (paper §3 fn. 2:
+        # "analogously to SASS, a PTX analysis is performed in §4.4")
+        ptx_atomics = None
+        if compiled is not None:
+            from repro.ptx import parse_ptx, scan_atomics
+
+            ptx_atomics = scan_atomics(parse_ptx(compiled.ptx_text))
+            for finding in findings:
+                if finding.analysis == "use_shared_atomics":
+                    finding.details["ptx_global_atomics"] = \
+                        ptx_atomics.global_atomics
+                    finding.details["ptx_shared_atomics"] = \
+                        ptx_atomics.shared_atomics
+        sass_seconds = time.perf_counter() - t0
+
+        if dry_run:
+            return ScoutReport(
+                kernel=program.name,
+                findings=findings,
+                dry_run=True,
+                program=program,
+                ptx_atomics=ptx_atomics,
+                overhead=OverheadBreakdown(
+                    kernel_seconds=0.0,
+                    sass_analysis_seconds=sass_seconds,
+                    pc_sampling_seconds=0.0,
+                    metrics_seconds=0.0,
+                ),
+            )
+
+        if compiled is None:
+            raise AnalysisError(
+                "dynamic analysis needs a CompiledKernel (launchable); "
+                "raw SASS supports --dry-run only"
+            )
+        if launch is None:
+            if config is None or args is None:
+                raise AnalysisError(
+                    "dynamic analysis needs a LaunchConfig and kernel args"
+                )
+            sim = Simulator(self.spec)
+            launch = sim.launch(
+                compiled, config, args, textures=textures,
+                max_blocks=max_blocks, functional_all=False,
+            )
+        sampling = self.sampler.sample(launch)
+        line_profiles = build_line_profiles(sampling)
+
+        metric_names = self._metric_names(findings)
+        metrics = self.ncu.collect(launch, metric_names)
+
+        for finding in findings:
+            finding.stall_profile = self._stalls_for(finding, sampling)
+            finding.metrics = {
+                name: metrics.values[name]
+                for name in finding.metric_focus
+                if name in metrics.values
+            }
+
+        overhead = OverheadBreakdown(
+            kernel_seconds=launch.duration_s,
+            sass_analysis_seconds=sass_seconds,
+            pc_sampling_seconds=self.sampler.overhead_seconds(launch),
+            metrics_seconds=metrics.collection_seconds,
+        )
+        return ScoutReport(
+            kernel=program.name,
+            findings=findings,
+            dry_run=False,
+            program=program,
+            ptx_atomics=ptx_atomics,
+            sampling=sampling,
+            line_profiles=line_profiles,
+            metrics=metrics,
+            launch=launch,
+            overhead=overhead,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(kernel) -> tuple[Program, Optional[CompiledKernel]]:
+        if isinstance(kernel, CompiledKernel):
+            return kernel.program, kernel
+        if isinstance(kernel, Program):
+            return kernel, None
+        if isinstance(kernel, str):
+            return parse_sass(kernel), None
+        raise AnalysisError(f"cannot analyze object of type {type(kernel)!r}")
+
+    def _metric_names(self, findings: Sequence[Finding]) -> list[str]:
+        names = list(METRIC_SETS["base"])
+        for finding in findings:
+            for name in finding.metric_focus:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    @staticmethod
+    def _stalls_for(finding: Finding,
+                    sampling: PCSamplingResult) -> dict[StallReason, int]:
+        """Samples correlated to a finding.
+
+        CUPTI attributes samples to source lines (paper §2.2), and the
+        report presents stalls per flagged *line* (Figure 2: "For line
+        number 18, the warp stalls are ...").  A sample therefore
+        matches when it falls on a flagged PC or on any instruction of
+        a flagged source line — e.g. the consumer that actually stalls
+        on a flagged load's data."""
+        out: dict[StallReason, int] = {}
+        pcs = set(finding.pcs)
+        lines = set(finding.lines)
+        for s in sampling.samples:
+            if s.pc in pcs or (s.line is not None and s.line in lines):
+                out[s.reason] = out.get(s.reason, 0) + s.samples
+        return out

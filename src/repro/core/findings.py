@@ -1,0 +1,80 @@
+"""Finding data model.
+
+Every analysis produces :class:`Finding` objects that always carry the
+problem description *and* the exact SASS/CUDA location (paper: "the
+problem description and source code line number are always attached").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.stalls import StallReason
+
+__all__ = ["Severity", "SourceLoc", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """How strongly GPUscout flags a pattern."""
+
+    INFO = 0  # informational (e.g. "compiler already vectorized this")
+    WARNING = 1  # potential bottleneck worth investigating
+    CRITICAL = 2  # pattern strongly associated with degradation
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A CUDA source location (from the line table)."""
+
+    file: Optional[str]
+    line: Optional[int]
+
+    def __str__(self) -> str:
+        if self.line is None:
+            return "<unknown>"
+        return f"{self.file or 'kernel.cu'}:{self.line}"
+
+
+@dataclass
+class Finding:
+    """One detected (potential) bottleneck.
+
+    ``pcs`` are instruction indices into the program (multiply by 16
+    for byte offsets); ``registers`` name the registers involved;
+    ``stall_focus``/``metric_focus`` say which warp stalls and ncu
+    metrics the user should watch when acting on the recommendation —
+    the "linking" of the three pillars the paper describes.
+    """
+
+    analysis: str
+    title: str
+    severity: Severity
+    message: str
+    recommendation: str
+    pcs: list[int] = field(default_factory=list)
+    locations: list[SourceLoc] = field(default_factory=list)
+    registers: list[str] = field(default_factory=list)
+    in_loop: bool = False
+    details: dict = field(default_factory=dict)
+    stall_focus: list[StallReason] = field(default_factory=list)
+    metric_focus: list[str] = field(default_factory=list)
+    # filled by the engine after dynamic passes:
+    stall_profile: dict[StallReason, int] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> list[int]:
+        return sorted({loc.line for loc in self.locations if loc.line is not None})
+
+    def dominant_stall(self) -> Optional[StallReason]:
+        """Largest observed stall reason at the finding's PCs."""
+        candidates = {
+            k: v
+            for k, v in self.stall_profile.items()
+            if k is not StallReason.SELECTED and v > 0
+        }
+        if not candidates:
+            return None
+        return max(candidates, key=lambda k: candidates[k])

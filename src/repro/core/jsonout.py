@@ -1,0 +1,98 @@
+"""Machine-readable (JSON) serialization of a GPUscout report.
+
+The paper's future-work section plans richer presentations of the
+collected data; a stable JSON schema is the integration-friendly one
+(CI gates, dashboards, the Figure-7 frontend's data source).  The
+schema is versioned; tests pin it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.engine import ScoutReport
+from repro.gpu.stalls import StallReason
+
+__all__ = ["report_to_dict", "report_to_json", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def _finding_dict(f) -> dict[str, Any]:
+    return {
+        "analysis": f.analysis,
+        "title": f.title,
+        "severity": f.severity.name,
+        "message": f.message,
+        "recommendation": f.recommendation,
+        "pcs": list(f.pcs),
+        "source_lines": f.lines,
+        "registers": list(f.registers),
+        "in_loop": f.in_loop,
+        "details": _jsonable(f.details),
+        "stall_focus": [r.cupti_name for r in f.stall_focus],
+        "metric_focus": list(f.metric_focus),
+        "stall_profile": {
+            r.cupti_name: int(v) for r, v in f.stall_profile.items()
+        },
+        "metrics": {k: float(v) for k, v in f.metrics.items()},
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, StallReason):
+        return value.cupti_name
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+def report_to_dict(report: ScoutReport) -> dict[str, Any]:
+    """Serialize ``report`` to plain JSON-compatible structures."""
+    out: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kernel": report.kernel,
+        "dry_run": report.dry_run,
+        "findings": [_finding_dict(f) for f in report.findings],
+    }
+    if report.ptx_atomics is not None:
+        out["ptx_atomics"] = {
+            "global": report.ptx_atomics.global_atomics,
+            "shared": report.ptx_atomics.shared_atomics,
+            "global_in_loop": report.ptx_atomics.global_in_loop,
+            "shared_in_loop": report.ptx_atomics.shared_in_loop,
+        }
+    if report.metrics is not None:
+        out["metrics"] = {k: float(v) for k, v in report.metrics.values.items()}
+    if report.sampling is not None:
+        totals = report.sampling.by_reason()
+        out["stalls"] = {
+            "period_cycles": report.sampling.period_cycles,
+            "total_samples": report.sampling.total_samples,
+            "by_reason": {r.cupti_name: int(v) for r, v in totals.items()},
+        }
+    if report.launch is not None:
+        out["launch"] = {
+            "cycles": float(report.launch.cycles),
+            "duration_s": float(report.launch.duration_s),
+            "achieved_occupancy": float(report.launch.achieved_occupancy),
+            "theoretical_occupancy": float(
+                report.launch.theoretical_occupancy),
+            "simulated_blocks": report.launch.simulated_blocks,
+        }
+    if report.overhead is not None:
+        out["overhead"] = {
+            k: (None if v == float("inf") else float(v))
+            for k, v in report.overhead.as_dict().items()
+        }
+    return out
+
+
+def report_to_json(report: ScoutReport, indent: int = 2) -> str:
+    """JSON text of :func:`report_to_dict`."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

@@ -1,0 +1,55 @@
+"""Tool-overhead accounting (paper §5.4 / Figure 6).
+
+GPUscout's overhead decomposes into the three pillars:
+
+* **SASS analysis** — host-only, independent of kernel execution time
+  (measured directly: it is real Python work in this reproduction);
+* **PC stall sampling** — grows with kernel duration (serialized replay
+  plus per-sample host processing);
+* **metric collection** — dominates: Nsight Compute replays the kernel
+  once per counter group with heavy per-pass setup.
+
+``total_factor`` is the paper's headline "overhead vs bare kernel
+execution" ratio (28x for SGEMM at 8192 x 8192 on the authors' setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OverheadBreakdown"]
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Wall-clock cost of one GPUscout run, split by pillar (seconds)."""
+
+    kernel_seconds: float
+    sass_analysis_seconds: float
+    pc_sampling_seconds: float
+    metrics_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.sass_analysis_seconds
+            + self.pc_sampling_seconds
+            + self.metrics_seconds
+        )
+
+    @property
+    def total_factor(self) -> float:
+        """Overhead relative to the bare kernel execution time."""
+        if self.kernel_seconds <= 0:
+            return float("inf")
+        return self.total_seconds / self.kernel_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "kernel_s": self.kernel_seconds,
+            "sass_analysis_s": self.sass_analysis_seconds,
+            "pc_sampling_s": self.pc_sampling_seconds,
+            "metrics_s": self.metrics_seconds,
+            "total_s": self.total_seconds,
+            "total_factor": self.total_factor,
+        }

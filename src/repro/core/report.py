@@ -1,0 +1,130 @@
+"""Terminal report rendering, styled after the paper's Figures 2 and 5.
+
+The output has the three sections of §3.2: the SASS analysis findings
+(with registers and source line numbers), the correlated warp-stall
+information, and the kernel-wide metric analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import STALL_EXPLANATIONS, StallReason
+from repro.metrics.names import METRIC_REGISTRY
+
+__all__ = ["render_report", "render_finding"]
+
+_RULE = "-" * 72
+_SEV_TAG = {
+    Severity.INFO: "INFO    ",
+    Severity.WARNING: "WARNING ",
+    Severity.CRITICAL: "CRITICAL",
+}
+_SEV_COLOR = {
+    Severity.INFO: "\x1b[36m",
+    Severity.WARNING: "\x1b[33m",
+    Severity.CRITICAL: "\x1b[31m",
+}
+_RESET = "\x1b[0m"
+
+
+def _fmt_value(name: str, value: float) -> str:
+    spec = METRIC_REGISTRY.get(name)
+    unit = f" {spec.unit}" if spec else ""
+    if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+        return f"{int(round(value))}{unit}"
+    return f"{value:.2f}{unit}"
+
+
+def render_finding(finding: Finding, color: bool = False) -> str:
+    """One finding block: SASS facts, then stalls, then metrics."""
+    tag = _SEV_TAG[finding.severity]
+    if color:
+        tag = f"{_SEV_COLOR[finding.severity]}{tag}{_RESET}"
+    lines = [f"{tag}::  {finding.title}"]
+    lines.append(f"    {finding.message}")
+    if finding.registers:
+        lines.append(f"    Registers: {', '.join(finding.registers)}")
+    locs = sorted({str(loc) for loc in finding.locations})
+    if locs:
+        lines.append(f"    Source: {'; '.join(locs)}")
+    if finding.in_loop:
+        lines.append("    Note: the pattern executes inside a for-loop.")
+    pressure = finding.details.get("live_register_pressure")
+    if pressure is not None:
+        lines.append(f"    Live register pressure at the instruction(s): "
+                     f"{pressure}")
+    lines.append(f"    Advice: {finding.recommendation}")
+    if finding.stall_profile:
+        total = sum(
+            v for k, v in finding.stall_profile.items()
+            if k is not StallReason.SELECTED
+        )
+        if total:
+            lines.append("    Warp stalls at the flagged instruction(s):")
+            ranked = sorted(
+                (
+                    (k, v) for k, v in finding.stall_profile.items()
+                    if k is not StallReason.SELECTED and v > 0
+                ),
+                key=lambda kv: -kv[1],
+            )
+            for reason, count in ranked[:4]:
+                pct = 100.0 * count / total
+                lines.append(
+                    f"      {reason.cupti_name:<28s} {pct:5.1f} % "
+                    f"({count} samples)"
+                )
+            dom = finding.dominant_stall()
+            if dom is not None and dom in STALL_EXPLANATIONS:
+                lines.append(f"      -> {STALL_EXPLANATIONS[dom]}")
+    if finding.metrics:
+        lines.append("    Metrics to pay attention to:")
+        for name, value in finding.metrics.items():
+            lines.append(f"      {name:<52s} {_fmt_value(name, value)}")
+    return "\n".join(lines)
+
+
+def render_report(report, color: bool = False) -> str:
+    """Full terminal report (Figure 2 / Figure 5 style)."""
+    lines: list[str] = []
+    lines.append(_RULE)
+    mode = " (dry run: SASS analysis only)" if report.dry_run else ""
+    lines.append(f"GPUscout analysis of kernel '{report.kernel}'{mode}")
+    lines.append(_RULE)
+    if not report.findings:
+        lines.append("No data-movement bottleneck patterns detected.")
+    for finding in report.findings:
+        lines.append(render_finding(finding, color=color))
+        lines.append("")
+    if not report.dry_run and report.metrics is not None:
+        lines.append(_RULE)
+        lines.append("Kernel-wide metric analysis (Nsight Compute)")
+        lines.append(_RULE)
+        for name, value in report.metrics.values.items():
+            lines.append(f"  {name:<56s} {_fmt_value(name, value)}")
+        if report.sampling is not None:
+            lines.append("")
+            lines.append("Warp-stall sample distribution (CUPTI PC sampling):")
+            totals = report.sampling.by_reason()
+            stall_total = sum(
+                v for k, v in totals.items() if k is not StallReason.SELECTED
+            )
+            for reason, count in sorted(totals.items(), key=lambda kv: -kv[1]):
+                if reason is StallReason.SELECTED or count == 0:
+                    continue
+                pct = 100.0 * count / stall_total if stall_total else 0.0
+                lines.append(f"  {reason.cupti_name:<30s} {pct:5.1f} % "
+                             f"({count} samples)")
+    if report.overhead is not None and not report.dry_run:
+        o = report.overhead
+        lines.append("")
+        lines.append(
+            f"[overhead] kernel {o.kernel_seconds*1e3:.2f} ms | "
+            f"SASS analysis {o.sass_analysis_seconds*1e3:.2f} ms | "
+            f"PC sampling {o.pc_sampling_seconds*1e3:.2f} ms | "
+            f"metrics {o.metrics_seconds*1e3:.2f} ms | "
+            f"total {o.total_factor:.1f}x kernel time"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,93 @@
+"""§4.5 — Use Read-only Cache (``const __restrict__``).
+
+For every global load not already routed through the read-only data
+cache (no ``.CONSTANT`` modifier), GPUscout checks whether the loaded
+register is read-only for the rest of the kernel and whether the
+pointer's address group is never stored through (a no-aliasing
+approximation).  Such loads are candidates for the ``__restrict__`` +
+``const`` qualifiers, letting the compiler use the read-only cache and
+reorder more aggressively.
+
+The register-pressure information is attached, because restricted
+pointers can increase pressure (§4.5).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+from repro.sass.isa import OpClass
+
+__all__ = ["RestrictAnalysis"]
+
+
+@register_analysis
+class RestrictAnalysis(Analysis):
+    """Suggest __restrict__/const for read-only global loads."""
+
+    name = "use_restrict"
+    description = "Read-only, non-aliased global loads missing __restrict__"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        # address groups that are ever stored through (potential aliases)
+        stored_groups = {
+            g.key
+            for g in ctx.global_access_groups
+            if any(
+                program[i].opcode.op_class is OpClass.GLOBAL_STORE
+                for i, _ in g.accesses
+            )
+        }
+        candidates: list[tuple[int, str]] = []
+        for group in ctx.global_load_groups:
+            if group.key in stored_groups:
+                continue
+            for i, _off in group.accesses:
+                ins = program[i]
+                if not ins.opcode.is_global_load:
+                    continue
+                if ins.opcode.is_readonly_load:
+                    continue  # already through the read-only cache
+                dest = ins.operands[0].reg if ins.operands else None
+                if dest is None or dest.is_zero:
+                    continue
+                if ctx.is_readonly_register(dest):
+                    candidates.append((i, dest.name))
+        if not candidates:
+            return []
+        pcs = sorted({i for i, _ in candidates})
+        regs = sorted({r for _, r in candidates})
+        pressure = max(ctx.pressure_at(i) for i in pcs)
+        return [
+            Finding(
+                analysis=self.name,
+                title="Consider the __restrict__ keyword",
+                severity=Severity.INFO,
+                message=(
+                    f"{len(pcs)} global load(s) produce registers "
+                    f"({', '.join(regs)}) that are read-only throughout the "
+                    "kernel, from pointers that are never written through — "
+                    "they qualify for const __restrict__, routing the loads "
+                    "through the read-only data cache (LDG.E.CONSTANT)."
+                ),
+                recommendation=(
+                    "Mark the corresponding pointer parameters const "
+                    "__restrict__ (or use __ldg). The compiler can then "
+                    "optimize the order of memory accesses more "
+                    "aggressively. The gain can be small and register "
+                    "pressure may rise — compare occupancy after the change."
+                ),
+                pcs=pcs,
+                locations=[ctx.loc(i) for i in pcs],
+                registers=regs,
+                in_loop=any(ctx.in_loop(i) for i in pcs),
+                details={"live_register_pressure": pressure},
+                stall_focus=[StallReason.LONG_SCOREBOARD],
+                metric_focus=[
+                    "launch__registers_per_thread",
+                    "sm__warps_active.avg.pct_of_peak_sustained_active",
+                ],
+            )
+        ]

@@ -1,0 +1,142 @@
+"""§4.3 — Use Shared Memory.
+
+Implements the Figure-4 decision flow: for each global-load destination
+register, count (a) how many times data is loaded from the same global
+address group, and (b) how many arithmetic instructions involve the
+register; a register in a for-loop amplifies both.  Frequently-reused,
+arithmetic-heavy loads are candidates for staging in shared memory.
+
+Metrics attached: bank-conflict ways (transactions/accesses, the ratio
+ncu does not expose directly) and shared efficiency; stalls to watch
+after adopting shared memory: ``mio_throttle`` and ``short_scoreboard``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+
+__all__ = ["SharedMemoryAnalysis"]
+
+
+@register_analysis
+class SharedMemoryAnalysis(Analysis):
+    """Recommend shared memory for repeatedly-used global loads."""
+
+    name = "use_shared_memory"
+    description = "Repeated global loads with heavy arithmetic reuse"
+
+    #: minimum arithmetic uses of a loaded register to flag it
+    min_arith_uses = 2
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        # -- collect per-register candidates (Figure 4 decision flow) ----
+        candidates: list[dict] = []
+        for group in ctx.global_load_groups:
+            # repeated loads of the *same* address (same base + offset)
+            per_offset = Counter(off for _, off in group.accesses)
+            for i, off in group.accesses:
+                ins = program[i]
+                if not ins.opcode.is_global_load:
+                    continue
+                dest = ins.operands[0].reg if ins.operands else None
+                if dest is None or dest.is_zero:
+                    continue
+                # count uses of *this load's value*, not unrelated
+                # later reuses of the same architectural register
+                arith = ctx.value_arithmetic_uses(dest, i)
+                if not arith:
+                    continue
+                arith_in_loop = [k for k in arith if ctx.in_loop(k)]
+                load_in_loop = ctx.in_loop(i)
+                repeats = per_offset[off]
+                # Figure 4: repeated loads of the same address, frequent
+                # arithmetic on the loaded register, or either inside a
+                # for-loop all mark shared-memory candidates
+                hot = (
+                    len(arith) >= self.min_arith_uses
+                    or bool(arith_in_loop)
+                    or repeats >= 2
+                )
+                if not hot:
+                    continue
+                candidates.append(
+                    dict(
+                        load_pc=i,
+                        reg=dest.name,
+                        arith=arith,
+                        arith_in_loop=arith_in_loop,
+                        load_in_loop=load_in_loop,
+                        repeats=repeats,
+                        base=group.base.name,
+                        line=program[i].line,
+                    )
+                )
+        if not candidates:
+            return []
+        # -- merge candidates that originate at the same source line -----
+        findings: list[Finding] = []
+        by_line: dict = {}
+        for cand in candidates:
+            by_line.setdefault(cand["line"], []).append(cand)
+        for line, cands in sorted(by_line.items(),
+                                  key=lambda kv: (kv[0] is None, kv[0])):
+            regs = sorted({c["reg"] for c in cands})
+            arith_total = sum(len(c["arith"]) for c in cands)
+            arith_loop_total = sum(len(c["arith_in_loop"]) for c in cands)
+            in_loop = any(c["arith_in_loop"] or c["load_in_loop"] for c in cands)
+            max_repeats = max(c["repeats"] for c in cands)
+            pcs = sorted({c["load_pc"] for c in cands}
+                         | {k for c in cands for k in c["arith"]})
+            pressure = max(ctx.pressure_at(c["load_pc"]) for c in cands)
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Consider using shared memory",
+                    severity=Severity.WARNING if in_loop else Severity.INFO,
+                    message=(
+                        f"Register(s) {', '.join(regs)} are loaded from "
+                        f"global memory and involved in {arith_total} "
+                        "arithmetic instruction(s)"
+                        + (f", {arith_loop_total} of them inside a for-loop"
+                           if arith_loop_total else "")
+                        + (f"; the same address is loaded {max_repeats} "
+                           "times" if max_repeats > 1 else "")
+                        + ". Repeated accesses profit from shared memory's "
+                        "lower latency."
+                    ),
+                    recommendation=(
+                        "Stage the reused data in __shared__ memory (load "
+                        "once per block, synchronize, compute from shared). "
+                        "Pay attention to shared-memory bank conflicts and "
+                        "to a higher number of long_scoreboard and MIO "
+                        "throttle stalls after the change."
+                    ),
+                    pcs=pcs,
+                    locations=[ctx.loc(k) for k in pcs],
+                    registers=regs,
+                    in_loop=in_loop,
+                    details={
+                        "arithmetic_uses": arith_total,
+                        "arithmetic_uses_in_loop": arith_loop_total,
+                        "same_address_load_repeats": max_repeats,
+                        "base_registers": sorted({c["base"] for c in cands}),
+                        "live_register_pressure": pressure,
+                    },
+                    stall_focus=[
+                        StallReason.LONG_SCOREBOARD,
+                        StallReason.MIO_THROTTLE,
+                        StallReason.SHORT_SCOREBOARD,
+                    ],
+                    metric_focus=[
+                        "derived__smem_ld_bank_conflict_ways",
+                        "derived__smem_efficiency.pct",
+                        "smsp__inst_executed_op_shared_ld.sum",
+                    ],
+                )
+            )
+        return findings

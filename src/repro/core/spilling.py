@@ -1,0 +1,112 @@
+"""§4.2 — Register Spilling.
+
+``STL``/``LDL`` instructions move registers to/from thread-local memory
+— the compiler's escape hatch when a kernel needs more registers than
+its budget.  For each spill store, GPUscout reports the spilled
+register, the source line, and the *last operation that wrote the
+register* (Figure 2 blames an IADD this way).
+
+Stalls to watch: ``lg_throttle`` (spills flood the L1 LG queue) and
+``long_scoreboard``.  Metrics: local-memory traffic through L1/L2, and
+the share of all L2 sectors caused by local memory — the
+bandwidth-limited-code assessment of §4.2.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+from repro.sass.isa import OpClass
+from repro.sass.liveness import last_writer_index_before
+
+__all__ = ["RegisterSpillingAnalysis"]
+
+
+@register_analysis
+class RegisterSpillingAnalysis(Analysis):
+    """Detect register spills to local memory and blame their writers."""
+
+    name = "register_spilling"
+    description = "Registers spilled to local memory (STL/LDL traffic)"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        stores = [
+            i for i, ins in enumerate(program)
+            if ins.opcode.op_class is OpClass.LOCAL_STORE
+        ]
+        loads = [
+            i for i, ins in enumerate(program)
+            if ins.opcode.op_class is OpClass.LOCAL_LOAD
+        ]
+        if not stores and not loads:
+            return []
+        findings: list[Finding] = []
+        for i in stores:
+            ins = program[i]
+            # STL [slot], Rsrc — the stored register is the spill victim
+            src = next(
+                (op.reg for op in ins.operands if op.kind == "reg" and op.reg),
+                None,
+            )
+            if src is None:
+                continue
+            writer_idx = last_writer_index_before(program, src, i)
+            writer_desc = None
+            writer_loc = None
+            if writer_idx is not None:
+                writer_desc = program[writer_idx].opcode.name
+                writer_loc = ctx.loc(writer_idx)
+            in_loop = ctx.in_loop(i)
+            msg = (
+                f"Register {src.name} is spilled to local memory "
+                f"(STL at offset {ins.offset:#06x})."
+            )
+            if writer_desc is not None:
+                msg += (
+                    f" The value being spilled was produced by a "
+                    f"{writer_desc} operation"
+                    + (f" at {writer_loc}" if writer_loc else "")
+                    + "."
+                )
+            if in_loop:
+                msg += " The spill executes inside a for-loop, amplifying the traffic."
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Register spilling into local memory",
+                    severity=Severity.CRITICAL if in_loop else Severity.WARNING,
+                    message=msg,
+                    recommendation=(
+                        "Reduce simultaneous live values (split the kernel, "
+                        "shorten live ranges, or lower unrolling), or raise "
+                        "the register budget (__launch_bounds__ / "
+                        "-maxrregcount) if occupancy allows. Fewer spills "
+                        "reduce L1 local traffic and lg_throttle stalls."
+                    ),
+                    pcs=[i],
+                    locations=[ctx.loc(i)],
+                    registers=[src.name],
+                    in_loop=in_loop,
+                    details={
+                        "spilled_register": src.name,
+                        "causing_operation": writer_desc,
+                        "causing_location": str(writer_loc) if writer_loc else None,
+                        "local_frame_bytes": program.local_bytes_per_thread,
+                        "live_register_pressure": ctx.pressure_at(i),
+                        "spill_loads_total": len(loads),
+                        "spill_stores_total": len(stores),
+                    },
+                    stall_focus=[StallReason.LG_THROTTLE,
+                                 StallReason.LONG_SCOREBOARD],
+                    metric_focus=[
+                        "launch__local_mem_per_thread",
+                        "derived__l1_local_miss_pct",
+                        "derived__l2_queries_due_to_local_memory",
+                        "derived__local_bytes_to_l2",
+                        "derived__local_traffic_share_of_l2.pct",
+                    ],
+                )
+            )
+        return findings

@@ -1,0 +1,102 @@
+"""§4.6 — Use Texture Memory.
+
+Texture memory is global memory behind a dedicated cache optimized for
+*spatially-local* reads.  Following the paper's Listing-1 example, the
+analysis looks for read-only global loads from *nearby* addresses in
+the same address group (small distinct offsets off one base register,
+e.g. ``[R2]`` and ``[R2+-0x8]``) — the signature of stencil-like access
+patterns that profit from the texture cache.
+
+Stalls to watch after adoption: ``tex_throttle`` (TEX pipe fills up)
+and ``long_scoreboard`` (texture data dependencies).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+
+__all__ = ["TextureMemoryAnalysis"]
+
+
+@register_analysis
+class TextureMemoryAnalysis(Analysis):
+    """Recommend texture memory for spatially-local read-only loads."""
+
+    name = "use_texture_memory"
+    description = "Spatially-local read-only loads suited to the texture cache"
+
+    #: offsets within this many bytes count as spatially local
+    locality_window = 64
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        program = ctx.program
+        findings: list[Finding] = []
+        for group in ctx.global_load_groups:
+            loads = [
+                (i, off)
+                for i, off in group.accesses
+                if program[i].opcode.is_global_load
+            ]
+            if len(loads) < 2:
+                continue
+            offsets = sorted({off for _, off in loads})
+            if len(offsets) < 2:
+                continue
+            span = max(offsets) - min(offsets)
+            if span == 0 or span > self.locality_window:
+                continue
+            # all destination registers must be read-only
+            dests = []
+            read_only = True
+            for i, _ in loads:
+                dest = program[i].operands[0].reg if program[i].operands else None
+                if dest is None or dest.is_zero:
+                    continue
+                dests.append(dest.name)
+                if not ctx.is_readonly_register(dest):
+                    read_only = False
+            if not read_only or not dests:
+                continue
+            pcs = sorted({i for i, _ in loads})
+            in_loop = any(ctx.in_loop(i) for i in pcs)
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Consider using texture memory",
+                    severity=Severity.WARNING if in_loop else Severity.INFO,
+                    message=(
+                        f"Read-only loads into {', '.join(sorted(set(dests)))} "
+                        f"fetch adjacent global addresses off "
+                        f"{group.base.name} (offsets "
+                        f"{', '.join(hex(o) for o in offsets)}, span "
+                        f"{span} B). This spatial locality in a read access "
+                        "pattern makes them candidates for texture memory."
+                    ),
+                    recommendation=(
+                        "Bind the data to a 2D texture (tex2D) or use "
+                        "shared-memory tiling, which is exposed in a more "
+                        "user-friendly way. After switching, watch for "
+                        "tex_throttle stalls (TEX pipeline utilization) and "
+                        "long_scoreboard stalls on texture fetches."
+                    ),
+                    pcs=pcs,
+                    locations=[ctx.loc(i) for i in pcs],
+                    registers=sorted(set(dests)),
+                    in_loop=in_loop,
+                    details={
+                        "base_register": group.base.name,
+                        "offsets": offsets,
+                        "span_bytes": span,
+                    },
+                    stall_focus=[StallReason.TEX_THROTTLE,
+                                 StallReason.LONG_SCOREBOARD],
+                    metric_focus=[
+                        "l1tex__t_bytes_pipe_tex.sum",
+                        "derived__tex_cache_miss_pct",
+                        "lts__t_sectors_srcunit_tex_op_read.sum",
+                    ],
+                )
+            )
+        return findings

@@ -1,0 +1,139 @@
+"""§4.1 — Use Vectorized Loads.
+
+Searches for non-vectorized 32-bit global loads (``LDG.E``) whose
+addresses are adjacent in memory (same base register value, byte
+offsets forming 4-byte-consecutive runs).  Such runs can be fetched by
+one ``LDG.E.{64,128}``, executing a fraction of the load instructions.
+
+Also reports (as INFO) vectorized reads the compiler already emitted —
+the paper notes GPUscout "detected a 64-bit width vectorized read
+performed by the compiler" in the double-precision mixbench.
+
+Metrics attached: register pressure and occupancy, because vectorizing
+raises pressure and can drop occupancy (the Mixbench case study saw
+92 % -> 83 %).  Stall to watch: ``long_scoreboard``.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Analysis, AnalysisContext, register_analysis
+from repro.core.findings import Finding, Severity
+from repro.gpu.stalls import StallReason
+
+__all__ = ["VectorizeLoadsAnalysis"]
+
+
+def _consecutive_runs(offsets: list[int], stride: int = 4) -> list[list[int]]:
+    """Split sorted offsets into maximal runs of ``stride`` spacing."""
+    runs: list[list[int]] = []
+    cur: list[int] = []
+    for off in offsets:
+        if cur and off - cur[-1] == stride:
+            cur.append(off)
+        else:
+            if len(cur) >= 2:
+                runs.append(cur)
+            cur = [off]
+    if len(cur) >= 2:
+        runs.append(cur)
+    return runs
+
+
+@register_analysis
+class VectorizeLoadsAnalysis(Analysis):
+    """Detect 32-bit global-load runs that could use LDG.E.{64,128}."""
+
+    name = "use_vectorized_loads"
+    description = "Adjacent 32-bit global loads can become vectorized loads"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        program = ctx.program
+        for group in ctx.global_load_groups:
+            narrow = [
+                (i, off)
+                for i, off in group.accesses
+                if program[i].opcode.is_global_load
+                and program[i].opcode.width_bits == 32
+            ]
+            if len(narrow) < 2:
+                continue
+            offsets = sorted({off for _, off in narrow})
+            runs = _consecutive_runs(offsets)
+            if not runs:
+                continue
+            pcs = sorted(i for i, _ in narrow)
+            width = 128 if max(len(r) for r in runs) >= 4 else 64
+            pressure = max(ctx.pressure_at(i) for i in pcs)
+            in_loop = any(ctx.in_loop(i) for i in pcs)
+            dests = sorted(
+                {program[i].operands[0].reg.name for i, _ in narrow
+                 if program[i].operands and program[i].operands[0].reg}
+            )
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Use vectorized global memory loads",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{len(narrow)} non-vectorized 32-bit loads (LDG.E) "
+                        f"read adjacent addresses off base register "
+                        f"{group.base.name} (offsets "
+                        f"{', '.join(hex(o) for o in offsets)}). "
+                        f"A {width}-bit vectorized load (LDG.E.{width}) can "
+                        "fetch these in a single transaction."
+                    ),
+                    recommendation=(
+                        "Load contiguous elements with a vector type "
+                        f"(e.g. reinterpret_cast<float{width // 32}*>) so one "
+                        "instruction fetches multiple values. Watch the "
+                        "register pressure: vectorized loads fill multiple "
+                        "registers at once and may reduce occupancy."
+                    ),
+                    pcs=pcs,
+                    locations=[ctx.loc(i) for i in pcs],
+                    registers=dests,
+                    in_loop=in_loop,
+                    details={
+                        "base_register": group.base.name,
+                        "offsets": offsets,
+                        "achievable_width_bits": width,
+                        "live_register_pressure": pressure,
+                    },
+                    stall_focus=[StallReason.LONG_SCOREBOARD],
+                    metric_focus=[
+                        "launch__registers_per_thread",
+                        "sm__warps_active.avg.pct_of_peak_sustained_active",
+                        "derived__sectors_per_global_load",
+                    ],
+                )
+            )
+        # positive detection: already-vectorized reads
+        wide = [
+            i for i, ins in enumerate(program)
+            if ins.opcode.is_global_load and ins.opcode.width_bits > 32
+        ]
+        if wide:
+            widths = sorted({program[i].opcode.width_bits for i in wide})
+            findings.append(
+                Finding(
+                    analysis=self.name,
+                    title="Vectorized load already in use",
+                    severity=Severity.INFO,
+                    message=(
+                        f"{len(wide)} vectorized global loads "
+                        f"({'/'.join(f'{w}-bit' for w in widths)}) detected — "
+                        "the kernel already fetches multiple elements per "
+                        "instruction at these locations."
+                    ),
+                    recommendation=(
+                        "No action needed; compare register pressure and "
+                        "occupancy against the scalar variant."
+                    ),
+                    pcs=wide,
+                    locations=[ctx.loc(i) for i in wide],
+                    stall_focus=[StallReason.LONG_SCOREBOARD],
+                    metric_focus=["launch__registers_per_thread"],
+                )
+            )
+        return findings

@@ -1,0 +1,62 @@
+"""cudalite: a miniature CUDA-flavoured kernel frontend.
+
+This package stands in for ``nvcc`` + CUDA C in the reproduction: kernels
+are written against a typed expression/statement AST (usually through
+:class:`~repro.cudalite.builder.KernelBuilder`), then compiled by
+:mod:`repro.cudalite.compiler` to Volta-style SASS with
+
+* real register allocation (linear scan) against a configurable budget,
+  spilling to local memory with ``STL``/``LDL`` exactly where pressure
+  exceeds the budget;
+* vectorized ``LDG.E.{64,128}``/``STG.E.{64,128}`` for vector types
+  (``float4`` & friends);
+* ``LDG.E.CONSTANT`` read-only loads for ``const __restrict__``
+  parameters;
+* texture fetches (``TEX``), shared-memory traffic (``LDS``/``STS``),
+  atomics (``RED``/``ATOM``/``ATOMS``), datatype conversions
+  (``I2F``/``F2F``/...) and natural for-loops with back edges;
+* a source-line table mapping every instruction to a line of the
+  pseudo-CUDA rendering of the kernel (what ``-g --generate-line-info``
+  provides on real binaries).
+
+GPUscout's static analyses therefore see the same instruction patterns
+they would see on nvcc output.
+"""
+
+from repro.cudalite.types import (
+    DType,
+    PointerType,
+    f32,
+    f64,
+    i32,
+    u32,
+    u64,
+    float2,
+    float4,
+    int4,
+    double2,
+    ptr,
+)
+from repro.cudalite.ast import Expr, Stmt
+from repro.cudalite.builder import KernelBuilder, Kernel
+from repro.cudalite.compiler import compile_kernel
+
+__all__ = [
+    "DType",
+    "PointerType",
+    "f32",
+    "f64",
+    "i32",
+    "u32",
+    "u64",
+    "float2",
+    "float4",
+    "int4",
+    "double2",
+    "ptr",
+    "Expr",
+    "Stmt",
+    "KernelBuilder",
+    "Kernel",
+    "compile_kernel",
+]

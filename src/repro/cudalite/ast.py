@@ -1,0 +1,332 @@
+"""Kernel AST of the cudalite frontend.
+
+Nodes are plain dataclasses; type checking/inference happens in the
+compiler.  The builder wraps expressions in an operator-overloading
+facade (:class:`repro.cudalite.builder.E`) so kernels read like CUDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cudalite.types import DType, PointerType
+
+__all__ = [
+    "Expr",
+    "Const",
+    "ParamRef",
+    "VarRef",
+    "Builtin",
+    "BinOp",
+    "UnaryOp",
+    "Cast",
+    "Call",
+    "Load",
+    "VecLane",
+    "SharedRef",
+    "ArrayRef",
+    "TexFetch",
+    "Shuffle",
+    "Select",
+    "Stmt",
+    "Let",
+    "AssignVar",
+    "ArrayDecl",
+    "ArrayAssign",
+    "StoreStmt",
+    "SharedDecl",
+    "SharedStore",
+    "For",
+    "If",
+    "AtomicAdd",
+    "SyncThreads",
+    "ReturnIf",
+    "BINARY_OPS",
+    "COMPARISONS",
+]
+
+#: arithmetic / logical binary operators recognised by the compiler
+BINARY_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "min", "max")
+#: comparison operators (produce predicates)
+COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant of a given type."""
+
+    value: Union[int, float]
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """Reference to a kernel parameter (scalar or pointer)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a local variable introduced by :class:`Let`."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Builtin(Expr):
+    """CUDA builtins: threadIdx/blockIdx/blockDim/gridDim, one axis."""
+
+    kind: str  # "tid" | "ctaid" | "ntid" | "nctaid"
+    axis: str  # "x" | "y" | "z"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic, bitwise or comparison operation."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary negation / logical not."""
+
+    op: str  # "-" | "!"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """Explicit datatype conversion — compiles to I2F/F2I/F2F/I2I."""
+
+    operand: Expr
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic call: ``mad``, ``sqrtf``, ``rcpf``, ``fma`` ..."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Global-memory load ``pointer[index]``.
+
+    ``elem`` overrides the pointee type for reinterpret-cast accesses
+    (``reinterpret_cast<float4*>(p)[i]`` keeps the pointer but loads a
+    ``float4``).
+    """
+
+    pointer: ParamRef
+    index: Expr
+    elem: Optional[DType] = None
+
+
+@dataclass(frozen=True)
+class VecLane(Expr):
+    """Lane extraction from a vector value: ``v.x`` / ``v.y`` ..."""
+
+    vec: Expr
+    lane: int
+
+
+@dataclass(frozen=True)
+class SharedRef(Expr):
+    """Shared-memory load ``smem[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Read from a register array (unrolled thread-private array).
+
+    The index must fold to a compile-time constant (possibly after loop
+    unrolling) — otherwise the array would live in local memory, which
+    cudalite reports as a compile error to keep spill behaviour
+    attributable to the register allocator alone.
+    """
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class TexFetch(Expr):
+    """2D texture fetch ``tex2D(tex, x, y)`` — compiles to TEX."""
+
+    tex: str  # texture parameter name
+    x: Expr
+    y: Expr
+
+
+@dataclass(frozen=True)
+class Shuffle(Expr):
+    """Warp shuffle ``__shfl_{down,up,xor}_sync`` — compiles to SHFL.
+
+    Lanes exchange register values without memory traffic; the idiom
+    behind warp-level reductions."""
+
+    mode: str  # "down" | "up" | "xor"
+    value: Expr
+    delta: int
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Ternary ``cond ? a : b`` — compiles to SEL."""
+
+    cond: Expr
+    a: Expr
+    b: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of all statement nodes; carries a source line."""
+
+    line: Optional[int] = None
+
+
+@dataclass
+class Let(Stmt):
+    """Declare-and-initialise a local scalar/vector variable."""
+
+    name: str
+    value: Expr
+    dtype: Optional[DType] = None
+    line: Optional[int] = None
+
+
+@dataclass
+class AssignVar(Stmt):
+    """Re-assign an existing local variable."""
+
+    name: str
+    value: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class ArrayDecl(Stmt):
+    """Declare a thread-private register array of static size."""
+
+    name: str
+    dtype: DType
+    size: int
+    line: Optional[int] = None
+
+
+@dataclass
+class ArrayAssign(Stmt):
+    """Write one element of a register array (constant-foldable index)."""
+
+    name: str
+    index: Expr
+    value: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """Global-memory store ``pointer[index] = value``."""
+
+    pointer: ParamRef
+    index: Expr
+    value: Expr
+    elem: Optional[DType] = None
+    line: Optional[int] = None
+
+
+@dataclass
+class SharedDecl(Stmt):
+    """Declare a ``__shared__`` array (elements, not bytes)."""
+
+    name: str
+    dtype: DType
+    size: int
+    line: Optional[int] = None
+
+
+@dataclass
+class SharedStore(Stmt):
+    """Shared-memory store ``smem[index] = value``."""
+
+    name: str
+    index: Expr
+    value: Expr
+    line: Optional[int] = None
+
+
+@dataclass
+class For(Stmt):
+    """Counted loop ``for (int var = start; var < stop; var += step)``.
+
+    ``unroll=True`` requires compile-time-constant bounds and replicates
+    the body (how ``#pragma unroll`` behaves for register arrays).
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+    unroll: bool = False
+    line: Optional[int] = None
+
+
+@dataclass
+class If(Stmt):
+    """Conditional; compiled to predicated execution (both arms are
+    emitted under complementary guards, the common nvcc strategy for
+    short bodies)."""
+
+    cond: Expr
+    then: list[Stmt] = field(default_factory=list)
+    els: list[Stmt] = field(default_factory=list)
+    line: Optional[int] = None
+
+
+@dataclass
+class AtomicAdd(Stmt):
+    """``atomicAdd`` on global (``pointer``) or shared (``shared``)
+    memory.  Exactly one of the two targets is set."""
+
+    value: Expr
+    pointer: Optional[ParamRef] = None
+    index: Optional[Expr] = None
+    shared: Optional[str] = None
+    shared_index: Optional[Expr] = None
+    line: Optional[int] = None
+
+
+@dataclass
+class SyncThreads(Stmt):
+    """``__syncthreads()`` — compiles to BAR.SYNC."""
+
+    line: Optional[int] = None
+
+
+@dataclass
+class ReturnIf(Stmt):
+    """Early exit ``if (cond) return;`` — compiles to a predicated EXIT
+    (lane masking), the standard guard idiom in CUDA kernels."""
+
+    cond: Expr
+    line: Optional[int] = None

@@ -1,0 +1,510 @@
+"""Fluent kernel builder — the "CUDA source" layer of cudalite.
+
+:class:`KernelBuilder` offers an API close enough to CUDA C that the
+case-study kernels read like their originals::
+
+    kb = KernelBuilder("saxpy")
+    x = kb.param("x", ptr(f32, readonly=True))
+    y = kb.param("y", ptr(f32))
+    a = kb.param("a", f32)
+    n = kb.param("n", i32)
+    i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x)
+    kb.return_if(i >= n)
+    kb.store(y, i, a * x[i] + y[i])
+    kernel = kb.build()
+
+Every statement records the line of the pseudo-CUDA rendering of the
+kernel (see :meth:`Kernel.source`), which becomes the SASS line table —
+GPUscout's findings point at these lines exactly like they point at
+``.cu`` lines on real binaries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.cudalite import ast as A
+from repro.cudalite.types import DType, PointerType, f32, f64, i32, u32
+from repro.errors import CompileError
+
+__all__ = ["E", "KernelBuilder", "Kernel", "TextureParam"]
+
+Number = Union[int, float]
+
+
+def _wrap(value: "E | A.Expr | Number") -> A.Expr:
+    if isinstance(value, E):
+        return value.node
+    if isinstance(value, A.Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not kernel values; use comparisons")
+    if isinstance(value, int):
+        return A.Const(value, i32)
+    if isinstance(value, float):
+        return A.Const(value, f32)
+    raise TypeError(f"cannot use {value!r} in a kernel expression")
+
+
+class E:
+    """Operator-overloading facade over AST expression nodes."""
+
+    __slots__ = ("node",)
+    #: keep NumPy from hijacking arithmetic with E on the right-hand side
+    __array_priority__ = 1000
+
+    def __init__(self, node: A.Expr):
+        self.node = node
+
+    # arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        return E(A.BinOp("+", self.node, _wrap(other)))
+
+    def __radd__(self, other):
+        return E(A.BinOp("+", _wrap(other), self.node))
+
+    def __sub__(self, other):
+        return E(A.BinOp("-", self.node, _wrap(other)))
+
+    def __rsub__(self, other):
+        return E(A.BinOp("-", _wrap(other), self.node))
+
+    def __mul__(self, other):
+        return E(A.BinOp("*", self.node, _wrap(other)))
+
+    def __rmul__(self, other):
+        return E(A.BinOp("*", _wrap(other), self.node))
+
+    def __truediv__(self, other):
+        return E(A.BinOp("/", self.node, _wrap(other)))
+
+    def __rtruediv__(self, other):
+        return E(A.BinOp("/", _wrap(other), self.node))
+
+    def __mod__(self, other):
+        return E(A.BinOp("%", self.node, _wrap(other)))
+
+    def __and__(self, other):
+        return E(A.BinOp("&", self.node, _wrap(other)))
+
+    def __or__(self, other):
+        return E(A.BinOp("|", self.node, _wrap(other)))
+
+    def __xor__(self, other):
+        return E(A.BinOp("^", self.node, _wrap(other)))
+
+    def __lshift__(self, other):
+        return E(A.BinOp("<<", self.node, _wrap(other)))
+
+    def __rshift__(self, other):
+        return E(A.BinOp(">>", self.node, _wrap(other)))
+
+    def __neg__(self):
+        return E(A.UnaryOp("-", self.node))
+
+    # comparisons -----------------------------------------------------
+    def __lt__(self, other):
+        return E(A.BinOp("<", self.node, _wrap(other)))
+
+    def __le__(self, other):
+        return E(A.BinOp("<=", self.node, _wrap(other)))
+
+    def __gt__(self, other):
+        return E(A.BinOp(">", self.node, _wrap(other)))
+
+    def __ge__(self, other):
+        return E(A.BinOp(">=", self.node, _wrap(other)))
+
+    def eq(self, other) -> "E":
+        """Equality comparison (named method; ``==`` keeps identity)."""
+        return E(A.BinOp("==", self.node, _wrap(other)))
+
+    def ne(self, other) -> "E":
+        return E(A.BinOp("!=", self.node, _wrap(other)))
+
+    def logical_and(self, other) -> "E":
+        """``a && b`` for predicate expressions."""
+        return E(A.BinOp("&&", self.node, _wrap(other)))
+
+    def logical_or(self, other) -> "E":
+        return E(A.BinOp("||", self.node, _wrap(other)))
+
+    # lanes -----------------------------------------------------------
+    @property
+    def x(self) -> "E":
+        return E(A.VecLane(self.node, 0))
+
+    @property
+    def y(self) -> "E":
+        return E(A.VecLane(self.node, 1))
+
+    @property
+    def z(self) -> "E":
+        return E(A.VecLane(self.node, 2))
+
+    @property
+    def w(self) -> "E":
+        return E(A.VecLane(self.node, 3))
+
+    def cast(self, dtype: DType) -> "E":
+        """Explicit conversion — surfaces as I2F/F2I/F2F/I2I in SASS."""
+        return E(A.Cast(self.node, dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"E({self.node!r})"
+
+
+class _BuiltinAxes:
+    """``threadIdx``-style triple with ``.x/.y/.z`` accessors."""
+
+    def __init__(self, kind: str):
+        self._kind = kind
+
+    @property
+    def x(self) -> E:
+        return E(A.Builtin(self._kind, "x"))
+
+    @property
+    def y(self) -> E:
+        return E(A.Builtin(self._kind, "y"))
+
+    @property
+    def z(self) -> E:
+        return E(A.Builtin(self._kind, "z"))
+
+
+class ParamHandle(E):
+    """Handle for a kernel parameter; pointers support indexing."""
+
+    __slots__ = ("name", "type", "_elem_override")
+
+    def __init__(self, name: str, type_: Union[DType, PointerType],
+                 elem_override: Optional[DType] = None):
+        super().__init__(A.ParamRef(name))
+        self.name = name
+        self.type = type_
+        self._elem_override = elem_override
+
+    def __getitem__(self, index) -> E:
+        if not isinstance(self.type, PointerType):
+            raise TypeError(f"parameter {self.name!r} is not a pointer")
+        return E(A.Load(A.ParamRef(self.name), _wrap(index), self._elem_override))
+
+    def as_vector(self, dtype: DType) -> "ParamHandle":
+        """``reinterpret_cast<dtype*>(param)`` — e.g. float4 views."""
+        if not isinstance(self.type, PointerType):
+            raise TypeError(f"parameter {self.name!r} is not a pointer")
+        return ParamHandle(self.name, self.type, elem_override=dtype)
+
+    @property
+    def elem(self) -> DType:
+        assert isinstance(self.type, PointerType)
+        return self._elem_override or self.type.elem
+
+
+class VarHandle(E):
+    """Handle for a local variable (``Let``-introduced)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        super().__init__(A.VarRef(name))
+        self.name = name
+
+
+class ArrayHandle:
+    """Handle for a thread-private register array."""
+
+    def __init__(self, builder: "KernelBuilder", name: str, dtype: DType, size: int):
+        self._builder = builder
+        self.name = name
+        self.dtype = dtype
+        self.size = size
+
+    def __getitem__(self, index) -> E:
+        return E(A.ArrayRef(self.name, _wrap(index)))
+
+    def __setitem__(self, index, value) -> None:
+        self._builder._emit(
+            A.ArrayAssign(self.name, _wrap(index), _wrap(value)),
+            f"{self.name}[{{}}] = ...;",
+        )
+
+
+class SharedHandle:
+    """Handle for a ``__shared__`` array."""
+
+    def __init__(self, builder: "KernelBuilder", name: str, dtype: DType, size: int):
+        self._builder = builder
+        self.name = name
+        self.dtype = dtype
+        self.size = size
+
+    def __getitem__(self, index) -> E:
+        return E(A.SharedRef(self.name, _wrap(index)))
+
+    def __setitem__(self, index, value) -> None:
+        self._builder._emit(
+            A.SharedStore(self.name, _wrap(index), _wrap(value)),
+            f"{self.name}[...] = ...;",
+        )
+
+
+@dataclass(frozen=True)
+class TextureParam:
+    """A 2D texture reference parameter (``cudaTextureObject_t``)."""
+
+    name: str
+    elem: DType
+
+
+@dataclass
+class Kernel:
+    """A fully-built kernel: signature + statement list + source text."""
+
+    name: str
+    params: list[ParamHandle]
+    textures: list[TextureParam]
+    body: list[A.Stmt]
+    source: str
+    launch_bounds_regs: Optional[int] = None
+
+    def param_types(self) -> dict[str, Union[DType, PointerType]]:
+        return {p.name: p.type for p in self.params}
+
+
+class KernelBuilder:
+    """Imperative builder producing a :class:`Kernel`.
+
+    Statements are appended in order; ``for_range``/``if_then`` are
+    context managers that nest.  A pseudo-CUDA source rendering is
+    maintained as statements are added, so each statement knows its
+    source line (used for the SASS line table).
+    """
+
+    def __init__(self, name: str, max_registers: Optional[int] = None):
+        self.name = name
+        #: per-kernel register budget (``__launch_bounds__``-style cap)
+        self.max_registers = max_registers
+        self._params: list[ParamHandle] = []
+        self._textures: list[TextureParam] = []
+        self._body: list[A.Stmt] = []
+        self._stack: list[list[A.Stmt]] = [self._body]
+        self._source_lines: list[str] = []
+        self._indent = 1
+        self._names: set[str] = set()
+        self._built = False
+        self._tmp_counter = 0
+
+    # -- builtins -----------------------------------------------------
+    thread_idx = _BuiltinAxes("tid")
+    block_idx = _BuiltinAxes("ctaid")
+    block_dim = _BuiltinAxes("ntid")
+    grid_dim = _BuiltinAxes("nctaid")
+
+    # -- declaration helpers -------------------------------------------
+    def _check_name(self, name: str) -> None:
+        if not name.isidentifier():
+            raise CompileError(f"invalid identifier {name!r}")
+        if name in self._names:
+            raise CompileError(f"duplicate name {name!r} in kernel {self.name!r}")
+        self._names.add(name)
+
+    def param(self, name: str, type_: Union[DType, PointerType]) -> ParamHandle:
+        """Declare a kernel parameter; pointers index like arrays."""
+        if self._body or len(self._stack) > 1:
+            raise CompileError("parameters must be declared before statements")
+        self._check_name(name)
+        handle = ParamHandle(name, type_)
+        self._params.append(handle)
+        return handle
+
+    def texture(self, name: str, elem: DType = f32) -> TextureParam:
+        """Declare a 2D texture-object parameter."""
+        self._check_name(name)
+        tex = TextureParam(name, elem)
+        self._textures.append(tex)
+        return tex
+
+    # -- statement emission ---------------------------------------------
+    def _emit(self, stmt: A.Stmt, rendering: str) -> None:
+        if self._built:
+            raise CompileError("builder already finalized by build()")
+        stmt.line = self._next_line(rendering)
+        self._stack[-1].append(stmt)
+
+    def _next_line(self, rendering: str) -> int:
+        self._source_lines.append("    " * self._indent + rendering)
+        # +2: the signature and the opening brace occupy lines 1..N_header
+        return len(self._source_lines) + self._header_lines()
+
+    def _header_lines(self) -> int:
+        return 2  # "__global__ void name(...)" and "{"
+
+    # -- statements -----------------------------------------------------
+    def let(self, name: str, value, dtype: Optional[DType] = None) -> VarHandle:
+        """``dtype name = value;`` — declare and initialise a variable."""
+        self._check_name(name)
+        node = _wrap(value)
+        type_txt = dtype.name if dtype else "auto"
+        self._emit(A.Let(name, node, dtype), f"{type_txt} {name} = ...;")
+        return VarHandle(name)
+
+    def assign(self, var: VarHandle, value) -> None:
+        """``name = value;`` — reassign an existing variable."""
+        self._emit(A.AssignVar(var.name, _wrap(value)), f"{var.name} = ...;")
+
+    def local_array(self, name: str, dtype: DType, size: int) -> ArrayHandle:
+        """Thread-private array held in registers (must be indexed with
+        compile-time constants, as in unrolled CUDA code)."""
+        self._check_name(name)
+        if size <= 0:
+            raise CompileError("array size must be positive")
+        self._emit(A.ArrayDecl(name, dtype, size), f"{dtype.name} {name}[{size}];")
+        return ArrayHandle(self, name, dtype, size)
+
+    def shared_array(self, name: str, dtype: DType, size: int) -> SharedHandle:
+        """``__shared__ dtype name[size];``"""
+        self._check_name(name)
+        if size <= 0:
+            raise CompileError("shared array size must be positive")
+        self._emit(
+            A.SharedDecl(name, dtype, size),
+            f"__shared__ {dtype.name} {name}[{size}];",
+        )
+        return SharedHandle(self, name, dtype, size)
+
+    def store(self, pointer: ParamHandle, index, value) -> None:
+        """``pointer[index] = value;`` (global memory)."""
+        if not isinstance(pointer.type, PointerType):
+            raise CompileError(f"{pointer.name!r} is not a pointer parameter")
+        self._emit(
+            A.StoreStmt(
+                A.ParamRef(pointer.name),
+                _wrap(index),
+                _wrap(value),
+                pointer._elem_override,
+            ),
+            f"{pointer.name}[...] = ...;",
+        )
+
+    def atomic_add_global(self, pointer: ParamHandle, index, value) -> None:
+        """``atomicAdd(&pointer[index], value);``"""
+        self._emit(
+            A.AtomicAdd(
+                _wrap(value), pointer=A.ParamRef(pointer.name), index=_wrap(index)
+            ),
+            f"atomicAdd(&{pointer.name}[...], ...);",
+        )
+
+    def atomic_add_shared(self, shared: SharedHandle, index, value) -> None:
+        """``atomicAdd(&smem[index], value);`` on shared memory."""
+        self._emit(
+            A.AtomicAdd(_wrap(value), shared=shared.name, shared_index=_wrap(index)),
+            f"atomicAdd(&{shared.name}[...], ...);",
+        )
+
+    def sync_threads(self) -> None:
+        """``__syncthreads();``"""
+        self._emit(A.SyncThreads(), "__syncthreads();")
+
+    def return_if(self, cond) -> None:
+        """``if (cond) return;`` — the standard bounds guard."""
+        self._emit(A.ReturnIf(_wrap(cond)), "if (...) return;")
+
+    def tex2d(self, tex: TextureParam, x, y) -> E:
+        """``tex2D<float>(tex, x, y)`` fetch expression."""
+        return E(A.TexFetch(tex.name, _wrap(x), _wrap(y)))
+
+    def shfl_down(self, value, delta: int) -> E:
+        """``__shfl_down_sync(0xffffffff, value, delta)``."""
+        return E(A.Shuffle("down", _wrap(value), int(delta)))
+
+    def shfl_up(self, value, delta: int) -> E:
+        """``__shfl_up_sync(0xffffffff, value, delta)``."""
+        return E(A.Shuffle("up", _wrap(value), int(delta)))
+
+    def shfl_xor(self, value, mask: int) -> E:
+        """``__shfl_xor_sync(0xffffffff, value, mask)``."""
+        return E(A.Shuffle("xor", _wrap(value), int(mask)))
+
+    def select(self, cond, a, b) -> E:
+        """Ternary ``cond ? a : b`` (predicated SEL, no branch)."""
+        return E(A.Select(_wrap(cond), _wrap(a), _wrap(b)))
+
+    # -- control flow ----------------------------------------------------
+    @contextlib.contextmanager
+    def for_range(
+        self, var: str, start, stop, step=1, unroll: bool = False
+    ) -> Iterator[VarHandle]:
+        """``for (int var = start; var < stop; var += step)`` block."""
+        self._check_name(var)
+        loop = A.For(var, _wrap(start), _wrap(stop), _wrap(step), unroll=unroll)
+        self._emit(loop, f"for (int {var} = ...; {var} < ...; {var} += ...) {{")
+        self._stack.append(loop.body)
+        self._indent += 1
+        try:
+            yield VarHandle(var)
+        finally:
+            self._indent -= 1
+            self._source_lines.append("    " * self._indent + "}")
+            self._stack.pop()
+            self._names.discard(var)
+
+    @contextlib.contextmanager
+    def if_then(self, cond) -> Iterator[None]:
+        """``if (cond) { ... }`` block (predicated execution)."""
+        node = A.If(_wrap(cond))
+        self._emit(node, "if (...) {")
+        self._stack.append(node.then)
+        self._indent += 1
+        try:
+            yield
+        finally:
+            self._indent -= 1
+            self._source_lines.append("    " * self._indent + "}")
+            self._stack.pop()
+            self._last_if = node
+
+    @contextlib.contextmanager
+    def else_then(self) -> Iterator[None]:
+        """``else { ... }`` for the immediately preceding :meth:`if_then`.
+
+        Compiles to the complementary predicate — the condition is not
+        re-evaluated."""
+        node = getattr(self, "_last_if", None)
+        if node is None:
+            raise CompileError("else_then() without a preceding if_then()")
+        if node.els:
+            raise CompileError("duplicate else_then() for the same if")
+        self._source_lines.append("    " * self._indent + "else {")
+        self._stack.append(node.els)
+        self._indent += 1
+        try:
+            yield
+        finally:
+            self._indent -= 1
+            self._source_lines.append("    " * self._indent + "}")
+            self._stack.pop()
+            self._last_if = None
+
+    # -- finalisation ------------------------------------------------------
+    def build(self) -> Kernel:
+        """Finalize into an immutable :class:`Kernel`."""
+        if self._built:
+            raise CompileError("build() called twice")
+        self._built = True
+        sig_params = [f"{p.type} {p.name}" for p in self._params]
+        sig_params += [f"cudaTextureObject_t {t.name}" for t in self._textures]
+        header = f"__global__ void {self.name}({', '.join(sig_params)})"
+        source = "\n".join([header, "{"] + self._source_lines + ["}"]) + "\n"
+        return Kernel(
+            name=self.name,
+            params=list(self._params),
+            textures=list(self._textures),
+            body=self._body,
+            source=source,
+            launch_bounds_regs=self.max_registers,
+        )

@@ -1,0 +1,49 @@
+"""Intrinsic functions usable in kernel expressions.
+
+Each helper builds a :class:`~repro.cudalite.ast.Call` node; the
+compiler lowers them to the corresponding SASS (``FFMA``/``DFMA``/
+``IMAD`` for mad/fma, ``MUFU.SQRT``/``MUFU.RCP`` for the transcendental
+approximations — the same units real kernels hit).
+"""
+
+from __future__ import annotations
+
+from repro.cudalite import ast as A
+from repro.cudalite.builder import E, _wrap
+
+__all__ = ["mad", "fma", "sqrtf", "rsqrtf", "rcpf", "fminf", "fmaxf"]
+
+
+def mad(a, b, c) -> E:
+    """``a * b + c`` fused — FFMA/DFMA/IMAD depending on type."""
+    return E(A.Call("mad", (_wrap(a), _wrap(b), _wrap(c))))
+
+
+def fma(a, b, c) -> E:
+    """Alias of :func:`mad` (CUDA spells both)."""
+    return E(A.Call("mad", (_wrap(a), _wrap(b), _wrap(c))))
+
+
+def sqrtf(x) -> E:
+    """Square root via the multi-function unit (``MUFU.SQRT``)."""
+    return E(A.Call("sqrt", (_wrap(x),)))
+
+
+def rsqrtf(x) -> E:
+    """Reciprocal square root (``MUFU.RSQ``)."""
+    return E(A.Call("rsqrt", (_wrap(x),)))
+
+
+def rcpf(x) -> E:
+    """Reciprocal (``MUFU.RCP``)."""
+    return E(A.Call("rcp", (_wrap(x),)))
+
+
+def fminf(a, b) -> E:
+    """``fminf`` — FMNMX."""
+    return E(A.Call("min", (_wrap(a), _wrap(b))))
+
+
+def fmaxf(a, b) -> E:
+    """``fmaxf`` — FMNMX."""
+    return E(A.Call("max", (_wrap(a), _wrap(b))))

@@ -1,0 +1,639 @@
+"""Virtual-register program representation and linear-scan allocation.
+
+The cudalite compiler first lowers the kernel AST to a *virtual*
+instruction stream (:class:`VInstr`) over an unlimited register file —
+the same role PTX plays for nvcc.  :func:`allocate` then maps virtual
+registers to architectural ones under a configurable budget using
+linear-scan allocation.  When the budget is exceeded it spills the
+victim to local memory, inserting ``STL`` after each definition and
+``LDL`` before each use — producing exactly the instruction patterns
+GPUscout's §4.2 register-spilling analysis detects, attributed to the
+source lines of the spilled computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.errors import RegisterAllocationError
+from repro.sass.isa import (
+    Instruction,
+    Label,
+    Opcode,
+    OpClass,
+    Operand,
+    Program,
+    Register,
+    PT,
+    RZ,
+)
+
+__all__ = ["VReg", "VPred", "VOperand", "VInstr", "VProgram", "allocate", "AllocationResult"]
+
+
+@dataclass(frozen=True, eq=True)
+class VReg:
+    """A virtual general register; ``regs`` consecutive 32-bit
+    architectural registers, aligned to ``regs`` (pairs/quads)."""
+
+    id: int
+    regs: int = 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"v{self.id}" + (f":{self.regs}" if self.regs > 1 else "")
+
+
+@dataclass(frozen=True, eq=True)
+class VPred:
+    """A virtual predicate register."""
+
+    id: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"vp{self.id}"
+
+
+@dataclass(frozen=True)
+class VOperand:
+    """Operand of a virtual instruction (mirrors
+    :class:`repro.sass.isa.Operand` with virtual registers).
+
+    ``lane`` selects a 32-bit component of a wide virtual register
+    (vector values); ``negated`` is the SASS source-negation modifier.
+    """
+
+    kind: str  # reg | pred | imm | fimm | mem | const | special | label
+    vreg: Optional[VReg] = None
+    lane: int = 0
+    vpred: Optional[VPred] = None
+    imm: Optional[int] = None
+    fimm: Optional[float] = None
+    mem_base: Optional[VReg] = None
+    mem_offset: int = 0
+    const_bank: int = 0
+    const_offset: int = 0
+    special: Optional[str] = None
+    label: Optional[str] = None
+    negated: bool = False
+
+    @staticmethod
+    def r(vreg: VReg, lane: int = 0, negated: bool = False) -> "VOperand":
+        return VOperand("reg", vreg=vreg, lane=lane, negated=negated)
+
+    @staticmethod
+    def p(vpred: Optional[VPred], negated: bool = False) -> "VOperand":
+        return VOperand("pred", vpred=vpred, negated=negated)
+
+    @staticmethod
+    def i(value: int) -> "VOperand":
+        return VOperand("imm", imm=int(value))
+
+    @staticmethod
+    def f(value: float) -> "VOperand":
+        return VOperand("fimm", fimm=float(value))
+
+    @staticmethod
+    def m(base: Optional[VReg], offset: int = 0) -> "VOperand":
+        return VOperand("mem", mem_base=base, mem_offset=offset)
+
+    @staticmethod
+    def c(bank: int, offset: int) -> "VOperand":
+        return VOperand("const", const_bank=bank, const_offset=offset)
+
+    @staticmethod
+    def sr(name: str) -> "VOperand":
+        return VOperand("special", special=name)
+
+    @staticmethod
+    def lbl(name: str) -> "VOperand":
+        return VOperand("label", label=name)
+
+
+@dataclass
+class VInstr:
+    """A virtual-register SASS instruction."""
+
+    opcode: Opcode
+    operands: list[VOperand] = field(default_factory=list)
+    pred: Optional[VPred] = None
+    pred_negated: bool = False
+    line: Optional[int] = None
+
+    # --- def/use at virtual-register granularity ----------------------
+    def dest_vregs(self) -> list[VReg]:
+        op = self.opcode
+        if op.op_class in (
+            OpClass.GLOBAL_STORE,
+            OpClass.LOCAL_STORE,
+            OpClass.SHARED_STORE,
+            OpClass.BRANCH,
+            OpClass.BARRIER,
+        ) or op.base == "RED":
+            return []
+        if not self.operands:
+            return []
+        first = self.operands[0]
+        if first.kind == "reg" and first.vreg is not None:
+            return [first.vreg]
+        return []
+
+    def dest_vpreds(self) -> list[VPred]:
+        if self.opcode.base in ("ISETP", "FSETP", "DSETP", "PLOP3"):
+            out = []
+            for cand in self.operands[:2]:
+                if cand.kind == "pred" and cand.vpred is not None:
+                    out.append(cand.vpred)
+            return out
+        return []
+
+    def source_vregs(self) -> list[VReg]:
+        out: list[VReg] = []
+        skip = len(self.dest_vregs())
+        for idx, operand in enumerate(self.operands):
+            if idx < skip and operand.kind == "reg":
+                continue
+            if operand.kind == "reg" and operand.vreg is not None:
+                out.append(operand.vreg)
+            elif operand.kind == "mem" and operand.mem_base is not None:
+                out.append(operand.mem_base)
+        if self.pred is not None:
+            # A predicated definition may leave the old value in place,
+            # so the destination counts as live-through (conservative).
+            out.extend(self.dest_vregs())
+        return out
+
+    def source_vpreds(self) -> list[VPred]:
+        out: list[VPred] = []
+        if self.pred is not None:
+            out.append(self.pred)
+        skip = len(self.dest_vpreds())
+        seen = 0
+        for operand in self.operands:
+            if operand.kind == "pred" and operand.vpred is not None:
+                if seen < skip:
+                    seen += 1
+                    continue
+                out.append(operand.vpred)
+        return out
+
+    def branch_target(self) -> Optional[str]:
+        if self.opcode.base != "BRA":
+            return None
+        for operand in self.operands:
+            if operand.kind == "label":
+                return operand.label
+        return None
+
+
+@dataclass
+class VProgram:
+    """A virtual-register function body: instructions + labels."""
+
+    name: str
+    items: list  # list[VInstr | Label]
+    shared_bytes: int = 0
+    source: Optional[str] = None
+
+    def instructions(self) -> list[VInstr]:
+        return [it for it in self.items if isinstance(it, VInstr)]
+
+
+# ---------------------------------------------------------------------------
+# Liveness over the virtual program
+# ---------------------------------------------------------------------------
+
+
+def _vprogram_blocks(items: Sequence) -> list[tuple[int, int, list[int]]]:
+    """Split ``items`` into blocks of item indices: (start, end, succs).
+
+    Labels start new blocks; branches end them.  Successor lists refer
+    to block ids.
+    """
+    n = len(items)
+    leaders = {0}
+    label_pos: dict[str, int] = {}
+    for i, item in enumerate(items):
+        if isinstance(item, Label):
+            label_pos[item.name] = i
+            leaders.add(i)
+    for i, item in enumerate(items):
+        if isinstance(item, VInstr):
+            if item.branch_target() is not None or item.opcode.base in ("EXIT", "RET"):
+                if i + 1 < n:
+                    leaders.add(i + 1)
+    starts = sorted(leaders)
+    block_of_pos = {}
+    blocks: list[tuple[int, int, list[int]]] = []
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        for i in range(start, end):
+            block_of_pos[i] = bid
+        blocks.append((start, end, []))
+    for bid, (start, end, succs) in enumerate(blocks):
+        last = None
+        for i in range(end - 1, start - 1, -1):
+            if isinstance(items[i], VInstr):
+                last = items[i]
+                break
+        if last is None:
+            if end < n:
+                succs.append(block_of_pos[end])
+            continue
+        target = last.branch_target()
+        if target is not None:
+            succs.append(block_of_pos[label_pos[target]])
+            if last.pred is not None and end < n:
+                succs.append(block_of_pos[end])
+        elif last.opcode.base in ("EXIT", "RET"):
+            pass
+        elif end < n:
+            succs.append(block_of_pos[end])
+    return blocks
+
+
+def _live_intervals(items: Sequence) -> dict[VReg, tuple[int, int]]:
+    """Live interval per virtual register, as (start, end) item indices.
+
+    Computed from proper dataflow liveness so that loop-carried values
+    get intervals spanning their whole loop.
+    """
+    blocks = _vprogram_blocks(items)
+    nb = len(blocks)
+    use_b: list[set[VReg]] = [set() for _ in range(nb)]
+    def_b: list[set[VReg]] = [set() for _ in range(nb)]
+    for bid, (start, end, _) in enumerate(blocks):
+        defined: set[VReg] = set()
+        for i in range(start, end):
+            item = items[i]
+            if not isinstance(item, VInstr):
+                continue
+            for v in item.source_vregs():
+                if v not in defined:
+                    use_b[bid].add(v)
+            defined.update(item.dest_vregs())
+        def_b[bid] = defined
+    live_in: list[set[VReg]] = [set() for _ in range(nb)]
+    live_out: list[set[VReg]] = [set() for _ in range(nb)]
+    changed = True
+    while changed:
+        changed = False
+        for bid in range(nb - 1, -1, -1):
+            _, _, succs = blocks[bid]
+            out: set[VReg] = set()
+            for s in succs:
+                out |= live_in[s]
+            inn = use_b[bid] | (out - def_b[bid])
+            if out != live_out[bid] or inn != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = inn
+                changed = True
+    intervals: dict[VReg, list[int]] = {}
+
+    def touch(v: VReg, pos: int) -> None:
+        if v in intervals:
+            iv = intervals[v]
+            iv[0] = min(iv[0], pos)
+            iv[1] = max(iv[1], pos)
+        else:
+            intervals[v] = [pos, pos]
+
+    for bid, (start, end, _) in enumerate(blocks):
+        live = set(live_out[bid])
+        for v in live:
+            touch(v, end - 1)
+        for i in range(end - 1, start - 1, -1):
+            item = items[i]
+            if not isinstance(item, VInstr):
+                continue
+            for v in item.dest_vregs():
+                touch(v, i)
+            for v in item.source_vregs():
+                touch(v, i)
+        for v in live_in[bid]:
+            touch(v, start)
+    return {v: (iv[0], iv[1]) for v, iv in intervals.items()}
+
+
+def _pred_intervals(items: Sequence) -> dict[VPred, tuple[int, int]]:
+    """Simple (first touch, last touch) intervals for predicates.
+
+    Predicates in cudalite output are short-lived except loop-exit
+    conditions; to be safe across back edges, any predicate touched
+    inside a loop gets its interval widened to the loop extent.
+    """
+    intervals: dict[VPred, list[int]] = {}
+    for i, item in enumerate(items):
+        if not isinstance(item, VInstr):
+            continue
+        touched = item.dest_vpreds() + item.source_vpreds()
+        for p in touched:
+            if p in intervals:
+                intervals[p][1] = i
+            else:
+                intervals[p] = [i, i]
+    # widen across backward branches
+    label_pos = {
+        item.name: i for i, item in enumerate(items) if isinstance(item, Label)
+    }
+    for i, item in enumerate(items):
+        if isinstance(item, VInstr):
+            target = item.branch_target()
+            if target is not None and label_pos.get(target, i) < i:
+                lo, hi = label_pos[target], i
+                for p, iv in intervals.items():
+                    if iv[0] <= hi and iv[1] >= lo:
+                        iv[0] = min(iv[0], lo)
+                        iv[1] = max(iv[1], hi)
+    return {p: (iv[0], iv[1]) for p, iv in intervals.items()}
+
+
+# ---------------------------------------------------------------------------
+# Linear scan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation."""
+
+    program: Program
+    registers_used: int
+    spilled_vregs: int
+    local_frame_bytes: int
+
+
+class _FreeList:
+    """Bitmap of architectural registers with aligned-run allocation."""
+
+    def __init__(self, budget: int):
+        self.budget = budget
+        self.free = [True] * budget
+
+    def take(self, size: int) -> Optional[int]:
+        align = size if size in (2, 4) else 1
+        base = 0
+        while base + size <= self.budget:
+            if all(self.free[base : base + size]):
+                for k in range(base, base + size):
+                    self.free[k] = False
+                return base
+            base += align
+        return None
+
+    def release(self, base: int, size: int) -> None:
+        for k in range(base, base + size):
+            self.free[k] = True
+
+
+def allocate(
+    vprog: VProgram,
+    budget: int = 253,
+    max_spill_rounds: int = 64,
+) -> AllocationResult:
+    """Allocate architectural registers for ``vprog``.
+
+    ``budget`` caps general registers (R0..R(budget-1)); RZ stays the
+    zero register.  On pressure overflow the victim with the furthest
+    interval end is spilled to a 4-byte-per-register local slot and the
+    scan restarts, up to ``max_spill_rounds`` times.
+    """
+    if not 1 <= budget <= 253:
+        raise RegisterAllocationError(f"budget {budget} out of range 1..253")
+    items = list(vprog.items)
+    spilled: dict[VReg, int] = {}  # vreg -> local slot byte offset
+    local_bytes = 0
+    next_tmp_id = 1 + max(
+        (v.id for it in items if isinstance(it, VInstr) for v in
+         (it.dest_vregs() + it.source_vregs())),
+        default=0,
+    )
+
+    for _ in range(max_spill_rounds):
+        intervals = _live_intervals(items)
+        order = sorted(intervals.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+        free = _FreeList(budget)
+        active: list[tuple[int, VReg, int]] = []  # (end, vreg, base)
+        assignment: dict[VReg, int] = {}
+        victim: Optional[VReg] = None
+        for vreg, (start, end) in order:
+            active = [a for a in active if not (a[0] < start and _expire(a, free))]
+            base = free.take(vreg.regs)
+            if base is None:
+                # choose the active interval (or this one) ending last
+                candidates = [a for a in active if a[1].regs >= 1]
+                far = max(candidates, key=lambda a: a[0], default=None)
+                if far is not None and far[0] > end and far[1] not in spilled:
+                    victim = far[1]
+                elif vreg not in spilled:
+                    victim = vreg
+                elif far is not None and far[1] not in spilled:
+                    victim = far[1]
+                else:
+                    raise RegisterAllocationError(
+                        f"cannot allocate {vreg} within budget {budget}"
+                    )
+                break
+            assignment[vreg] = base
+            active.append((end, vreg, base))
+        else:
+            # allocation succeeded
+            pred_assignment = _allocate_preds(items)
+            program = _materialize(
+                vprog, items, assignment, pred_assignment, local_bytes
+            )
+            high_water = max(
+                (base + v.regs for v, base in assignment.items()), default=0
+            )
+            return AllocationResult(
+                program=program,
+                registers_used=high_water,
+                spilled_vregs=len(spilled),
+                local_frame_bytes=local_bytes,
+            )
+        assert victim is not None
+        slot = local_bytes
+        local_bytes += 4 * victim.regs
+        spilled[victim] = slot
+        items, next_tmp_id = _rewrite_spill(items, victim, slot, next_tmp_id)
+    raise RegisterAllocationError(
+        f"register allocation did not converge after {max_spill_rounds} spill rounds"
+    )
+
+
+def _expire(entry: tuple[int, VReg, int], free: _FreeList) -> bool:
+    _, vreg, base = entry
+    free.release(base, vreg.regs)
+    return True
+
+
+def _allocate_preds(items: Sequence) -> dict[VPred, int]:
+    """Linear-scan over the 6 usable predicate registers P0..P5."""
+    intervals = _pred_intervals(items)
+    order = sorted(intervals.items(), key=lambda kv: kv[1][0])
+    free = list(range(6))
+    active: list[tuple[int, VPred, int]] = []
+    assignment: dict[VPred, int] = {}
+    for vpred, (start, end) in order:
+        keep = []
+        for a in active:
+            if a[0] < start:
+                free.append(a[2])
+            else:
+                keep.append(a)
+        active = keep
+        if not free:
+            raise RegisterAllocationError(
+                "predicate pressure exceeds 6 registers (unsupported kernel shape)"
+            )
+        free.sort()
+        phys = free.pop(0)
+        assignment[vpred] = phys
+        active.append((end, vpred, phys))
+    return assignment
+
+
+_STL_OP = {1: "STL", 2: "STL.64", 4: "STL.128"}
+_LDL_OP = {1: "LDL", 2: "LDL.64", 4: "LDL.128"}
+
+
+def _rewrite_spill(
+    items: list, victim: VReg, slot: int, next_tmp_id: int
+) -> tuple[list, int]:
+    """Insert STL after defs and LDL before uses of ``victim``.
+
+    Each use gets a fresh short-lived temporary so the reload does not
+    recreate the long interval that caused the spill.
+    """
+    out: list = []
+    for item in items:
+        if not isinstance(item, VInstr):
+            out.append(item)
+            continue
+        uses_victim = victim in item.source_vregs()
+        defines_victim = victim in item.dest_vregs()
+        ins = item
+        if uses_victim:
+            tmp = VReg(next_tmp_id, victim.regs)
+            next_tmp_id += 1
+            out.append(
+                VInstr(
+                    Opcode.parse(_LDL_OP[victim.regs]),
+                    [VOperand.r(tmp), VOperand.m(None, slot)],
+                    pred=item.pred,
+                    pred_negated=item.pred_negated,
+                    line=item.line,
+                )
+            )
+            new_ops = []
+            skip = len(item.dest_vregs())
+            for idx, op in enumerate(item.operands):
+                replace_it = op.kind == "reg" and op.vreg == victim and idx >= skip
+                if op.kind == "mem" and op.mem_base == victim:
+                    new_ops.append(replace(op, mem_base=tmp))
+                elif replace_it:
+                    new_ops.append(replace(op, vreg=tmp))
+                else:
+                    new_ops.append(op)
+            ins = replace(item, operands=new_ops)
+        if defines_victim:
+            dtmp = VReg(next_tmp_id, victim.regs)
+            next_tmp_id += 1
+            new_ops = list(ins.operands)
+            assert new_ops[0].kind == "reg"
+            new_ops[0] = replace(new_ops[0], vreg=dtmp)
+            ins = replace(ins, operands=new_ops)
+            out.append(ins)
+            out.append(
+                VInstr(
+                    Opcode.parse(_STL_OP[victim.regs]),
+                    [VOperand.m(None, slot), VOperand.r(dtmp)],
+                    pred=item.pred,
+                    pred_negated=item.pred_negated,
+                    line=item.line,
+                )
+            )
+        else:
+            out.append(ins)
+    return out, next_tmp_id
+
+
+# ---------------------------------------------------------------------------
+# Materialisation to architectural SASS
+# ---------------------------------------------------------------------------
+
+
+def _materialize(
+    vprog: VProgram,
+    items: Sequence,
+    assignment: dict[VReg, int],
+    pred_assignment: dict[VPred, int],
+    local_bytes: int,
+) -> Program:
+    def reg_of(vreg: VReg, lane: int) -> Register:
+        base = assignment[vreg]
+        if lane >= vreg.regs:
+            raise RegisterAllocationError(f"lane {lane} out of range for {vreg}")
+        return Register(base + lane)
+
+    def pred_of(vpred: Optional[VPred]) -> Register:
+        if vpred is None:
+            return PT
+        return Register(pred_assignment[vpred], predicate=True)
+
+    def conv_operand(op: VOperand) -> Operand:
+        if op.kind == "reg":
+            assert op.vreg is not None
+            return Operand.r(reg_of(op.vreg, op.lane), negated=op.negated)
+        if op.kind == "pred":
+            if op.vpred is None:
+                return Operand.r(PT, negated=op.negated)
+            return Operand.r(pred_of(op.vpred), negated=op.negated)
+        if op.kind == "imm":
+            assert op.imm is not None
+            return Operand.i(op.imm)
+        if op.kind == "fimm":
+            assert op.fimm is not None
+            return Operand.f(op.fimm)
+        if op.kind == "mem":
+            base = reg_of(op.mem_base, 0) if op.mem_base is not None else None
+            return Operand.m(base, op.mem_offset)
+        if op.kind == "const":
+            base = Operand.c(op.const_bank, op.const_offset)
+            if op.negated:
+                from dataclasses import replace as _replace
+
+                base = _replace(base, negated=True)
+            return base
+        if op.kind == "special":
+            assert op.special is not None
+            return Operand.sr(op.special)
+        if op.kind == "label":
+            assert op.label is not None
+            return Operand.lbl(op.label)
+        raise AssertionError(op.kind)
+
+    out_items: list = []
+    for item in items:
+        if isinstance(item, Label):
+            out_items.append(item)
+            continue
+        assert isinstance(item, VInstr)
+        ins = Instruction(
+            item.opcode,
+            [conv_operand(op) for op in item.operands],
+            line=item.line,
+            file=f"{vprog.name}.cu",
+            pred=pred_of(item.pred) if item.pred is not None else None,
+            pred_negated=item.pred_negated,
+        )
+        out_items.append(ins)
+    high_water = max((base + v.regs for v, base in assignment.items()), default=0)
+    return Program(
+        vprog.name,
+        out_items,
+        registers_per_thread=high_water,
+        local_bytes_per_thread=local_bytes,
+        shared_bytes=vprog.shared_bytes,
+        source=vprog.source,
+    )

@@ -1,0 +1,149 @@
+"""Type system of the cudalite frontend.
+
+Scalar types carry their NumPy dtype (used by the functional executor)
+and SASS width; vector types (``float4`` etc.) are what turn memory
+accesses into the 64-/128-bit vectorized transactions that GPUscout's
+§4.1 analysis is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "PointerType",
+    "i32",
+    "u32",
+    "u64",
+    "f32",
+    "f64",
+    "float2",
+    "float4",
+    "int4",
+    "double2",
+    "ptr",
+    "common_type",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar or short-vector value type.
+
+    ``lanes > 1`` marks CUDA vector types; ``scalar`` is then the
+    element type.  ``regs`` is the number of 32-bit SASS registers a
+    value occupies (what drives register-pair/quad allocation).
+    """
+
+    name: str
+    bits: int  # total width in bits
+    is_float: bool
+    lanes: int = 1
+    signed: bool = True
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def regs(self) -> int:
+        return max(1, self.bits // 32)
+
+    @property
+    def is_vector(self) -> bool:
+        return self.lanes > 1
+
+    @property
+    def scalar(self) -> "DType":
+        if not self.is_vector:
+            return self
+        return _SCALARS[(self.bits // self.lanes, self.is_float, self.signed)]
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """NumPy dtype of one lane (executor representation)."""
+        s = self.scalar
+        if s.is_float:
+            return np.dtype(np.float32 if s.bits == 32 else np.float64)
+        if s.bits == 64:
+            return np.dtype(np.int64 if s.signed else np.uint64)
+        return np.dtype(np.int32 if s.signed else np.uint32)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+i32 = DType("int", 32, is_float=False)
+u32 = DType("unsigned int", 32, is_float=False, signed=False)
+u64 = DType("unsigned long long", 64, is_float=False, signed=False)
+f32 = DType("float", 32, is_float=True)
+f64 = DType("double", 64, is_float=True)
+float2 = DType("float2", 64, is_float=True, lanes=2)
+float4 = DType("float4", 128, is_float=True, lanes=4)
+int4 = DType("int4", 128, is_float=False, lanes=4)
+double2 = DType("double2", 128, is_float=True, lanes=2)
+
+_SCALARS = {
+    (32, False, True): i32,
+    (32, False, False): u32,
+    (64, False, False): u64,
+    (32, True, True): f32,
+    (64, True, True): f64,
+}
+
+
+@dataclass(frozen=True)
+class PointerType:
+    """A pointer to global memory holding elements of ``elem``.
+
+    ``readonly`` corresponds to ``const``; ``restrict`` to
+    ``__restrict__``.  Loads through a pointer that is both are eligible
+    for the read-only data cache (``LDG.E.CONSTANT``), mirroring nvcc.
+    """
+
+    elem: DType
+    readonly: bool = False
+    restrict: bool = False
+
+    @property
+    def uses_readonly_cache(self) -> bool:
+        return self.readonly and self.restrict
+
+    def as_elem(self, elem: DType) -> "PointerType":
+        """Pointer reinterpret-cast preserving qualifiers."""
+        return PointerType(elem, self.readonly, self.restrict)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        quals = []
+        if self.readonly:
+            quals.append("const")
+        quals.append(f"{self.elem.name}*")
+        if self.restrict:
+            quals.append("__restrict__")
+        return " ".join(quals)
+
+
+def ptr(elem: DType, readonly: bool = False, restrict: bool = False) -> PointerType:
+    """Convenience constructor for :class:`PointerType`."""
+    return PointerType(elem, readonly=readonly, restrict=restrict)
+
+
+def common_type(a: DType, b: DType) -> DType:
+    """C-style usual arithmetic conversions for two scalar types."""
+    if a.is_vector or b.is_vector:
+        if a == b:
+            return a
+        raise TypeError(f"no implicit conversion between {a} and {b}")
+    if a == b:
+        return a
+    if a.is_float or b.is_float:
+        fa = a if a.is_float else None
+        fb = b if b.is_float else None
+        widest = max((t.bits for t in (fa, fb) if t is not None), default=32)
+        return f64 if widest == 64 else f32
+    if a.bits == 64 or b.bits == 64:
+        return u64
+    return i32 if (a.signed and b.signed) else u32

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the more
+specific subclasses below; none of them are raised for programmer errors
+(those surface as ``TypeError``/``ValueError`` from the standard
+library as usual).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SassSyntaxError",
+    "CompileError",
+    "RegisterAllocationError",
+    "LaunchError",
+    "SimulationError",
+    "MetricError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the GPUscout reproduction."""
+
+
+class SassSyntaxError(ReproError):
+    """Raised when SASS text cannot be parsed.
+
+    Carries the 1-based line number of the offending text where known.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None):
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+class CompileError(ReproError):
+    """Raised by the cudalite compiler for invalid kernel ASTs."""
+
+
+class RegisterAllocationError(CompileError):
+    """Raised when register allocation cannot satisfy the budget.
+
+    This only happens for budgets too small to hold even the working
+    set of a single instruction; ordinary pressure is resolved by
+    spilling to local memory.
+    """
+
+
+class LaunchError(ReproError):
+    """Raised for invalid kernel launch configurations."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU simulator encounters an unexecutable state
+    (unknown opcode, misaligned access, out-of-bounds memory, ...)."""
+
+
+class MetricError(ReproError):
+    """Raised for unknown metric names or underivable metrics."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a bottleneck analysis cannot run on a program."""

@@ -1,0 +1,39 @@
+"""GPU hardware substrate: a Volta-class SM/memory-hierarchy simulator.
+
+This package replaces the NVIDIA V100 the paper measured on.  It is a
+*warp-level, cycle-approximate* model — functional execution of SASS on
+32-lane NumPy vectors combined with an issue/scoreboard timing model —
+that produces the three kinds of signals GPUscout consumes:
+
+1. per-PC warp-stall attribution (what CUPTI PC sampling reports),
+2. hardware counters (sectors, cache hits/misses, transactions,
+   instruction mixes) from which ncu-style metrics derive,
+3. kernel duration in cycles (for speedup comparisons and the overhead
+   model of Figure 6).
+
+See DESIGN.md §2 for why this substitution preserves the behaviours the
+paper's analyses depend on.
+"""
+
+from repro.gpu.config import GPUSpec
+from repro.gpu.stalls import StallReason
+from repro.gpu.simulator import LaunchConfig, LaunchResult, Simulator, TextureDesc
+from repro.gpu.session import DeviceBuffer, DeviceSession
+from repro.gpu.trace import TraceEvent, TraceRecorder, format_trace
+from repro.gpu.microbench import MicroResult, execute_sass
+
+__all__ = [
+    "GPUSpec",
+    "StallReason",
+    "LaunchConfig",
+    "LaunchResult",
+    "Simulator",
+    "TextureDesc",
+    "DeviceBuffer",
+    "DeviceSession",
+    "TraceEvent",
+    "TraceRecorder",
+    "format_trace",
+    "MicroResult",
+    "execute_sass",
+]

@@ -1,0 +1,205 @@
+"""Sectored set-associative caches and the memory hierarchy walk.
+
+The hierarchy mirrors the paper's description of data migration (§4.2):
+kernel requests hit the L1 cache first, misses forward to the
+multi-banked L2, and L2 misses continue to DRAM.  Caches are sectored —
+tags cover 128-byte lines but fills happen in 32-byte sectors — which is
+what makes ncu's ``sectors`` metrics meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["SectorCache", "CacheStats", "HierarchyResult", "MemoryHierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (in sectors)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class SectorCache:
+    """A sectored, set-associative, LRU cache.
+
+    ``lookup`` probes and (on miss) fills one sector; a miss on a
+    resident line only fills the missing sector (no eviction), a miss
+    on an absent line evicts the LRU way of the set.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int = 128,
+        sector_bytes: int = 32,
+        assoc: int = 4,
+    ):
+        if size_bytes % (line_bytes * assoc) != 0:
+            # round the set count down; a model, not a RTL description
+            pass
+        self.name = name
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.sectors_per_line = line_bytes // sector_bytes
+        self.assoc = assoc
+        self.num_sets = max(1, size_bytes // (line_bytes * assoc))
+        # per set: dict line_tag -> [sector_valid_mask, lru_stamp]
+        self._sets: list[dict[int, list[int]]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate all contents and zero the statistics."""
+        for s in self._sets:
+            s.clear()
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def lookup(self, sector_addr: int, fill: bool = True) -> bool:
+        """Probe one sector; returns True on hit.  Misses fill."""
+        line_addr = sector_addr // self.line_bytes
+        sector_idx = (sector_addr // self.sector_bytes) % self.sectors_per_line
+        set_idx = line_addr % self.num_sets
+        ways = self._sets[set_idx]
+        self._clock += 1
+        entry = ways.get(line_addr)
+        if entry is not None:
+            entry[1] = self._clock
+            if entry[0] & (1 << sector_idx):
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            if fill:
+                entry[0] |= 1 << sector_idx
+            return False
+        self.stats.misses += 1
+        if fill:
+            if len(ways) >= self.assoc:
+                victim = min(ways.items(), key=lambda kv: kv[1][1])[0]
+                del ways[victim]
+            ways[line_addr] = [1 << sector_idx, self._clock]
+        return False
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of pushing one warp-access through the hierarchy."""
+
+    sectors_total: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0  # == DRAM sectors
+    deepest: str = "l1"  # "l1" | "l2" | "dram"
+    #: extra sectors moved by whole-line fills (texture path)
+    fill_sectors: int = 0
+
+    @property
+    def l2_accesses(self) -> int:
+        return self.l1_misses
+
+    @property
+    def dram_sectors(self) -> int:
+        return self.l2_misses
+
+
+class MemoryHierarchy:
+    """L1 -> L2 -> DRAM walk with per-space accounting.
+
+    One instance per simulated SM; the L2 is that SM's slice (see
+    :class:`~repro.gpu.config.GPUSpec`).  Spaces: ``global``, ``local``,
+    ``texture`` (own first-level cache), ``atomic`` (L1-bypassing).
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.l1 = SectorCache(
+            "L1TEX", spec.l1_bytes, spec.l1_line_bytes, spec.sector_bytes,
+            spec.l1_assoc,
+        )
+        self.tex = SectorCache(
+            "TEXC", spec.tex_cache_bytes, spec.l1_line_bytes, spec.sector_bytes,
+            spec.l1_assoc,
+        )
+        self.l2 = SectorCache(
+            "L2", spec.l2_bytes, spec.l2_line_bytes, spec.sector_bytes,
+            spec.l2_assoc,
+        )
+
+    def access(
+        self,
+        sectors: Iterable[int],
+        space: str,
+        write: bool = False,
+    ) -> HierarchyResult:
+        """Walk ``sectors`` through the hierarchy for ``space``.
+
+        Writes are write-through/no-allocate at L1 (CUDA semantics) and
+        write-allocate at L2.  Atomics bypass L1 and resolve at L2 (or
+        DRAM on L2 miss), matching §4.4's "usually 100 % L1 miss".
+
+        The **texture** path fills whole cache lines on a miss (real
+        texture units fetch full lines, which — combined with the
+        block-linear storage layout — is what gives the texture cache
+        its 2D locality, §4.6): the requested sector's siblings are
+        promoted into the cache and their traffic is accounted as
+        ``fill_sectors`` through L2/DRAM.
+        """
+        res = HierarchyResult()
+        first_level = {
+            "global": self.l1,
+            "local": self.l1,
+            "readonly": self.l1,
+            "texture": self.tex,
+            "atomic": None,
+        }[space]
+        line_fill = space == "texture"
+        for sector in sectors:
+            res.sectors_total += 1
+            if first_level is not None and not write:
+                if first_level.lookup(sector):
+                    res.l1_hits += 1
+                    continue
+                res.l1_misses += 1
+            else:
+                res.l1_misses += 1  # bypass/write-through counts as L2 access
+            if self.l2.lookup(sector):
+                res.l2_hits += 1
+                res.deepest = "l2" if res.deepest == "l1" else res.deepest
+            else:
+                res.l2_misses += 1
+                res.deepest = "dram"
+            if line_fill and first_level is not None:
+                line_base = sector - sector % first_level.line_bytes
+                for k in range(first_level.sectors_per_line):
+                    sibling = line_base + k * first_level.sector_bytes
+                    if sibling == sector:
+                        continue
+                    if not first_level.lookup(sibling, fill=False):
+                        first_level.lookup(sibling)  # promote
+                        res.fill_sectors += 1
+                        if self.l2.lookup(sibling):
+                            res.l2_hits += 1
+                        else:
+                            res.l2_misses += 1
+                            res.deepest = "dram"
+        if res.deepest == "l1" and res.l1_misses > 0:
+            res.deepest = "l2"
+        return res

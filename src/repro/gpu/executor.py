@@ -1,0 +1,847 @@
+"""Functional SASS execution on 32-lane warps.
+
+Each warp executes instructions on NumPy vectors of 32 lanes with full
+predication.  The executor updates architectural state immediately and
+returns an :class:`Effect` describing the memory/pipeline footprint of
+the instruction; the scheduler turns effects into timing.
+
+Representation choices (documented simplifications):
+
+* registers are 32-bit; 64-bit values occupy aligned pairs (as on real
+  hardware) but *addresses* fit a single register — device memory is a
+  flat byte array smaller than 4 GiB;
+* divergent predicated execution is supported everywhere except ``BRA``:
+  a branch whose active lanes disagree raises
+  :class:`~repro.errors.SimulationError` (cudalite compiles ``if`` to
+  predication and loop trip counts are warp-uniform in the case-study
+  kernels, so this never triggers for in-tree workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cudalite.compiler import CompiledKernel
+from repro.errors import SimulationError
+from repro.gpu.coalesce import coalesce_sectors, shared_transactions
+from repro.gpu.config import GPUSpec
+from repro.sass.isa import Instruction, Opcode, Operand, Program
+
+__all__ = ["DeviceMemory", "WarpState", "Effect", "Executor", "TextureLayout"]
+
+WARP = 32
+
+
+class DeviceMemory:
+    """Flat byte-addressable device memory with typed vector access."""
+
+    def __init__(self, size_bytes: int):
+        size_bytes = (size_bytes + 7) // 8 * 8
+        self.size = size_bytes
+        self.buf = np.zeros(size_bytes, dtype=np.uint8)
+        self._u32 = self.buf.view(np.uint32)
+
+    def _check(self, addrs: np.ndarray, nbytes: int) -> None:
+        if addrs.size == 0:
+            return
+        lo = int(addrs.min())
+        hi = int(addrs.max()) + nbytes
+        if lo < 0 or hi > self.size:
+            raise SimulationError(
+                f"device memory access out of bounds: [{lo:#x}, {hi:#x}) "
+                f"outside 0..{self.size:#x}"
+            )
+        if (addrs % nbytes).any() if nbytes in (4, 8) else False:
+            raise SimulationError(f"misaligned {nbytes}-byte access")
+
+    def read_u32(self, addrs: np.ndarray) -> np.ndarray:
+        self._check(addrs, 4)
+        return self._u32[addrs >> 2]
+
+    def write_u32(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check(addrs, 4)
+        self._u32[addrs >> 2] = values
+
+    def atomic_add_f32(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check(addrs, 4)
+        f32 = self.buf.view(np.float32)
+        np.add.at(f32, addrs >> 2, values)
+
+    def atomic_add_u32(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check(addrs, 4)
+        np.add.at(self._u32, addrs >> 2, values)
+
+    def atomic_add_f64(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._check(addrs, 8)
+        f64 = self.buf.view(np.float64)
+        np.add.at(f64, addrs >> 3, values)
+
+
+@dataclass
+class TextureLayout:
+    """A bound 2D texture: base offset, texel grid and tiling.
+
+    Texture memory is stored *tiled* (block-linear): texel ``(x, y)``
+    lives in tile ``(x // tx, y // ty)``; tiles are row-major and texels
+    row-major inside a tile.  This is what gives the texture cache its
+    2D locality (paper §4.6).
+    """
+
+    base: int
+    width: int
+    height: int
+    tile_x: int = 8
+    tile_y: int = 4
+    elem_bytes: int = 4
+
+    def addresses(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.clip(x, 0, self.width - 1).astype(np.int64)
+        y = np.clip(y, 0, self.height - 1).astype(np.int64)
+        tiles_x = (self.width + self.tile_x - 1) // self.tile_x
+        tile_id = (y // self.tile_y) * tiles_x + (x // self.tile_x)
+        intra = (y % self.tile_y) * self.tile_x + (x % self.tile_x)
+        tile_bytes = self.tile_x * self.tile_y * self.elem_bytes
+        return self.base + tile_id * tile_bytes + intra * self.elem_bytes
+
+    @property
+    def nbytes(self) -> int:
+        tiles_x = (self.width + self.tile_x - 1) // self.tile_x
+        tiles_y = (self.height + self.tile_y - 1) // self.tile_y
+        return tiles_x * tiles_y * self.tile_x * self.tile_y * self.elem_bytes
+
+    def upload(self, mem: DeviceMemory, array: np.ndarray) -> None:
+        """Copy a row-major f32 array into tiled texture storage."""
+        if array.shape != (self.height, self.width):
+            raise ValueError("texture array shape mismatch")
+        ys, xs = np.mgrid[0 : self.height, 0 : self.width]
+        addrs = self.addresses(xs.ravel(), ys.ravel())
+        mem.buf.view(np.float32)[addrs >> 2] = array.astype(np.float32).ravel()
+
+
+class WarpState:
+    """Architectural state of one warp."""
+
+    __slots__ = (
+        "regs", "preds", "active", "pc", "done",
+        "tid", "ctaid", "ntid", "nctaid", "local", "shared",
+        "warp_id", "block_id",
+    )
+
+    def __init__(
+        self,
+        nregs: int,
+        local_slots: int,
+        shared: Optional[np.ndarray],
+        tid: tuple[np.ndarray, np.ndarray, np.ndarray],
+        ctaid: tuple[int, int, int],
+        ntid: tuple[int, int, int],
+        nctaid: tuple[int, int, int],
+        active: np.ndarray,
+        warp_id: int = 0,
+        block_id: int = 0,
+    ):
+        self.regs = np.zeros((nregs, WARP), dtype=np.uint32)
+        self.preds = np.zeros((8, WARP), dtype=bool)
+        self.preds[7] = True  # PT
+        self.active = active.copy()
+        self.pc = 0
+        self.done = False
+        self.tid = tid
+        self.ctaid = ctaid
+        self.ntid = ntid
+        self.nctaid = nctaid
+        self.local = np.zeros((max(local_slots, 1), WARP), dtype=np.uint32)
+        self.shared = shared
+        self.warp_id = warp_id
+        self.block_id = block_id
+
+
+@dataclass
+class Effect:
+    """Timing-relevant footprint of one executed instruction."""
+
+    kind: str  # alu|fp64|mufu|convert|branch|barrier|exit|nop|
+    #      global_load|global_store|local_load|local_store|
+    #      shared_load|shared_store|texture|atomic_global|atomic_shared
+    sectors: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    transactions: int = 0
+    dest_regs: tuple[int, ...] = ()
+    space: str = ""
+    unique_atomic_addrs: int = 0
+    #: worst-case same-address lane count (serialization depth)
+    atomic_serial: int = 0
+    exited: bool = False
+
+
+_NOSECTORS = np.empty(0, dtype=np.int64)
+
+
+class Executor:
+    """Functional stepper for one compiled kernel on device memory."""
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        memory: DeviceMemory,
+        spec: GPUSpec,
+        param_values: dict[int, int],
+        textures: dict[int, TextureLayout],
+    ):
+        self.compiled = compiled
+        self.program: Program = compiled.program
+        self.memory = memory
+        self.spec = spec
+        self.param_values = param_values  # cbank offset -> 32-bit value
+        self.textures = textures
+        self._label_index = {
+            name: self.program.index_of_offset(off)
+            for name, off in self.program.labels.items()
+            if off < len(self.program) * Program.INSTR_BYTES
+        }
+        self._end_labels = {
+            name
+            for name, off in self.program.labels.items()
+            if off >= len(self.program) * Program.INSTR_BYTES
+        }
+        self._dispatch: dict[str, Callable] = {
+            "MOV": self._op_mov, "MOV32I": self._op_mov, "S2R": self._op_s2r,
+            "IADD3": self._op_iadd3, "IMAD": self._op_imad,
+            "IMNMX": self._op_imnmx, "LOP3": self._op_lop3,
+            "SHFL": self._op_shfl,
+            "SHF": self._op_shf, "SEL": self._op_sel,
+            "ISETP": self._op_isetp, "FSETP": self._op_fsetp,
+            "DSETP": self._op_dsetp, "PLOP3": self._op_plop3,
+            "FADD": self._op_fadd, "FMUL": self._op_fmul,
+            "FFMA": self._op_ffma, "FMNMX": self._op_fmnmx,
+            "MUFU": self._op_mufu,
+            "DADD": self._op_dadd, "DMUL": self._op_dmul,
+            "DFMA": self._op_dfma,
+            "I2F": self._op_i2f, "F2I": self._op_f2i,
+            "F2F": self._op_f2f, "I2I": self._op_i2i,
+            "LDG": self._op_ldg, "STG": self._op_stg,
+            "LDL": self._op_ldl, "STL": self._op_stl,
+            "LDS": self._op_lds, "STS": self._op_sts,
+            "RED": self._op_red, "ATOM": self._op_red,
+            "ATOMS": self._op_atoms, "TEX": self._op_tex,
+            "BRA": self._op_bra, "EXIT": self._op_exit,
+            "BAR": self._op_bar, "NOP": self._op_nop,
+        }
+
+    # ------------------------------------------------------------------
+    # register/operand access helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reg_row(warp: WarpState, idx: int) -> np.ndarray:
+        if idx == 255:  # RZ
+            return np.zeros(WARP, dtype=np.uint32)
+        return warp.regs[idx]
+
+    def _read_u32(self, warp: WarpState, op: Operand) -> np.ndarray:
+        if op.kind == "reg":
+            val = self._reg_row(warp, op.reg.index).copy()
+        elif op.kind == "imm":
+            val = np.full(WARP, np.uint32(op.imm & 0xFFFFFFFF), dtype=np.uint32)
+        elif op.kind == "fimm":
+            val = np.full(
+                WARP, np.float32(op.fimm).view(np.uint32), dtype=np.uint32
+            )
+        elif op.kind == "const":
+            val = np.full(
+                WARP,
+                np.uint32(self.param_values.get(op.const.offset, 0) & 0xFFFFFFFF),
+                dtype=np.uint32,
+            )
+        else:
+            raise SimulationError(f"cannot read operand {op} as u32")
+        if op.negated:
+            val = (~val + np.uint32(1)).astype(np.uint32)
+        return val
+
+    def _read_s32(self, warp: WarpState, op: Operand) -> np.ndarray:
+        return self._read_u32(warp, op).view(np.int32)
+
+    def _read_f32(self, warp: WarpState, op: Operand) -> np.ndarray:
+        if op.kind == "fimm":
+            val = np.full(WARP, np.float32(op.fimm), dtype=np.float32)
+        elif op.kind == "imm":
+            # integer immediate used in float context carries raw bits
+            val = np.full(WARP, np.uint32(op.imm & 0xFFFFFFFF),
+                          dtype=np.uint32).view(np.float32)
+        else:
+            val = self._read_u32(
+                warp, Operand(op.kind, reg=op.reg, const=op.const)
+            ).view(np.float32)
+        if op.negated:
+            val = -val
+        return val
+
+    def _read_f64(self, warp: WarpState, op: Operand) -> np.ndarray:
+        if op.kind == "fimm":
+            val = np.full(WARP, np.float64(op.fimm), dtype=np.float64)
+        elif op.kind == "reg":
+            lo = self._reg_row(warp, op.reg.index).astype(np.uint64)
+            hi_idx = op.reg.index + 1 if op.reg.index != 255 else 255
+            hi = self._reg_row(warp, hi_idx).astype(np.uint64)
+            val = ((hi << np.uint64(32)) | lo).view(np.float64)
+        elif op.kind == "const":
+            bits = np.uint64(self.param_values.get(op.const.offset, 0))
+            val = np.full(WARP, bits, dtype=np.uint64).view(np.float64)
+        else:
+            raise SimulationError(f"cannot read operand {op} as f64")
+        if op.negated:
+            val = -val
+        return val
+
+    @staticmethod
+    def _write_u32(warp: WarpState, reg_idx: int, value: np.ndarray,
+                   guard: np.ndarray) -> None:
+        if reg_idx == 255:
+            return
+        row = warp.regs[reg_idx]
+        row[guard] = value[guard]
+
+    def _write_f32(self, warp: WarpState, reg_idx: int, value: np.ndarray,
+                   guard: np.ndarray) -> None:
+        self._write_u32(warp, reg_idx, value.astype(np.float32).view(np.uint32),
+                        guard)
+
+    def _write_f64(self, warp: WarpState, reg_idx: int, value: np.ndarray,
+                   guard: np.ndarray) -> None:
+        bits = value.astype(np.float64).view(np.uint64)
+        self._write_u32(warp, reg_idx, (bits & np.uint64(0xFFFFFFFF)).astype(np.uint32), guard)
+        self._write_u32(warp, reg_idx + 1, (bits >> np.uint64(32)).astype(np.uint32), guard)
+
+    def _pred_val(self, warp: WarpState, op: Operand) -> np.ndarray:
+        assert op.kind == "reg" and op.reg is not None and op.reg.predicate
+        val = warp.preds[op.reg.index].copy()
+        return ~val if op.negated else val
+
+    def _guard(self, warp: WarpState, ins: Instruction) -> np.ndarray:
+        guard = warp.active.copy()
+        if ins.pred is not None:
+            p = warp.preds[ins.pred.index]
+            guard &= (~p if ins.pred_negated else p)
+        return guard
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, warp: WarpState) -> Effect:
+        """Execute the instruction at ``warp.pc``; returns its effect.
+
+        Advances the PC (or branches); sets ``warp.done`` on full EXIT.
+        """
+        if warp.done:
+            raise SimulationError("stepping a finished warp")
+        if warp.pc >= len(self.program):
+            raise SimulationError("PC ran off the end of the program")
+        ins = self.program[warp.pc]
+        handler = self._dispatch.get(ins.opcode.base)
+        if handler is None:
+            raise SimulationError(
+                f"unimplemented opcode {ins.opcode.name} at {ins.offset:#x}"
+            )
+        guard = self._guard(warp, ins)
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            effect = handler(warp, ins, guard)
+        if effect.kind not in ("branch", "exit"):
+            warp.pc += 1
+        return effect
+
+    # -- moves / special ------------------------------------------------
+    def _op_mov(self, warp, ins, guard) -> Effect:
+        val = self._read_u32(warp, ins.operands[1])
+        self._write_u32(warp, ins.operands[0].reg.index, val, guard)
+        return Effect("alu", dest_regs=(ins.operands[0].reg.index,))
+
+    _SR_VALUES = {
+        "SR_TID.X": ("tid", 0), "SR_TID.Y": ("tid", 1), "SR_TID.Z": ("tid", 2),
+        "SR_CTAID.X": ("ctaid", 0), "SR_CTAID.Y": ("ctaid", 1),
+        "SR_CTAID.Z": ("ctaid", 2),
+        "SR_NTID.X": ("ntid", 0), "SR_NTID.Y": ("ntid", 1),
+        "SR_NTID.Z": ("ntid", 2),
+        "SR_NCTAID.X": ("nctaid", 0), "SR_NCTAID.Y": ("nctaid", 1),
+        "SR_NCTAID.Z": ("nctaid", 2),
+    }
+
+    def _op_s2r(self, warp, ins, guard) -> Effect:
+        name = ins.operands[1].special
+        if name == "SR_LANEID":
+            val = np.arange(WARP, dtype=np.uint32)
+        else:
+            attr, axis = self._SR_VALUES[name]
+            raw = getattr(warp, attr)[axis]
+            if isinstance(raw, np.ndarray):
+                val = raw.astype(np.uint32)
+            else:
+                val = np.full(WARP, np.uint32(raw), dtype=np.uint32)
+        self._write_u32(warp, ins.operands[0].reg.index, val, guard)
+        return Effect("alu", dest_regs=(ins.operands[0].reg.index,))
+
+    # -- integer ALU ---------------------------------------------------
+    def _op_iadd3(self, warp, ins, guard) -> Effect:
+        d, a, b, c = ins.operands[:4]
+        val = (
+            self._read_u32(warp, a)
+            + self._read_u32(warp, b)
+            + self._read_u32(warp, c)
+        ).astype(np.uint32)
+        self._write_u32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_imad(self, warp, ins, guard) -> Effect:
+        d, a, b, c = ins.operands[:4]
+        val = (
+            self._read_u32(warp, a).astype(np.uint64)
+            * self._read_u32(warp, b).astype(np.uint64)
+            + self._read_u32(warp, c).astype(np.uint64)
+        ).astype(np.uint32)
+        self._write_u32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_imnmx(self, warp, ins, guard) -> Effect:
+        d, a, b, sel = ins.operands[:4]
+        av = self._read_s32(warp, a)
+        bv = self._read_s32(warp, b)
+        use_min = self._pred_val(warp, sel)
+        val = np.where(use_min, np.minimum(av, bv), np.maximum(av, bv))
+        self._write_u32(warp, d.reg.index, val.view(np.uint32), guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_lop3(self, warp, ins, guard) -> Effect:
+        d, a, b, c, lut = ins.operands[:5]
+        av = self._read_u32(warp, a)
+        bv = self._read_u32(warp, b)
+        cv = self._read_u32(warp, c)
+        lut_val = lut.imm
+        out = np.zeros(WARP, dtype=np.uint32)
+        full = np.uint32(0xFFFFFFFF)
+        for k in range(8):
+            if (lut_val >> k) & 1:
+                term = (av if k & 4 else av ^ full)
+                term = term & (bv if k & 2 else bv ^ full)
+                term = term & (cv if k & 1 else cv ^ full)
+                out |= term
+        self._write_u32(warp, d.reg.index, out, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_shf(self, warp, ins, guard) -> Effect:
+        d, a, b = ins.operands[:3]
+        shift = (self._read_u32(warp, b) & np.uint32(31)).astype(np.uint32)
+        if ins.opcode.has_modifier("L"):
+            val = (self._read_u32(warp, a) << shift).astype(np.uint32)
+        elif ins.opcode.has_modifier("S32"):
+            val = (self._read_s32(warp, a) >> shift.view(np.int32)).view(np.uint32)
+        else:
+            val = (self._read_u32(warp, a) >> shift).astype(np.uint32)
+        self._write_u32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_shfl(self, warp, ins, guard) -> Effect:
+        d, a, delta_op, _mask = ins.operands[:4]
+        src = self._read_u32(warp, a)
+        delta = delta_op.imm or 0
+        lanes = np.arange(WARP)
+        if ins.opcode.has_modifier("DOWN"):
+            idx = lanes + delta
+        elif ins.opcode.has_modifier("UP"):
+            idx = lanes - delta
+        elif ins.opcode.has_modifier("BFLY"):
+            idx = lanes ^ delta
+        else:
+            raise SimulationError(f"unknown SHFL mode {ins.opcode.name}")
+        in_range = (idx >= 0) & (idx < WARP)
+        out = np.where(in_range, src[np.clip(idx, 0, WARP - 1)], src)
+        self._write_u32(warp, d.reg.index, out.astype(np.uint32), guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_sel(self, warp, ins, guard) -> Effect:
+        d, a, b, p = ins.operands[:4]
+        pv = self._pred_val(warp, p)
+        val = np.where(pv, self._read_u32(warp, a), self._read_u32(warp, b))
+        self._write_u32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    # -- comparisons -----------------------------------------------------
+    _CMP = {
+        "LT": np.less, "LE": np.less_equal, "GT": np.greater,
+        "GE": np.greater_equal, "EQ": np.equal, "NE": np.not_equal,
+    }
+
+    def _setp_common(self, warp, ins, guard, av, bv) -> Effect:
+        cmp_mod = next(m for m in ins.opcode.modifiers if m in self._CMP)
+        result = self._CMP[cmp_mod](av, bv)
+        chain = self._pred_val(warp, ins.operands[4])
+        if ins.opcode.has_modifier("OR"):
+            result = result | chain
+        else:
+            result = result & chain
+        pd = ins.operands[0].reg
+        if not pd.is_zero:
+            warp.preds[pd.index][guard] = result[guard]
+        return Effect("alu")
+
+    def _op_isetp(self, warp, ins, guard) -> Effect:
+        a, b = ins.operands[2], ins.operands[3]
+        if ins.opcode.has_modifier("U32"):
+            av, bv = self._read_u32(warp, a), self._read_u32(warp, b)
+        else:
+            av, bv = self._read_s32(warp, a), self._read_s32(warp, b)
+        return self._setp_common(warp, ins, guard, av, bv)
+
+    def _op_fsetp(self, warp, ins, guard) -> Effect:
+        av = self._read_f32(warp, ins.operands[2])
+        bv = self._read_f32(warp, ins.operands[3])
+        return self._setp_common(warp, ins, guard, av, bv)
+
+    def _op_dsetp(self, warp, ins, guard) -> Effect:
+        av = self._read_f64(warp, ins.operands[2])
+        bv = self._read_f64(warp, ins.operands[3])
+        eff = self._setp_common(warp, ins, guard, av, bv)
+        return Effect("fp64")
+
+    def _op_plop3(self, warp, ins, guard) -> Effect:
+        pa = self._pred_val(warp, ins.operands[2])
+        pb = self._pred_val(warp, ins.operands[3])
+        result = (pa | pb) if ins.opcode.has_modifier("OR") else (pa & pb)
+        pd = ins.operands[0].reg
+        if not pd.is_zero:
+            warp.preds[pd.index][guard] = result[guard]
+        return Effect("alu")
+
+    # -- fp32 ------------------------------------------------------------
+    def _op_fadd(self, warp, ins, guard) -> Effect:
+        d, a, b = ins.operands[:3]
+        val = self._read_f32(warp, a) + self._read_f32(warp, b)
+        self._write_f32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_fmul(self, warp, ins, guard) -> Effect:
+        d, a, b = ins.operands[:3]
+        val = self._read_f32(warp, a) * self._read_f32(warp, b)
+        self._write_f32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_ffma(self, warp, ins, guard) -> Effect:
+        d, a, b, c = ins.operands[:4]
+        val = (
+            self._read_f32(warp, a) * self._read_f32(warp, b)
+            + self._read_f32(warp, c)
+        )
+        self._write_f32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_fmnmx(self, warp, ins, guard) -> Effect:
+        d, a, b, sel = ins.operands[:4]
+        av = self._read_f32(warp, a)
+        bv = self._read_f32(warp, b)
+        use_min = self._pred_val(warp, sel)
+        val = np.where(use_min, np.minimum(av, bv), np.maximum(av, bv))
+        self._write_f32(warp, d.reg.index, val, guard)
+        return Effect("alu", dest_regs=(d.reg.index,))
+
+    def _op_mufu(self, warp, ins, guard) -> Effect:
+        d, a = ins.operands[:2]
+        av = self._read_f32(warp, a)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if ins.opcode.has_modifier("RCP"):
+                val = np.float32(1.0) / av
+            elif ins.opcode.has_modifier("SQRT"):
+                val = np.sqrt(av)
+            elif ins.opcode.has_modifier("RSQ"):
+                val = np.float32(1.0) / np.sqrt(av)
+            else:
+                raise SimulationError(f"unknown MUFU mode {ins.opcode.name}")
+        self._write_f32(warp, d.reg.index, val, guard)
+        return Effect("mufu", dest_regs=(d.reg.index,))
+
+    # -- fp64 -------------------------------------------------------------
+    def _op_dadd(self, warp, ins, guard) -> Effect:
+        d, a, b = ins.operands[:3]
+        val = self._read_f64(warp, a) + self._read_f64(warp, b)
+        self._write_f64(warp, d.reg.index, val, guard)
+        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+
+    def _op_dmul(self, warp, ins, guard) -> Effect:
+        d, a, b = ins.operands[:3]
+        val = self._read_f64(warp, a) * self._read_f64(warp, b)
+        self._write_f64(warp, d.reg.index, val, guard)
+        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+
+    def _op_dfma(self, warp, ins, guard) -> Effect:
+        d, a, b, c = ins.operands[:4]
+        val = (
+            self._read_f64(warp, a) * self._read_f64(warp, b)
+            + self._read_f64(warp, c)
+        )
+        self._write_f64(warp, d.reg.index, val, guard)
+        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+
+    # -- conversions ---------------------------------------------------------
+    def _op_i2f(self, warp, ins, guard) -> Effect:
+        d, a = ins.operands[:2]
+        if ins.opcode.has_modifier("U32"):
+            src = self._read_u32(warp, a).astype(np.float64)
+        else:
+            src = self._read_s32(warp, a).astype(np.float64)
+        if ins.opcode.has_modifier("F64"):
+            self._write_f64(warp, d.reg.index, src, guard)
+            dests = (d.reg.index, d.reg.index + 1)
+        else:
+            self._write_f32(warp, d.reg.index, src.astype(np.float32), guard)
+            dests = (d.reg.index,)
+        return Effect("convert", dest_regs=dests)
+
+    def _op_f2i(self, warp, ins, guard) -> Effect:
+        d, a = ins.operands[:2]
+        if ins.opcode.has_modifier("F64"):
+            src = self._read_f64(warp, a)
+        else:
+            src = self._read_f32(warp, a).astype(np.float64)
+        val = np.trunc(src).astype(np.int64).astype(np.uint32)
+        self._write_u32(warp, d.reg.index, val, guard)
+        return Effect("convert", dest_regs=(d.reg.index,))
+
+    def _op_f2f(self, warp, ins, guard) -> Effect:
+        d, a = ins.operands[:2]
+        if ins.opcode.has_modifier("F64") and ins.opcode.modifiers[0] == "F64":
+            # F2F.F64.F32: widen
+            src = self._read_f32(warp, a).astype(np.float64)
+            self._write_f64(warp, d.reg.index, src, guard)
+            dests = (d.reg.index, d.reg.index + 1)
+        else:
+            # F2F.F32.F64: narrow
+            src = self._read_f64(warp, a).astype(np.float32)
+            self._write_f32(warp, d.reg.index, src, guard)
+            dests = (d.reg.index,)
+        return Effect("convert", dest_regs=dests)
+
+    def _op_i2i(self, warp, ins, guard) -> Effect:
+        d, a = ins.operands[:2]
+        self._write_u32(warp, d.reg.index, self._read_u32(warp, a), guard)
+        return Effect("convert", dest_regs=(d.reg.index,))
+
+    # -- global memory ---------------------------------------------------
+    def _lane_addresses(self, warp, mem) -> np.ndarray:
+        base = (
+            self._reg_row(warp, mem.base.index).astype(np.int64)
+            if mem.base is not None
+            else np.zeros(WARP, dtype=np.int64)
+        )
+        return base + mem.offset
+
+    def _op_ldg(self, warp, ins, guard) -> Effect:
+        d = ins.operands[0].reg
+        mem = ins.operands[1].mem
+        width_regs = ins.opcode.width_regs
+        nbytes = 4 * width_regs
+        addrs = self._lane_addresses(warp, mem)
+        dests = tuple(d.index + k for k in range(width_regs))
+        if guard.any():
+            act = addrs[guard]
+            for k in range(width_regs):
+                vals = self.memory.read_u32(act + 4 * k)
+                row = warp.regs[d.index + k] if d.index != 255 else None
+                if row is not None:
+                    row[guard] = vals
+        sectors = coalesce_sectors(addrs, nbytes, guard, self.spec.sector_bytes)
+        space = "readonly" if ins.opcode.is_readonly_load else "global"
+        return Effect("global_load", sectors=sectors, dest_regs=dests, space=space)
+
+    def _op_stg(self, warp, ins, guard) -> Effect:
+        mem = ins.operands[0].mem
+        src = ins.operands[1].reg
+        width_regs = ins.opcode.width_regs
+        nbytes = 4 * width_regs
+        addrs = self._lane_addresses(warp, mem)
+        if guard.any():
+            act = addrs[guard]
+            for k in range(width_regs):
+                self.memory.write_u32(act + 4 * k,
+                                      self._reg_row(warp, src.index + k)[guard])
+        sectors = coalesce_sectors(addrs, nbytes, guard, self.spec.sector_bytes)
+        return Effect("global_store", sectors=sectors, space="global")
+
+    # -- local memory (spills) ----------------------------------------------
+    def _op_ldl(self, warp, ins, guard) -> Effect:
+        d = ins.operands[0].reg
+        mem = ins.operands[1].mem
+        width_regs = ins.opcode.width_regs
+        slot = (mem.offset if mem.base is None else 0) // 4
+        for k in range(width_regs):
+            row = warp.regs[d.index + k]
+            row[guard] = warp.local[slot + k][guard]
+        # local memory is thread-interleaved: a full warp access to one
+        # 32-bit slot touches 4 sectors
+        n_sectors = 4 * width_regs
+        sectors = np.arange(n_sectors, dtype=np.int64) * self.spec.sector_bytes \
+            + (1 << 40) + slot * 128  # distinct local address space
+        dests = tuple(d.index + k for k in range(width_regs))
+        return Effect("local_load", sectors=sectors, dest_regs=dests, space="local")
+
+    def _op_stl(self, warp, ins, guard) -> Effect:
+        mem = ins.operands[0].mem
+        src = ins.operands[1].reg
+        width_regs = ins.opcode.width_regs
+        slot = (mem.offset if mem.base is None else 0) // 4
+        for k in range(width_regs):
+            warp.local[slot + k][guard] = self._reg_row(warp, src.index + k)[guard]
+        n_sectors = 4 * width_regs
+        sectors = np.arange(n_sectors, dtype=np.int64) * self.spec.sector_bytes \
+            + (1 << 40) + slot * 128
+        return Effect("local_store", sectors=sectors, space="local")
+
+    # -- shared memory ------------------------------------------------------
+    def _shared_u32(self, warp) -> np.ndarray:
+        if warp.shared is None:
+            raise SimulationError("kernel uses shared memory but none allocated")
+        return warp.shared.view(np.uint32)
+
+    def _op_lds(self, warp, ins, guard) -> Effect:
+        d = ins.operands[0].reg
+        mem = ins.operands[1].mem
+        width_regs = ins.opcode.width_regs
+        addrs = self._lane_addresses(warp, mem)
+        smem = self._shared_u32(warp)
+        if guard.any():
+            act = addrs[guard]
+            if (act < 0).any() or (act + 4 * width_regs > warp.shared.size).any():
+                raise SimulationError("shared memory access out of bounds")
+            for k in range(width_regs):
+                warp.regs[d.index + k][guard] = smem[(act >> 2) + k]
+        tx = shared_transactions(addrs, 4 * width_regs, guard,
+                                 self.spec.smem_banks, self.spec.smem_bank_bytes)
+        dests = tuple(d.index + k for k in range(width_regs))
+        return Effect("shared_load", transactions=tx, dest_regs=dests,
+                      space="shared")
+
+    def _op_sts(self, warp, ins, guard) -> Effect:
+        mem = ins.operands[0].mem
+        src = ins.operands[1].reg
+        width_regs = ins.opcode.width_regs
+        addrs = self._lane_addresses(warp, mem)
+        smem = self._shared_u32(warp)
+        if guard.any():
+            act = addrs[guard]
+            if (act < 0).any() or (act + 4 * width_regs > warp.shared.size).any():
+                raise SimulationError("shared memory access out of bounds")
+            for k in range(width_regs):
+                smem[(act >> 2) + k] = self._reg_row(warp, src.index + k)[guard]
+        tx = shared_transactions(addrs, 4 * width_regs, guard,
+                                 self.spec.smem_banks, self.spec.smem_bank_bytes)
+        return Effect("shared_store", transactions=tx, space="shared")
+
+    # -- atomics -------------------------------------------------------------
+    def _op_red(self, warp, ins, guard) -> Effect:
+        mem = ins.operands[0].mem
+        src = ins.operands[1]
+        addrs = self._lane_addresses(warp, mem)
+        uniq = 0
+        serial = 0
+        sectors = _NOSECTORS
+        if guard.any():
+            act = addrs[guard]
+            if ins.opcode.has_modifier("F32"):
+                self.memory.atomic_add_f32(act, self._read_f32(warp, src)[guard])
+                nbytes = 4
+            elif ins.opcode.has_modifier("F64"):
+                self.memory.atomic_add_f64(act, self._read_f64(warp, src)[guard])
+                nbytes = 8
+            else:
+                self.memory.atomic_add_u32(act, self._read_u32(warp, src)[guard])
+                nbytes = 4
+            _, counts = np.unique(act, return_counts=True)
+            uniq = int(counts.size)
+            serial = int(counts.max())
+            sectors = coalesce_sectors(addrs, nbytes, guard, self.spec.sector_bytes)
+        return Effect("atomic_global", sectors=sectors, space="atomic",
+                      unique_atomic_addrs=uniq, atomic_serial=serial)
+
+    def _op_atoms(self, warp, ins, guard) -> Effect:
+        mem = ins.operands[0].mem
+        src = ins.operands[1]
+        addrs = self._lane_addresses(warp, mem)
+        uniq = 0
+        serial = 0
+        tx = 0
+        if guard.any():
+            act = addrs[guard]
+            if (act < 0).any() or (act + 4 > warp.shared.size).any():
+                raise SimulationError("shared atomic out of bounds")
+            if ins.opcode.has_modifier("F32"):
+                np.add.at(warp.shared.view(np.float32), act >> 2,
+                          self._read_f32(warp, src)[guard])
+            else:
+                np.add.at(self._shared_u32(warp), act >> 2,
+                          self._read_u32(warp, src)[guard])
+            _, counts = np.unique(act, return_counts=True)
+            uniq = int(counts.size)
+            serial = int(counts.max())
+            tx = shared_transactions(addrs, 4, guard, self.spec.smem_banks,
+                                     self.spec.smem_bank_bytes)
+        return Effect("atomic_shared", transactions=tx, space="shared",
+                      unique_atomic_addrs=uniq, atomic_serial=serial)
+
+    # -- texture ---------------------------------------------------------
+    def _op_tex(self, warp, ins, guard) -> Effect:
+        d = ins.operands[0].reg
+        x = self._read_s32(warp, ins.operands[1]).astype(np.int64)
+        y = self._read_s32(warp, ins.operands[2]).astype(np.int64)
+        slot = ins.operands[3].imm
+        layout = self.textures.get(slot)
+        if layout is None:
+            raise SimulationError(f"no texture bound to slot {slot}")
+        addrs = layout.addresses(x, y)
+        if guard.any():
+            vals = self.memory.read_u32(addrs[guard].astype(np.int64))
+            warp.regs[d.index][guard] = vals
+        sectors = coalesce_sectors(addrs, layout.elem_bytes, guard,
+                                   self.spec.sector_bytes)
+        return Effect("texture", sectors=sectors, dest_regs=(d.index,),
+                      space="texture")
+
+    # -- control flow -----------------------------------------------------
+    def _op_bra(self, warp, ins, guard) -> Effect:
+        target = ins.branch_target()
+        if target in self._end_labels:
+            taken_pc = len(self.program)  # branch past the end == EXIT
+        else:
+            taken_pc = self._label_index[target]
+        if not warp.active.any():
+            warp.done = True
+            return Effect("branch")
+        n_taken = int(guard[warp.active].sum()) if warp.active.any() else 0
+        n_active = int(warp.active.sum())
+        if 0 < n_taken < n_active:
+            raise SimulationError(
+                f"divergent branch at {ins.offset:#x} "
+                "(cudalite kernels keep loop trip counts warp-uniform; "
+                "use predication for divergent control flow)"
+            )
+        if n_taken == n_active and n_active > 0:
+            if taken_pc >= len(self.program):
+                warp.done = True
+            else:
+                warp.pc = taken_pc
+        else:
+            warp.pc += 1
+        return Effect("branch")
+
+    def _op_exit(self, warp, ins, guard) -> Effect:
+        warp.active &= ~guard
+        if not warp.active.any():
+            warp.done = True
+            return Effect("exit", exited=True)
+        warp.pc += 1
+        return Effect("exit")
+
+    def _op_bar(self, warp, ins, guard) -> Effect:
+        return Effect("barrier")
+
+    def _op_nop(self, warp, ins, guard) -> Effect:
+        return Effect("nop")

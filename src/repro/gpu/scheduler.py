@@ -1,0 +1,462 @@
+"""Per-SM warp scheduling and timing model.
+
+The model is *event-driven at instruction granularity*: instead of
+ticking every cycle, each warp carries the earliest cycle its next
+instruction can issue, together with the binding constraint (the stall
+reason).  An issue-ordered heap replays the SM's four scheduler
+sub-partitions (one issue per sub-partition per cycle).
+
+Stall attribution: when a warp issues at ``t`` after becoming eligible
+to fetch at ``t0``, the gap is split into the dependency/structural part
+(attributed to the recorded reason at the stalled PC — exactly what
+CUPTI PC sampling estimates statistically) and the arbitration part
+(``not_selected``).
+
+Structural resources (L1TEX/LSU sector throughput, MIO shared-memory
+pipe, TEX pipe, MUFU, the L2 slice and DRAM) are modelled as busy-until
+timelines with service rates; a warp whose next instruction targets a
+pipe with a backlog above the queue depth stalls with the corresponding
+``*_throttle`` reason — the mechanism behind ``lg_throttle`` for
+register spills (§4.2) and ``tex_throttle`` after texture adoption
+(§5.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.caches import MemoryHierarchy
+from repro.gpu.config import GPUSpec
+from repro.gpu.counters import Counters
+from repro.gpu.executor import Effect, Executor, WarpState
+from repro.gpu.stalls import StallReason
+from repro.sass.isa import OpClass, Program
+
+__all__ = ["Timeline", "SMScheduler"]
+
+#: dependency-kind codes stored per register
+_KIND_WAIT = 0
+_KIND_LONG = 1
+_KIND_SHORT = 2
+_KIND_REASON = {
+    _KIND_WAIT: StallReason.WAIT,
+    _KIND_LONG: StallReason.LONG_SCOREBOARD,
+    _KIND_SHORT: StallReason.SHORT_SCOREBOARD,
+}
+
+
+@dataclass
+class Timeline:
+    """A pipelined resource with a service rate (units per cycle)."""
+
+    rate: float
+    next_free: float = 0.0
+
+    def book(self, t: float, units: float) -> float:
+        """Reserve ``units`` starting no earlier than ``t``; returns the
+        completion time."""
+        start = max(t, self.next_free)
+        self.next_free = start + units / self.rate
+        return self.next_free
+
+    def backlog(self, t: float) -> float:
+        return max(0.0, self.next_free - t)
+
+    def ready_after_backlog(self, depth: float) -> float:
+        """Earliest time at which the backlog is at most ``depth``."""
+        return self.next_free - depth
+
+
+class _WarpRT:
+    """Scheduling state wrapped around a :class:`WarpState`."""
+
+    __slots__ = (
+        "state", "index", "subpartition", "earliest", "reg_ready",
+        "reg_kind", "forced_wait", "forced_reason", "start_time",
+        "finish_time", "at_barrier",
+    )
+
+    def __init__(self, state: WarpState, index: int, subpartition: int,
+                 nregs: int, start_time: float):
+        self.state = state
+        self.index = index
+        self.subpartition = subpartition
+        self.earliest = start_time  # end of previous issue slot
+        self.reg_ready = np.zeros(nregs, dtype=np.float64)
+        self.reg_kind = np.zeros(nregs, dtype=np.int8)
+        self.forced_wait: float = 0.0
+        self.forced_reason: Optional[StallReason] = None
+        self.start_time = start_time
+        self.finish_time = start_time
+        self.at_barrier = False
+
+
+class SMScheduler:
+    """Runs one wave of resident blocks on one SM."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        executor: Executor,
+        hierarchy: MemoryHierarchy,
+        counters: Counters,
+        trace=None,
+    ):
+        self.spec = spec
+        self.executor = executor
+        self.hierarchy = hierarchy
+        self.counters = counters
+        #: optional :class:`~repro.gpu.trace.TraceRecorder`
+        self.trace = trace
+        self.program: Program = executor.program
+        # SM-lifetime resources (persist across waves)
+        self.lsu = Timeline(spec.lsu_sectors_per_cycle)
+        self.mio = Timeline(spec.mio_transactions_per_cycle)
+        self.tex = Timeline(spec.tex_requests_per_cycle)
+        self.mufu = Timeline(spec.mufu_ops_per_cycle)
+        self.l2bw = Timeline(spec.l2_sectors_per_cycle)
+        self.drambw = Timeline(spec.dram_sectors_per_cycle)
+        self.atom = Timeline(spec.atomic_ops_per_cycle)
+        self.sp_next = [0.0] * spec.subpartitions
+        self.now = 0.0
+        # hot-path precomputation: per-instruction source registers and
+        # structural-pipe classification (avoids re-deriving operand
+        # lists on every scheduling decision)
+        self._src_regs: list[tuple[int, ...]] = []
+        self._struct_pipe: list[int] = []  # 0 none, 1 lsu, 2 mio, 3 tex, 4 mufu
+        for ins in self.program:
+            self._src_regs.append(
+                tuple(
+                    r.index
+                    for r in ins.source_registers()
+                    if not r.predicate and not r.is_zero
+                )
+            )
+            oc = ins.opcode.op_class
+            if oc in (OpClass.GLOBAL_LOAD, OpClass.GLOBAL_STORE,
+                      OpClass.LOCAL_LOAD, OpClass.LOCAL_STORE,
+                      OpClass.ATOMIC_GLOBAL):
+                self._struct_pipe.append(1)
+            elif oc in (OpClass.SHARED_LOAD, OpClass.SHARED_STORE,
+                        OpClass.ATOMIC_SHARED):
+                self._struct_pipe.append(2)
+            elif oc is OpClass.TEXTURE:
+                self._struct_pipe.append(3)
+            elif ins.opcode.base == "MUFU":
+                self._struct_pipe.append(4)
+            else:
+                self._struct_pipe.append(0)
+
+    # ------------------------------------------------------------------
+    def run_wave(self, warps: list[WarpState],
+                 block_warp_counts: dict[int, int]) -> float:
+        """Execute ``warps`` (one wave of resident blocks) to completion.
+
+        ``block_warp_counts`` maps block id -> number of warps (for
+        barrier membership).  Returns the wave completion time.
+        """
+        start = self.now
+        nregs = warps[0].regs.shape[0] if warps else 0
+        rts = [
+            _WarpRT(w, i, i % self.spec.subpartitions, nregs, start)
+            for i, w in enumerate(warps)
+        ]
+        barrier_arrivals: dict[int, list[_WarpRT]] = {}
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        for rt in rts:
+            ready, _ = self._next_ready(rt)
+            heapq.heappush(heap, (ready, seq, rt.index))
+            seq += 1
+
+        wave_end = start
+        while heap:
+            popped_ready, _, wi = heapq.heappop(heap)
+            rt = rts[wi]
+            if rt.state.done:
+                continue
+            ready, reason = self._next_ready(rt)
+            if ready > popped_ready + 1e-9:
+                heapq.heappush(heap, (ready, seq, wi))
+                seq += 1
+                continue
+            sp = rt.subpartition
+            t_issue = max(ready, self.sp_next[sp])
+            pc = rt.state.pc
+            # stall attribution at the *stalled* (about-to-issue) PC
+            dep_stall = ready - rt.earliest
+            if dep_stall > 0 and reason is not None:
+                self.counters.add_stall(pc, reason, dep_stall)
+            arb = t_issue - ready
+            if arb > 0:
+                self.counters.add_stall(pc, StallReason.NOT_SELECTED, arb)
+            self.counters.add_stall(pc, StallReason.SELECTED, 1.0)
+
+            ins = self.program[pc]
+            if self.trace is not None:
+                self.trace.record(
+                    t_issue, rt.index, rt.state.block_id, pc,
+                    ins.opcode.name, dep_stall + arb,
+                    reason if dep_stall > 0 else None,
+                )
+            effect = self.executor.step(rt.state)
+            issue_cost = self._issue_cost(effect)
+            self.sp_next[sp] = t_issue + issue_cost
+            rt.earliest = t_issue + issue_cost
+            rt.forced_wait = 0.0
+            rt.forced_reason = None
+            self._account(pc, ins, effect)
+            self._apply_timing(rt, t_issue, effect)
+
+            if effect.kind == "barrier":
+                block = rt.state.block_id
+                barrier_arrivals.setdefault(block, []).append(rt)
+                rt.at_barrier = True
+                arrived = barrier_arrivals[block]
+                if len(arrived) == block_warp_counts[block]:
+                    release = t_issue + 1
+                    for other in arrived:
+                        other.at_barrier = False
+                        if other is not rt:
+                            other.forced_wait = release
+                            other.forced_reason = StallReason.BARRIER
+                        r2, _ = self._next_ready(other)
+                        heapq.heappush(heap, (max(r2, release), seq, other.index))
+                        seq += 1
+                    barrier_arrivals[block] = []
+                continue  # barrier warps re-enter via release
+
+            if rt.state.done:
+                rt.finish_time = rt.earliest
+                wave_end = max(wave_end, rt.finish_time)
+                self.counters.warp_cycles_active += rt.finish_time - rt.start_time
+                continue
+            r2, _ = self._next_ready(rt)
+            heapq.heappush(heap, (r2, seq, wi))
+            seq += 1
+            wave_end = max(wave_end, rt.earliest)
+
+        # warps stuck at a barrier that never completes => deadlock
+        for rt in rts:
+            if not rt.state.done:
+                from repro.errors import SimulationError
+
+                raise SimulationError(
+                    f"warp {rt.index} never finished (barrier deadlock? "
+                    f"pc={rt.state.pc})"
+                )
+        self.now = wave_end
+        return wave_end
+
+    # ------------------------------------------------------------------
+    def _issue_cost(self, effect: Effect) -> float:
+        if effect.kind == "fp64":
+            return float(self.spec.issue_fp64)
+        if effect.kind == "mufu":
+            return float(self.spec.issue_mufu)
+        return float(self.spec.issue_default)
+
+    def _next_ready(self, rt: _WarpRT) -> tuple[float, Optional[StallReason]]:
+        """Earliest issue time for the warp's next instruction and the
+        binding stall reason."""
+        ready = rt.earliest
+        reason: Optional[StallReason] = None
+        if rt.forced_wait > ready:
+            ready = rt.forced_wait
+            reason = rt.forced_reason
+        state = rt.state
+        if state.done or state.pc >= len(self.program):
+            return ready, reason
+        pc = state.pc
+        # register dependencies (per-warp scoreboard)
+        reg_ready = rt.reg_ready
+        for idx in self._src_regs[pc]:
+            t = reg_ready[idx]
+            if t > ready:
+                ready = t
+                reason = _KIND_REASON[int(rt.reg_kind[idx])]
+        # structural queues
+        pipe = self._struct_pipe[pc]
+        if pipe == 1:
+            t = self.lsu.ready_after_backlog(self.spec.lg_queue_depth)
+            if t > ready:
+                ready = t
+                reason = StallReason.LG_THROTTLE
+            if self.program[pc].opcode.op_class is OpClass.ATOMIC_GLOBAL:
+                # kernel-wide atomic serialization backs up the LG path
+                # (paper §4.4: "lg_throttle warp stall will occur often")
+                t = self.atom.ready_after_backlog(self.spec.lg_queue_depth)
+                if t > ready:
+                    ready = t
+                    reason = StallReason.LG_THROTTLE
+        elif pipe == 2:
+            t = self.mio.ready_after_backlog(self.spec.mio_queue_depth)
+            if t > ready:
+                ready = t
+                reason = StallReason.MIO_THROTTLE
+        elif pipe == 3:
+            t = self.tex.ready_after_backlog(self.spec.tex_queue_depth)
+            if t > ready:
+                ready = t
+                reason = StallReason.TEX_THROTTLE
+        elif pipe == 4:
+            t = self.mufu.ready_after_backlog(8.0)
+            if t > ready:
+                ready = t
+                reason = StallReason.MATH_PIPE_THROTTLE
+        return ready, reason
+
+    # ------------------------------------------------------------------
+    def _apply_timing(self, rt: _WarpRT, t_issue: float, effect: Effect) -> None:
+        """Book pipeline resources and set destination-register ready
+        times for ``effect``."""
+        spec = self.spec
+        kind = effect.kind
+        if kind in ("alu", "convert", "branch", "exit", "nop", "barrier"):
+            self._set_dests(rt, effect, t_issue + spec.lat_alu, _KIND_WAIT)
+            return
+        if kind == "fp64":
+            self._set_dests(rt, effect, t_issue + spec.lat_fp64, _KIND_WAIT)
+            return
+        if kind == "mufu":
+            finish = self.mufu.book(t_issue + 1, 1.0)
+            self._set_dests(rt, effect, finish + spec.lat_mufu, _KIND_WAIT)
+            return
+        if kind in ("global_load", "global_store", "local_load", "local_store"):
+            n_sectors = len(effect.sectors)
+            space = "local" if kind.startswith("local") else effect.space
+            res = self.hierarchy.access(effect.sectors, space,
+                                        write=kind.endswith("store"))
+            finish = self.lsu.book(t_issue + 1, max(n_sectors, 1))
+            if res.l2_accesses:
+                finish = self.l2bw.book(finish, res.l2_accesses)
+            if res.dram_sectors:
+                finish = self.drambw.book(finish, res.dram_sectors)
+            if res.deepest == "dram":
+                lat = spec.lat_dram
+            elif res.deepest == "l2":
+                lat = spec.lat_l2_hit
+            else:
+                lat = (spec.lat_readonly_hit if effect.space == "readonly"
+                       else spec.lat_l1_hit)
+            self._set_dests(rt, effect, finish + lat, _KIND_LONG)
+            self._account_hierarchy(space, res, write=kind.endswith("store"))
+            return
+        if kind in ("shared_load", "shared_store"):
+            finish = self.mio.book(t_issue + 1, max(effect.transactions, 1))
+            self._set_dests(rt, effect, finish + spec.lat_shared, _KIND_SHORT)
+            return
+        if kind == "atomic_global":
+            if len(effect.sectors) == 0:
+                # guard-false atomic: issues but does no memory work
+                self._set_dests(rt, effect, t_issue + spec.lat_alu, _KIND_WAIT)
+                return
+            res = self.hierarchy.access(effect.sectors, "atomic")
+            finish = self.lsu.book(t_issue + 1, len(effect.sectors))
+            finish = self.l2bw.book(finish, max(res.l2_accesses, 1))
+            # same-address updates serialize; distinct addresses spread
+            # over the L2 slices at the atomic throughput
+            units = max(effect.atomic_serial,
+                        effect.unique_atomic_addrs / 4.0, 1.0)
+            finish = self.atom.book(finish, units)
+            if res.dram_sectors:
+                finish = self.drambw.book(finish, res.dram_sectors)
+            self._set_dests(rt, effect, finish + spec.lat_atomic_l2, _KIND_LONG)
+            self._account_hierarchy("atomic", res)
+            self.counters.atomic_sectors += len(effect.sectors)
+            self.counters.atomic_l2_hits += res.l2_hits
+            self.counters.atomic_l2_misses += res.l2_misses
+            return
+        if kind == "atomic_shared":
+            if effect.atomic_serial == 0:
+                self._set_dests(rt, effect, t_issue + spec.lat_alu, _KIND_WAIT)
+                return
+            # block-level serialization occupies the MIO pipe while
+            # same-address updates retire one per slot (paper §4.4:
+            # shared atomics raise MIO utilization)
+            units = max(effect.transactions, effect.atomic_serial, 1)
+            finish = self.mio.book(t_issue + 1, units)
+            self._set_dests(rt, effect, finish + spec.lat_shared, _KIND_SHORT)
+            return
+        if kind == "texture":
+            n_sectors = max(len(effect.sectors), 1)
+            res = self.hierarchy.access(effect.sectors, "texture")
+            finish = self.tex.book(t_issue + 1, 1.0)
+            l2_traffic = res.l2_hits + res.l2_misses  # incl. line fills
+            if l2_traffic:
+                finish = self.l2bw.book(finish, l2_traffic)
+            if res.dram_sectors:
+                finish = self.drambw.book(finish, res.dram_sectors)
+            if res.deepest == "dram":
+                lat = spec.lat_dram
+            elif res.deepest == "l2":
+                lat = spec.lat_l2_hit
+            else:
+                lat = spec.lat_tex_hit
+            self._set_dests(rt, effect, finish + lat, _KIND_LONG)
+            self.counters.texture_sectors += len(effect.sectors)
+            self.counters.texture_hits += res.l1_hits
+            self.counters.texture_misses += res.l1_misses
+            self.counters.record_l2("texture", res.l2_hits, res.l2_misses)
+            return
+
+    def _set_dests(self, rt: _WarpRT, effect: Effect, t_ready: float,
+                   kind: int) -> None:
+        for reg in effect.dest_regs:
+            if reg == 255:
+                continue
+            rt.reg_ready[reg] = t_ready
+            rt.reg_kind[reg] = kind
+
+    # ------------------------------------------------------------------
+    def _account(self, pc: int, ins, effect: Effect) -> None:
+        c = self.counters
+        c.inst_issued += 1
+        c.inst_by_class[effect.kind] += 1
+        c.inst_by_pc[pc] += 1
+        kind = effect.kind
+        if kind == "global_load":
+            c.global_load_instructions += 1
+            c.global_load_sectors += len(effect.sectors)
+        elif kind == "global_store":
+            c.global_store_instructions += 1
+            c.global_store_sectors += len(effect.sectors)
+        elif kind == "local_load":
+            c.local_load_instructions += 1
+            c.local_load_sectors += len(effect.sectors)
+        elif kind == "local_store":
+            c.local_store_instructions += 1
+            c.local_store_sectors += len(effect.sectors)
+        elif kind == "shared_load":
+            c.shared_load_instructions += 1
+            c.shared_load_transactions += effect.transactions
+        elif kind == "shared_store":
+            c.shared_store_instructions += 1
+            c.shared_store_transactions += effect.transactions
+        elif kind == "texture":
+            c.texture_instructions += 1
+        elif kind == "atomic_global":
+            c.global_atomic_instructions += 1
+        elif kind == "atomic_shared":
+            c.shared_atomic_instructions += 1
+        elif kind == "convert":
+            c.conversion_instructions += 1
+
+    def _account_hierarchy(self, space: str, res, write: bool = False) -> None:
+        c = self.counters
+        if space in ("global", "readonly"):
+            if not write:
+                c.global_load_l1_hits += res.l1_hits
+                c.global_load_l1_misses += res.l1_misses
+            c.record_l2("global", res.l2_hits, res.l2_misses)
+        elif space == "local":
+            if not write:
+                c.local_l1_hits += res.l1_hits
+                c.local_l1_misses += res.l1_misses
+            c.record_l2("local", res.l2_hits, res.l2_misses)
+        elif space == "atomic":
+            c.record_l2("atomic", res.l2_hits, res.l2_misses)

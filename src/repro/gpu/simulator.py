@@ -1,0 +1,404 @@
+"""Kernel launch orchestration: the device-level simulator.
+
+:class:`Simulator` allocates device memory, uploads arguments, builds
+warps/blocks, runs one SM's share of the grid through the timed
+:class:`~repro.gpu.scheduler.SMScheduler` (uniform-workload assumption;
+device counters scale by ``num_sms``), and optionally executes all
+remaining blocks functionally so output buffers are complete.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cudalite.compiler import CompiledKernel
+from repro.cudalite.types import PointerType
+from repro.errors import LaunchError, SimulationError
+from repro.gpu.caches import MemoryHierarchy
+from repro.gpu.config import GPUSpec
+from repro.gpu.counters import Counters
+from repro.gpu.executor import DeviceMemory, Executor, TextureLayout, WarpState
+from repro.gpu.scheduler import SMScheduler
+from repro.sass.occupancy import compute_occupancy
+
+__all__ = ["LaunchConfig", "LaunchResult", "Simulator", "TextureDesc"]
+
+WARP = 32
+_ALLOC_ALIGN = 256
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block shape of one kernel launch (2D is sufficient for the
+    paper's workloads; a third dimension would be mechanical)."""
+
+    grid: tuple[int, int] = (1, 1)
+    block: tuple[int, int] = (128, 1)
+
+    def __post_init__(self) -> None:
+        gx, gy = self.grid
+        bx, by = self.block
+        if gx < 1 or gy < 1 or bx < 1 or by < 1:
+            raise LaunchError("grid/block dimensions must be positive")
+        if bx * by > 1024:
+            raise LaunchError("more than 1024 threads per block")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.threads_per_block // WARP)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+
+@dataclass(frozen=True)
+class TextureDesc:
+    """A 2D texture binding passed at launch: the backing array."""
+
+    array: np.ndarray  # 2D float32
+
+    @property
+    def height(self) -> int:
+        return self.array.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.array.shape[1]
+
+
+@dataclass
+class LaunchResult:
+    """Everything observable about one simulated launch."""
+
+    spec: GPUSpec
+    compiled: CompiledKernel
+    config: LaunchConfig
+    #: kernel duration in SM cycles (one SM's share, extrapolated)
+    cycles: float
+    #: counters for the simulated share of the grid
+    counters: Counters
+    #: counters extrapolated to the whole device
+    device_counters: Counters
+    achieved_occupancy: float
+    theoretical_occupancy: float
+    memory: DeviceMemory
+    buffers: dict[str, tuple[int, tuple, np.dtype]] = field(default_factory=dict)
+    simulated_blocks: int = 0
+    extrapolation: float = 1.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.spec.cycles_to_seconds(self.cycles)
+
+    def read_buffer(self, name: str) -> np.ndarray:
+        """Copy a named argument buffer back to host as an ndarray."""
+        offset, shape, dtype = self.buffers[name]
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        raw = self.memory.buf[offset : offset + nbytes]
+        return raw.view(dtype).reshape(shape).copy()
+
+
+class Simulator:
+    """Launches compiled kernels on the simulated GPU."""
+
+    def __init__(self, spec: Optional[GPUSpec] = None):
+        self.spec = spec or GPUSpec.v100()
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        compiled: CompiledKernel,
+        config: LaunchConfig,
+        args: dict[str, Union[np.ndarray, int, float]],
+        textures: Optional[dict[str, Union[TextureDesc, np.ndarray]]] = None,
+        max_blocks: Optional[int] = None,
+        functional_all: bool = True,
+        sm_id: int = 0,
+        trace=None,
+    ) -> LaunchResult:
+        """Run one kernel launch.
+
+        ``args`` maps parameter names to NumPy arrays (pointer params;
+        uploaded to device memory) or scalars.  ``max_blocks`` caps the
+        number of *timed* blocks — counters and cycles are extrapolated
+        linearly, the standard trick for simulating large grids.  With
+        ``functional_all`` (default) every remaining block still runs
+        functionally so output arrays are complete.
+        """
+        textures = textures or {}
+        mem, param_values, buffers, tex_layouts = self._stage_memory(
+            compiled, args, textures
+        )
+        return self._launch_staged(
+            compiled, config, mem, param_values, buffers, tex_layouts,
+            max_blocks=max_blocks, functional_all=functional_all,
+            sm_id=sm_id, trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _launch_staged(
+        self,
+        compiled: CompiledKernel,
+        config: LaunchConfig,
+        mem: DeviceMemory,
+        param_values: dict[int, int],
+        buffers: dict[str, tuple[int, tuple, np.dtype]],
+        tex_layouts: dict[int, TextureLayout],
+        hierarchy: Optional[MemoryHierarchy] = None,
+        max_blocks: Optional[int] = None,
+        functional_all: bool = True,
+        sm_id: int = 0,
+        trace=None,
+    ) -> LaunchResult:
+        """Launch with memory already staged (used by
+        :class:`~repro.gpu.session.DeviceSession`, which passes its
+        persistent memory and warm cache hierarchy)."""
+        spec = self.spec
+        executor = Executor(compiled, mem, spec, param_values, tex_layouts)
+        hierarchy = hierarchy or MemoryHierarchy(spec)
+        counters = Counters()
+        scheduler = SMScheduler(spec, executor, hierarchy, counters,
+                                trace=trace)
+
+        occ = compute_occupancy(
+            config.threads_per_block,
+            compiled.program.registers_per_thread,
+            compiled.program.shared_bytes,
+            spec.limits,
+        )
+        if occ.active_blocks == 0:
+            raise LaunchError(
+                "kernel cannot launch: resource demand exceeds one SM "
+                f"(limiter: {occ.limiter})"
+            )
+
+        all_blocks = list(range(config.num_blocks))
+        my_blocks = [b for b in all_blocks if b % spec.num_sms == sm_id]
+        if not my_blocks:
+            my_blocks = all_blocks[:1]
+        timed_blocks = my_blocks[: max_blocks] if max_blocks else my_blocks
+        extrapolation = len(my_blocks) / len(timed_blocks)
+
+        counters.blocks_launched = len(timed_blocks)
+        resident = occ.active_blocks
+        waves = [
+            timed_blocks[i : i + resident]
+            for i in range(0, len(timed_blocks), resident)
+        ]
+        for wave in waves:
+            warps: list[WarpState] = []
+            warp_counts: dict[int, int] = {}
+            for block_id in wave:
+                block_warps = self._make_block_warps(
+                    compiled, config, block_id, mem
+                )
+                warp_counts[block_id] = len(block_warps)
+                warps.extend(block_warps)
+            counters.warps_launched += len(warps)
+            scheduler.run_wave(warps, warp_counts)
+        cycles = scheduler.now * extrapolation
+        counters.cycles = cycles
+
+        if functional_all:
+            timed_set = set(timed_blocks)
+            rest = [b for b in all_blocks if b not in timed_set]
+            self._run_functional(compiled, config, rest, executor, mem)
+
+        achieved = 0.0
+        if cycles > 0:
+            achieved = min(
+                1.0,
+                counters.warp_cycles_active
+                * extrapolation
+                / (cycles * spec.limits.max_warps),
+            )
+        device = counters.scaled(extrapolation * spec.num_sms)
+        device.cycles = cycles
+        sm_share = counters.scaled(extrapolation)
+        sm_share.cycles = cycles
+        return LaunchResult(
+            spec=spec,
+            compiled=compiled,
+            config=config,
+            cycles=cycles,
+            counters=sm_share,
+            device_counters=device,
+            achieved_occupancy=achieved,
+            theoretical_occupancy=occ.occupancy,
+            memory=mem,
+            buffers=buffers,
+            simulated_blocks=len(timed_blocks),
+            extrapolation=extrapolation,
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_memory(self, compiled, args, textures):
+        """Allocate device memory, upload arrays and build the constant
+        bank (parameter) map."""
+        declared = {slot.name for slot in compiled.params}
+        missing = declared - set(args)
+        if missing:
+            raise LaunchError(f"missing kernel arguments: {sorted(missing)}")
+        extra = set(args) - declared
+        if extra:
+            raise LaunchError(f"unknown kernel arguments: {sorted(extra)}")
+        tex_names = {t.name for t in compiled.textures}
+        if tex_names != set(textures):
+            raise LaunchError(
+                f"texture bindings {sorted(textures)} do not match "
+                f"declared textures {sorted(tex_names)}"
+            )
+        total = _ALLOC_ALIGN  # keep offset 0 unused (null pointer)
+        arrays: dict[str, np.ndarray] = {}
+        for slot in compiled.params:
+            value = args[slot.name]
+            if slot.is_pointer:
+                if not isinstance(value, np.ndarray):
+                    raise LaunchError(
+                        f"argument {slot.name!r} must be a NumPy array"
+                    )
+                expected = slot.type.elem.scalar.np_dtype
+                if value.dtype != expected:
+                    raise LaunchError(
+                        f"argument {slot.name!r} has dtype {value.dtype}, "
+                        f"kernel expects {expected}"
+                    )
+                arrays[slot.name] = value
+                total += -(-value.nbytes // _ALLOC_ALIGN) * _ALLOC_ALIGN
+        tex_arrays: dict[str, np.ndarray] = {}
+        for tex in compiled.textures:
+            bound = textures[tex.name]
+            arr = bound.array if isinstance(bound, TextureDesc) else bound
+            arr = np.ascontiguousarray(arr, dtype=np.float32)
+            if arr.ndim != 2:
+                raise LaunchError(f"texture {tex.name!r} must be 2D")
+            tex_arrays[tex.name] = arr
+            layout_probe = TextureLayout(0, arr.shape[1], arr.shape[0],
+                                         self.spec.tex_tile_x,
+                                         self.spec.tex_tile_y)
+            total += -(-layout_probe.nbytes // _ALLOC_ALIGN) * _ALLOC_ALIGN
+
+        mem = DeviceMemory(total + _ALLOC_ALIGN)
+        param_values: dict[int, int] = {}
+        buffers: dict[str, tuple[int, tuple, np.dtype]] = {}
+        cursor = _ALLOC_ALIGN
+        for slot in compiled.params:
+            value = args[slot.name]
+            if slot.is_pointer:
+                arr = arrays[slot.name]
+                mem.buf[cursor : cursor + arr.nbytes] = np.frombuffer(
+                    arr.tobytes(), dtype=np.uint8
+                )
+                param_values[slot.offset] = cursor
+                buffers[slot.name] = (cursor, arr.shape, arr.dtype)
+                cursor += -(-arr.nbytes // _ALLOC_ALIGN) * _ALLOC_ALIGN
+            else:
+                param_values[slot.offset] = _scalar_bits(value, slot.type)
+        tex_layouts: dict[int, TextureLayout] = {}
+        for i, tex in enumerate(compiled.textures):
+            arr = tex_arrays[tex.name]
+            layout = TextureLayout(cursor, arr.shape[1], arr.shape[0],
+                                   self.spec.tex_tile_x, self.spec.tex_tile_y)
+            layout.upload(mem, arr)
+            tex_layouts[i] = layout
+            cursor += -(-layout.nbytes // _ALLOC_ALIGN) * _ALLOC_ALIGN
+        return mem, param_values, buffers, tex_layouts
+
+    # ------------------------------------------------------------------
+    def _make_block_warps(self, compiled, config: LaunchConfig,
+                          block_id: int, mem: DeviceMemory) -> list[WarpState]:
+        gx, _ = config.grid
+        bx, by = config.block
+        threads = config.threads_per_block
+        ctaid = (block_id % gx, block_id // gx, 0)
+        nregs = max(compiled.program.registers_per_thread + 2, 8)
+        local_slots = max(compiled.program.local_bytes_per_thread // 4, 1)
+        shared = (
+            np.zeros(compiled.program.shared_bytes, dtype=np.uint8)
+            if compiled.program.shared_bytes
+            else None
+        )
+        warps: list[WarpState] = []
+        n_warps = -(-threads // WARP)
+        for w in range(n_warps):
+            linear = np.arange(w * WARP, (w + 1) * WARP)
+            active = linear < threads
+            linear = np.minimum(linear, threads - 1)
+            tid = (
+                (linear % bx).astype(np.uint32),
+                (linear // bx).astype(np.uint32),
+                np.zeros(WARP, dtype=np.uint32),
+            )
+            warps.append(
+                WarpState(
+                    nregs=nregs,
+                    local_slots=local_slots,
+                    shared=shared,
+                    tid=tid,
+                    ctaid=ctaid,
+                    ntid=(bx, by, 1),
+                    nctaid=(config.grid[0], config.grid[1], 1),
+                    active=active,
+                    warp_id=w,
+                    block_id=block_id,
+                )
+            )
+        return warps
+
+    # ------------------------------------------------------------------
+    def _run_functional(self, compiled, config, blocks, executor, mem) -> None:
+        """Execute ``blocks`` functionally only (no timing): round-robin
+        warps within a block so barriers synchronise correctly."""
+        max_steps = 50_000_000
+        for block_id in blocks:
+            warps = self._make_block_warps(compiled, config, block_id, mem)
+            steps = 0
+            # run each warp until it blocks at a barrier or finishes
+            pending = list(warps)
+            while pending:
+                progressed = False
+                arrived: list[WarpState] = []
+                for warp in pending:
+                    while not warp.done:
+                        ins = executor.program[warp.pc]
+                        if ins.opcode.base == "BAR":
+                            break
+                        executor.step(warp)
+                        progressed = True
+                        steps += 1
+                        if steps > max_steps:
+                            raise SimulationError(
+                                "functional execution exceeded step budget"
+                            )
+                    if not warp.done:
+                        arrived.append(warp)
+                if arrived and len(arrived) == len(pending):
+                    # all at the barrier: release
+                    for warp in arrived:
+                        executor.step(warp)  # executes BAR, advances pc
+                    progressed = True
+                pending = [w for w in pending if not w.done]
+                if pending and not progressed:
+                    raise SimulationError(
+                        "barrier deadlock during functional execution"
+                    )
+
+
+def _scalar_bits(value, dtype) -> int:
+    """Encode a scalar argument as its 32/64-bit register image."""
+    import struct
+
+    if dtype.is_float:
+        if dtype.bits == 64:
+            return struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+        return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+    return int(value) & ((1 << dtype.bits) - 1)

@@ -1,0 +1,102 @@
+"""Warp-stall taxonomy.
+
+Names follow the CUPTI PC Sampling / Nsight Compute vocabulary
+(``stalled_long_scoreboard`` etc.), with the verbose explanations
+GPUscout prints next to each reason (paper §3.2 points out that the
+added context is part of the tool's value).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["StallReason", "STALL_EXPLANATIONS"]
+
+
+class StallReason(enum.Enum):
+    """Why a warp could not issue on a given cycle."""
+
+    SELECTED = "selected"
+    NOT_SELECTED = "not_selected"
+    LONG_SCOREBOARD = "long_scoreboard"
+    SHORT_SCOREBOARD = "short_scoreboard"
+    WAIT = "wait"
+    LG_THROTTLE = "lg_throttle"
+    MIO_THROTTLE = "mio_throttle"
+    TEX_THROTTLE = "tex_throttle"
+    MATH_PIPE_THROTTLE = "math_pipe_throttle"
+    BARRIER = "barrier"
+    BRANCH_RESOLVING = "branch_resolving"
+    NO_INSTRUCTION = "no_instruction"
+    DRAIN = "drain"
+    MISC = "misc"
+
+    @property
+    def cupti_name(self) -> str:
+        """The ``stalled_*`` name CUPTI reports."""
+        return f"stalled_{self.value}"
+
+    @property
+    def is_issue_stall(self) -> bool:
+        """True for reasons that count as stalls (not SELECTED)."""
+        return self is not StallReason.SELECTED
+
+
+#: Verbose interpretations, matching GPUscout's manual (paper §3.2).
+STALL_EXPLANATIONS: dict[StallReason, str] = {
+    StallReason.SELECTED: "Warp was selected by the scheduler and issued an instruction.",
+    StallReason.NOT_SELECTED: (
+        "Warp was eligible but another warp was selected; abundant eligible "
+        "warps are a sign of healthy latency hiding."
+    ),
+    StallReason.LONG_SCOREBOARD: (
+        "Warp was stalled waiting for a scoreboard dependency on an L1TEX "
+        "(local, global, surface, texture) operation. Reduce pressure by "
+        "widening accesses (vectorized loads), improving locality, or "
+        "staging data in shared memory."
+    ),
+    StallReason.SHORT_SCOREBOARD: (
+        "Warp was stalled waiting for a scoreboard dependency on an MIO "
+        "(shared memory) operation. Frequent with heavy shared-memory use; "
+        "check bank conflicts."
+    ),
+    StallReason.WAIT: (
+        "Warp was stalled waiting on a fixed-latency execution dependency "
+        "(typical back-to-back ALU dependencies)."
+    ),
+    StallReason.LG_THROTTLE: (
+        "Warp was stalled waiting for the L1 instruction queue for local and "
+        "global (LG) memory operations to be not full. Typically caused by "
+        "executing local or global memory operations too frequently — e.g. "
+        "register spilling or many narrow loads; combine transactions "
+        "(vectorized loads) or reduce spills."
+    ),
+    StallReason.MIO_THROTTLE: (
+        "Warp was stalled waiting for the MIO (memory input/output) "
+        "instruction queue to be not full. Common with intensive shared "
+        "memory or shared-atomic instruction streams."
+    ),
+    StallReason.TEX_THROTTLE: (
+        "Warp was stalled waiting for the TEX instruction queue to be not "
+        "full. Too many outstanding texture fetches fill the TEX pipeline."
+    ),
+    StallReason.MATH_PIPE_THROTTLE: (
+        "Warp was stalled waiting for a math execution pipe (e.g. MUFU) to "
+        "be available."
+    ),
+    StallReason.BARRIER: (
+        "Warp was stalled at a CTA barrier (__syncthreads()) waiting for "
+        "sibling warps."
+    ),
+    StallReason.BRANCH_RESOLVING: (
+        "Warp was stalled waiting for a branch target to resolve."
+    ),
+    StallReason.NO_INSTRUCTION: (
+        "Warp was stalled waiting on an instruction fetch."
+    ),
+    StallReason.DRAIN: (
+        "Warp was stalled after EXIT waiting for outstanding memory "
+        "operations to drain."
+    ),
+    StallReason.MISC: "Warp was stalled for a miscellaneous hardware reason.",
+}

@@ -1,0 +1,95 @@
+"""Instruction-level execution traces.
+
+A :class:`TraceRecorder` passed to ``Simulator.launch(trace=...)``
+records one event per issued warp-instruction: issue cycle, warp id,
+PC, opcode, and the stall (cycles + reason) the warp paid before the
+issue.  Traces explain *why* a kernel's cycle count is what it is —
+the timeline view shows latency chains and pipeline throttles directly,
+which is how the case-study calibrations in this repo were debugged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.stalls import StallReason
+
+__all__ = ["TraceEvent", "TraceRecorder", "format_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued warp-instruction."""
+
+    cycle: float
+    warp: int
+    block: int
+    pc: int
+    opcode: str
+    stall_cycles: float
+    stall_reason: Optional[StallReason]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`TraceEvent` rows during a simulation.
+
+    ``max_events`` caps memory; recording silently stops at the cap
+    (``truncated`` tells you it happened).
+    """
+
+    max_events: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def record(self, cycle: float, warp: int, block: int, pc: int,
+               opcode: str, stall_cycles: float,
+               stall_reason: Optional[StallReason]) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(
+            TraceEvent(cycle, warp, block, pc, opcode, stall_cycles,
+                       stall_reason)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def for_warp(self, warp: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.warp == warp]
+
+    def stalls_over(self, cycles: float) -> list[TraceEvent]:
+        """Events preceded by a stall longer than ``cycles``."""
+        return [e for e in self.events if e.stall_cycles > cycles]
+
+    def issue_timeline(self, bucket: float = 100.0) -> dict[int, int]:
+        """Issued instructions per ``bucket``-cycle window."""
+        out: dict[int, int] = {}
+        for e in self.events:
+            key = int(e.cycle // bucket)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+
+def format_trace(recorder: TraceRecorder, limit: int = 50,
+                 warp: Optional[int] = None) -> str:
+    """Human-readable trace listing (optionally for one warp)."""
+    rows = recorder.for_warp(warp) if warp is not None else recorder.events
+    lines = [
+        f"{'cycle':>10}  {'blk':>4} {'warp':>4}  {'pc':>6}  "
+        f"{'opcode':<24} stall",
+        "-" * 72,
+    ]
+    for e in rows[:limit]:
+        stall = ""
+        if e.stall_cycles > 0 and e.stall_reason is not None:
+            stall = f"{e.stall_cycles:.0f} ({e.stall_reason.value})"
+        lines.append(
+            f"{e.cycle:>10.1f}  {e.block:>4} {e.warp:>4}  {e.pc*16:>#6x}  "
+            f"{e.opcode:<24} {stall}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more events")
+    if recorder.truncated:
+        lines.append("(trace truncated at max_events)")
+    return "\n".join(lines)

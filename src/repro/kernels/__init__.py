@@ -1,0 +1,39 @@
+"""Case-study workloads (paper §5).
+
+Each module builds the paper's kernels in every variant the case study
+compares, plus host-side helpers (argument staging, NumPy references):
+
+* :mod:`repro.kernels.mixbench` — §5.1: ``benchmark_func`` with
+  single-precision / double-precision / integer MAD streams, naive and
+  vectorized;
+* :mod:`repro.kernels.heat` — §5.2: 2D Jacobi heat-transfer stencil,
+  naive / texture-memory / ``__restrict__`` variants;
+* :mod:`repro.kernels.sgemm` — §5.3: SGEMM, naive / shared-memory
+  tiled / shared+vectorized variants;
+* :mod:`repro.kernels.histogram` — the §4.4 workload this repo adds:
+  global vs shared atomics;
+* :mod:`repro.kernels.reduction` — extension ladder: atomic -> shared
+  tree -> warp shuffle.
+
+``repro.kernels.calibration`` holds the per-case-study simulator specs
+used by the benchmark harness.
+"""
+
+from repro.kernels.mixbench import build_mixbench, mixbench_reference
+from repro.kernels.heat import build_heat, heat_reference
+from repro.kernels.sgemm import build_sgemm, sgemm_reference
+from repro.kernels.histogram import build_histogram, histogram_reference
+from repro.kernels.reduction import build_reduction, reduction_reference
+
+__all__ = [
+    "build_mixbench",
+    "mixbench_reference",
+    "build_heat",
+    "heat_reference",
+    "build_sgemm",
+    "sgemm_reference",
+    "build_histogram",
+    "histogram_reference",
+    "build_reduction",
+    "reduction_reference",
+]

@@ -1,0 +1,155 @@
+"""2D Jacobi heat-transfer stencil (paper §5.2).
+
+Each interior point updates as::
+
+    T_new = T_old + k * (T_top + T_bottom + T_left + T_right - 4*T_old)
+
+plus a position-dependent heat-source term whose index arithmetic
+requires exactly **six I2F conversions** (the count GPUscout flags in
+the paper's case study: "our tool points at six I2F datatype
+conversions ... unavoidable due to the nature of the algorithm").
+
+Variants:
+
+* ``naive`` — plain global loads; the left/right neighbours come off the
+  same base register with ±4-byte offsets, which triggers the texture /
+  vectorize pattern analyses;
+* ``restrict`` — ``T_in`` declared ``const __restrict__``, so loads go
+  through the read-only cache (``LDG.E.CONSTANT``);
+* ``texture`` — neighbours fetched with ``tex2D`` from a tiled texture,
+  exploiting the texture cache's 2D locality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cudalite import KernelBuilder, compile_kernel, f32, i32, ptr
+from repro.cudalite.compiler import CompiledKernel
+
+__all__ = ["build_heat", "heat_args", "heat_reference", "HEAT_VARIANTS"]
+
+HEAT_VARIANTS = ("naive", "restrict", "texture")
+
+
+def build_heat(variant: str = "naive",
+               max_registers: Optional[int] = None) -> CompiledKernel:
+    """Compile one Jacobi-step variant (one time step)."""
+    if variant not in HEAT_VARIANTS:
+        raise ValueError(f"variant must be one of {HEAT_VARIANTS}")
+    kb = KernelBuilder(f"jacobi_{variant}", max_registers=max_registers)
+    use_tex = variant == "texture"
+    if not use_tex:
+        t_in = kb.param(
+            "t_in",
+            ptr(f32, readonly=variant == "restrict",
+                restrict=variant == "restrict"),
+        )
+    t_out = kb.param("t_out", ptr(f32))
+    w = kb.param("w", i32)
+    h = kb.param("h", i32)
+    k = kb.param("k", f32)
+    amp = kb.param("amp", f32)
+    tex = kb.texture("t_tex", f32) if use_tex else None
+
+    ix = kb.let("ix", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+                dtype=i32)
+    iy = kb.let("iy", kb.block_idx.y * kb.block_dim.y + kb.thread_idx.y,
+                dtype=i32)
+    kb.return_if((ix >= w).logical_or(iy >= h))
+    idx = kb.let("idx", iy * w + ix, dtype=i32)
+
+    # position-dependent heat source: exactly six I2F conversions
+    # (ix, iy, w, h, ix-w/2, iy-h/2), as in the paper's case study
+    xf = kb.let("xf", ix.cast(f32))
+    yf = kb.let("yf", iy.cast(f32))
+    wf = kb.let("wf", w.cast(f32))
+    hf = kb.let("hf", h.cast(f32))
+    dxf = kb.let("dxf", (ix - (w >> 1)).cast(f32))
+    dyf = kb.let("dyf", (iy - (h >> 1)).cast(f32))
+    source = kb.let(
+        "source",
+        amp * (xf * yf + 0.0001 * (dxf * dxf + dyf * dyf)) / (wf * hf),
+    )
+
+    interior = (
+        (ix > 0)
+        .logical_and(ix < w - 1)
+        .logical_and(iy > 0)
+        .logical_and(iy < h - 1)
+    )
+    if use_tex:
+        centre = kb.let("centre", kb.tex2d(tex, ix, iy))
+        with kb.if_then(interior):
+            top = kb.let("top", kb.tex2d(tex, ix, iy - 1))
+            bottom = kb.let("bottom", kb.tex2d(tex, ix, iy + 1))
+            left = kb.let("left", kb.tex2d(tex, ix - 1, iy))
+            right = kb.let("right", kb.tex2d(tex, ix + 1, iy))
+            kb.store(
+                t_out, idx,
+                centre + k * (top + bottom + left + right - 4.0 * centre)
+                + source,
+            )
+        with kb.else_then():
+            kb.store(t_out, idx, centre)
+    else:
+        centre = kb.let("centre", t_in[idx])
+        with kb.if_then(interior):
+            top = kb.let("top", t_in[idx - w])
+            bottom = kb.let("bottom", t_in[idx + w])
+            left = kb.let("left", t_in[idx - 1])
+            right = kb.let("right", t_in[idx + 1])
+            kb.store(
+                t_out, idx,
+                centre + k * (top + bottom + left + right - 4.0 * centre)
+                + source,
+            )
+        with kb.else_then():
+            kb.store(t_out, idx, centre)
+    return compile_kernel(kb.build(), max_registers=max_registers)
+
+
+def heat_args(width: int, height: int, k: float = 0.2,
+              amp: float = 0.05, rng_seed: int = 3,
+              variant: str = "naive") -> dict:
+    """Host-side staging: initial temperature field + output buffer."""
+    rng = np.random.default_rng(rng_seed)
+    t0 = (rng.random(width * height) * 10.0).astype(np.float32)
+    out = np.zeros(width * height, dtype=np.float32)
+    args = {"t_out": out, "w": width, "h": height,
+            "k": np.float32(k), "amp": np.float32(amp)}
+    if variant != "texture":
+        args["t_in"] = t0
+    return args, t0
+
+
+def _source_term(width: int, height: int, amp: float) -> np.ndarray:
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float32)
+    wf = np.float32(width)
+    hf = np.float32(height)
+    dx = (xs - np.float32(width // 2)).astype(np.float32)
+    dy = (ys - np.float32(height // 2)).astype(np.float32)
+    return (
+        np.float32(amp)
+        * (xs * ys + np.float32(0.0001) * (dx * dx + dy * dy))
+        / (wf * hf)
+    ).astype(np.float32)
+
+
+def heat_reference(t0: np.ndarray, width: int, height: int,
+                   k: float, amp: float, steps: int = 1) -> np.ndarray:
+    """NumPy reference for ``steps`` Jacobi iterations."""
+    t = t0.reshape(height, width).astype(np.float32).copy()
+    src = _source_term(width, height, amp)
+    kf = np.float32(k)
+    for _ in range(steps):
+        new = t.copy()
+        lap = (
+            t[:-2, 1:-1] + t[2:, 1:-1] + t[1:-1, :-2] + t[1:-1, 2:]
+            - np.float32(4.0) * t[1:-1, 1:-1]
+        )
+        new[1:-1, 1:-1] = t[1:-1, 1:-1] + kf * lap + src[1:-1, 1:-1]
+        t = new
+    return t.ravel()

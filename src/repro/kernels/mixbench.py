@@ -1,0 +1,163 @@
+"""Mixbench ``benchmark_func`` (paper §5.1).
+
+Mixbench executes multiply-add streams of configurable operational
+intensity.  Each thread loads ``granularity`` elements, iterates
+``compute_iterations`` rounds of ``x = x*x + seed`` over them, reduces,
+and stores one result.
+
+Variants:
+
+* **naive** — ``granularity`` scalar loads per thread (unrolled), the
+  32-bit ``LDG.E`` pattern GPUscout's §4.1 analysis flags;
+* **vectorized** — the paper's fix: 128-bit vector loads
+  (``float4``/``int4``; ``double2`` for DP, the widest 128-bit-aligned
+  double vector) so the load loop runs for a quarter (half) the trips.
+
+Note versus upstream mixbench: the array is laid out so each *thread*
+reads ``granularity`` contiguous elements (upstream strides by block
+size).  This matches the transformed access pattern the paper's Listing
+2 creates with ``reinterpret_cast<float4*>`` and keeps both variants
+bitwise-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cudalite import (
+    KernelBuilder,
+    compile_kernel,
+    double2,
+    f32,
+    f64,
+    float4,
+    i32,
+    int4,
+    ptr,
+)
+from repro.cudalite.compiler import CompiledKernel
+from repro.cudalite.intrinsics import mad
+
+__all__ = ["build_mixbench", "mixbench_args", "mixbench_reference",
+           "MIXBENCH_DTYPES"]
+
+MIXBENCH_DTYPES = ("sp", "dp", "int")
+
+_SCALAR = {"sp": f32, "dp": f64, "int": i32}
+_VECTOR = {"sp": float4, "dp": double2, "int": int4}
+
+
+def build_mixbench(
+    dtype: str = "sp",
+    granularity: int = 8,
+    vectorized: bool = False,
+    max_registers: Optional[int] = None,
+) -> CompiledKernel:
+    """Compile one mixbench variant.
+
+    ``granularity`` must be divisible by the vector width when
+    ``vectorized`` (the paper notes the benchmark's hard-coded size is
+    divisible by 4, avoiding a remainder loop).
+    """
+    if dtype not in MIXBENCH_DTYPES:
+        raise ValueError(f"dtype must be one of {MIXBENCH_DTYPES}")
+    scalar = _SCALAR[dtype]
+    vector = _VECTOR[dtype]
+    if vectorized and granularity % vector.lanes != 0:
+        raise ValueError(
+            f"granularity {granularity} not divisible by vector width "
+            f"{vector.lanes}"
+        )
+    suffix = "vec" if vectorized else "naive"
+    kb = KernelBuilder(f"benchmark_func_{dtype}_{suffix}",
+                       max_registers=max_registers)
+    g_data = kb.param("g_data", ptr(scalar))
+    g_out = kb.param("g_out", ptr(scalar))
+    iters = kb.param("compute_iterations", i32)
+    seed = kb.param("seed", scalar)
+    gid = kb.let("gid", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+                 dtype=i32)
+
+    if not vectorized:
+        base = kb.let("base", gid * granularity)
+        tmps = kb.local_array("tmps", scalar, granularity)
+        with kb.for_range("j", 0, granularity, unroll=True) as j:
+            tmps[j] = g_data[base + j]
+        with kb.for_range("i", 0, iters):
+            with kb.for_range("j", 0, granularity, unroll=True) as j:
+                tmps[j] = mad(tmps[j], tmps[j], seed)
+        acc = kb.let("acc", 0.0 if scalar.is_float else 0, dtype=scalar)
+        with kb.for_range("j", 0, granularity, unroll=True) as j:
+            kb.assign(acc, acc + tmps[j])
+        kb.store(g_out, gid, acc)
+    else:
+        lanes = vector.lanes
+        nvec = granularity // lanes
+        gvec = g_data.as_vector(vector)
+        base = kb.let("base", gid * nvec)
+        tmps = kb.local_array("tmps", vector, nvec)
+        with kb.for_range("j", 0, nvec, unroll=True) as j:
+            tmps[j] = gvec[base + j]
+        with kb.for_range("i", 0, iters):
+            with kb.for_range("j", 0, nvec, unroll=True) as j:
+                tmps[j] = mad(tmps[j], tmps[j], seed)
+        acc = kb.let("acc", 0.0 if scalar.is_float else 0, dtype=scalar)
+        # accumulate lane-wise (unrolled explicitly: lane extraction is a
+        # compile-time register selection)
+        for j in range(nvec):
+            for lane in range(lanes):
+                kb.assign(acc, acc + _lane(tmps[j], lane))
+        kb.store(g_out, gid, acc)
+    return compile_kernel(kb.build(), max_registers=max_registers)
+
+
+def _lane(vec_expr, lane: int):
+    from repro.cudalite.builder import E
+    from repro.cudalite import ast as A
+
+    return E(A.VecLane(vec_expr.node, lane))
+
+
+def mixbench_args(
+    n_threads: int,
+    granularity: int = 8,
+    dtype: str = "sp",
+    seed: float = 1.0 / 1024,
+    rng_seed: int = 7,
+) -> dict:
+    """Host-side argument staging for one launch."""
+    np_dtype = _SCALAR[dtype].np_dtype
+    rng = np.random.default_rng(rng_seed)
+    if dtype == "int":
+        data = rng.integers(0, 3, size=n_threads * granularity).astype(np_dtype)
+        seed_val = 3
+    else:
+        data = (rng.random(n_threads * granularity) * 0.5).astype(np_dtype)
+        seed_val = np_dtype.type(seed)
+    out = np.zeros(n_threads, dtype=np_dtype)
+    return {"g_data": data, "g_out": out,
+            "compute_iterations": 0, "seed": seed_val}
+
+
+def mixbench_reference(
+    data: np.ndarray, granularity: int, compute_iterations: int, seed
+) -> np.ndarray:
+    """NumPy reference of ``benchmark_func`` for correctness tests."""
+    tmps = data.reshape(-1, granularity).copy()
+    for _ in range(compute_iterations):
+        if tmps.dtype.kind == "f":
+            if tmps.dtype == np.float32:
+                tmps = (tmps.astype(np.float32) * tmps + tmps.dtype.type(seed)
+                        ).astype(tmps.dtype)
+            else:
+                tmps = tmps * tmps + seed
+        else:
+            tmps = (tmps.astype(np.int64) * tmps + int(seed)).astype(tmps.dtype)
+    if tmps.dtype.kind == "f":
+        acc = np.zeros(tmps.shape[0], dtype=tmps.dtype)
+        for j in range(granularity):
+            acc = acc + tmps[:, j]
+        return acc
+    return tmps.astype(np.int64).sum(axis=1).astype(tmps.dtype)

@@ -1,0 +1,25 @@
+"""Nsight Compute CLI substitute.
+
+GPUscout shells out to ``ncu`` with a curated metric list (paper §2.3:
+"the number of collected metrics is kept to minimum" because collection
+is expensive).  This package provides:
+
+* a registry of ncu-style metric names derived from simulator counters
+  (:mod:`repro.metrics.names`, :mod:`repro.metrics.derive`),
+* :class:`~repro.metrics.collector.NsightComputeCLI`, a facade that
+  "collects" requested metrics from a simulated launch and models the
+  replay-pass overhead that dominates the paper's Figure 6.
+"""
+
+from repro.metrics.names import METRIC_REGISTRY, MetricSpec, describe_metric
+from repro.metrics.collector import MetricReport, NsightComputeCLI
+from repro.metrics.derive import derive_metric
+
+__all__ = [
+    "METRIC_REGISTRY",
+    "MetricSpec",
+    "describe_metric",
+    "MetricReport",
+    "NsightComputeCLI",
+    "derive_metric",
+]

@@ -1,0 +1,179 @@
+"""Metric-name registry with human descriptions and groupings.
+
+Mirrors the curated metric sets GPUscout requests from ``ncu`` for each
+bottleneck analysis — kept intentionally small because collection
+overhead is proportional to the number of metrics (paper §3, §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.derive import DERIVERS
+
+__all__ = ["MetricSpec", "METRIC_REGISTRY", "describe_metric", "METRIC_SETS"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A collectable metric: ncu-style name, unit, description."""
+
+    name: str
+    unit: str
+    description: str
+
+
+_SPECS = [
+    MetricSpec("sm__cycles_elapsed.avg", "cycle", "Kernel duration in SM cycles."),
+    MetricSpec("gpu__time_duration.sum", "us", "Kernel wall-clock duration."),
+    MetricSpec("smsp__inst_executed.sum", "inst", "Warp instructions executed."),
+    MetricSpec("launch__registers_per_thread", "register",
+               "Registers allocated per thread."),
+    MetricSpec("launch__shared_mem_per_block_static", "byte",
+               "Static shared memory per block."),
+    MetricSpec("launch__local_mem_per_thread", "byte",
+               "Local memory (spill frame) per thread."),
+    MetricSpec("sm__warps_active.avg.pct_of_peak_sustained_active", "%",
+               "Achieved occupancy."),
+    MetricSpec("sm__maximum_warps_avg_per_active_cycle_pct", "%",
+               "Theoretical occupancy."),
+    MetricSpec("derived__issue_slot_utilization.pct", "%",
+               "Issued instructions per available issue slot."),
+    MetricSpec("derived__avg_active_warps", "warp",
+               "Average resident warps per SM over the kernel."),
+    MetricSpec("smsp__inst_executed_op_global_ld.sum", "inst",
+               "Global load instructions."),
+    MetricSpec("smsp__inst_executed_op_global_st.sum", "inst",
+               "Global store instructions."),
+    MetricSpec("l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum", "sector",
+               "L1 sectors requested by global loads."),
+    MetricSpec("l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum", "sector",
+               "L1 sectors requested by global stores."),
+    MetricSpec("l1tex__t_bytes_pipe_lsu_mem_global_op_ld.sum", "byte",
+               "Bytes requested by global loads."),
+    MetricSpec("l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct", "%",
+               "L1 hit rate of global loads."),
+    MetricSpec("derived__l1_global_load_miss_pct", "%",
+               "L1 miss rate of global loads."),
+    MetricSpec("derived__sectors_per_global_load", "sector/inst",
+               "Average sectors per global load (4 = fully coalesced 32-bit)."),
+    MetricSpec("smsp__inst_executed_op_local_ld.sum", "inst",
+               "Local (spill) load instructions."),
+    MetricSpec("smsp__inst_executed_op_local_st.sum", "inst",
+               "Local (spill) store instructions."),
+    MetricSpec("l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum", "sector",
+               "L1 sectors requested by local loads."),
+    MetricSpec("l1tex__t_sectors_pipe_lsu_mem_local_op_st.sum", "sector",
+               "L1 sectors requested by local stores."),
+    MetricSpec("derived__l1_local_miss_pct", "%",
+               "L1 miss rate of local-memory traffic."),
+    MetricSpec("derived__l2_queries_due_to_local_memory", "request",
+               "Estimated L2 queries caused by local memory "
+               "(#SMs x miss% x local instructions, paper §2.3)."),
+    MetricSpec("derived__local_bytes_to_l2", "byte",
+               "Local-memory bytes forwarded to L2 (miss% x bytes)."),
+    MetricSpec("derived__local_traffic_share_of_l2.pct", "%",
+               "Share of all L2 sectors caused by local memory."),
+    MetricSpec("lts__t_sectors.sum", "sector", "Total L2 sector accesses."),
+    MetricSpec("lts__t_sector_hit_rate.pct", "%", "L2 sector hit rate."),
+    MetricSpec("lts__t_sectors_srcunit_tex_op_read.sum", "sector",
+               "L2 sectors requested by the texture unit."),
+    MetricSpec("dram__sectors.sum", "sector", "DRAM sector accesses."),
+    MetricSpec("dram__bytes.sum", "byte", "DRAM bytes transferred."),
+    MetricSpec("smsp__inst_executed_op_shared_ld.sum", "inst",
+               "Shared-memory load instructions (accesses)."),
+    MetricSpec("smsp__inst_executed_op_shared_st.sum", "inst",
+               "Shared-memory store instructions."),
+    MetricSpec("l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum",
+               "transaction", "Shared load transactions (wavefronts)."),
+    MetricSpec("l1tex__data_pipe_lsu_wavefronts_mem_shared_op_st.sum",
+               "transaction", "Shared store transactions (wavefronts)."),
+    MetricSpec("derived__smem_ld_bank_conflict_ways", "way",
+               "Bank-conflict ways = transactions / accesses (paper §4.3); "
+               "1 = conflict-free, 32 = fully serialized."),
+    MetricSpec("derived__smem_efficiency.pct", "%",
+               "Shared-memory efficiency (inverse of conflict ways)."),
+    MetricSpec("l1tex__texin_requests.sum", "request", "Texture fetch requests."),
+    MetricSpec("l1tex__t_sectors_pipe_tex.sum", "sector",
+               "Sectors requested through the TEX pipe."),
+    MetricSpec("l1tex__t_bytes_pipe_tex.sum", "byte",
+               "Bytes requested from the texture cache."),
+    MetricSpec("derived__tex_cache_miss_pct", "%",
+               "Texture cache miss rate (misses forwarded to L2)."),
+    MetricSpec("smsp__inst_executed_op_global_atom.sum", "inst",
+               "Global atomic instructions."),
+    MetricSpec("smsp__inst_executed_op_shared_atom.sum", "inst",
+               "Shared atomic instructions."),
+    MetricSpec("derived__atomic_l2_resolution_pct", "%",
+               "Share of atomics resolved in L2 (rest go to DRAM)."),
+    MetricSpec("smsp__sass_inst_executed_op_conversion.sum", "inst",
+               "Datatype conversion instructions (I2F/F2F/F2I/I2I)."),
+]
+
+METRIC_REGISTRY: dict[str, MetricSpec] = {s.name: s for s in _SPECS}
+
+# every registered spec must be derivable and vice versa
+assert set(METRIC_REGISTRY) == set(DERIVERS), (
+    sorted(set(METRIC_REGISTRY) ^ set(DERIVERS))
+)
+
+
+def describe_metric(name: str) -> str:
+    """Human description of a metric name (empty if unknown)."""
+    spec = METRIC_REGISTRY.get(name)
+    return spec.description if spec else ""
+
+
+#: curated per-analysis metric sets (GPUscout keeps these minimal)
+METRIC_SETS: dict[str, list[str]] = {
+    "base": [
+        "sm__cycles_elapsed.avg",
+        "gpu__time_duration.sum",
+        "smsp__inst_executed.sum",
+        "launch__registers_per_thread",
+        "sm__warps_active.avg.pct_of_peak_sustained_active",
+        "l1tex__t_bytes_pipe_lsu_mem_global_op_ld.sum",
+        "l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct",
+        "lts__t_sector_hit_rate.pct",
+        "dram__bytes.sum",
+    ],
+    "use_vectorized_loads": [
+        "launch__registers_per_thread",
+        "sm__warps_active.avg.pct_of_peak_sustained_active",
+        "derived__sectors_per_global_load",
+        "smsp__inst_executed_op_global_ld.sum",
+    ],
+    "register_spilling": [
+        "launch__local_mem_per_thread",
+        "smsp__inst_executed_op_local_ld.sum",
+        "smsp__inst_executed_op_local_st.sum",
+        "derived__l1_local_miss_pct",
+        "derived__l2_queries_due_to_local_memory",
+        "derived__local_bytes_to_l2",
+        "derived__local_traffic_share_of_l2.pct",
+    ],
+    "use_shared_memory": [
+        "smsp__inst_executed_op_shared_ld.sum",
+        "l1tex__data_pipe_lsu_wavefronts_mem_shared_op_ld.sum",
+        "derived__smem_ld_bank_conflict_ways",
+        "derived__smem_efficiency.pct",
+    ],
+    "use_shared_atomics": [
+        "smsp__inst_executed_op_global_atom.sum",
+        "smsp__inst_executed_op_shared_atom.sum",
+        "derived__atomic_l2_resolution_pct",
+    ],
+    "use_restrict": [
+        "launch__registers_per_thread",
+        "sm__warps_active.avg.pct_of_peak_sustained_active",
+    ],
+    "use_texture_memory": [
+        "l1tex__texin_requests.sum",
+        "l1tex__t_bytes_pipe_tex.sum",
+        "derived__tex_cache_miss_pct",
+        "lts__t_sectors_srcunit_tex_op_read.sum",
+    ],
+    "datatype_conversions": [
+        "smsp__sass_inst_executed_op_conversion.sum",
+    ],
+}

@@ -1,0 +1,27 @@
+"""PTX substrate: the paper's *second* kernel representation.
+
+Paper §2.1: "a CUDA kernel can be characterized by two separate ISAs:
+PTX and SASS", where PTX is a virtual-architecture assembly with an
+unlimited register count.  GPUscout's footnote to §3 notes that
+"analogously to SASS, a PTX analysis is performed in Section 4.4"
+(atomics are easiest to classify before register allocation).
+
+cudalite's virtual-register stream *is* the PTX-stage program, so this
+package renders it in NVIDIA's PTX syntax (:mod:`repro.ptx.writer`),
+parses that dialect back (:mod:`repro.ptx.parser`), and implements the
+PTX-level atomics scan (:mod:`repro.ptx.analysis`) whose results
+GPUscout cross-checks against the SASS-level §4.4 analysis.
+"""
+
+from repro.ptx.writer import kernel_to_ptx
+from repro.ptx.parser import PTXKernel, PTXInstruction, parse_ptx
+from repro.ptx.analysis import PTXAtomicsSummary, scan_atomics
+
+__all__ = [
+    "kernel_to_ptx",
+    "PTXKernel",
+    "PTXInstruction",
+    "parse_ptx",
+    "PTXAtomicsSummary",
+    "scan_atomics",
+]

@@ -1,0 +1,81 @@
+"""PTX-level atomics analysis (the paper's §4.4 companion pass).
+
+GPUscout performs the shared-atomics analysis "analogously" at the PTX
+level (paper §3, footnote 2): before register allocation the
+``atom``/``red`` state-space qualifiers make global-vs-shared
+classification trivial, and the virtual-register CFG gives the same
+in-loop amplification signal.  The engine cross-checks this summary
+against the SASS-level §4.4 findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ptx.parser import PTXInstruction, PTXKernel
+
+__all__ = ["PTXAtomicsSummary", "scan_atomics"]
+
+
+@dataclass
+class PTXAtomicsSummary:
+    """Result of the PTX atomics scan."""
+
+    kernel: str
+    global_atomics: int = 0
+    shared_atomics: int = 0
+    global_in_loop: int = 0
+    shared_in_loop: int = 0
+    #: (opcode, CUDA line) per atomic, stream order
+    sites: list[tuple[str, Optional[int]]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.global_atomics + self.shared_atomics
+
+    @property
+    def recommends_shared_atomics(self) -> bool:
+        """Mirror of the SASS-level rule: global atomics present (worse
+        when in a loop) while cheaper block-level atomics are not."""
+        return self.global_atomics > 0
+
+
+def _loop_spans(kernel: PTXKernel) -> list[tuple[int, int]]:
+    """Item-index ranges [label_pos, branch_pos] of backward branches."""
+    labels = kernel.label_positions()
+    spans = []
+    for i, item in enumerate(kernel.items):
+        if isinstance(item, PTXInstruction) and item.is_branch:
+            target = item.branch_target()
+            if target is not None:
+                # writer prefixes labels with L_; parser strips '$'
+                name = target[2:] if target.startswith("L_") else target
+                pos = labels.get(target, labels.get(name))
+                if pos is not None and pos < i:
+                    spans.append((pos, i))
+    return spans
+
+
+def scan_atomics(kernel: PTXKernel) -> PTXAtomicsSummary:
+    """Classify every ``atom``/``red`` in ``kernel`` by state space and
+    loop membership."""
+    summary = PTXAtomicsSummary(kernel=kernel.name)
+    spans = _loop_spans(kernel)
+
+    def in_loop(pos: int) -> bool:
+        return any(lo <= pos <= hi for lo, hi in spans)
+
+    for i, item in enumerate(kernel.items):
+        if not isinstance(item, PTXInstruction) or not item.is_atomic:
+            continue
+        summary.sites.append((item.opcode, item.line))
+        if item.atomic_space == "shared":
+            summary.shared_atomics += 1
+            if in_loop(i):
+                summary.shared_in_loop += 1
+        else:
+            summary.global_atomics += 1
+            if in_loop(i):
+                summary.global_in_loop += 1
+    return summary

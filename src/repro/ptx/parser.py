@@ -1,0 +1,170 @@
+"""Parser for the PTX dialect emitted by :mod:`repro.ptx.writer`.
+
+Produces a light structural model — opcode dotted parts, operand
+strings, guards, labels — sufficient for the PTX-level analyses
+(GPUscout's §4.4 atomics scan runs at this level) without modelling
+PTX's full type system.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SassSyntaxError
+
+__all__ = ["PTXInstruction", "PTXKernel", "parse_ptx"]
+
+_ENTRY_RE = re.compile(r"^\.visible \.entry\s+([\w$]+)\(")
+_PARAM_RE = re.compile(r"^\.param\s+(\.\w+)\s+([\w$]+)")
+_LABEL_RE = re.compile(r"^\$([\w$]+):\s*$")
+_GUARD_RE = re.compile(r"^@(!?)%p(\w+)\s+")
+_LINE_RE = re.compile(r"^// line (\d+)$")
+_SHARED_RE = re.compile(r"^\.shared .*\.b8\s+\w+\[(\d+)\]")
+
+
+@dataclass(frozen=True)
+class PTXInstruction:
+    """One PTX statement."""
+
+    opcode: str  # full dotted mnemonic, e.g. "ld.global.nc.f32"
+    operands: tuple[str, ...]
+    guard: Optional[str] = None  # "%p3" / "!%p3"
+    line: Optional[int] = None  # CUDA source line
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.opcode.split("."))
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.parts[0] in ("atom", "red")
+
+    @property
+    def atomic_space(self) -> Optional[str]:
+        if not self.is_atomic:
+            return None
+        return self.parts[1] if len(self.parts) > 1 else "global"
+
+    @property
+    def is_branch(self) -> bool:
+        return self.parts[0] == "bra"
+
+    def branch_target(self) -> Optional[str]:
+        if not self.is_branch or not self.operands:
+            return None
+        target = self.operands[0]
+        return target[1:] if target.startswith("$") else target
+
+    @property
+    def is_memory(self) -> bool:
+        return self.parts[0] in ("ld", "st", "atom", "red", "tex")
+
+
+@dataclass
+class PTXKernel:
+    """A parsed PTX entry function."""
+
+    name: str
+    params: list[tuple[str, str]] = field(default_factory=list)  # (type, name)
+    shared_bytes: int = 0
+    items: list = field(default_factory=list)  # PTXInstruction | str (label)
+
+    def instructions(self) -> list[PTXInstruction]:
+        return [it for it in self.items if isinstance(it, PTXInstruction)]
+
+    def label_positions(self) -> dict[str, int]:
+        return {
+            it: i for i, it in enumerate(self.items) if isinstance(it, str)
+        }
+
+    def opcode_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for ins in self.instructions():
+            stem = ins.parts[0]
+            hist[stem] = hist.get(stem, 0) + 1
+        return hist
+
+
+def _split_operands(text: str) -> tuple[str, ...]:
+    parts = []
+    depth = 0
+    cur: list[str] = []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return tuple(parts)
+
+
+def parse_ptx(text: str) -> PTXKernel:
+    """Parse a PTX listing (the writer's dialect) into a
+    :class:`PTXKernel`."""
+    kernel = PTXKernel(name="kernel")
+    cur_line: Optional[int] = None
+    in_body = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if m:
+            cur_line = int(m.group(1))
+            continue
+        if line.startswith("//") or line.startswith(".version") \
+                or line.startswith(".target") or line.startswith(".address_size"):
+            continue
+        m = _ENTRY_RE.match(line)
+        if m:
+            kernel.name = m.group(1)
+            continue
+        m = _PARAM_RE.match(line.rstrip(","))
+        if m and not in_body:
+            kernel.params.append((m.group(1), m.group(2)))
+            continue
+        if line in ("(", ")"):
+            continue
+        if line == "{":
+            in_body = True
+            continue
+        if line == "}":
+            break
+        m = _SHARED_RE.match(line)
+        if m:
+            kernel.shared_bytes = int(m.group(1))
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            kernel.items.append(m.group(1))
+            continue
+        if not in_body:
+            continue
+        guard = None
+        m = _GUARD_RE.match(line)
+        if m:
+            guard = f"{'!' if m.group(1) else ''}%p{m.group(2)}"
+            line = line[m.end():].strip()
+        if line.endswith(";"):
+            line = line[:-1].rstrip()
+        if not line:
+            raise SassSyntaxError("empty PTX statement", lineno)
+        head, _, rest = line.partition(" ")
+        kernel.items.append(
+            PTXInstruction(
+                opcode=head,
+                operands=_split_operands(rest),
+                guard=guard,
+                line=cur_line,
+            )
+        )
+    return kernel

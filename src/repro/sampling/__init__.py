@@ -1,0 +1,21 @@
+"""CUPTI PC Sampling API substitute.
+
+The real GPUscout uses CUPTI's PC Sampling API to attribute warp-stall
+reasons to program counters (and through the line table to CUDA source
+lines).  Our simulator tracks stall cycles exactly; this package
+converts them into the *sampled* representation CUPTI produces — counts
+of samples per (PC, stall reason) at a configurable sampling period —
+and offers the per-line aggregation GPUscout's report correlates with
+SASS findings.
+"""
+
+from repro.sampling.pcsampler import PCSample, PCSampler, PCSamplingResult
+from repro.sampling.stall_report import LineStallProfile, build_line_profiles
+
+__all__ = [
+    "PCSample",
+    "PCSampler",
+    "PCSamplingResult",
+    "LineStallProfile",
+    "build_line_profiles",
+]

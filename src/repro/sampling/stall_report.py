@@ -1,0 +1,59 @@
+"""Per-source-line stall aggregation.
+
+Joins PC samples with the SASS line table so the report can say, as in
+the paper's Figure 2, "For line number 18, the warp stalls are:
+lg_throttle = 64.4 % ...".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.stalls import StallReason
+from repro.sampling.pcsampler import PCSamplingResult
+
+__all__ = ["LineStallProfile", "build_line_profiles"]
+
+
+@dataclass
+class LineStallProfile:
+    """Stall distribution for one CUDA source line."""
+
+    line: int
+    total_samples: int
+    by_reason: dict[StallReason, int] = field(default_factory=dict)
+
+    def share(self, reason: StallReason) -> float:
+        """Fraction of this line's *stall* samples with ``reason``."""
+        stall_total = sum(
+            v for k, v in self.by_reason.items()
+            if k is not StallReason.SELECTED
+        )
+        if stall_total == 0:
+            return 0.0
+        return self.by_reason.get(reason, 0) / stall_total
+
+    def dominant(self) -> Optional[StallReason]:
+        candidates = {
+            k: v for k, v in self.by_reason.items()
+            if k is not StallReason.SELECTED and v > 0
+        }
+        if not candidates:
+            return None
+        return max(candidates, key=lambda k: candidates[k])
+
+
+def build_line_profiles(sampling: PCSamplingResult) -> dict[int, LineStallProfile]:
+    """Aggregate a sampling result by source line (lines only; samples
+    on unattributed PCs are dropped, as CUPTI does without line info)."""
+    profiles: dict[int, LineStallProfile] = {}
+    for s in sampling.samples:
+        if s.line is None:
+            continue
+        prof = profiles.get(s.line)
+        if prof is None:
+            prof = profiles[s.line] = LineStallProfile(line=s.line, total_samples=0)
+        prof.total_samples += s.samples
+        prof.by_reason[s.reason] = prof.by_reason.get(s.reason, 0) + s.samples
+    return profiles

@@ -1,0 +1,55 @@
+"""SASS substrate: instruction set model, parser/writer, and the static
+analysis toolkit (control-flow graph, liveness, occupancy).
+
+The dialect implemented here mirrors the textual output of NVIDIA's
+``nvdisasm``/``cuobjdump`` for Volta-class GPUs closely enough that all
+of GPUscout's pattern analyses operate on the same shapes they would see
+on real disassembly: instruction offsets, predication, opcode modifier
+chains (``LDG.E.128.SYS``), register/memory/constant-bank operands and
+``//## File "...", line N`` source-line markers.
+"""
+
+from repro.sass.isa import (
+    Instruction,
+    Label,
+    MemRef,
+    Opcode,
+    OpClass,
+    Operand,
+    Program,
+    Register,
+    RegisterFile,
+    PT,
+    RZ,
+)
+from repro.sass.parser import parse_sass
+from repro.sass.writer import format_instruction, format_program
+from repro.sass.cfg import BasicBlock, ControlFlowGraph, Loop, build_cfg
+from repro.sass.liveness import LivenessInfo, compute_liveness, def_use_chains
+from repro.sass.occupancy import OccupancyResult, compute_occupancy
+
+__all__ = [
+    "Instruction",
+    "Label",
+    "MemRef",
+    "Opcode",
+    "OpClass",
+    "Operand",
+    "Program",
+    "Register",
+    "RegisterFile",
+    "PT",
+    "RZ",
+    "parse_sass",
+    "format_instruction",
+    "format_program",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Loop",
+    "build_cfg",
+    "LivenessInfo",
+    "compute_liveness",
+    "def_use_chains",
+    "OccupancyResult",
+    "compute_occupancy",
+]

@@ -1,0 +1,264 @@
+"""Control-flow graph construction, dominators and natural-loop
+detection for SASS programs.
+
+GPUscout's pattern analyses need to know whether an instruction sits
+inside a for-loop (repeated global loads / atomics in loops are the
+high-severity cases in paper §4.3/§4.4).  SASS has no structured loops,
+so loops are recovered the classical way: build the CFG, compute
+dominators, find back edges ``tail → head`` with ``head`` dominating
+``tail``, and collect each natural loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.sass.isa import Instruction, Program
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "Loop", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    ``start``/``end`` are indices into ``program.instructions``
+    (``end`` exclusive).  Successor/predecessor lists hold block ids.
+    """
+
+    bid: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def instructions(self, program: Program) -> list[Instruction]:
+        return program.instructions[self.start : self.end]
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Loop:
+    """A natural loop: header block, back-edge source, and body blocks."""
+
+    header: int
+    back_edge_from: int
+    blocks: frozenset[int]
+
+    def contains_block(self, bid: int) -> bool:
+        return bid in self.blocks
+
+
+class ControlFlowGraph:
+    """CFG over a :class:`Program`, with dominator and loop queries."""
+
+    def __init__(self, program: Program, blocks: list[BasicBlock]):
+        self.program = program
+        self.blocks = blocks
+        self._block_of_index: list[int] = [0] * len(program)
+        for blk in blocks:
+            for i in range(blk.start, blk.end):
+                self._block_of_index[i] = blk.bid
+        self._idom: Optional[list[Optional[int]]] = None
+        self._loops: Optional[list[Loop]] = None
+        self._loop_depth: Optional[list[int]] = None
+
+    # -- basic queries ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def block_of_instruction(self, index: int) -> BasicBlock:
+        """The block containing instruction ``index``."""
+        return self.blocks[self._block_of_index[index]]
+
+    # -- dominators --------------------------------------------------------
+    @property
+    def idom(self) -> list[Optional[int]]:
+        """Immediate dominator per block (entry block maps to itself).
+
+        Computed with the iterative Cooper–Harvey–Kennedy algorithm in
+        reverse post-order; unreachable blocks keep ``None``.
+        """
+        if self._idom is None:
+            self._idom = self._compute_idom()
+        return self._idom
+
+    def _reverse_postorder(self) -> list[int]:
+        seen: set[int] = set()
+        order: list[int] = []
+        # Iterative DFS to avoid recursion limits on long programs.
+        stack: list[tuple[int, int]] = [(0, 0)]
+        seen.add(0)
+        while stack:
+            bid, child = stack[-1]
+            succs = self.blocks[bid].successors
+            if child < len(succs):
+                stack[-1] = (bid, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(bid)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def _compute_idom(self) -> list[Optional[int]]:
+        rpo = self._reverse_postorder()
+        rpo_index = {bid: i for i, bid in enumerate(rpo)}
+        idom: list[Optional[int]] = [None] * len(self.blocks)
+        idom[0] = 0
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_index[a] > rpo_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while rpo_index[b] > rpo_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for bid in rpo:
+                if bid == 0:
+                    continue
+                preds = [p for p in self.blocks[bid].predecessors if idom[p] is not None]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom[bid] != new:
+                    idom[bid] = new
+                    changed = True
+        return idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff block ``a`` dominates block ``b``."""
+        idom = self.idom
+        if idom[b] is None:
+            return False
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == 0:
+                return False
+            node = idom[node]
+        return False
+
+    # -- loops ---------------------------------------------------------
+    @property
+    def loops(self) -> list[Loop]:
+        """All natural loops, outermost first (by body size)."""
+        if self._loops is None:
+            self._loops = self._find_loops()
+        return self._loops
+
+    def _find_loops(self) -> list[Loop]:
+        loops: list[Loop] = []
+        for blk in self.blocks:
+            for succ in blk.successors:
+                if self.dominates(succ, blk.bid):
+                    loops.append(self._natural_loop(succ, blk.bid))
+        loops.sort(key=lambda lp: -len(lp.blocks))
+        return loops
+
+    def _natural_loop(self, header: int, tail: int) -> Loop:
+        body = {header, tail}
+        stack = [tail]
+        while stack:
+            bid = stack.pop()
+            if bid == header:
+                continue
+            for pred in self.blocks[bid].predecessors:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        return Loop(header=header, back_edge_from=tail, blocks=frozenset(body))
+
+    @property
+    def loop_depth(self) -> list[int]:
+        """Loop-nesting depth per instruction index (0 = not in a loop)."""
+        if self._loop_depth is None:
+            depth = [0] * len(self.program)
+            for loop in self.loops:
+                for bid in loop.blocks:
+                    blk = self.blocks[bid]
+                    for i in range(blk.start, blk.end):
+                        depth[i] += 1
+            self._loop_depth = depth
+        return self._loop_depth
+
+    def in_loop(self, index: int) -> bool:
+        """True iff instruction ``index`` is inside any natural loop."""
+        return self.loop_depth[index] > 0
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the control-flow graph of ``program``.
+
+    Leaders are: instruction 0, every branch target, and every
+    instruction following a branch/EXIT.  A predicated ``BRA`` is a
+    conditional branch with fall-through; an unpredicated ``BRA`` has
+    only its target as successor.  ``EXIT``/``RET`` end the function.
+    """
+    n = len(program)
+    if n == 0:
+        raise ValueError("cannot build a CFG for an empty program")
+    leaders: set[int] = {0}
+    for i, ins in enumerate(program):
+        target = ins.branch_target()
+        if target is not None:
+            target_offset = program.label_offset(target)
+            if target_offset < n * Program.INSTR_BYTES:
+                leaders.add(program.index_of_offset(target_offset))
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif ins.opcode.base in ("EXIT", "RET"):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid=bid, start=start, end=end))
+    start_to_bid = {blk.start: blk.bid for blk in blocks}
+    for blk in blocks:
+        last = program[blk.end - 1]
+        target = last.branch_target()
+        succs: list[int] = []
+        if target is not None:
+            target_offset = program.label_offset(target)
+            if target_offset < n * Program.INSTR_BYTES:
+                succs.append(start_to_bid[program.index_of_offset(target_offset)])
+            conditional = last.pred is not None and not (
+                last.pred.is_zero and not last.pred_negated
+            )
+            if conditional and blk.end < n:
+                succs.append(start_to_bid[blk.end])
+        elif last.opcode.base in ("EXIT", "RET"):
+            # a *predicated* EXIT only retires some lanes; the warp
+            # falls through
+            conditional = last.pred is not None and not (
+                last.pred.is_zero and not last.pred_negated
+            )
+            if conditional and blk.end < n:
+                succs.append(start_to_bid[blk.end])
+        elif blk.end < n:
+            succs.append(start_to_bid[blk.end])
+        # de-duplicate while keeping order (branch target first)
+        seen: set[int] = set()
+        blk.successors = [s for s in succs if not (s in seen or seen.add(s))]
+    for blk in blocks:
+        for succ in blk.successors:
+            blocks[succ].predecessors.append(blk.bid)
+    return ControlFlowGraph(program, blocks)

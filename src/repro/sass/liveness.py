@@ -1,0 +1,163 @@
+"""Register liveness, live-pressure and def-use analysis over SASS.
+
+GPUscout uses these facts three ways (paper §3.2, §4.1, §4.2, §4.5):
+
+* the *live register pressure* at each instruction, shown next to
+  vectorization advice so the user can judge the occupancy cost;
+* the *last writer* of a spilled register, reported as the operation
+  "to blame" for a spill (Figure 2 shows an ``IADD`` identified this
+  way);
+* whether a register is *read-only* after its defining load — the
+  precondition for ``__restrict__`` / texture-memory advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sass.cfg import ControlFlowGraph
+from repro.sass.isa import Instruction, Program, Register
+
+__all__ = ["LivenessInfo", "compute_liveness", "def_use_chains", "DefUse"]
+
+
+@dataclass
+class DefUse:
+    """Def-use facts for one architectural register."""
+
+    register: Register
+    defs: list[int] = field(default_factory=list)  # instruction indices
+    uses: list[int] = field(default_factory=list)
+
+    @property
+    def is_read_only_after_first_def(self) -> bool:
+        """True iff the register is written exactly once."""
+        return len(self.defs) == 1
+
+
+@dataclass
+class LivenessInfo:
+    """Result of the backward liveness dataflow.
+
+    ``live_in``/``live_out`` are per-*instruction* sets of live general
+    registers; ``pressure`` is ``len(live_out)`` per instruction — the
+    "live register pressure" GPUscout prints.
+    """
+
+    program: Program
+    live_in: list[frozenset[Register]]
+    live_out: list[frozenset[Register]]
+
+    @property
+    def pressure(self) -> list[int]:
+        return [len(s) for s in self.live_out]
+
+    @property
+    def max_pressure(self) -> int:
+        return max(self.pressure, default=0)
+
+    def pressure_at(self, index: int) -> int:
+        return len(self.live_out[index])
+
+
+def _gprs(regs: list[Register]) -> frozenset[Register]:
+    return frozenset(r for r in regs if not r.predicate and not r.is_zero)
+
+
+def _sources_conservative(ins: Instruction) -> frozenset[Register]:
+    """Source registers, counting predicated definitions as
+    live-through (the old value survives when the guard is false)."""
+    srcs = list(ins.source_registers())
+    if ins.pred is not None and not (ins.pred.is_zero and not ins.pred_negated):
+        srcs.extend(ins.dest_registers())
+    return _gprs(srcs)
+
+
+def compute_liveness(program: Program, cfg: Optional[ControlFlowGraph] = None) -> LivenessInfo:
+    """Backward may-liveness over the CFG (general registers only).
+
+    Standard worklist algorithm at basic-block granularity, then a
+    per-instruction backward sweep inside each block.  Predicated
+    definitions are treated as (conservative) full definitions — that
+    matches what nvcc's allocator assumes for pressure reporting.
+    """
+    from repro.sass.cfg import build_cfg
+
+    if cfg is None:
+        cfg = build_cfg(program)
+    n = len(program)
+    use_b: list[frozenset[Register]] = []
+    def_b: list[frozenset[Register]] = []
+    for blk in cfg.blocks:
+        used: set[Register] = set()
+        defined: set[Register] = set()
+        for ins in blk.instructions(program):
+            for r in _sources_conservative(ins):
+                if r not in defined:
+                    used.add(r)
+            defined.update(_gprs(ins.dest_registers()))
+        use_b.append(frozenset(used))
+        def_b.append(frozenset(defined))
+
+    live_in_b: list[frozenset[Register]] = [frozenset()] * len(cfg.blocks)
+    live_out_b: list[frozenset[Register]] = [frozenset()] * len(cfg.blocks)
+    changed = True
+    while changed:
+        changed = False
+        for blk in reversed(cfg.blocks):
+            out: frozenset[Register] = frozenset().union(
+                *(live_in_b[s] for s in blk.successors)
+            ) if blk.successors else frozenset()
+            inn = use_b[blk.bid] | (out - def_b[blk.bid])
+            if out != live_out_b[blk.bid] or inn != live_in_b[blk.bid]:
+                live_out_b[blk.bid] = out
+                live_in_b[blk.bid] = inn
+                changed = True
+
+    live_in = [frozenset()] * n  # type: list[frozenset[Register]]
+    live_out = [frozenset()] * n  # type: list[frozenset[Register]]
+    for blk in cfg.blocks:
+        live: frozenset[Register] = live_out_b[blk.bid]
+        for i in range(blk.end - 1, blk.start - 1, -1):
+            ins = program[i]
+            live_out[i] = live
+            live = (live - _gprs(ins.dest_registers())) | _sources_conservative(ins)
+            live_in[i] = live
+    return LivenessInfo(program, live_in, live_out)
+
+
+def def_use_chains(program: Program) -> dict[Register, DefUse]:
+    """Def and use sites per general register, in stream order."""
+    chains: dict[Register, DefUse] = {}
+
+    def entry(reg: Register) -> DefUse:
+        if reg not in chains:
+            chains[reg] = DefUse(reg)
+        return chains[reg]
+
+    for i, ins in enumerate(program):
+        for r in _gprs(ins.source_registers()):
+            entry(r).uses.append(i)
+        for r in _gprs(ins.dest_registers()):
+            entry(r).defs.append(i)
+    return chains
+
+
+def last_writer_before(
+    program: Program, register: Register, index: int
+) -> Optional[Instruction]:
+    """The most recent instruction before ``index`` (stream order) that
+    wrote ``register`` — GPUscout's "operation that caused the spill"."""
+    i = last_writer_index_before(program, register, index)
+    return program[i] if i is not None else None
+
+
+def last_writer_index_before(
+    program: Program, register: Register, index: int
+) -> Optional[int]:
+    """Index variant of :func:`last_writer_before`."""
+    for i in range(index - 1, -1, -1):
+        if any(r == register for r in program[i].dest_registers()):
+            return i
+    return None

@@ -1,0 +1,107 @@
+"""Volta occupancy calculator.
+
+Computes the theoretical occupancy of an SM given the launch shape and
+per-thread register / per-block shared-memory consumption, following
+the CUDA occupancy-calculator rules for compute capability 7.0 (the
+V100 used in the paper's evaluation):
+
+* 65 536 32-bit registers per SM, allocated per *warp* in units of
+  ``reg_alloc_granularity`` (256 registers = 8 regs x 32 lanes);
+* at most 64 resident warps, 32 resident blocks and 2 048 threads;
+* up to 96 KiB shared memory per SM, allocated per block.
+
+GPUscout reports the *drop* in occupancy caused by register-pressure
+increases (paper §4.1: vectorizing mixbench lowered achieved occupancy
+from 92 % to 83 %), so this module is wired into the vectorize and
+spilling analyses as well as the metric registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OccupancyLimits", "OccupancyResult", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-SM residency limits of the target architecture."""
+
+    max_warps: int = 64
+    max_blocks: int = 32
+    max_threads: int = 2048
+    registers_per_sm: int = 65536
+    shared_per_sm: int = 96 * 1024
+    warp_size: int = 32
+    reg_alloc_unit: int = 256  # registers, per-warp granularity
+    shared_alloc_unit: int = 256  # bytes
+    min_registers_per_thread: int = 8  # Volta allocates at least 8/thread
+
+
+VOLTA_LIMITS = OccupancyLimits()
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Theoretical occupancy and the limiting resource."""
+
+    active_warps: int
+    active_blocks: int
+    occupancy: float  # fraction of max_warps, in [0, 1]
+    limiter: str  # "warps" | "blocks" | "registers" | "shared"
+
+    @property
+    def occupancy_pct(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def _ceil_to(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+def compute_occupancy(
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int = 0,
+    limits: OccupancyLimits = VOLTA_LIMITS,
+) -> OccupancyResult:
+    """Theoretical occupancy for one kernel configuration.
+
+    >>> compute_occupancy(256, 32).occupancy
+    1.0
+    >>> compute_occupancy(256, 128).limiter
+    'registers'
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > 1024:
+        raise ValueError("threads_per_block exceeds the 1024-thread CUDA limit")
+    warps_per_block = -(-threads_per_block // limits.warp_size)
+
+    limit_by: dict[str, int] = {}
+    limit_by["warps"] = limits.max_warps // warps_per_block
+    limit_by["blocks"] = limits.max_blocks
+    limit_by["threads"] = limits.max_threads // threads_per_block
+
+    regs = max(registers_per_thread, limits.min_registers_per_thread)
+    regs_per_warp = _ceil_to(regs * limits.warp_size, limits.reg_alloc_unit)
+    warps_by_regs = limits.registers_per_sm // regs_per_warp
+    limit_by["registers"] = warps_by_regs // warps_per_block
+
+    if shared_bytes_per_block > 0:
+        smem = _ceil_to(shared_bytes_per_block, limits.shared_alloc_unit)
+        limit_by["shared"] = limits.shared_per_sm // smem
+    else:
+        limit_by["shared"] = limits.max_blocks
+
+    limiter = min(limit_by, key=lambda k: limit_by[k])
+    blocks = limit_by[limiter]
+    if blocks <= 0:
+        return OccupancyResult(0, 0, 0.0, limiter)
+    warps = min(blocks * warps_per_block, limits.max_warps)
+    return OccupancyResult(
+        active_warps=warps,
+        active_blocks=blocks,
+        occupancy=warps / limits.max_warps,
+        limiter=limiter if limiter != "threads" else "warps",
+    )

@@ -1,0 +1,211 @@
+"""Parser for nvdisasm-style SASS text.
+
+Accepts the dialect produced by :mod:`repro.sass.writer` (and, for the
+instruction grammar itself, snippets copied out of real ``nvdisasm``
+output, such as Listing 1 of the GPUscout paper).  The grammar per
+instruction line is::
+
+    [/*offset*/] [@[!]Pn] OPCODE[.MOD]* [operand {, operand}] ;
+
+with operands being registers, immediates, memory references
+``[Rn+±0xOFF]``, constant-bank references ``c[0xB][0xOFF]``, special
+registers (``SR_TID.X``) and branch labels (`` `(name)``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import SassSyntaxError
+from repro.sass.isa import (
+    ConstRef,
+    Instruction,
+    Label,
+    MemRef,
+    Opcode,
+    Operand,
+    Program,
+    Register,
+    SPECIAL_REGISTERS,
+)
+
+__all__ = ["parse_sass", "parse_instruction"]
+
+_OFFSET_RE = re.compile(r"^/\*([0-9a-fA-F]+)\*/\s*")
+_PRED_RE = re.compile(r"^@(!?)(P\d+|PT)\s+")
+_LABEL_LINE_RE = re.compile(r"^\.([A-Za-z_][\w.$]*):\s*$")
+_FILE_LINE_RE = re.compile(r'^//## File "([^"]*)", line (\d+)\s*$')
+_SECTION_RE = re.compile(r"^\.section \.text\.([\w$.]+)\s*$")
+_SECTINFO_RE = re.compile(r'^\.sectioninfo @"SHI_(\w+)=(\d+)"\s*$')
+_GLOBAL_RE = re.compile(r"^\.global\s+([\w$.]+)\s*$")
+_MEM_RE = re.compile(
+    r"^\[(?:(R\d+|RZ)(?:\.64)?)?\s*(?:\+?\s*(-?0x[0-9a-fA-F]+|-?\d+))?\]$"
+)
+_CONST_RE = re.compile(r"^(-?)c\[(0x[0-9a-fA-F]+)\]\[(0x[0-9a-fA-F]+)\]$")
+_IMM_RE = re.compile(r"^-?0x[0-9a-fA-F]+$|^-?\d+$")
+_FIMM_RE = re.compile(r"^-?(?:\d+\.\d*|\.\d+|\d+\.?)(?:[eE][+-]?\d+)?$")
+_LABEL_OP_RE = re.compile(r"^`\(([\w.$]+)\)$")
+_REG_RE = re.compile(r"^([!-]?)(R\d+|RZ|P\d+|PT)$")
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:]
+    value = int(text, 16) if text.lower().startswith("0x") else int(text)
+    return -value if negative else value
+
+
+def _parse_operand(text: str, lineno: Optional[int] = None) -> Operand:
+    text = text.strip()
+    if not text:
+        raise SassSyntaxError("empty operand", lineno)
+    m = _REG_RE.match(text)
+    if m:
+        return Operand.r(Register.parse(m.group(2)), negated=bool(m.group(1)))
+    m = _MEM_RE.match(text)
+    if m:
+        base = Register.parse(m.group(1)) if m.group(1) else None
+        offset = _parse_int(m.group(2)) if m.group(2) else 0
+        return Operand("mem", mem=MemRef(base, offset))
+    m = _CONST_RE.match(text)
+    if m:
+        return Operand(
+            "const",
+            const=ConstRef(_parse_int(m.group(2)), _parse_int(m.group(3))),
+            negated=m.group(1) == "-",
+        )
+    m = _LABEL_OP_RE.match(text)
+    if m:
+        return Operand.lbl(m.group(1))
+    if text in SPECIAL_REGISTERS:
+        return Operand.sr(text)
+    if _IMM_RE.match(text):
+        return Operand.i(_parse_int(text))
+    if _FIMM_RE.match(text):
+        return Operand.f(float(text))
+    raise SassSyntaxError(f"cannot parse operand {text!r}", lineno)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not nested in brackets."""
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_instruction(
+    text: str,
+    lineno: Optional[int] = None,
+    source_line: Optional[int] = None,
+    source_file: Optional[str] = None,
+) -> Instruction:
+    """Parse a single instruction line (offset comment optional)."""
+    text = text.strip()
+    offset = 0
+    m = _OFFSET_RE.match(text)
+    if m:
+        offset = int(m.group(1), 16)
+        text = text[m.end():].strip()
+    pred: Optional[Register] = None
+    pred_neg = False
+    m = _PRED_RE.match(text)
+    if m:
+        pred_neg = m.group(1) == "!"
+        pred = Register.parse(m.group(2))
+        text = text[m.end():].strip()
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    if not text:
+        raise SassSyntaxError("empty instruction", lineno)
+    head, _, rest = text.partition(" ")
+    try:
+        opcode = Opcode.parse(head)
+    except ValueError as exc:
+        raise SassSyntaxError(str(exc), lineno) from exc
+    operands = [_parse_operand(p, lineno) for p in _split_operands(rest)]
+    return Instruction(
+        opcode,
+        operands,
+        offset=offset,
+        line=source_line,
+        file=source_file,
+        pred=pred,
+        pred_negated=pred_neg,
+    )
+
+
+def parse_sass(text: str, name: str = "kernel") -> Program:
+    """Parse a full nvdisasm-style listing into a :class:`Program`.
+
+    Section headers are optional: a bare sequence of instruction lines
+    (e.g. a snippet pasted from a paper) parses as a program named
+    ``name`` with zero recorded register/local/shared sizes.
+    """
+    items: list[Instruction | Label] = []
+    prog_name = name
+    registers = 0
+    local_bytes = 0
+    shared_bytes = 0
+    cur_file: Optional[str] = None
+    cur_line: Optional[int] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        m = _FILE_LINE_RE.match(line)
+        if m:
+            cur_file, cur_line = m.group(1), int(m.group(2))
+            continue
+        if line.startswith("//"):
+            continue
+        m = _SECTION_RE.match(line)
+        if m:
+            prog_name = m.group(1)
+            continue
+        m = _SECTINFO_RE.match(line)
+        if m:
+            key, value = m.group(1), int(m.group(2))
+            if key == "REGISTERS":
+                registers = value
+            elif key == "LOCAL":
+                local_bytes = value
+            elif key == "SHARED":
+                shared_bytes = value
+            continue
+        m = _GLOBAL_RE.match(line)
+        if m:
+            prog_name = m.group(1)
+            continue
+        if line.startswith(".headerflags"):
+            continue
+        m = _LABEL_LINE_RE.match(line)
+        if m:
+            items.append(Label(m.group(1)))
+            continue
+        items.append(
+            parse_instruction(line, lineno, source_line=cur_line, source_file=cur_file)
+        )
+    return Program(
+        prog_name,
+        items,
+        registers_per_thread=registers,
+        local_bytes_per_thread=local_bytes,
+        shared_bytes=shared_bytes,
+    )

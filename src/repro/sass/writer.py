@@ -1,0 +1,69 @@
+"""Serialize :class:`~repro.sass.isa.Program` back to nvdisasm-style text.
+
+The emitted dialect is what ``nvdisasm -c -g`` prints for a Volta
+binary: a section header carrying register/local/shared sizes, labels,
+``//## File "...", line N`` markers (from ``--generate-line-info``) and
+one instruction per line with its ``/*offset*/`` comment.  The parser in
+:mod:`repro.sass.parser` round-trips this format exactly.
+"""
+
+from __future__ import annotations
+
+from repro.sass.isa import Instruction, Program
+
+__all__ = ["format_instruction", "format_program"]
+
+
+def format_instruction(ins: Instruction, with_offset: bool = True) -> str:
+    """Render one instruction the way nvdisasm does.
+
+    >>> from repro.sass.parser import parse_instruction
+    >>> format_instruction(parse_instruction('LDG.E.SYS R4, [R2+0x10] ;'),
+    ...                    with_offset=False)
+    'LDG.E.SYS R4, [R2+0x10] ;'
+    """
+    guard = ""
+    if ins.pred is not None and not (ins.pred.is_zero and not ins.pred_negated):
+        guard = f"@{'!' if ins.pred_negated else ''}{ins.pred.name} "
+    body = ins.opcode.name
+    if ins.operands:
+        body += " " + ", ".join(str(op) for op in ins.operands)
+    text = f"{guard}{body} ;"
+    if with_offset:
+        return f"        /*{ins.offset:04x}*/ {text:<50}"
+    return text
+
+
+def format_program(program: Program) -> str:
+    """Render a full function listing, including the section info that
+    carries the per-thread register count, local frame and static
+    shared-memory size (the attributes GPUscout reads from cuobjdump).
+    """
+    out: list[str] = []
+    out.append(f"//-------------------- .text.{program.name} --------------------")
+    out.append(f"        .section .text.{program.name}")
+    out.append(f'        .sectioninfo @"SHI_REGISTERS={program.registers_per_thread}"')
+    out.append(f'        .sectioninfo @"SHI_LOCAL={program.local_bytes_per_thread}"')
+    out.append(f'        .sectioninfo @"SHI_SHARED={program.shared_bytes}"')
+    out.append(f"        .global {program.name}")
+    # labels sorted by offset, emitted before the instruction they tag
+    labels_by_offset: dict[int, list[str]] = {}
+    for name, off in program.labels.items():
+        labels_by_offset.setdefault(off, []).append(name)
+    last_line: tuple[str | None, int] | None = None
+    for ins in program.instructions:
+        for name in sorted(labels_by_offset.get(ins.offset, ())):
+            out.append(f".{name}:")
+        if ins.line is not None:
+            key = (ins.file, ins.line)
+            if key != last_line:
+                fname = ins.file or "kernel.cu"
+                out.append(f'        //## File "{fname}", line {ins.line}')
+                last_line = key
+        out.append(format_instruction(ins).rstrip())
+    # trailing labels (e.g. a loop-exit label after the last instruction)
+    end_offset = len(program.instructions) * Program.INSTR_BYTES
+    for name in sorted(labels_by_offset.get(end_offset, ())):
+        out.append(f".{name}:")
+    out.append(f"        //-------------------- end .text.{program.name} ----------")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Simulation results for the case-study kernels are expensive enough to
+be worth caching per session; every fixture that mutates nothing is
+session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cudalite import KernelBuilder, compile_kernel, f32, i32, ptr
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> GPUSpec:
+    """One-SM spec: every block simulated, outputs complete."""
+    return GPUSpec.small(1)
+
+
+@pytest.fixture(scope="session")
+def sim(small_spec) -> Simulator:
+    return Simulator(small_spec)
+
+
+def build_saxpy(restrict: bool = False):
+    """The canonical little kernel used across many tests."""
+    kb = KernelBuilder("saxpy")
+    x = kb.param("x", ptr(f32, readonly=restrict, restrict=restrict))
+    y = kb.param("y", ptr(f32))
+    a = kb.param("a", f32)
+    n = kb.param("n", i32)
+    i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+               dtype=i32)
+    kb.return_if(i >= n)
+    kb.store(y, i, a * x[i] + y[i])
+    return compile_kernel(kb.build())
+
+
+@pytest.fixture(scope="session")
+def saxpy():
+    return build_saxpy()
+
+
+@pytest.fixture(scope="session")
+def saxpy_launch(sim, saxpy):
+    n = 1024
+    xs = np.arange(n, dtype=np.float32)
+    ys = np.ones(n, dtype=np.float32)
+    return sim.launch(
+        saxpy,
+        LaunchConfig(grid=(8, 1), block=(128, 1)),
+        args={"x": xs, "y": ys, "a": 2.0, "n": n},
+    )
+
+
+LOOP_SASS = """
+        /*0000*/ S2R R0, SR_TID.X ;
+        /*0010*/ MOV R2, c[0x0][0x160] ;
+        /*0020*/ IADD3 R2, R2, R0, RZ ;
+.LOOP:
+        /*0030*/ LDG.E.SYS R4, [R2+0x10] ;
+        /*0040*/ FFMA R4, R4, R4, R4 ;
+        /*0050*/ IADD3 R0, R0, 0x1, RZ ;
+        /*0060*/ ISETP.LT.AND P0, PT, R0, 0x60, PT ;
+        /*0070*/ @P0 BRA `(LOOP) ;
+        /*0080*/ STG.E.SYS [R2], R4 ;
+        /*0090*/ EXIT ;
+"""
+
+
+@pytest.fixture(scope="session")
+def loop_program():
+    from repro.sass import parse_sass
+
+    return parse_sass(LOOP_SASS, "loopy")

@@ -1,0 +1,136 @@
+"""Advice-observation loop: the stalls a finding tells the user to
+watch must actually be observable in the dynamic data for the
+case-study kernels (the paper's premise that the three pillars agree).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout
+from repro.gpu import LaunchConfig, Simulator
+from repro.gpu.stalls import StallReason
+from repro.kernels.calibration import heat_spec, mixbench_spec, sgemm_spec
+from repro.kernels.heat import build_heat, heat_args
+from repro.kernels.mixbench import build_mixbench, mixbench_args
+from repro.kernels.sgemm import build_sgemm, sgemm_args, sgemm_launch
+from repro.sampling import PCSampler
+
+
+def _scout(spec):
+    return GPUscout(spec=spec, sampler=PCSampler(period_cycles=128))
+
+
+class TestMixbenchLoop:
+    @pytest.fixture(scope="class")
+    def report(self):
+        args = mixbench_args(4096, 8, "sp")
+        args["compute_iterations"] = 2
+        return _scout(mixbench_spec()).analyze(
+            build_mixbench("sp", 8),
+            LaunchConfig(grid=(16, 1), block=(256, 1)), args,
+            max_blocks=8,
+        )
+
+    def test_vectorize_focus_observed(self, report):
+        finding = next(f for f in report.findings_for("use_vectorized_loads")
+                       if f.severity.value >= 1)
+        observed = {r for r, v in finding.stall_profile.items() if v > 0}
+        # the flagged loads' lines show memory-path stalls
+        assert observed & {StallReason.LONG_SCOREBOARD,
+                           StallReason.LG_THROTTLE}
+
+    def test_metric_focus_collected_with_values(self, report):
+        finding = next(f for f in report.findings_for("use_vectorized_loads")
+                       if f.severity.value >= 1)
+        assert finding.metrics["derived__sectors_per_global_load"] > 4.0
+        assert finding.metrics["launch__registers_per_thread"] > 0
+
+
+class TestHeatLoop:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        scout = _scout(heat_spec())
+        out = {}
+        for variant in ("naive", "texture"):
+            w, h = 256, 64
+            ck = build_heat(variant)
+            args, t0 = heat_args(w, h, variant=variant)
+            tex = {"t_tex": t0.reshape(h, w)} if variant == "texture" else {}
+            out[variant] = scout.analyze(
+                ck, LaunchConfig(grid=(w // 256, h), block=(256, 1)),
+                args, textures=tex, max_blocks=16,
+            )
+        return out
+
+    def test_texture_advice_predicts_tex_throttle(self, reports):
+        naive = reports["naive"]
+        finding = reports["naive"].findings_for("use_texture_memory")[0]
+        assert StallReason.TEX_THROTTLE in finding.stall_focus
+        # before the change: no TEX stalls anywhere
+        assert naive.sampling.by_reason().get(StallReason.TEX_THROTTLE, 0) == 0
+        # after applying the advice: they appear, as warned
+        after = reports["texture"].sampling.by_reason()
+        assert after.get(StallReason.TEX_THROTTLE, 0) > 0
+
+    def test_texture_metrics_appear_after_change(self, reports):
+        assert reports["naive"].metrics.get(
+            "l1tex__t_bytes_pipe_tex.sum", 0) == 0
+        # the texture run's base set may not include tex metrics, but
+        # its findings no longer recommend texture
+        assert not reports["texture"].has_finding("use_texture_memory")
+
+
+class TestSgemmLoop:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        scout = _scout(sgemm_spec())
+        out = {}
+        n = 128
+        for variant in ("naive", "shared"):
+            ck = build_sgemm(variant)
+            out[variant] = scout.analyze(
+                ck, sgemm_launch(variant, n, n), sgemm_args(n, n, n),
+                max_blocks=8,
+            )
+        return out
+
+    def test_shared_advice_predicts_mio(self, reports):
+        finding = reports["naive"].findings_for("use_shared_memory")[0]
+        assert StallReason.MIO_THROTTLE in finding.stall_focus
+        before = reports["naive"].sampling.by_reason()
+        after = reports["shared"].sampling.by_reason()
+        mio = (StallReason.MIO_THROTTLE, StallReason.SHORT_SCOREBOARD)
+        assert sum(after.get(r, 0) for r in mio) > \
+            sum(before.get(r, 0) for r in mio)
+
+    def test_bank_conflict_metric_present_after_change(self, reports):
+        shared = reports["shared"]
+        finding = shared.findings_for("use_shared_memory")
+        if finding:  # the tiled kernel still loads from global
+            ways = finding[0].metrics.get("derived__smem_ld_bank_conflict_ways")
+            assert ways is None or ways >= 1.0
+
+    def test_restrict_advice_disappears_when_applied(self):
+        """Marking the pointers const __restrict__ silences §4.5."""
+        from repro.cudalite import KernelBuilder, compile_kernel, f32, i32, ptr
+        from repro.cudalite.intrinsics import mad
+
+        def build(restrict):
+            kb = KernelBuilder("mini_gemm")
+            a = kb.param("a", ptr(f32, readonly=restrict, restrict=restrict))
+            b = kb.param("b", ptr(f32, readonly=restrict, restrict=restrict))
+            c = kb.param("c", ptr(f32))
+            k = kb.param("k", i32)
+            row = kb.let("row", kb.thread_idx.y, dtype=i32)
+            col = kb.let("col", kb.thread_idx.x, dtype=i32)
+            acc = kb.let("acc", 0.0, dtype=f32)
+            with kb.for_range("p", 0, k) as p:
+                kb.assign(acc, mad(a[row * k + p], b[p * 16 + col], acc))
+            kb.store(c, row * 16 + col, acc)
+            return compile_kernel(kb.build())
+
+        scout = GPUscout()
+        plain = scout.analyze(build(False), dry_run=True)
+        assert plain.has_finding("use_restrict")
+        restricted = scout.analyze(build(True), dry_run=True)
+        assert not restricted.has_finding("use_restrict")

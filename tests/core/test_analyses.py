@@ -1,0 +1,349 @@
+"""Per-analysis tests over hand-written SASS (§4.1–§4.7).
+
+Working from raw SASS text mirrors the paper's design point that
+GPUscout "operates directly on the disassembled SASS code without
+assuming the availability of the source CUDA program".
+"""
+
+import pytest
+
+from repro.core.base import AnalysisContext
+from repro.core.atomics import SharedAtomicsAnalysis
+from repro.core.conversions import DatatypeConversionsAnalysis
+from repro.core.findings import Severity
+from repro.core.restrict import RestrictAnalysis
+from repro.core.shared_mem import SharedMemoryAnalysis
+from repro.core.spilling import RegisterSpillingAnalysis
+from repro.core.texture import TextureMemoryAnalysis
+from repro.core.vectorize import VectorizeLoadsAnalysis
+from repro.sass import parse_sass
+
+
+def ctx_of(text: str) -> AnalysisContext:
+    return AnalysisContext(parse_sass(text))
+
+
+class TestVectorize:
+    ADJACENT = """
+        //## File "k.cu", line 55
+        LDG.E.SYS R4, [R2] ;
+        LDG.E.SYS R5, [R2+0x4] ;
+        LDG.E.SYS R6, [R2+0x8] ;
+        LDG.E.SYS R7, [R2+0xc] ;
+        FADD R8, R4, R5 ;
+        FADD R8, R8, R6 ;
+        FADD R8, R8, R7 ;
+        STG.E.SYS [R10], R8 ;
+        EXIT ;
+    """
+
+    def test_detects_adjacent_run(self):
+        findings = VectorizeLoadsAnalysis().run(ctx_of(self.ADJACENT))
+        warn = [f for f in findings if f.severity is Severity.WARNING]
+        assert len(warn) == 1
+        f = warn[0]
+        assert f.details["achievable_width_bits"] == 128
+        assert f.details["base_register"] == "R2"
+        assert 55 in f.lines
+
+    def test_two_adjacent_suggests_64bit(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "LDG.E.SYS R5, [R2+0x4] ;\n"
+            "STG.E.SYS [R6], R4 ;\n"
+            "EXIT ;\n"
+        )
+        findings = VectorizeLoadsAnalysis().run(ctx_of(text))
+        warn = [f for f in findings if f.severity is Severity.WARNING]
+        assert warn[0].details["achievable_width_bits"] == 64
+
+    def test_non_adjacent_not_flagged(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "LDG.E.SYS R5, [R2+0x40] ;\n"
+            "EXIT ;\n"
+        )
+        findings = VectorizeLoadsAnalysis().run(ctx_of(text))
+        assert not [f for f in findings if f.severity is Severity.WARNING]
+
+    def test_different_base_values_not_grouped(self):
+        # R2 is redefined between the loads: same name, different address
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "IADD3 R2, R2, 0x100, RZ ;\n"
+            "LDG.E.SYS R5, [R2+0x4] ;\n"
+            "EXIT ;\n"
+        )
+        findings = VectorizeLoadsAnalysis().run(ctx_of(text))
+        assert not [f for f in findings if f.severity is Severity.WARNING]
+
+    def test_existing_vector_load_reported_info(self):
+        text = "LDG.E.128.SYS R4, [R2] ;\nEXIT ;\n"
+        findings = VectorizeLoadsAnalysis().run(ctx_of(text))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert "128-bit" in findings[0].message
+
+    def test_wide_loads_not_counted_in_runs(self):
+        text = (
+            "LDG.E.64.SYS R4, [R2] ;\n"
+            "LDG.E.64.SYS R6, [R2+0x8] ;\n"
+            "EXIT ;\n"
+        )
+        findings = VectorizeLoadsAnalysis().run(ctx_of(text))
+        assert not [f for f in findings if f.severity is Severity.WARNING]
+
+
+class TestSpilling:
+    SPILL = """
+        //## File "k.cu", line 18
+        IADD3 R5, R1, R2, RZ ;
+        //## File "k.cu", line 19
+        STL [0x4], R5 ;
+        MOV R5, 0x7 ;
+        //## File "k.cu", line 22
+        LDL R6, [0x4] ;
+        STG.E.SYS [R8], R6 ;
+        EXIT ;
+    """
+
+    def test_detects_spill_and_blames_writer(self):
+        findings = RegisterSpillingAnalysis().run(ctx_of(self.SPILL))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.details["spilled_register"] == "R5"
+        assert f.details["causing_operation"] == "IADD3"
+        assert 19 in f.lines
+
+    def test_clean_kernel_no_findings(self):
+        assert RegisterSpillingAnalysis().run(
+            ctx_of("MOV R1, R2 ;\nEXIT ;\n")
+        ) == []
+
+    def test_spill_in_loop_critical(self):
+        text = (
+            ".L:\n"
+            "IADD3 R5, R5, 0x1, RZ ;\n"
+            "STL [0x0], R5 ;\n"
+            "LDL R6, [0x0] ;\n"
+            "ISETP.LT.AND P0, PT, R6, 0x40, PT ;\n"
+            "@P0 BRA `(L) ;\n"
+            "EXIT ;\n"
+        )
+        findings = RegisterSpillingAnalysis().run(ctx_of(text))
+        assert findings[0].severity is Severity.CRITICAL
+        assert findings[0].in_loop
+
+    def test_metric_focus_includes_paper_formulas(self):
+        findings = RegisterSpillingAnalysis().run(ctx_of(self.SPILL))
+        assert "derived__l2_queries_due_to_local_memory" in \
+            findings[0].metric_focus
+
+
+class TestSharedMemory:
+    LOOPED = """
+        MOV R2, c[0x0][0x160] ;
+        .L:
+        //## File "k.cu", line 9
+        LDG.E.SYS R4, [R2] ;
+        FFMA R5, R4, R4, R5 ;
+        FMUL R6, R4, R5 ;
+        IADD3 R0, R0, 0x1, RZ ;
+        ISETP.LT.AND P0, PT, R0, 0x20, PT ;
+        @P0 BRA `(L) ;
+        STG.E.SYS [R8], R6 ;
+        EXIT ;
+    """
+
+    def test_loop_load_with_arith_flagged(self):
+        findings = SharedMemoryAnalysis().run(ctx_of(self.LOOPED))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity is Severity.WARNING
+        assert f.in_loop
+        assert "R4" in f.registers
+        assert f.details["arithmetic_uses"] >= 2
+
+    def test_unused_load_not_flagged(self):
+        text = "LDG.E.SYS R4, [R2] ;\nSTG.E.SYS [R6], R4 ;\nEXIT ;\n"
+        assert SharedMemoryAnalysis().run(ctx_of(text)) == []
+
+    def test_single_use_outside_loop_not_flagged(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "STG.E.SYS [R6], R5 ;\n"
+            "EXIT ;\n"
+        )
+        assert SharedMemoryAnalysis().run(ctx_of(text)) == []
+
+    def test_repeated_same_address_counted(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "LDG.E.SYS R6, [R2] ;\n"
+            "FADD R7, R6, 2.0 ;\n"
+            "FMUL R7, R7, R5 ;\n"
+            "STG.E.SYS [R8], R7 ;\n"
+            "EXIT ;\n"
+        )
+        findings = SharedMemoryAnalysis().run(ctx_of(text))
+        assert findings
+        assert findings[0].details["same_address_load_repeats"] == 2
+
+
+class TestAtomics:
+    def test_global_atomics_flagged(self):
+        text = (
+            "//## File \"k.cu\", line 4\n"
+            "RED.E.ADD.F32 [R2], R5 ;\n"
+            "EXIT ;\n"
+        )
+        findings = SharedAtomicsAnalysis().run(ctx_of(text))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert findings[0].details["global_atomics"] == 1
+
+    def test_global_atomic_in_loop_critical(self):
+        text = (
+            ".L:\n"
+            "RED.E.ADD.F32 [R2], R5 ;\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(L) ;\n"
+            "EXIT ;\n"
+        )
+        findings = SharedAtomicsAnalysis().run(ctx_of(text))
+        assert findings[0].severity is Severity.CRITICAL
+        assert "amplifies" in findings[0].message
+
+    def test_shared_atomics_only_info(self):
+        text = "ATOMS.ADD.F32 [R2], R5 ;\nEXIT ;\n"
+        findings = SharedAtomicsAnalysis().run(ctx_of(text))
+        assert findings[0].severity is Severity.INFO
+        assert "MIO" in findings[0].recommendation \
+            or "MIO" in findings[0].message
+
+    def test_no_atomics_no_findings(self):
+        assert SharedAtomicsAnalysis().run(ctx_of("EXIT ;\n")) == []
+
+    def test_atom_with_return_value_counted(self):
+        text = "ATOM.E.ADD R4, [R2], R5 ;\nEXIT ;\n"
+        findings = SharedAtomicsAnalysis().run(ctx_of(text))
+        assert findings[0].details["global_atomics"] == 1
+
+
+class TestRestrict:
+    def test_readonly_load_flagged(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "STG.E.SYS [R8], R5 ;\n"
+            "EXIT ;\n"
+        )
+        findings = RestrictAnalysis().run(ctx_of(text))
+        assert len(findings) == 1
+        assert "R4" in findings[0].registers
+
+    def test_already_constant_not_flagged(self):
+        text = (
+            "LDG.E.CONSTANT.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "STG.E.SYS [R8], R5 ;\n"
+            "EXIT ;\n"
+        )
+        assert RestrictAnalysis().run(ctx_of(text)) == []
+
+    def test_stored_through_pointer_not_flagged(self):
+        # load and store through the same base: potential aliasing
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "STG.E.SYS [R2+0x4], R5 ;\n"
+            "EXIT ;\n"
+        )
+        assert RestrictAnalysis().run(ctx_of(text)) == []
+
+    def test_mutated_register_not_flagged(self):
+        # the loaded value is updated in place (mixbench pattern)
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FFMA R4, R4, R4, 1.0 ;\n"
+            "STG.E.SYS [R8], R4 ;\n"
+            "EXIT ;\n"
+        )
+        assert RestrictAnalysis().run(ctx_of(text)) == []
+
+
+class TestTexture:
+    PAPER_LISTING_1 = """
+        LDG.E.SYS R0, [R2] ;
+        LDG.E.SYS R5, [R4] ;
+        LDG.E.SYS R7, [R4+-0x8] ;
+        LDG.E.SYS R9, [R2+-0x8] ;
+        STG.E.SYS [R6], R9 ;
+        EXIT ;
+    """
+
+    def test_paper_listing_detected(self):
+        """The exact SASS of paper Listing 1 yields texture candidates
+        for both base registers."""
+        findings = TextureMemoryAnalysis().run(ctx_of(self.PAPER_LISTING_1))
+        bases = {f.details["base_register"] for f in findings}
+        assert bases == {"R2", "R4"}
+
+    def test_non_readonly_not_flagged(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "LDG.E.SYS R5, [R2+0x4] ;\n"
+            "FFMA R4, R4, R4, R5 ;\n"  # R4 mutated in place
+            "STG.E.SYS [R6], R4 ;\n"
+            "EXIT ;\n"
+        )
+        findings = TextureMemoryAnalysis().run(ctx_of(text))
+        assert findings == []
+
+    def test_far_apart_offsets_not_local(self):
+        text = (
+            "LDG.E.SYS R4, [R2] ;\n"
+            "LDG.E.SYS R5, [R2+0x1000] ;\n"
+            "STG.E.SYS [R6], R4 ;\n"
+            "EXIT ;\n"
+        )
+        assert TextureMemoryAnalysis().run(ctx_of(text)) == []
+
+    def test_recommendation_mentions_tex_throttle(self):
+        findings = TextureMemoryAnalysis().run(ctx_of(self.PAPER_LISTING_1))
+        from repro.gpu.stalls import StallReason
+
+        assert StallReason.TEX_THROTTLE in findings[0].stall_focus
+
+
+class TestConversions:
+    def test_counts_by_kind(self):
+        text = (
+            "I2F R4, R1 ;\n"
+            "I2F R5, R2 ;\n"
+            "F2F.F64.F32 R6, R4 ;\n"
+            "EXIT ;\n"
+        )
+        findings = DatatypeConversionsAnalysis().run(ctx_of(text))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.details["total"] == 3
+        assert f.details["by_kind"] == {"I2F": 2, "F2F": 1}
+
+    def test_no_conversions_no_findings(self):
+        assert DatatypeConversionsAnalysis().run(ctx_of("EXIT ;\n")) == []
+
+    def test_loop_conversions_warn(self):
+        text = (
+            ".L:\n"
+            "I2F R4, R0 ;\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(L) ;\n"
+            "EXIT ;\n"
+        )
+        findings = DatatypeConversionsAnalysis().run(ctx_of(text))
+        assert findings[0].severity is Severity.WARNING

@@ -1,0 +1,157 @@
+"""Tests for the Figure-7 extensions: metrics comparison + HTML report."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout, compare_reports, render_html
+from repro.core.compare import MetricDelta
+from repro.gpu import GPUSpec, LaunchConfig
+from repro.kernels.calibration import heat_spec
+from repro.kernels.heat import build_heat, heat_args
+
+
+@pytest.fixture(scope="module")
+def two_reports():
+    scout = GPUscout(spec=heat_spec())
+    w, h = 256, 64
+    out = []
+    for variant in ("naive", "texture"):
+        ck = build_heat(variant)
+        args, t0 = heat_args(w, h, variant=variant)
+        textures = {"t_tex": t0.reshape(h, w)} if variant == "texture" else {}
+        out.append(
+            scout.analyze(
+                ck, LaunchConfig(grid=(w // 256, h), block=(256, 1)),
+                args, textures=textures, max_blocks=16,
+            )
+        )
+    return out
+
+
+class TestMetricDelta:
+    def test_directions(self):
+        assert MetricDelta("m", 1.0, 2.0, False).direction == "rise"
+        assert MetricDelta("m", 2.0, 1.0, False).direction == "fall"
+        assert MetricDelta("m", 2.0, 2.0, False).direction == "same"
+
+    def test_change_pct(self):
+        assert MetricDelta("m", 10.0, 15.0, False).change_pct == 50.0
+        assert MetricDelta("m", 0.0, 5.0, False).change_pct == float("inf")
+        assert MetricDelta("m", 0.0, 0.0, False).change_pct is None
+
+
+class TestCompareReports:
+    def test_speedup_computed(self, two_reports):
+        old, new = two_reports
+        cmp = compare_reports(old, new)
+        assert cmp.speedup == pytest.approx(
+            old.launch.cycles / new.launch.cycles
+        )
+        assert cmp.speedup > 1.2  # texture wins on the calibrated spec
+
+    def test_watched_metrics_flagged(self, two_reports):
+        cmp = compare_reports(*two_reports)
+        watched = {d.name for d in cmp.watched()}
+        # the naive findings asked to watch texture metrics
+        assert "derived__tex_cache_miss_pct" in watched
+
+    def test_new_metrics_appear(self, two_reports):
+        cmp = compare_reports(*two_reports)
+        tex_bytes = next(d for d in cmp.metric_deltas
+                         if d.name == "l1tex__t_bytes_pipe_tex.sum")
+        assert tex_bytes.before == 0.0
+        assert tex_bytes.after > 0.0
+        assert tex_bytes.direction == "rise"
+
+    def test_stall_deltas_cover_tex_throttle(self, two_reports):
+        from repro.gpu.stalls import StallReason
+
+        cmp = compare_reports(*two_reports)
+        tex = next((t for t in cmp.stall_deltas
+                    if t[0] is StallReason.TEX_THROTTLE), None)
+        assert tex is not None
+        before, after = tex[1], tex[2]
+        assert before == 0.0 and after > 0.0
+
+    def test_render_text(self, two_reports):
+        cmp = compare_reports(*two_reports)
+        text = cmp.render()
+        assert "Metrics comparison" in text or "metrics comparison" in text
+        assert "speedup" in text.lower()
+        assert "stalled_tex_throttle" in text
+
+    def test_dry_run_rejected(self, two_reports):
+        dry = GPUscout().analyze(build_heat("naive"), dry_run=True)
+        with pytest.raises(ValueError):
+            compare_reports(dry, two_reports[1])
+
+
+class TestHtmlReport:
+    def test_full_page_structure(self, two_reports):
+        html_text = render_html(two_reports[0])
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "Source code" in html_text
+        assert "SASS instructions" in html_text
+        assert "Findings" in html_text
+        assert "Warp-stall distribution" in html_text
+        assert "Kernel-wide metrics" in html_text
+
+    def test_line_correlation_attributes(self, two_reports):
+        html_text = render_html(two_reports[0])
+        # both panels carry data-line attributes for the hover link
+        assert html_text.count("data-line=") > 20
+
+    def test_escaping(self):
+        # source containing HTML-sensitive characters must be escaped
+        report = GPUscout().analyze(
+            "LDG.E.SYS R4, [R2] ;\nEXIT ;\n", dry_run=True
+        )
+        page = render_html(report)
+        assert "<script>alert" not in page
+
+    def test_comparison_section(self, two_reports):
+        cmp = compare_reports(*two_reports)
+        page = render_html(two_reports[1], comparison=cmp)
+        assert "Metrics comparison (old vs new)" in page
+        assert "&#9733;" in page  # watched star
+
+    def test_dry_run_page(self):
+        report = GPUscout().analyze(build_heat("naive"), dry_run=True)
+        page = render_html(report)
+        assert "dry run" in page
+        assert "Kernel-wide metrics" not in page
+
+    def test_findings_badges(self, two_reports):
+        page = render_html(two_reports[0])
+        assert "class='badge" in page
+
+    def test_report_method(self, two_reports):
+        assert two_reports[0].render_html().startswith("<!DOCTYPE html>")
+
+
+class TestCompareCli:
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--old", "heat:naive", "--new",
+                     "heat:restrict", "--size", "64",
+                     "--max-blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics comparison" in out.lower()
+
+    def test_analyze_html_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.html"
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--size", "256", "--max-blocks", "2",
+                     "--html", str(target)]) == 0
+        assert target.exists()
+        assert "<!DOCTYPE html>" in target.read_text()
+
+    def test_disasm_ptx_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["disasm", "--kernel", "sgemm:naive", "--ptx"]) == 0
+        out = capsys.readouterr().out
+        assert ".visible .entry" in out

@@ -1,0 +1,149 @@
+"""AnalysisContext static-fact helpers: reaching definitions, address
+groups, value-range use counting, read-only classification."""
+
+import pytest
+
+from repro.core.base import AnalysisContext
+from repro.sass import parse_sass
+from repro.sass.isa import Register
+
+
+def ctx_of(text: str) -> AnalysisContext:
+    return AnalysisContext(parse_sass(text))
+
+
+class TestReachingDef:
+    TEXT = """
+        MOV R2, c[0x0][0x160] ;
+        LDG.E.SYS R4, [R2] ;
+        IADD3 R2, R2, 0x100, RZ ;
+        LDG.E.SYS R5, [R2] ;
+        EXIT ;
+    """
+
+    def test_stream_order_reaching(self):
+        ctx = ctx_of(self.TEXT)
+        r2 = Register(2)
+        assert ctx.reaching_def(r2, 1) == 0
+        assert ctx.reaching_def(r2, 3) == 2
+
+    def test_unwritten_register(self):
+        ctx = ctx_of(self.TEXT)
+        assert ctx.reaching_def(Register(9), 3) == -1
+
+    def test_groups_split_on_redefinition(self):
+        ctx = ctx_of(self.TEXT)
+        groups = ctx.global_load_groups
+        assert len(groups) == 2
+        keys = {g.key for g in groups}
+        assert (2, 0) in keys and (2, 2) in keys
+
+
+class TestAddressGroups:
+    def test_offsets_collected(self):
+        ctx = ctx_of(
+            "MOV R2, c[0x0][0x160] ;\n"
+            "LDG.E.SYS R4, [R2+0x8] ;\n"
+            "LDG.E.SYS R5, [R2] ;\n"
+            "LDG.E.SYS R6, [R2+0x8] ;\n"
+            "EXIT ;\n"
+        )
+        (group,) = ctx.global_load_groups
+        assert group.offsets() == [0, 8]
+        assert len(group.accesses) == 3
+
+    def test_access_groups_include_stores(self):
+        ctx = ctx_of(
+            "MOV R2, c[0x0][0x160] ;\n"
+            "LDG.E.SYS R4, [R2] ;\n"
+            "STG.E.SYS [R2+0x4], R4 ;\n"
+            "EXIT ;\n"
+        )
+        assert len(ctx.global_load_groups[0].accesses) == 1
+        assert len(ctx.global_access_groups[0].accesses) == 2
+
+    def test_absolute_addresses_skipped(self):
+        ctx = ctx_of("LDL R4, [0x8] ;\nEXIT ;\n")
+        assert ctx.global_load_groups == []
+
+
+class TestValueUses:
+    TEXT = """
+        LDG.E.SYS R4, [R2] ;
+        FADD R5, R4, 1.0 ;
+        FMUL R6, R4, R5 ;
+        MOV R4, 0x7 ;
+        IADD3 R7, R4, R4, RZ ;
+        EXIT ;
+    """
+
+    def test_value_range_cuts_at_redefinition(self):
+        ctx = ctx_of(self.TEXT)
+        r4 = Register(4)
+        first_value = ctx.value_uses(r4, 0)
+        assert first_value == [1, 2]
+        second_value = ctx.value_uses(r4, 3)
+        assert second_value == [4]
+
+    def test_arithmetic_subset(self):
+        ctx = ctx_of(self.TEXT)
+        r4 = Register(4)
+        assert ctx.value_arithmetic_uses(r4, 0) == [1, 2]
+
+    def test_architectural_count_merges_both(self):
+        ctx = ctx_of(self.TEXT)
+        r4 = Register(4)
+        assert len(ctx.arithmetic_uses(r4)) == 3  # both values merged
+
+    def test_unknown_register(self):
+        ctx = ctx_of(self.TEXT)
+        assert ctx.value_uses(Register(99), 0) == []
+
+
+class TestReadOnlyClassification:
+    def test_load_only_register(self):
+        ctx = ctx_of(
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "STG.E.SYS [R6], R5 ;\n"
+            "EXIT ;\n"
+        )
+        assert ctx.is_readonly_register(Register(4))
+        assert not ctx.is_readonly_register(Register(5))
+
+    def test_loop_reload_still_readonly(self):
+        ctx = ctx_of(
+            ".L:\n"
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R5, R4 ;\n"
+            "IADD3 R2, R2, 0x4, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R2, 0x100, PT ;\n"
+            "@P0 BRA `(L) ;\n"
+            "EXIT ;\n"
+        )
+        assert ctx.is_readonly_register(Register(4))
+
+    def test_inplace_update_not_readonly(self):
+        ctx = ctx_of(
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FFMA R4, R4, R4, 1.0 ;\n"
+            "STG.E.SYS [R6], R4 ;\n"
+            "EXIT ;\n"
+        )
+        assert not ctx.is_readonly_register(Register(4))
+
+    def test_disjoint_reuse_still_readonly(self):
+        # the second write to R4 starts an unrelated value (R4 dead)
+        ctx = ctx_of(
+            "LDG.E.SYS R4, [R2] ;\n"
+            "FADD R5, R4, 1.0 ;\n"
+            "LDG.E.SYS R4, [R2+0x4] ;\n"
+            "FADD R5, R5, R4 ;\n"
+            "STG.E.SYS [R6], R5 ;\n"
+            "EXIT ;\n"
+        )
+        assert ctx.is_readonly_register(Register(4))
+
+    def test_never_loaded_not_readonly(self):
+        ctx = ctx_of("MOV R4, 0x1 ;\nEXIT ;\n")
+        assert not ctx.is_readonly_register(Register(4))

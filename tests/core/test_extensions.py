@@ -1,0 +1,180 @@
+"""Extension analyses (§7-style additions): uncoalesced access and
+predication efficiency."""
+
+import pytest
+
+from repro.core import (
+    GPUscout,
+    Severity,
+    all_analyses,
+    default_analyses,
+    extension_analyses,
+)
+from repro.core.base import AnalysisContext
+from repro.core.coalescing import UncoalescedAccessAnalysis
+from repro.core.divergence import PredicationEfficiencyAnalysis
+from repro.sass import parse_sass
+
+
+def ctx_of(text: str) -> AnalysisContext:
+    return AnalysisContext(parse_sass(text))
+
+
+class TestRegistry:
+    def test_extensions_not_in_defaults(self):
+        default_names = {a.name for a in default_analyses()}
+        assert "uncoalesced_access" not in default_names
+        assert "predication_efficiency" not in default_names
+
+    def test_extension_registry(self):
+        ext_names = {a.name for a in extension_analyses()}
+        assert ext_names == {"uncoalesced_access", "predication_efficiency"}
+
+    def test_all_is_union(self):
+        names = {a.name for a in all_analyses()}
+        assert {a.name for a in default_analyses()} <= names
+        assert {a.name for a in extension_analyses()} <= names
+
+
+class TestUncoalesced:
+    STRIDED = """
+        S2R R0, SR_TID.X ;
+        IMAD R1, R0, 0x8, RZ ;
+        MOV R4, c[0x0][0x160] ;
+        IMAD.WIDE R2, R1, 0x4, R4 ;
+        LDG.E.SYS R5, [R2] ;
+        STG.E.SYS [R2], R5 ;
+        EXIT ;
+    """
+    DENSE = """
+        S2R R0, SR_TID.X ;
+        MOV R4, c[0x0][0x160] ;
+        IMAD.WIDE R2, R0, 0x4, R4 ;
+        LDG.E.SYS R5, [R2] ;
+        STG.E.SYS [R2], R5 ;
+        EXIT ;
+    """
+
+    def test_strided_flagged(self):
+        findings = UncoalescedAccessAnalysis().run(ctx_of(self.STRIDED))
+        assert len(findings) >= 1
+        f = findings[0]
+        assert f.severity is Severity.WARNING
+        assert f.details["lane_byte_stride"] == 32
+        assert f.details["estimated_sectors_per_access"] == 32
+
+    def test_dense_not_flagged(self):
+        assert UncoalescedAccessAnalysis().run(ctx_of(self.DENSE)) == []
+
+    def test_vector_stride_matching_width_ok(self):
+        # float4 access with 16-byte lane stride moves 16 bytes: dense
+        text = """
+            S2R R0, SR_TID.X ;
+            MOV R4, c[0x0][0x160] ;
+            IMAD.WIDE R2, R0, 0x10, R4 ;
+            LDG.E.128.SYS R8, [R2] ;
+            EXIT ;
+        """
+        assert UncoalescedAccessAnalysis().run(ctx_of(text)) == []
+
+    def test_shifted_index_traced(self):
+        text = """
+            S2R R0, SR_TID.X ;
+            SHF.L.U32 R1, R0, 0x3 ;
+            MOV R4, c[0x0][0x160] ;
+            IMAD.WIDE R2, R1, 0x4, R4 ;
+            LDG.E.SYS R5, [R2] ;
+            EXIT ;
+        """
+        findings = UncoalescedAccessAnalysis().run(ctx_of(text))
+        assert findings and findings[0].details["lane_byte_stride"] == 32
+
+    def test_non_tid_index_ignored(self):
+        text = """
+            MOV R0, c[0x0][0x170] ;
+            IMAD R1, R0, 0x8, RZ ;
+            MOV R4, c[0x0][0x160] ;
+            IMAD.WIDE R2, R1, 0x4, R4 ;
+            LDG.E.SYS R5, [R2] ;
+            EXIT ;
+        """
+        assert UncoalescedAccessAnalysis().run(ctx_of(text)) == []
+
+    def test_mixbench_naive_flagged_heat_not(self):
+        from repro.kernels.heat import build_heat
+        from repro.kernels.mixbench import build_mixbench
+
+        scout = GPUscout(analyses=all_analyses())
+        mix = scout.analyze(build_mixbench("sp", 8), dry_run=True)
+        assert mix.has_finding("uncoalesced_access")
+        heat = scout.analyze(build_heat("naive"), dry_run=True)
+        assert not heat.has_finding("uncoalesced_access")
+
+
+class TestPredication:
+    def test_no_predication_no_finding(self):
+        assert PredicationEfficiencyAnalysis().run(
+            ctx_of("MOV R1, R2 ;\nEXIT ;\n")
+        ) == []
+
+    def test_guard_on_exit_ignored(self):
+        text = (
+            "ISETP.GE.AND P0, PT, R0, 0x40, PT ;\n"
+            "@P0 EXIT ;\n"
+            "MOV R1, R2 ;\n"
+            "EXIT ;\n"
+        )
+        assert PredicationEfficiencyAnalysis().run(ctx_of(text)) == []
+
+    def test_dual_arm_detected(self):
+        text = (
+            "ISETP.GE.AND P0, PT, R0, 0x40, PT ;\n"
+            "@P0 MOV R1, 0x1 ;\n"
+            "@P0 STG.E.SYS [R2], R1 ;\n"
+            "@!P0 MOV R1, 0x2 ;\n"
+            "@!P0 STG.E.SYS [R2], R1 ;\n"
+            "EXIT ;\n"
+        )
+        findings = PredicationEfficiencyAnalysis().run(ctx_of(text))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity is Severity.WARNING  # 4/6 > 0.3
+        assert f.details["dual_arm_predicates"] == [0]
+        assert f.details["predicated_memory_ops"] == 2
+
+    def test_light_predication_info(self):
+        text = (
+            "ISETP.GE.AND P0, PT, R0, 0x40, PT ;\n"
+            + "MOV R1, R2 ;\n" * 10
+            + "@P0 MOV R3, 0x1 ;\n"
+            + "EXIT ;\n"
+        )
+        findings = PredicationEfficiencyAnalysis().run(ctx_of(text))
+        assert findings[0].severity is Severity.INFO
+
+    def test_heat_kernel_reports_predication(self):
+        from repro.kernels.heat import build_heat
+
+        scout = GPUscout(analyses=all_analyses())
+        report = scout.analyze(build_heat("naive"), dry_run=True)
+        f = report.findings_for("predication_efficiency")[0]
+        assert f.details["dual_arm_predicates"]  # the if/else arms
+        assert 0.0 < f.details["predicated_fraction"] < 1.0
+
+
+class TestCliExtended:
+    def test_extended_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--dry-run", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "Uncoalesced global memory access" in out
+
+    def test_default_excludes_extensions(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "Uncoalesced" not in out

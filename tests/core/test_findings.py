@@ -1,0 +1,43 @@
+"""Finding data-model tests."""
+
+from repro.core.findings import Finding, Severity, SourceLoc
+from repro.gpu.stalls import StallReason
+
+
+def _mk(**kw):
+    base = dict(
+        analysis="x", title="t", severity=Severity.WARNING,
+        message="m", recommendation="r",
+    )
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestSourceLoc:
+    def test_str(self):
+        assert str(SourceLoc("a.cu", 12)) == "a.cu:12"
+        assert str(SourceLoc(None, 12)) == "kernel.cu:12"
+        assert str(SourceLoc("a.cu", None)) == "<unknown>"
+
+
+class TestFinding:
+    def test_lines_sorted_unique(self):
+        f = _mk(locations=[SourceLoc("k.cu", 9), SourceLoc("k.cu", 3),
+                           SourceLoc("k.cu", 9), SourceLoc("k.cu", None)])
+        assert f.lines == [3, 9]
+
+    def test_dominant_stall(self):
+        f = _mk(stall_profile={
+            StallReason.SELECTED: 100,
+            StallReason.LG_THROTTLE: 30,
+            StallReason.WAIT: 10,
+        })
+        assert f.dominant_stall() is StallReason.LG_THROTTLE
+
+    def test_dominant_stall_none(self):
+        assert _mk().dominant_stall() is None
+        assert _mk(stall_profile={StallReason.SELECTED: 5}).dominant_stall() \
+            is None
+
+    def test_severity_ordering(self):
+        assert Severity.CRITICAL > Severity.WARNING > Severity.INFO

@@ -1,0 +1,112 @@
+"""JSON serialization tests for GPUscout reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout, report_to_dict, report_to_json
+from repro.core.jsonout import SCHEMA_VERSION
+from repro.gpu import GPUSpec, LaunchConfig
+from repro.kernels.heat import build_heat, heat_args
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    scout = GPUscout(spec=GPUSpec.small(1))
+    w, h = 64, 64
+    ck = build_heat("naive")
+    args, t0 = heat_args(w, h)
+    return scout.analyze(
+        ck, LaunchConfig(grid=(w // 16, h // 16), block=(16, 16)), args,
+        max_blocks=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def dry_report():
+    return GPUscout().analyze(build_heat("naive"), dry_run=True)
+
+
+class TestSchema:
+    def test_roundtrips_through_json(self, full_report):
+        text = report_to_json(full_report)
+        data = json.loads(text)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kernel"] == "jacobi_naive"
+        assert not data["dry_run"]
+
+    def test_findings_fields(self, full_report):
+        data = report_to_dict(full_report)
+        for f in data["findings"]:
+            for key in ("analysis", "title", "severity", "message",
+                        "recommendation", "pcs", "source_lines",
+                        "registers", "in_loop", "details", "stall_focus",
+                        "metric_focus", "stall_profile", "metrics"):
+                assert key in f, key
+            assert f["severity"] in ("INFO", "WARNING", "CRITICAL")
+
+    def test_dynamic_sections_present(self, full_report):
+        data = report_to_dict(full_report)
+        assert "metrics" in data
+        assert "stalls" in data
+        assert "launch" in data
+        assert "overhead" in data
+        assert data["launch"]["cycles"] > 0
+        assert data["stalls"]["total_samples"] >= 0
+
+    def test_dry_run_omits_dynamic(self, dry_report):
+        data = report_to_dict(dry_report)
+        assert "metrics" not in data
+        assert "stalls" not in data
+        assert "launch" not in data
+        assert data["dry_run"]
+
+    def test_ptx_atomics_section(self):
+        from repro.kernels.histogram import build_histogram
+
+        data = report_to_dict(
+            GPUscout().analyze(build_histogram("shared"), dry_run=True)
+        )
+        assert data["ptx_atomics"]["shared"] >= 1
+
+    def test_conversion_counts_survive(self, dry_report):
+        data = report_to_dict(dry_report)
+        conv = next(f for f in data["findings"]
+                    if f["analysis"] == "datatype_conversions")
+        assert conv["details"]["total"] == 6
+
+    def test_stall_names_are_cupti(self, full_report):
+        data = report_to_dict(full_report)
+        for f in data["findings"]:
+            for name in f["stall_profile"]:
+                assert name.startswith("stalled_")
+
+    def test_json_sorted_and_stable(self, dry_report):
+        assert report_to_json(dry_report) == report_to_json(dry_report)
+
+
+class TestCliJson:
+    def test_json_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--kernel", "sgemm:naive", "--dry-run",
+                     "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "sgemm_naive"
+
+    def test_json_to_file_keeps_text(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "out.json"
+        assert main(["analyze", "--kernel", "sgemm:naive", "--dry-run",
+                     "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "GPUscout analysis" in out  # text still printed
+        assert json.loads(target.read_text())["dry_run"]
+
+    def test_reduction_kernels_resolvable(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--kernel", "reduction:warp",
+                     "--dry-run"]) == 0

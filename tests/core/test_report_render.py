@@ -1,0 +1,146 @@
+"""Terminal-report rendering unit tests (core/report.py), plus the
+overhead breakdown and the explain CLI."""
+
+import pytest
+
+from repro.core.findings import Finding, Severity, SourceLoc
+from repro.core.overhead import OverheadBreakdown
+from repro.core.report import _fmt_value, render_finding
+from repro.gpu.stalls import StallReason
+
+
+def _finding(**kw):
+    base = dict(
+        analysis="use_vectorized_loads",
+        title="Use vectorized global memory loads",
+        severity=Severity.WARNING,
+        message="4 loads off R2.",
+        recommendation="Use float4.",
+    )
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestFormatValue:
+    def test_integer_with_unit(self):
+        assert _fmt_value("launch__registers_per_thread", 25.0) == \
+            "25 register"
+
+    def test_float_with_unit(self):
+        assert _fmt_value(
+            "l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct", 71.484
+        ) == "71.48 %"
+
+    def test_unknown_metric_no_unit(self):
+        assert _fmt_value("made_up", 3.0) == "3"
+
+
+class TestRenderFinding:
+    def test_basic_block(self):
+        text = render_finding(_finding())
+        assert "WARNING" in text
+        assert "Use vectorized global memory loads" in text
+        assert "Advice: Use float4." in text
+
+    def test_severity_tags(self):
+        assert "CRITICAL" in render_finding(_finding(severity=Severity.CRITICAL))
+        assert "INFO" in render_finding(_finding(severity=Severity.INFO))
+
+    def test_registers_and_sources(self):
+        f = _finding(registers=["R4", "R5"],
+                     locations=[SourceLoc("k.cu", 55)])
+        text = render_finding(f)
+        assert "Registers: R4, R5" in text
+        assert "k.cu:55" in text
+
+    def test_loop_note(self):
+        assert "for-loop" in render_finding(_finding(in_loop=True))
+        assert "for-loop" not in render_finding(_finding(in_loop=False))
+
+    def test_pressure_line(self):
+        f = _finding(details={"live_register_pressure": 27})
+        assert "Live register pressure" in render_finding(f)
+
+    def test_stall_profile_rendering(self):
+        f = _finding(stall_profile={
+            StallReason.SELECTED: 100,
+            StallReason.LG_THROTTLE: 64,
+            StallReason.LONG_SCOREBOARD: 36,
+        })
+        text = render_finding(f)
+        assert "stalled_lg_throttle" in text
+        assert "64.0 %" in text
+        # the dominant reason gets its verbose explanation
+        assert "L1 instruction queue" in text
+
+    def test_selected_excluded_from_shares(self):
+        f = _finding(stall_profile={StallReason.SELECTED: 1000,
+                                    StallReason.WAIT: 10})
+        text = render_finding(f)
+        assert "100.0 %" in text  # WAIT is 100 % of stalls
+
+    def test_metrics_block(self):
+        f = _finding(metrics={"launch__registers_per_thread": 25.0})
+        text = render_finding(f)
+        assert "Metrics to pay attention to" in text
+        assert "25 register" in text
+
+    def test_color_codes(self):
+        plain = render_finding(_finding(), color=False)
+        colored = render_finding(_finding(), color=True)
+        assert "\x1b[" not in plain
+        assert "\x1b[33m" in colored  # warning = yellow
+
+
+class TestOverheadBreakdown:
+    def test_totals(self):
+        o = OverheadBreakdown(kernel_seconds=0.01,
+                              sass_analysis_seconds=0.002,
+                              pc_sampling_seconds=0.08,
+                              metrics_seconds=0.2)
+        assert o.total_seconds == pytest.approx(0.282)
+        assert o.total_factor == pytest.approx(28.2)
+
+    def test_zero_kernel_infinite_factor(self):
+        o = OverheadBreakdown(0.0, 0.001, 0.0, 0.0)
+        assert o.total_factor == float("inf")
+
+    def test_as_dict(self):
+        o = OverheadBreakdown(1.0, 0.1, 0.2, 0.3)
+        d = o.as_dict()
+        assert d["kernel_s"] == 1.0
+        assert d["total_s"] == pytest.approx(0.6)
+        assert d["total_factor"] == pytest.approx(0.6)
+
+
+class TestExplainCli:
+    def test_explain_stall(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "stalled_lg_throttle"]) == 0
+        assert "L1 instruction queue" in capsys.readouterr().out
+
+    def test_explain_stall_without_prefix(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "long_scoreboard"]) == 0
+        assert "scoreboard dependency" in capsys.readouterr().out
+
+    def test_explain_metric(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "dram__bytes.sum"]) == 0
+        assert "DRAM" in capsys.readouterr().out
+
+    def test_explain_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "stalled_tex_throttle" in out
+        assert "derived__smem_ld_bank_conflict_ways" in out
+
+    def test_explain_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "nonsense"]) == 1

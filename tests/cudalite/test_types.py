@@ -1,0 +1,100 @@
+"""Type-system tests."""
+
+import numpy as np
+import pytest
+
+from repro.cudalite.types import (
+    PointerType,
+    common_type,
+    double2,
+    f32,
+    f64,
+    float2,
+    float4,
+    i32,
+    int4,
+    ptr,
+    u32,
+    u64,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "dtype,bits,regs,np_dtype",
+        [
+            (i32, 32, 1, np.int32),
+            (u32, 32, 1, np.uint32),
+            (u64, 64, 2, np.uint64),
+            (f32, 32, 1, np.float32),
+            (f64, 64, 2, np.float64),
+        ],
+    )
+    def test_widths(self, dtype, bits, regs, np_dtype):
+        assert dtype.bits == bits
+        assert dtype.regs == regs
+        assert dtype.np_dtype == np.dtype(np_dtype)
+        assert not dtype.is_vector
+        assert dtype.scalar is dtype
+
+    def test_bytes(self):
+        assert f32.bytes == 4
+        assert f64.bytes == 8
+
+
+class TestVectors:
+    @pytest.mark.parametrize(
+        "vec,lanes,scalar,regs",
+        [(float2, 2, f32, 2), (float4, 4, f32, 4),
+         (int4, 4, i32, 4), (double2, 2, f64, 4)],
+    )
+    def test_lanes_and_scalar(self, vec, lanes, scalar, regs):
+        assert vec.is_vector
+        assert vec.lanes == lanes
+        assert vec.scalar == scalar
+        assert vec.regs == regs
+
+    def test_vector_np_dtype_is_lane_dtype(self):
+        assert float4.np_dtype == np.dtype(np.float32)
+        assert double2.np_dtype == np.dtype(np.float64)
+
+
+class TestPointers:
+    def test_qualifiers(self):
+        p = ptr(f32, readonly=True, restrict=True)
+        assert p.uses_readonly_cache
+        assert not ptr(f32, readonly=True).uses_readonly_cache
+        assert not ptr(f32, restrict=True).uses_readonly_cache
+
+    def test_reinterpret_preserves_qualifiers(self):
+        p = ptr(f32, readonly=True, restrict=True)
+        q = p.as_elem(float4)
+        assert q.elem is float4
+        assert q.uses_readonly_cache
+
+    def test_str_rendering(self):
+        assert "const" in str(ptr(f32, readonly=True))
+        assert "__restrict__" in str(ptr(f32, restrict=True))
+        assert "float*" in str(ptr(f32))
+
+
+class TestCommonType:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (i32, i32, i32),
+            (i32, f32, f32),
+            (f32, f64, f64),
+            (i32, f64, f64),
+            (u32, i32, u32),
+            (i32, u64, u64),
+            (float4, float4, float4),
+        ],
+    )
+    def test_promotions(self, a, b, expected):
+        assert common_type(a, b) == expected
+        assert common_type(b, a) == expected
+
+    def test_mismatched_vectors_rejected(self):
+        with pytest.raises(TypeError):
+            common_type(float4, int4)

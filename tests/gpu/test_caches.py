@@ -1,0 +1,121 @@
+"""Sector-cache and memory-hierarchy tests."""
+
+import pytest
+
+from repro.gpu.caches import MemoryHierarchy, SectorCache
+from repro.gpu.config import GPUSpec
+
+
+class TestSectorCache:
+    def test_cold_miss_then_hit(self):
+        c = SectorCache("t", 4096)
+        assert not c.lookup(0)
+        assert c.lookup(0)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_sector_granularity_within_line(self):
+        c = SectorCache("t", 4096, line_bytes=128, sector_bytes=32)
+        c.lookup(0)  # fills sector 0 of line 0
+        assert not c.lookup(32)  # sector 1 still missing
+        assert c.lookup(32)
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways x 128 B lines = 512 B
+        c = SectorCache("t", 512, assoc=2)
+        set_stride = 128 * c.num_sets
+        a, b, d = 0, set_stride, 2 * set_stride  # all map to set 0
+        c.lookup(a)
+        c.lookup(b)
+        c.lookup(d)  # evicts a (LRU)
+        assert not c.lookup(a)
+
+    def test_lru_touch_refreshes(self):
+        c = SectorCache("t", 512, assoc=2)
+        set_stride = 128 * c.num_sets
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.lookup(a)
+        c.lookup(b)
+        c.lookup(a)  # refresh a
+        c.lookup(d)  # evicts b now
+        assert c.lookup(a)
+        assert not c.lookup(b)
+
+    def test_no_fill_probe(self):
+        c = SectorCache("t", 4096)
+        assert not c.lookup(0, fill=False)
+        assert not c.lookup(0)  # still cold
+
+    def test_reset(self):
+        c = SectorCache("t", 4096)
+        c.lookup(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.lookup(0)
+
+    def test_hit_rate_properties(self):
+        c = SectorCache("t", 4096)
+        assert c.stats.hit_rate == 0.0
+        c.lookup(0)
+        c.lookup(0)
+        assert c.stats.hit_rate == 0.5
+        assert c.stats.miss_rate == 0.5
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture
+    def hier(self):
+        return MemoryHierarchy(GPUSpec.small(1))
+
+    def test_l1_miss_goes_to_l2(self, hier):
+        res = hier.access([0, 32, 64], "global")
+        assert res.l1_misses == 3
+        assert res.l2_misses == 3
+        assert res.deepest == "dram"
+
+    def test_warm_l1_hits(self, hier):
+        hier.access([0, 32], "global")
+        res = hier.access([0, 32], "global")
+        assert res.l1_hits == 2
+        assert res.deepest == "l1"
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        hier.access([0], "global")
+        # thrash L1 (16 KiB in the small spec)
+        hier.access([4096 + 128 * i for i in range(256)], "global")
+        res = hier.access([0], "global")
+        assert res.l1_misses == 1
+        # L2 (64 KiB) still holds it
+        assert res.l2_hits == 1
+        assert res.deepest == "l2"
+
+    def test_atomics_bypass_l1(self, hier):
+        res1 = hier.access([0], "atomic")
+        assert res1.l1_misses == 1
+        res2 = hier.access([0], "atomic")
+        assert res2.l1_misses == 1  # still bypasses
+        assert res2.l2_hits == 1
+
+    def test_writes_bypass_l1_allocate_l2(self, hier):
+        hier.access([0], "global", write=True)
+        res = hier.access([0], "global", write=True)
+        assert res.l2_hits == 1
+
+    def test_texture_uses_own_cache(self, hier):
+        hier.access([0], "texture")
+        res_tex = hier.access([0], "texture")
+        assert res_tex.l1_hits == 1
+        # the same sector through the LSU path is an L1 miss (tex cache
+        # is separate) but an L2 hit
+        res_lsu = hier.access([0], "global")
+        assert res_lsu.l1_misses == 1
+        assert res_lsu.l2_hits == 1
+
+    def test_readonly_space_cached(self, hier):
+        hier.access([0], "readonly")
+        assert hier.access([0], "readonly").l1_hits == 1
+
+    def test_conservation(self, hier):
+        res = hier.access([32 * i for i in range(10)], "global")
+        assert res.sectors_total == res.l1_hits + res.l1_misses
+        assert res.l1_misses == res.l2_hits + res.l2_misses

@@ -1,0 +1,272 @@
+"""Functional-execution semantics: each instruction family is exercised
+through a tiny compiled kernel and checked against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.cudalite import (
+    KernelBuilder,
+    compile_kernel,
+    f32,
+    f64,
+    float4,
+    i32,
+    ptr,
+    u32,
+)
+from repro.cudalite.intrinsics import fmaxf, fminf, mad, rcpf, rsqrtf, sqrtf
+from repro.errors import SimulationError
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+
+
+@pytest.fixture(scope="module")
+def sim1():
+    return Simulator(GPUSpec.small(1))
+
+
+def run_unary_f32(sim, fn, xs):
+    kb = KernelBuilder("t")
+    src = kb.param("src", ptr(f32))
+    dst = kb.param("dst", ptr(f32))
+    i = kb.let("i", kb.thread_idx.x, dtype=i32)
+    kb.store(dst, i, fn(kb, src[i]))
+    ck = compile_kernel(kb.build())
+    out = np.zeros_like(xs)
+    res = sim.launch(ck, LaunchConfig(grid=(1, 1), block=(len(xs), 1)),
+                     args={"src": xs, "dst": out})
+    return res.read_buffer("dst")
+
+
+class TestFloat32Ops:
+    def test_add_mul_fma(self, sim1):
+        xs = np.linspace(-4, 4, 32, dtype=np.float32)
+        got = run_unary_f32(sim1, lambda kb, x: x * x + x, xs)
+        assert np.array_equal(got, xs * xs + xs)
+
+    def test_mad(self, sim1):
+        xs = np.linspace(0.1, 3, 32, dtype=np.float32)
+        got = run_unary_f32(sim1, lambda kb, x: mad(x, 2.0, 1.0), xs)
+        assert np.allclose(got, xs * np.float32(2) + np.float32(1))
+
+    def test_sqrt_rcp_rsq(self, sim1):
+        xs = np.linspace(0.25, 9, 32, dtype=np.float32)
+        assert np.allclose(run_unary_f32(sim1, lambda kb, x: sqrtf(x), xs),
+                           np.sqrt(xs))
+        assert np.allclose(run_unary_f32(sim1, lambda kb, x: rcpf(x), xs),
+                           1.0 / xs)
+        assert np.allclose(run_unary_f32(sim1, lambda kb, x: rsqrtf(x), xs),
+                           1.0 / np.sqrt(xs), rtol=1e-6)
+
+    def test_min_max(self, sim1):
+        xs = np.linspace(-2, 2, 32, dtype=np.float32)
+        got = run_unary_f32(sim1, lambda kb, x: fminf(fmaxf(x, -1.0), 1.0), xs)
+        assert np.array_equal(got, np.clip(xs, -1, 1))
+
+    def test_negation(self, sim1):
+        xs = np.linspace(-2, 2, 32, dtype=np.float32)
+        got = run_unary_f32(sim1, lambda kb, x: -x, xs)
+        assert np.array_equal(got, -xs)
+
+    def test_division(self, sim1):
+        xs = np.linspace(1, 5, 32, dtype=np.float32)
+        got = run_unary_f32(sim1, lambda kb, x: x / 2.0, xs)
+        assert np.allclose(got, xs / 2.0, rtol=1e-6)
+
+
+class TestIntegerOps:
+    def _run_i32(self, sim, fn, xs):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(i32))
+        dst = kb.param("dst", ptr(i32))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        kb.store(dst, i, fn(src[i]))
+        ck = compile_kernel(kb.build())
+        out = np.zeros_like(xs)
+        res = sim.launch(ck, LaunchConfig(grid=(1, 1), block=(len(xs), 1)),
+                         args={"src": xs, "dst": out})
+        return res.read_buffer("dst")
+
+    def test_add_sub_mul(self, sim1):
+        xs = np.arange(-16, 16, dtype=np.int32)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x + 7, xs), xs + 7)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x - 7, xs), xs - 7)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x * 3, xs), xs * 3)
+
+    def test_shifts(self, sim1):
+        xs = np.arange(32, dtype=np.int32)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x << 2, xs),
+                              xs << 2)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x >> 1, xs),
+                              xs >> 1)
+
+    def test_arithmetic_right_shift(self, sim1):
+        xs = np.arange(-32, 0, dtype=np.int32)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x / 4, xs[::1] * 0 + 16),
+                              np.full_like(xs, 4))
+        # signed >> keeps the sign
+        assert np.array_equal(self._run_i32(sim1, lambda x: x >> 1, xs),
+                              xs >> 1)
+
+    def test_bitwise(self, sim1):
+        xs = np.arange(32, dtype=np.int32)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x & 5, xs), xs & 5)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x | 9, xs), xs | 9)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x ^ 3, xs), xs ^ 3)
+
+    def test_modulo_pow2(self, sim1):
+        xs = np.arange(32, dtype=np.int32)
+        assert np.array_equal(self._run_i32(sim1, lambda x: x % 8, xs), xs % 8)
+
+    def test_wraparound(self, sim1):
+        xs = np.full(32, 2**31 - 1, dtype=np.int32)
+        got = self._run_i32(sim1, lambda x: x + 1, xs)
+        assert np.array_equal(got, xs + np.int32(1))
+
+
+class TestConversions:
+    def test_i2f_f2i(self, sim1):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(i32))
+        dst = kb.param("dst", ptr(f32))
+        back = kb.param("back", ptr(i32))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        x = kb.let("x", src[i].cast(f32))
+        kb.store(dst, i, x)
+        kb.store(back, i, (x * 2.0).cast(i32))
+        ck = compile_kernel(kb.build())
+        xs = np.arange(-16, 16, dtype=np.int32)
+        res = sim1.launch(
+            ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+            args={"src": xs, "dst": np.zeros(32, np.float32),
+                  "back": np.zeros(32, np.int32)},
+        )
+        assert np.array_equal(res.read_buffer("dst"), xs.astype(np.float32))
+        assert np.array_equal(res.read_buffer("back"),
+                              np.trunc(xs * 2.0).astype(np.int32))
+
+    def test_f32_f64_roundtrip(self, sim1):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(f32))
+        wide = kb.param("wide", ptr(f64))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        kb.store(wide, i, src[i].cast(f64) * 2.0)
+        ck = compile_kernel(kb.build())
+        xs = np.linspace(0, 1, 32, dtype=np.float32)
+        res = sim1.launch(
+            ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+            args={"src": xs, "wide": np.zeros(32, np.float64)},
+        )
+        assert np.allclose(res.read_buffer("wide"),
+                           xs.astype(np.float64) * 2.0)
+
+
+class TestFp64:
+    def test_dfma_chain(self, sim1):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(f64))
+        dst = kb.param("dst", ptr(f64))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        x = kb.let("x", src[i])
+        kb.store(dst, i, mad(x, x, 0.5))
+        ck = compile_kernel(kb.build())
+        xs = np.linspace(0, 2, 32, dtype=np.float64)
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                          args={"src": xs, "dst": np.zeros(32, np.float64)})
+        assert np.array_equal(res.read_buffer("dst"), xs * xs + 0.5)
+
+
+class TestVectorOps:
+    def test_float4_roundtrip_and_math(self, sim1):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(f32))
+        dst = kb.param("dst", ptr(f32))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        v = kb.let("v", src.as_vector(float4)[i], dtype=float4)
+        w = kb.let("w", mad(v, 2.0, 1.0), dtype=float4)
+        kb.store(dst.as_vector(float4), i, w)
+        ck = compile_kernel(kb.build())
+        xs = np.arange(128, dtype=np.float32)
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                          args={"src": xs, "dst": np.zeros(128, np.float32)})
+        assert np.array_equal(res.read_buffer("dst"), xs * 2 + 1)
+
+    def test_lane_extraction(self, sim1):
+        kb = KernelBuilder("t")
+        src = kb.param("src", ptr(f32))
+        dst = kb.param("dst", ptr(f32))
+        i = kb.let("i", kb.thread_idx.x, dtype=i32)
+        v = kb.let("v", src.as_vector(float4)[i], dtype=float4)
+        kb.store(dst, i, v.x + v.y + v.z + v.w)
+        ck = compile_kernel(kb.build())
+        xs = np.arange(128, dtype=np.float32)
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                          args={"src": xs, "dst": np.zeros(32, np.float32)})
+        assert np.array_equal(res.read_buffer("dst")[:32],
+                              xs.reshape(32, 4).sum(axis=1))
+
+
+class TestPredicationAndGuards:
+    def test_partial_warp_active(self, sim1):
+        kb = KernelBuilder("t")
+        dst = kb.param("dst", ptr(f32))
+        n = kb.param("n", i32)
+        i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+                   dtype=i32)
+        kb.return_if(i >= n)
+        kb.store(dst, i, 1.0)
+        ck = compile_kernel(kb.build())
+        out = np.zeros(64, np.float32)
+        res = sim1.launch(ck, LaunchConfig(grid=(2, 1), block=(32, 1)),
+                          args={"dst": out, "n": 40})
+        got = res.read_buffer("dst")
+        assert np.array_equal(got[:40], np.ones(40, np.float32))
+        assert np.array_equal(got[40:], np.zeros(24, np.float32))
+
+    def test_if_else_complement(self, sim1):
+        kb = KernelBuilder("t")
+        dst = kb.param("dst", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        with kb.if_then(t < 16):
+            kb.store(dst, t, 1.0)
+        with kb.if_then(t >= 16):
+            kb.store(dst, t, 2.0)
+        ck = compile_kernel(kb.build())
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                          args={"dst": np.zeros(32, np.float32)})
+        got = res.read_buffer("dst")
+        assert np.array_equal(got, np.array([1.0] * 16 + [2.0] * 16,
+                                            dtype=np.float32))
+
+    def test_odd_block_size_masks_tail(self, sim1):
+        kb = KernelBuilder("t")
+        dst = kb.param("dst", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        kb.store(dst, t, 3.0)
+        ck = compile_kernel(kb.build())
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(40, 1)),
+                          args={"dst": np.zeros(64, np.float32)})
+        got = res.read_buffer("dst")
+        assert np.count_nonzero(got) == 40
+
+
+class TestMemorySafety:
+    def test_out_of_bounds_raises(self, sim1):
+        kb = KernelBuilder("t")
+        dst = kb.param("dst", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        kb.store(dst, t + 1_000_000, 1.0)
+        ck = compile_kernel(kb.build())
+        with pytest.raises(SimulationError):
+            sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                        args={"dst": np.zeros(8, np.float32)})
+
+    def test_shared_out_of_bounds_raises(self, sim1):
+        kb = KernelBuilder("t")
+        kb.param("dst", ptr(f32))
+        sm = kb.shared_array("s", f32, 8)
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        sm[t * 100] = 1.0
+        ck = compile_kernel(kb.build())
+        with pytest.raises(SimulationError):
+            sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                        args={"dst": np.zeros(8, np.float32)})

@@ -1,0 +1,95 @@
+"""Property-based tests for the hardware substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.caches import SectorCache
+from repro.gpu.coalesce import coalesce_sectors, shared_transactions
+
+
+addresses = hnp.arrays(
+    dtype=np.int64,
+    shape=32,
+    elements=st.integers(0, 2**20).map(lambda v: v * 4),
+)
+masks = hnp.arrays(dtype=np.bool_, shape=32)
+
+
+@given(addresses, st.sampled_from([4, 8, 16]), masks)
+@settings(max_examples=120, deadline=None)
+def test_coalesce_bounds(addrs, nbytes, mask):
+    """Sector count is bounded by active lanes x sectors-per-access and
+    at least 1 when any lane is active."""
+    sectors = coalesce_sectors(addrs, nbytes, mask)
+    active = int(mask.sum())
+    if active == 0:
+        assert len(sectors) == 0
+        return
+    per_access = nbytes // 32 + 2  # an access can straddle
+    assert 1 <= len(sectors) <= active * per_access
+    assert all(s % 32 == 0 for s in sectors)
+    # sorted unique
+    assert np.array_equal(sectors, np.unique(sectors))
+
+
+@given(addresses, masks)
+@settings(max_examples=120, deadline=None)
+def test_coalesce_covers_accesses(addrs, mask):
+    """Every active access byte-range falls inside some reported sector."""
+    sectors = set(coalesce_sectors(addrs, 4, mask).tolist())
+    for a in addrs[mask]:
+        assert (a // 32) * 32 in sectors
+        assert ((a + 3) // 32) * 32 in sectors
+
+
+@given(addresses, masks)
+@settings(max_examples=120, deadline=None)
+def test_shared_transactions_bounds(addrs, mask):
+    tx = shared_transactions(addrs % 4096, 4, mask)
+    active = int(mask.sum())
+    if active == 0:
+        assert tx == 0
+    else:
+        assert 1 <= tx <= 32
+
+
+@given(addresses, masks)
+@settings(max_examples=100, deadline=None)
+def test_coalesce_mask_monotone(addrs, mask):
+    """Activating more lanes can only add sectors."""
+    some = set(coalesce_sectors(addrs, 4, mask).tolist())
+    all_on = set(coalesce_sectors(addrs, 4, np.ones(32, bool)).tolist())
+    assert some <= all_on
+
+
+@given(
+    st.lists(st.integers(0, 255).map(lambda v: v * 32),
+             min_size=1, max_size=300),
+    st.sampled_from([512, 1024, 4096]),
+)
+@settings(max_examples=80, deadline=None)
+def test_cache_conservation(sector_stream, size):
+    """hits + misses == accesses; a repeat of the immediately preceding
+    sector is always a hit."""
+    c = SectorCache("t", size, assoc=2)
+    prev = None
+    for s in sector_stream:
+        hit = c.lookup(s)
+        if s == prev:
+            assert hit
+        prev = s
+    assert c.stats.hits + c.stats.misses == len(sector_stream)
+
+
+@given(st.lists(st.integers(0, 63).map(lambda v: v * 32),
+                min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_cache_large_enough_never_evicts(stream):
+    """A cache bigger than the touched footprint misses each sector at
+    most once."""
+    c = SectorCache("t", 64 * 1024, assoc=16)
+    for s in stream:
+        c.lookup(s)
+    assert c.stats.misses == len(set(stream))

@@ -1,0 +1,200 @@
+"""Timing-model tests: stall attribution, throttles, barriers,
+latency hiding."""
+
+import numpy as np
+import pytest
+
+from repro.cudalite import KernelBuilder, compile_kernel, f32, i32, ptr
+from repro.cudalite.intrinsics import mad
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+from repro.gpu.scheduler import Timeline
+from repro.gpu.stalls import StallReason
+
+
+@pytest.fixture(scope="module")
+def sim1():
+    return Simulator(GPUSpec.small(1))
+
+
+class TestTimeline:
+    def test_booking_advances(self):
+        tl = Timeline(rate=2.0)
+        assert tl.book(10.0, 4) == 12.0
+        assert tl.book(10.0, 2) == 13.0  # queued behind
+
+    def test_backlog(self):
+        tl = Timeline(rate=1.0)
+        tl.book(0.0, 10)
+        assert tl.backlog(4.0) == 6.0
+        assert tl.backlog(20.0) == 0.0
+
+    def test_ready_after_backlog(self):
+        tl = Timeline(rate=1.0)
+        tl.book(0.0, 100)
+        assert tl.ready_after_backlog(40.0) == 60.0
+
+
+def _memory_bound(sim):
+    kb = KernelBuilder("membound")
+    src = kb.param("src", ptr(f32))
+    dst = kb.param("dst", ptr(f32))
+    i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+               dtype=i32)
+    x = kb.let("x", src[i])
+    kb.store(dst, i, x + 1.0)
+    ck = compile_kernel(kb.build())
+    n = 4096
+    return sim.launch(
+        ck, LaunchConfig(grid=(16, 1), block=(256, 1)),
+        args={"src": np.zeros(n, np.float32), "dst": np.zeros(n, np.float32)},
+    )
+
+
+def _compute_bound(sim):
+    kb = KernelBuilder("computebound")
+    dst = kb.param("dst", ptr(f32))
+    i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+               dtype=i32)
+    acc = kb.let("acc", 1.0, dtype=f32)
+    with kb.for_range("k", 0, 64):
+        kb.assign(acc, mad(acc, acc, 0.001))
+    kb.store(dst, i, acc)
+    ck = compile_kernel(kb.build())
+    n = 4096
+    return sim.launch(
+        ck, LaunchConfig(grid=(16, 1), block=(256, 1)),
+        args={"dst": np.zeros(n, np.float32)},
+    )
+
+
+class TestStallAttribution:
+    def test_memory_bound_dominated_by_long_scoreboard(self, sim1):
+        res = _memory_bound(sim1)
+        totals = res.counters.stall_totals()
+        stall = {k: v for k, v in totals.items()
+                 if k is not StallReason.SELECTED}
+        dominant = max(stall, key=lambda k: stall[k])
+        assert dominant in (StallReason.LONG_SCOREBOARD,
+                            StallReason.LG_THROTTLE)
+
+    def test_compute_bound_not_memory_dominated(self, sim1):
+        res = _compute_bound(sim1)
+        totals = res.counters.stall_totals()
+        ls = totals.get(StallReason.LONG_SCOREBOARD, 0)
+        stall_sum = sum(v for k, v in totals.items()
+                        if k is not StallReason.SELECTED)
+        assert ls / stall_sum < 0.5
+
+    def test_selected_counts_equal_issues(self, sim1, saxpy_launch):
+        totals = saxpy_launch.counters.stall_totals()
+        assert totals[StallReason.SELECTED] == pytest.approx(
+            saxpy_launch.counters.inst_issued
+        )
+
+    def test_stalls_keyed_by_existing_pcs(self, saxpy_launch):
+        n = len(saxpy_launch.compiled.program)
+        for (pc, _), cycles in saxpy_launch.counters.stall_cycles.items():
+            assert 0 <= pc < n
+            assert cycles >= 0
+
+
+class TestBarriers:
+    def test_barrier_stall_recorded(self, sim1):
+        kb = KernelBuilder("barrier")
+        dst = kb.param("dst", ptr(f32))
+        sm = kb.shared_array("s", f32, 256)
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        sm[t] = t.cast(f32)
+        kb.sync_threads()
+        kb.store(dst, t, sm[255 - t])
+        ck = compile_kernel(kb.build())
+        res = sim1.launch(ck, LaunchConfig(grid=(1, 1), block=(256, 1)),
+                          args={"dst": np.zeros(256, np.float32)})
+        totals = res.counters.stall_totals()
+        assert totals.get(StallReason.BARRIER, 0) > 0
+        got = res.read_buffer("dst")
+        assert np.array_equal(got, np.arange(256, dtype=np.float32)[::-1])
+
+
+class TestThrottles:
+    def test_tex_pipeline_throttles(self, sim1):
+        kb = KernelBuilder("texheavy")
+        dst = kb.param("dst", ptr(f32))
+        tex = kb.texture("tex")
+        ix = kb.let("ix", kb.thread_idx.x, dtype=i32)
+        # independent fetches issue back-to-back and fill the TEX queue
+        vals = [kb.let(f"v{j}", kb.tex2d(tex, ix + j, 0)) for j in range(16)]
+        acc = kb.let("acc", 0.0, dtype=f32)
+        for v in vals:
+            kb.assign(acc, acc + v)
+        kb.store(dst, ix, acc)
+        ck = compile_kernel(kb.build())
+        img = np.ones((8, 128), np.float32)
+        res = sim1.launch(ck, LaunchConfig(grid=(2, 1), block=(128, 1)),
+                          args={"dst": np.zeros(256, np.float32)},
+                          textures={"tex": img})
+        totals = res.counters.stall_totals()
+        assert totals.get(StallReason.TEX_THROTTLE, 0) > 0
+
+    def test_mio_pressure_from_shared(self, sim1):
+        kb = KernelBuilder("smemheavy")
+        dst = kb.param("dst", ptr(f32))
+        sm = kb.shared_array("s", f32, 32)
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        sm[t % 32] = 1.0
+        acc = kb.let("acc", 0.0, dtype=f32)
+        with kb.for_range("j", 0, 16, unroll=True) as j:
+            kb.assign(acc, acc + sm[(t + j) % 32])
+        kb.store(dst, t, acc)
+        ck = compile_kernel(kb.build())
+        res = sim1.launch(ck, LaunchConfig(grid=(4, 1), block=(256, 1)),
+                          args={"dst": np.zeros(1024, np.float32)})
+        totals = res.counters.stall_totals()
+        assert (totals.get(StallReason.MIO_THROTTLE, 0)
+                + totals.get(StallReason.SHORT_SCOREBOARD, 0)) > 0
+
+
+class TestLatencyHiding:
+    def test_more_warps_hide_latency(self, sim1):
+        """Same total work split across more warps should not be slower
+        per element (latency hiding)."""
+        def launch(block, grid):
+            kb = KernelBuilder("lat")
+            src = kb.param("src", ptr(f32))
+            dst = kb.param("dst", ptr(f32))
+            i = kb.let("i", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+                       dtype=i32)
+            kb.store(dst, i, src[i] * 2.0)
+            ck = compile_kernel(kb.build())
+            n = block * grid
+            return sim1.launch(
+                ck, LaunchConfig(grid=(grid, 1), block=(block, 1)),
+                args={"src": np.zeros(n, np.float32),
+                      "dst": np.zeros(n, np.float32)},
+            )
+
+        few = launch(32, 1)    # one warp
+        many = launch(256, 4)  # 32 warps, 32x the work
+        assert many.cycles < few.cycles * 32
+
+
+class TestVectorizationTiming:
+    def test_vector_loads_cheaper_than_scalar_strided(self, sim1):
+        """Per-thread-contiguous data: 4 scalar loads touch the same
+        sectors as one 128-bit load but cost 4x the LSU slots."""
+        from repro.kernels.mixbench import build_mixbench, mixbench_args
+
+        spec = GPUSpec.small(1).with_(dram_sectors_per_cycle=4.0)
+        fast_sim = Simulator(spec)
+        results = {}
+        for vec in (False, True):
+            ck = build_mixbench("sp", 8, vectorized=vec)
+            args = mixbench_args(2048, 8, "sp")
+            args["compute_iterations"] = 2
+            res = fast_sim.launch(
+                ck, LaunchConfig(grid=(8, 1), block=(256, 1)), args=args
+            )
+            results[vec] = res
+        assert results[True].cycles < results[False].cycles
+        assert (results[True].counters.global_load_instructions
+                < results[False].counters.global_load_instructions)

@@ -1,0 +1,150 @@
+"""DeviceSession tests: resident buffers, multi-launch, warm caches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import DeviceSession, GPUSpec, LaunchConfig
+from repro.kernels.heat import build_heat, heat_reference
+from tests.conftest import build_saxpy
+
+
+@pytest.fixture
+def session():
+    return DeviceSession(GPUSpec.small(1), capacity_bytes=8 * 1024 * 1024)
+
+
+class TestAllocation:
+    def test_alloc_zeroed(self, session):
+        buf = session.alloc((16,), np.float32)
+        assert np.array_equal(session.download(buf),
+                              np.zeros(16, np.float32))
+
+    def test_upload_download_roundtrip(self, session):
+        data = np.arange(100, dtype=np.int32).reshape(10, 10)
+        buf = session.upload(data)
+        assert np.array_equal(session.download(buf), data)
+        assert buf.shape == (10, 10)
+
+    def test_alignment(self, session):
+        a = session.alloc((3,), np.float32)
+        b = session.alloc((3,), np.float32)
+        assert a.offset % 256 == 0
+        assert b.offset % 256 == 0
+        assert b.offset > a.offset
+
+    def test_duplicate_name_rejected(self, session):
+        session.alloc((4,), np.float32, "x")
+        with pytest.raises(LaunchError):
+            session.alloc((4,), np.float32, "x")
+
+    def test_out_of_memory(self):
+        small = DeviceSession(GPUSpec.small(1), capacity_bytes=4096)
+        with pytest.raises(LaunchError):
+            small.alloc((10_000_000,), np.float32)
+
+
+class TestLaunch:
+    def test_device_buffers_as_args(self, session):
+        saxpy = build_saxpy()
+        n = 256
+        x = session.upload(np.arange(n, dtype=np.float32))
+        y = session.upload(np.ones(n, dtype=np.float32))
+        session.launch(saxpy, LaunchConfig(grid=(2, 1), block=(128, 1)),
+                       args={"x": x, "y": y, "a": 2.0, "n": n})
+        got = session.download(y)
+        assert np.array_equal(got, 2.0 * np.arange(n, dtype=np.float32) + 1)
+
+    def test_host_array_auto_uploaded(self, session):
+        saxpy = build_saxpy()
+        n = 128
+        y = session.upload(np.zeros(n, dtype=np.float32))
+        session.launch(saxpy, LaunchConfig(grid=(1, 1), block=(128, 1)),
+                       args={"x": np.ones(n, dtype=np.float32),
+                             "y": y, "a": 3.0, "n": n})
+        assert np.array_equal(session.download(y),
+                              np.full(n, 3.0, np.float32))
+
+    def test_dtype_validation(self, session):
+        saxpy = build_saxpy()
+        x = session.upload(np.zeros(4, np.float64))
+        y = session.upload(np.zeros(4, np.float32))
+        with pytest.raises(LaunchError, match="dtype"):
+            session.launch(saxpy, LaunchConfig(grid=(1, 1), block=(32, 1)),
+                           args={"x": x, "y": y, "a": 1.0, "n": 4})
+
+    def test_missing_args(self, session):
+        saxpy = build_saxpy()
+        with pytest.raises(LaunchError, match="missing"):
+            session.launch(saxpy, LaunchConfig(), args={})
+
+    def test_iterative_buffer_swap(self, session):
+        """The §5.2 Jacobi pattern: ping-pong device buffers."""
+        W = H = 64
+        ck = build_heat("naive")
+        rng = np.random.default_rng(7)
+        t0 = (rng.random(W * H) * 10).astype(np.float32)
+        a = session.upload(t0)
+        b = session.alloc((W * H,), np.float32)
+        cfg = LaunchConfig(grid=(W // 16, H // 16), block=(16, 16))
+        cur, nxt = a, b
+        for _ in range(3):
+            session.launch(ck, cfg, args={
+                "t_in": cur, "t_out": nxt, "w": W, "h": H,
+                "k": np.float32(0.2), "amp": np.float32(0.05),
+            })
+            cur, nxt = nxt, cur
+        ref = heat_reference(t0, W, H, 0.2, 0.05, steps=3)
+        assert np.allclose(session.download(cur), ref, atol=1e-5)
+
+    def test_warm_cache_across_launches(self):
+        """A footprint that fits L1 sees more hits on relaunch."""
+        session = DeviceSession(GPUSpec.small(1))
+        saxpy = build_saxpy()
+        n = 512  # 2 KiB x and y: well inside the 16 KiB L1
+        x = session.upload(np.zeros(n, np.float32))
+        y = session.upload(np.zeros(n, np.float32))
+        cfg = LaunchConfig(grid=(2, 1), block=(256, 1))
+        args = {"x": x, "y": y, "a": 1.0, "n": n}
+        cold = session.launch(saxpy, cfg, args=args, functional_all=False)
+        warm = session.launch(saxpy, cfg, args=args, functional_all=False)
+        assert warm.counters.global_load_l1_hits > \
+            cold.counters.global_load_l1_hits
+        assert warm.cycles <= cold.cycles
+
+
+class TestTextures:
+    def test_bind_texture_and_launch(self, session):
+        W = H = 32
+        ck = build_heat("texture")
+        rng = np.random.default_rng(9)
+        t0 = (rng.random(W * H) * 10).astype(np.float32)
+        out = session.alloc((W * H,), np.float32)
+        tex = session.bind_texture(t0.reshape(H, W))
+        cfg = LaunchConfig(grid=(W // 16, H // 16), block=(16, 16))
+        session.launch(ck, cfg, args={
+            "t_out": out, "w": W, "h": H,
+            "k": np.float32(0.2), "amp": np.float32(0.05),
+        }, textures={"t_tex": tex})
+        ref = heat_reference(t0, W, H, 0.2, 0.05, steps=1)
+        assert np.array_equal(session.download(out), ref)
+
+    def test_texture_from_device_buffer(self, session):
+        data = np.arange(64, dtype=np.float32).reshape(8, 8)
+        buf = session.upload(data)
+        layout = session.bind_texture(buf)
+        assert layout.width == 8 and layout.height == 8
+
+    def test_non_2d_rejected(self, session):
+        with pytest.raises(LaunchError):
+            session.bind_texture(np.zeros(16, np.float32))
+
+    def test_texture_binding_mismatch(self, session):
+        ck = build_heat("texture")
+        out = session.alloc((16 * 16,), np.float32)
+        with pytest.raises(LaunchError, match="texture"):
+            session.launch(
+                ck, LaunchConfig(grid=(1, 16), block=(16, 16)),
+                args={"t_out": out, "w": 16, "h": 16,
+                      "k": np.float32(0.2), "amp": np.float32(0.05)},
+            )

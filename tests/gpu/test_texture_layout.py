@@ -1,0 +1,94 @@
+"""Texture layout (block-linear storage) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.executor import DeviceMemory, TextureLayout
+
+
+class TestAddresses:
+    def test_bijective_over_grid(self):
+        layout = TextureLayout(base=0, width=16, height=8)
+        ys, xs = np.mgrid[0:8, 0:16]
+        addrs = layout.addresses(xs.ravel(), ys.ravel())
+        assert len(np.unique(addrs)) == 16 * 8
+
+    def test_alignment(self):
+        layout = TextureLayout(base=256, width=16, height=8)
+        ys, xs = np.mgrid[0:8, 0:16]
+        addrs = layout.addresses(xs.ravel(), ys.ravel())
+        assert (addrs % 4 == 0).all()
+        assert addrs.min() >= 256
+        assert addrs.max() + 4 <= 256 + layout.nbytes
+
+    def test_clamping(self):
+        layout = TextureLayout(base=0, width=16, height=8)
+        a = layout.addresses(np.array([-5]), np.array([0]))
+        b = layout.addresses(np.array([0]), np.array([0]))
+        assert a[0] == b[0]
+        a = layout.addresses(np.array([100]), np.array([100]))
+        b = layout.addresses(np.array([15]), np.array([7]))
+        assert a[0] == b[0]
+
+    def test_tile_locality(self):
+        """Texels within one tile land within one tile-sized span."""
+        layout = TextureLayout(base=0, width=64, height=64,
+                               tile_x=8, tile_y=4)
+        tile_bytes = 8 * 4 * 4
+        xs = np.arange(8)
+        for y in range(4):
+            addrs = layout.addresses(xs, np.full(8, y))
+            assert addrs.max() - addrs.min() < tile_bytes
+
+    def test_vertical_neighbors_same_tile(self):
+        layout = TextureLayout(base=0, width=64, height=64,
+                               tile_x=8, tile_y=4)
+        a = layout.addresses(np.array([3]), np.array([1]))
+        b = layout.addresses(np.array([3]), np.array([2]))
+        tile_bytes = 8 * 4 * 4
+        assert a[0] // tile_bytes == b[0] // tile_bytes
+
+    def test_flat_layout_is_row_major(self):
+        layout = TextureLayout(base=0, width=16, height=4,
+                               tile_x=16, tile_y=1)
+        addrs = layout.addresses(np.arange(16), np.zeros(16, dtype=int))
+        assert np.array_equal(addrs, np.arange(16) * 4)
+
+
+class TestUpload:
+    def test_roundtrip_through_addresses(self):
+        layout = TextureLayout(base=128, width=20, height=12)
+        mem = DeviceMemory(128 + layout.nbytes)
+        img = np.arange(240, dtype=np.float32).reshape(12, 20)
+        layout.upload(mem, img)
+        ys, xs = np.mgrid[0:12, 0:20]
+        addrs = layout.addresses(xs.ravel(), ys.ravel())
+        values = mem.buf.view(np.float32)[addrs >> 2]
+        assert np.array_equal(values.reshape(12, 20), img)
+
+    def test_shape_mismatch(self):
+        layout = TextureLayout(base=0, width=8, height=8)
+        mem = DeviceMemory(layout.nbytes)
+        with pytest.raises(ValueError):
+            layout.upload(mem, np.zeros((4, 4), np.float32))
+
+    def test_non_multiple_dimensions_padded(self):
+        # 10x6 with 8x4 tiles -> 2x2 tiles padded
+        layout = TextureLayout(base=0, width=10, height=6)
+        assert layout.nbytes == 2 * 2 * 8 * 4 * 4
+
+
+@given(
+    st.integers(1, 64), st.integers(1, 64),
+    st.sampled_from([(8, 4), (4, 4), (16, 2), (32, 1)]),
+)
+@settings(max_examples=60, deadline=None)
+def test_layout_bijective_property(width, height, tile):
+    layout = TextureLayout(base=0, width=width, height=height,
+                           tile_x=tile[0], tile_y=tile[1])
+    ys, xs = np.mgrid[0:height, 0:width]
+    addrs = layout.addresses(xs.ravel(), ys.ravel())
+    assert len(np.unique(addrs)) == width * height
+    assert addrs.max() + layout.elem_bytes <= layout.nbytes

@@ -1,0 +1,106 @@
+"""Execution-trace facility tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    GPUSpec,
+    LaunchConfig,
+    Simulator,
+    TraceRecorder,
+    format_trace,
+)
+from repro.gpu.stalls import StallReason
+from tests.conftest import build_saxpy
+
+
+@pytest.fixture(scope="module")
+def traced():
+    saxpy = build_saxpy()
+    rec = TraceRecorder()
+    sim = Simulator(GPUSpec.small(1))
+    res = sim.launch(
+        saxpy, LaunchConfig(grid=(2, 1), block=(64, 1)),
+        args={"x": np.ones(128, np.float32),
+              "y": np.zeros(128, np.float32), "a": 1.0, "n": 128},
+        trace=rec,
+    )
+    return rec, res
+
+
+class TestRecording:
+    def test_event_per_issue(self, traced):
+        rec, res = traced
+        assert len(rec.events) == res.counters.inst_issued
+
+    def test_cycles_monotone_per_warp(self, traced):
+        rec, _ = traced
+        for warp in {e.warp for e in rec.events}:
+            cycles = [e.cycle for e in rec.for_warp(warp)]
+            assert cycles == sorted(cycles)
+
+    def test_pcs_follow_program(self, traced):
+        rec, res = traced
+        n = len(res.compiled.program)
+        for e in rec.events:
+            assert 0 <= e.pc < n
+
+    def test_stall_reasons_attached(self, traced):
+        rec, _ = traced
+        stalled = [e for e in rec.events if e.stall_reason is not None]
+        assert stalled
+        # saxpy: the FMUL waits on the load
+        assert any(e.stall_reason is StallReason.LONG_SCOREBOARD
+                   for e in stalled)
+
+    def test_queries(self, traced):
+        rec, _ = traced
+        long_ones = rec.stalls_over(50)
+        assert all(e.stall_cycles > 50 for e in long_ones)
+        timeline = rec.issue_timeline(bucket=64)
+        assert sum(timeline.values()) == len(rec.events)
+
+    def test_truncation(self):
+        saxpy = build_saxpy()
+        rec = TraceRecorder(max_events=5)
+        sim = Simulator(GPUSpec.small(1))
+        sim.launch(saxpy, LaunchConfig(grid=(1, 1), block=(64, 1)),
+                   args={"x": np.zeros(64, np.float32),
+                         "y": np.zeros(64, np.float32), "a": 1.0, "n": 64},
+                   trace=rec)
+        assert len(rec.events) == 5
+        assert rec.truncated
+
+
+class TestFormatting:
+    def test_table(self, traced):
+        rec, _ = traced
+        text = format_trace(rec, limit=10)
+        assert "cycle" in text
+        assert "LDG.E" in format_trace(rec, limit=100)
+        assert "more events" in text
+
+    def test_warp_filter(self, traced):
+        rec, _ = traced
+        text = format_trace(rec, limit=1000, warp=0)
+        assert "   1  " not in text.replace("blk", "")  # crude: no warp 1
+
+    def test_truncation_note(self):
+        rec = TraceRecorder(max_events=0)
+        rec.record(0.0, 0, 0, 0, "NOP", 0.0, None)
+        assert rec.truncated
+        assert "truncated" in format_trace(rec)
+
+
+class TestSessionTrace:
+    def test_session_launch_traced(self):
+        from repro.gpu import DeviceSession
+
+        session = DeviceSession(GPUSpec.small(1))
+        saxpy = build_saxpy()
+        rec = TraceRecorder()
+        x = session.upload(np.zeros(64, np.float32))
+        y = session.upload(np.zeros(64, np.float32))
+        session.launch(saxpy, LaunchConfig(grid=(1, 1), block=(64, 1)),
+                       args={"x": x, "y": y, "a": 1.0, "n": 64}, trace=rec)
+        assert rec.events

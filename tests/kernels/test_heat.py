@@ -1,0 +1,157 @@
+"""Jacobi heat-transfer case-study tests (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout
+from repro.gpu import LaunchConfig
+from repro.kernels.heat import (
+    HEAT_VARIANTS,
+    build_heat,
+    heat_args,
+    heat_reference,
+)
+
+W = H = 48
+
+
+def _launch(sim, variant, steps=1, w=W, h=H):
+    ck = build_heat(variant)
+    args, t0 = heat_args(w, h, variant=variant)
+    cfg = LaunchConfig(grid=(-(-w // 16), -(-h // 16)), block=(16, 16))
+    cur = t0
+    res = None
+    for _ in range(steps):
+        if variant == "texture":
+            res = sim.launch(ck, cfg, args=dict(args),
+                             textures={"t_tex": cur.reshape(h, w)})
+        else:
+            a = dict(args)
+            a["t_in"] = cur
+            res = sim.launch(ck, cfg, args=a)
+        cur = res.read_buffer("t_out")
+    return res, cur, t0
+
+
+@pytest.mark.parametrize("variant", HEAT_VARIANTS)
+class TestFunctional:
+    def test_one_step(self, sim, variant):
+        # MUFU.RCP-based division is 1 ULP off true division for
+        # non-power-of-two grid sizes, hence the tight tolerance
+        res, out, t0 = _launch(sim, variant)
+        ref = heat_reference(t0, W, H, 0.2, 0.05, steps=1)
+        assert np.allclose(out, ref, rtol=1e-6, atol=1e-6)
+
+    def test_one_step_exact_pow2(self, sim, variant):
+        res, out, t0 = _launch(sim, variant, w=64, h=64)
+        ref = heat_reference(t0, 64, 64, 0.2, 0.05, steps=1)
+        assert np.array_equal(out, ref)
+
+    def test_three_steps(self, sim, variant):
+        _, out, t0 = _launch(sim, variant, steps=3)
+        ref = heat_reference(t0, W, H, 0.2, 0.05, steps=3)
+        assert np.allclose(out, ref, atol=1e-5)
+
+
+class TestPhysics:
+    def test_diffusion_smooths(self, sim):
+        _, out, t0 = _launch(sim, "naive", steps=5)
+        # interior variance decreases (diffusion) up to source input
+        v0 = t0.reshape(H, W)[1:-1, 1:-1].var()
+        v5 = out.reshape(H, W)[1:-1, 1:-1].var()
+        assert v5 < v0
+
+    def test_boundary_fixed(self, sim):
+        _, out, t0 = _launch(sim, "naive", steps=2)
+        t0 = t0.reshape(H, W)
+        out = out.reshape(H, W)
+        for sl in (np.s_[0, :], np.s_[-1, :], np.s_[:, 0], np.s_[:, -1]):
+            assert np.array_equal(out[sl], t0[sl])
+
+    def test_non_square_grid(self, sim):
+        w2, h2 = 64, 32
+        res, out, t0 = _launch(sim, "naive", w=w2, h=h2)
+        ref = heat_reference(t0, w2, h2, 0.2, 0.05)
+        assert np.array_equal(out, ref)
+
+
+class TestStructure:
+    def test_exactly_six_i2f(self):
+        """The paper's case study flags exactly six I2F conversions."""
+        for variant in HEAT_VARIANTS:
+            ck = build_heat(variant)
+            i2f = [i for i in ck.program if i.opcode.base == "I2F"]
+            assert len(i2f) == 6, variant
+
+    def test_restrict_variant_uses_readonly_cache(self):
+        ck = build_heat("restrict")
+        loads = [i for i in ck.program if i.opcode.is_global_load]
+        ro = [i for i in loads if i.opcode.is_readonly_load]
+        assert len(ro) == 5  # centre + 4 neighbours
+
+    def test_texture_variant_uses_tex(self):
+        ck = build_heat("texture")
+        assert sum(1 for i in ck.program if i.opcode.base == "TEX") == 5
+        assert not any(
+            i.opcode.is_global_load and not i.opcode.is_readonly_load
+            for i in ck.program
+            if i.opcode.base == "LDG"
+        )
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_heat("fancy")
+
+
+class TestAnalysisMatchesPaper:
+    """§5.2: the naive report recommends texture/shared memory,
+    vectorized loads, __restrict__, and flags 6 I2F conversions."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return GPUscout().analyze(build_heat("naive"), dry_run=True)
+
+    def test_all_four_recommendations(self, report):
+        assert report.has_finding("use_texture_memory")
+        assert report.has_finding("use_shared_memory")
+        assert report.has_finding("use_vectorized_loads")
+        assert report.has_finding("use_restrict")
+
+    def test_conversion_count_is_six(self, report):
+        f = report.findings_for("datatype_conversions")[0]
+        assert f.details["total"] == 6
+        assert f.details["by_kind"] == {"I2F": 6}
+
+    def test_restrict_variant_not_flagged_again(self):
+        report = GPUscout().analyze(build_heat("restrict"), dry_run=True)
+        assert not report.has_finding("use_restrict")
+
+    def test_texture_variant_no_texture_advice(self):
+        report = GPUscout().analyze(build_heat("texture"), dry_run=True)
+        assert not report.has_finding("use_texture_memory")
+
+
+class TestDynamicBehaviour:
+    def test_texture_traffic_reported(self, sim):
+        res, _, _ = _launch(sim, "texture")
+        c = res.counters
+        assert c.texture_instructions > 0
+        assert c.texture_sectors > 0
+        # some 2D locality: hits happen
+        assert c.texture_hits > 0
+
+    def test_naive_has_no_texture_traffic(self, sim):
+        res, _, _ = _launch(sim, "naive")
+        assert res.counters.texture_instructions == 0
+
+    def test_tex_throttle_appears_with_texture(self, sim):
+        from repro.gpu.stalls import StallReason
+
+        res_naive, _, _ = _launch(sim, "naive")
+        res_tex, _, _ = _launch(sim, "texture")
+        naive_tt = res_naive.counters.stall_totals().get(
+            StallReason.TEX_THROTTLE, 0)
+        tex_tt = res_tex.counters.stall_totals().get(
+            StallReason.TEX_THROTTLE, 0)
+        assert naive_tt == 0
+        assert tex_tt >= naive_tt

@@ -1,0 +1,117 @@
+"""Histogram workload tests (§4.4 shared-atomics case study)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout, Severity
+from repro.gpu.stalls import StallReason
+from repro.kernels.histogram import (
+    HISTOGRAM_VARIANTS,
+    NUM_BINS,
+    build_histogram,
+    histogram_args,
+    histogram_launch,
+    histogram_reference,
+)
+
+N_THREADS = 1024
+
+
+@pytest.mark.parametrize("variant", HISTOGRAM_VARIANTS)
+class TestFunctional:
+    def test_exact_counts(self, sim, variant):
+        ck = build_histogram(variant)
+        args = histogram_args(N_THREADS)
+        res = sim.launch(ck, histogram_launch(N_THREADS), args=args)
+        got = res.read_buffer("bins")
+        want = histogram_reference(args["data"])
+        assert np.array_equal(got, want)
+
+    def test_skewed_counts(self, sim, variant):
+        ck = build_histogram(variant)
+        args = histogram_args(N_THREADS, skew=0.9)
+        res = sim.launch(ck, histogram_launch(N_THREADS), args=args)
+        got = res.read_buffer("bins")
+        assert np.array_equal(got, histogram_reference(args["data"]))
+        assert got[0] > got[1:].max()  # the skew went to bin 0
+
+
+class TestStructure:
+    def test_global_variant_all_global_atomics(self):
+        ck = build_histogram("global")
+        hist = ck.program.opcode_histogram()
+        assert hist.get("RED", 0) + hist.get("ATOM", 0) >= 1
+        assert hist.get("ATOMS", 0) == 0
+
+    def test_shared_variant_uses_shared_atomics(self):
+        ck = build_histogram("shared")
+        hist = ck.program.opcode_histogram()
+        assert hist.get("ATOMS", 0) >= 1
+        assert hist.get("BAR", 0) == 2
+        assert ck.program.shared_bytes == NUM_BINS * 4
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_histogram("warp")
+
+    def test_launch_shape_validation(self):
+        with pytest.raises(ValueError):
+            histogram_launch(100, block=256)
+
+
+class TestAnalysis:
+    def test_global_variant_flagged_critical(self):
+        report = GPUscout().analyze(build_histogram("global"), dry_run=True)
+        f = report.findings_for("use_shared_atomics")[0]
+        assert f.severity is Severity.CRITICAL  # atomics inside a loop
+        assert f.in_loop
+        assert f.details["global_atomics_in_loop"] >= 1
+
+    def test_shared_variant_only_info(self):
+        report = GPUscout().analyze(build_histogram("shared"), dry_run=True)
+        atomics = report.findings_for("use_shared_atomics")
+        # the remaining global atomic (the merge) is outside the loop
+        assert all(f.severity < Severity.CRITICAL for f in atomics)
+
+    def test_ptx_crosscheck_agrees(self):
+        report = GPUscout().analyze(build_histogram("shared"), dry_run=True)
+        assert report.ptx_atomics is not None
+        assert report.ptx_atomics.shared_atomics >= 1
+        assert report.ptx_atomics.shared_in_loop >= 1
+
+
+class TestDynamics:
+    """The §4.4 narrative: shared atomics relieve the kernel-wide
+    serialization; MIO pressure appears instead."""
+
+    @pytest.fixture(scope="class")
+    def results(self, sim):
+        out = {}
+        for variant in HISTOGRAM_VARIANTS:
+            ck = build_histogram(variant)
+            args = histogram_args(N_THREADS, skew=0.5)
+            out[variant] = sim.launch(ck, histogram_launch(N_THREADS),
+                                      args=args, functional_all=False)
+        return out
+
+    def test_shared_variant_faster(self, results):
+        assert results["shared"].cycles < results["global"].cycles
+
+    def test_global_atomic_count_drops(self, results):
+        g = results["global"].counters.global_atomic_instructions
+        s = results["shared"].counters.global_atomic_instructions
+        assert s < g / 2
+
+    def test_mio_activity_appears(self, results):
+        def mio(res):
+            tot = res.counters.stall_totals()
+            return (tot.get(StallReason.MIO_THROTTLE, 0)
+                    + tot.get(StallReason.SHORT_SCOREBOARD, 0))
+
+        assert mio(results["shared"]) > mio(results["global"])
+
+    def test_atomics_resolve_at_l2(self, results):
+        c = results["global"].counters
+        assert c.atomic_l2_hits + c.atomic_l2_misses > 0
+        # §4.4: atomics usually 100 % L1 miss, resolved in L2
+        assert c.l2_sectors_by_space.get("atomic", 0) > 0

@@ -1,0 +1,108 @@
+"""Mixbench case-study kernel tests (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout
+from repro.gpu import LaunchConfig
+from repro.kernels.mixbench import (
+    MIXBENCH_DTYPES,
+    build_mixbench,
+    mixbench_args,
+    mixbench_reference,
+)
+
+
+@pytest.mark.parametrize("dtype", MIXBENCH_DTYPES)
+@pytest.mark.parametrize("vectorized", [False, True])
+class TestFunctional:
+    def test_matches_reference(self, sim, dtype, vectorized):
+        ck = build_mixbench(dtype, granularity=8, vectorized=vectorized)
+        args = mixbench_args(512, 8, dtype)
+        args["compute_iterations"] = 4
+        res = sim.launch(ck, LaunchConfig(grid=(4, 1), block=(128, 1)),
+                         args=args)
+        out = res.read_buffer("g_out")
+        ref = mixbench_reference(args["g_data"], 8, 4, args["seed"])
+        assert np.array_equal(out, ref)
+
+
+class TestStructure:
+    def test_naive_has_scalar_loads(self):
+        ck = build_mixbench("sp", 8)
+        loads = [i for i in ck.program if i.opcode.is_global_load]
+        assert len(loads) == 8
+        assert all(i.opcode.width_bits == 32 for i in loads)
+
+    def test_vectorized_uses_128bit(self):
+        ck = build_mixbench("sp", 8, vectorized=True)
+        loads = [i for i in ck.program if i.opcode.is_global_load]
+        assert len(loads) == 2
+        assert all(i.opcode.width_bits == 128 for i in loads)
+
+    def test_dp_vectorized_uses_128bit_pairs(self):
+        ck = build_mixbench("dp", 8, vectorized=True)
+        loads = [i for i in ck.program if i.opcode.is_global_load]
+        assert len(loads) == 4  # double2 = 128 bits
+        assert all(i.opcode.width_bits == 128 for i in loads)
+
+    def test_int_uses_imad(self):
+        ck = build_mixbench("int", 4)
+        assert "IMAD" in ck.program.opcode_histogram()
+
+    def test_dp_uses_dfma(self):
+        ck = build_mixbench("dp", 4)
+        assert "DFMA" in ck.program.opcode_histogram()
+
+    def test_vectorization_reduces_instruction_count(self):
+        naive = build_mixbench("sp", 8)
+        vec = build_mixbench("sp", 8, vectorized=True)
+        assert len(vec.program) < len(naive.program)
+
+    def test_granularity_must_divide(self):
+        with pytest.raises(ValueError):
+            build_mixbench("sp", 6, vectorized=True)
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            build_mixbench("fp16")
+
+    def test_compute_loop_present(self):
+        from repro.sass import build_cfg
+
+        ck = build_mixbench("sp", 4)
+        assert len(build_cfg(ck.program).loops) == 1
+
+
+class TestAnalysisMatchesFigure5:
+    """Figure 5: the naive mixbench report recommends shared memory and
+    vectorized loads — and nothing else."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return GPUscout().analyze(build_mixbench("sp", 8), dry_run=True)
+
+    def test_vectorize_recommended(self, report):
+        f = report.findings_for("use_vectorized_loads")
+        assert any(x.severity.value >= 1 for x in f)
+        warn = next(x for x in f if x.severity.value >= 1)
+        assert warn.details["achievable_width_bits"] == 128
+
+    def test_shared_memory_recommended(self, report):
+        assert report.has_finding("use_shared_memory")
+
+    def test_no_spill_or_atomic_findings(self, report):
+        assert not report.has_finding("register_spilling")
+        assert not report.has_finding("use_shared_atomics")
+
+    def test_no_restrict_or_texture(self, report):
+        # tmps are mutated in place -> not read-only data
+        assert not report.has_finding("use_restrict")
+        assert not report.has_finding("use_texture_memory")
+
+    def test_vectorized_variant_reports_existing_vector_reads(self):
+        report = GPUscout().analyze(
+            build_mixbench("dp", 8, vectorized=True), dry_run=True
+        )
+        infos = report.findings_for("use_vectorized_loads")
+        assert any("Vectorized load already in use" == f.title for f in infos)

@@ -1,0 +1,151 @@
+"""SGEMM case-study tests (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout
+from repro.kernels.sgemm import (
+    SGEMM_VARIANTS,
+    TILE,
+    build_sgemm,
+    sgemm_args,
+    sgemm_launch,
+    sgemm_reference,
+)
+
+N = 32
+
+
+def _run(sim, variant, n=N):
+    ck = build_sgemm(variant)
+    args = sgemm_args(n, n, n)
+    res = sim.launch(ck, sgemm_launch(variant, n, n), args=args)
+    return ck, res, args
+
+
+@pytest.mark.parametrize("variant", SGEMM_VARIANTS)
+class TestFunctional:
+    def test_matches_reference(self, sim, variant):
+        _, res, args = _run(sim, variant)
+        out = res.read_buffer("c")
+        ref = sgemm_reference(args)
+        assert np.allclose(out, ref, rtol=1e-3, atol=1e-4)
+
+    def test_alpha_beta(self, sim, variant):
+        ck = build_sgemm(variant)
+        args = sgemm_args(N, N, N, alpha=0.0, beta=1.0)
+        c_before = args["c"].copy()
+        res = sim.launch(ck, sgemm_launch(variant, N, N), args=args)
+        # alpha=0, beta=1: C unchanged
+        assert np.allclose(res.read_buffer("c"), c_before, atol=1e-6)
+
+
+class TestStructure:
+    def test_naive_loop_loads(self):
+        ck = build_sgemm("naive")
+        from repro.sass import build_cfg
+
+        cfg = build_cfg(ck.program)
+        assert len(cfg.loops) == 1
+        loads = [i for i, ins in enumerate(ck.program)
+                 if ins.opcode.is_global_load]
+        in_loop = [i for i in loads if cfg.in_loop(i)]
+        assert len(in_loop) == 2  # A and B element each iteration
+
+    def test_shared_variant_uses_smem(self):
+        ck = build_sgemm("shared")
+        hist = ck.program.opcode_histogram()
+        assert hist.get("LDS", 0) > 0
+        assert hist.get("STS", 0) > 0
+        assert hist.get("BAR", 0) == 2
+        assert ck.program.shared_bytes == 2 * TILE * TILE * 4
+
+    def test_shared_vec_uses_128bit(self):
+        ck = build_sgemm("shared_vec")
+        wide_global = [i for i in ck.program
+                       if i.opcode.is_global_load
+                       and i.opcode.width_bits == 128]
+        assert wide_global
+        wide_shared = [i for i in ck.program
+                       if i.opcode.base in ("LDS", "STS")
+                       and i.opcode.width_bits == 128]
+        assert wide_shared
+
+    def test_register_pressure_rises_with_vectorization(self):
+        """Paper: 25 -> 72 registers; shape: monotone increase."""
+        regs = {
+            v: build_sgemm(v).allocation.registers_used
+            for v in SGEMM_VARIANTS
+        }
+        assert regs["shared"] >= regs["naive"]
+        assert regs["shared_vec"] > regs["shared"]
+
+    def test_dims_must_be_tile_multiples(self):
+        with pytest.raises(ValueError):
+            sgemm_args(10, 32, 32)
+        with pytest.raises(ValueError):
+            sgemm_launch("naive", 10, 32)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_sgemm("turbo")
+
+
+class TestAnalysisLadder:
+    """§5.3's narrative: naive -> (restrict, shared memory);
+    shared -> (vectorized loads); shared_vec -> pressure warning."""
+
+    def test_naive_recommendations(self):
+        report = GPUscout().analyze(build_sgemm("naive"), dry_run=True)
+        assert report.has_finding("use_restrict")
+        assert report.has_finding("use_shared_memory")
+        shared = report.findings_for("use_shared_memory")
+        assert any(f.in_loop for f in shared)
+
+    def test_shared_newly_recommends_vectorize(self):
+        report = GPUscout().analyze(build_sgemm("shared"), dry_run=True)
+        warns = [f for f in report.findings_for("use_vectorized_loads")
+                 if f.severity.value >= 1]
+        assert warns
+
+    def test_shared_warns_about_mio(self):
+        report = GPUscout().analyze(build_sgemm("naive"), dry_run=True)
+        from repro.gpu.stalls import StallReason
+
+        f = report.findings_for("use_shared_memory")[0]
+        assert StallReason.MIO_THROTTLE in f.stall_focus
+
+    def test_shared_vec_reports_vector_reads_present(self):
+        report = GPUscout().analyze(build_sgemm("shared_vec"), dry_run=True)
+        infos = report.findings_for("use_vectorized_loads")
+        assert any(f.title == "Vectorized load already in use" for f in infos)
+
+
+class TestDynamicLadder:
+    def test_shared_reduces_global_traffic(self, sim):
+        _, res_naive, _ = _run(sim, "naive")
+        _, res_shared, _ = _run(sim, "shared")
+        assert (res_shared.counters.global_load_instructions
+                < res_naive.counters.global_load_instructions)
+        assert (res_shared.counters.global_load_sectors
+                < res_naive.counters.global_load_sectors)
+
+    def test_shared_introduces_mio_activity(self, sim):
+        from repro.gpu.stalls import StallReason
+
+        _, res_naive, _ = _run(sim, "naive")
+        _, res_shared, _ = _run(sim, "shared")
+        naive_tot = res_naive.counters.stall_totals()
+        shared_tot = res_shared.counters.stall_totals()
+        naive_mio = (naive_tot.get(StallReason.MIO_THROTTLE, 0)
+                     + naive_tot.get(StallReason.SHORT_SCOREBOARD, 0))
+        shared_mio = (shared_tot.get(StallReason.MIO_THROTTLE, 0)
+                      + shared_tot.get(StallReason.SHORT_SCOREBOARD, 0))
+        assert shared_mio > naive_mio
+
+    def test_bank_conflict_metric_reasonable(self, sim):
+        from repro.metrics import derive_metric
+
+        _, res, _ = _run(sim, "shared")
+        ways = derive_metric("derived__smem_ld_bank_conflict_ways", res)
+        assert 1.0 <= ways <= 32.0

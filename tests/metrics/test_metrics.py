@@ -1,0 +1,134 @@
+"""Metric registry, derivation and the ncu facade."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    METRIC_REGISTRY,
+    NsightComputeCLI,
+    derive_metric,
+    describe_metric,
+)
+from repro.metrics.names import METRIC_SETS
+
+
+class TestRegistry:
+    def test_every_metric_derivable(self, saxpy_launch):
+        for name in METRIC_REGISTRY:
+            value = derive_metric(name, saxpy_launch)
+            assert isinstance(value, float)
+            assert not math.isnan(value)
+
+    def test_metric_sets_reference_known_names(self):
+        for set_name, names in METRIC_SETS.items():
+            for name in names:
+                assert name in METRIC_REGISTRY, (set_name, name)
+
+    def test_unknown_metric_raises(self, saxpy_launch):
+        with pytest.raises(MetricError):
+            derive_metric("sm__made_up.sum", saxpy_launch)
+
+    def test_describe(self):
+        assert describe_metric("launch__registers_per_thread")
+        assert describe_metric("nope") == ""
+
+
+class TestDerivations:
+    def test_registers_per_thread(self, saxpy_launch):
+        assert derive_metric("launch__registers_per_thread", saxpy_launch) \
+            == saxpy_launch.compiled.program.registers_per_thread
+
+    def test_occupancy_percent_range(self, saxpy_launch):
+        v = derive_metric(
+            "sm__warps_active.avg.pct_of_peak_sustained_active", saxpy_launch
+        )
+        assert 0 < v <= 100
+
+    def test_bytes_are_sector_multiples(self, saxpy_launch):
+        sectors = derive_metric(
+            "l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum", saxpy_launch
+        )
+        bytes_ = derive_metric(
+            "l1tex__t_bytes_pipe_lsu_mem_global_op_ld.sum", saxpy_launch
+        )
+        assert bytes_ == sectors * 32
+
+    def test_hit_plus_miss_is_100(self, saxpy_launch):
+        hit = derive_metric(
+            "l1tex__t_sector_pipe_lsu_mem_global_op_ld_hit_rate.pct",
+            saxpy_launch,
+        )
+        miss = derive_metric("derived__l1_global_load_miss_pct", saxpy_launch)
+        assert hit + miss == pytest.approx(100.0)
+
+    def test_device_counters_scale_with_sms(self, saxpy):
+        import numpy as np
+
+        from repro.gpu import GPUSpec, LaunchConfig, Simulator
+
+        n = 1024
+        args = {
+            "x": np.zeros(n, np.float32),
+            "y": np.zeros(n, np.float32),
+            "a": 1.0,
+            "n": n,
+        }
+        cfg = LaunchConfig(grid=(8, 1), block=(128, 1))
+        one = Simulator(GPUSpec.small(1)).launch(saxpy, cfg, args)
+        four = Simulator(GPUSpec.small(4)).launch(saxpy, cfg, args)
+        # device-level totals agree regardless of how many SMs simulate
+        assert derive_metric("smsp__inst_executed_op_global_ld.sum", four) \
+            == derive_metric("smsp__inst_executed_op_global_ld.sum", one)
+
+    def test_no_shared_usage_zero(self, saxpy_launch):
+        assert derive_metric("derived__smem_ld_bank_conflict_ways",
+                             saxpy_launch) == 0.0
+        assert derive_metric("smsp__inst_executed_op_shared_ld.sum",
+                             saxpy_launch) == 0.0
+
+    def test_conversion_count_zero_for_saxpy(self, saxpy_launch):
+        assert derive_metric("smsp__sass_inst_executed_op_conversion.sum",
+                             saxpy_launch) == 0.0
+
+    def test_l2_local_queries_formula(self, saxpy_launch):
+        # no spills in saxpy -> zero local traffic
+        assert derive_metric("derived__l2_queries_due_to_local_memory",
+                             saxpy_launch) == 0.0
+
+
+class TestNcuFacade:
+    def test_collect(self, saxpy_launch):
+        ncu = NsightComputeCLI()
+        report = ncu.collect(saxpy_launch, METRIC_SETS["base"])
+        assert report.kernel == "saxpy"
+        assert set(report.values) == set(METRIC_SETS["base"])
+        assert report.collection_seconds > 0
+        assert report.replay_passes == math.ceil(len(METRIC_SETS["base"]) / 4)
+
+    def test_more_metrics_more_passes(self, saxpy_launch):
+        ncu = NsightComputeCLI()
+        few = ncu.collect(saxpy_launch, list(METRIC_REGISTRY)[:4])
+        many = ncu.collect(saxpy_launch, list(METRIC_REGISTRY))
+        assert many.replay_passes > few.replay_passes
+        assert many.collection_seconds > few.collection_seconds
+
+    def test_unknown_metric_rejected(self, saxpy_launch):
+        with pytest.raises(MetricError):
+            NsightComputeCLI().collect(saxpy_launch, ["bogus.metric"])
+
+    def test_getitem_and_get(self, saxpy_launch):
+        report = NsightComputeCLI().collect(
+            saxpy_launch, ["launch__registers_per_thread"]
+        )
+        assert report["launch__registers_per_thread"] > 0
+        assert report.get("missing", -1.0) == -1.0
+
+    def test_overhead_scales_with_kernel_time(self, saxpy_launch):
+        cheap = NsightComputeCLI(replay_overhead_factor=1.0, per_pass_setup_s=0.0)
+        costly = NsightComputeCLI(replay_overhead_factor=100.0,
+                                  per_pass_setup_s=0.0)
+        names = ["launch__registers_per_thread"]
+        assert costly.collect(saxpy_launch, names).collection_seconds > \
+            cheap.collect(saxpy_launch, names).collection_seconds

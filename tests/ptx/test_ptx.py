@@ -1,0 +1,209 @@
+"""PTX stage tests: writer, parser, and the §4.4 PTX atomics scan."""
+
+import pytest
+
+from repro.cudalite import (
+    KernelBuilder,
+    compile_kernel,
+    f32,
+    f64,
+    float4,
+    i32,
+    ptr,
+)
+from repro.cudalite.intrinsics import mad, sqrtf
+from repro.ptx import kernel_to_ptx, parse_ptx, scan_atomics
+
+
+def _histogram_kernel(loop_global: bool = False):
+    kb = KernelBuilder("histo")
+    data = kb.param("data", ptr(i32, readonly=True))
+    hist = kb.param("hist", ptr(f32))
+    sm = kb.shared_array("local_hist", f32, 64)
+    t = kb.let("t", kb.block_idx.x * kb.block_dim.x + kb.thread_idx.x,
+               dtype=i32)
+    with kb.for_range("i", 0, 4) as i:
+        v = kb.let("v", data[t * 4 + i])
+        if loop_global:
+            kb.atomic_add_global(hist, v % 64, 1.0)
+        else:
+            kb.atomic_add_shared(sm, v % 64, 1.0)
+    kb.sync_threads()
+    kb.atomic_add_global(hist, t % 64, sm[t % 64])
+    return kb.build()
+
+
+class TestWriter:
+    def test_header_and_params(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert ".visible .entry histo(" in ptx
+        assert ".param .u64 histo_param_0" in ptx
+        assert ".target sm_70" in ptx
+
+    def test_shared_declared(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert ".shared .align 16 .b8 __smem[256];" in ptx
+
+    def test_atomics_rendered_with_space(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert "atom.shared.add.f32" in ptx
+        assert "red.global.add.f32" in ptx
+
+    def test_builtins_become_sregs(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert "%tid.x" in ptx
+        assert "%ctaid.x" in ptx
+
+    def test_line_markers_present(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert "// line" in ptx
+
+    def test_setp_and_branch(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert "setp.lt.s32" in ptx
+        assert "bra $L_" in ptx
+
+    def test_float_literal_hex_form(self):
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert "0f3F800000" in ptx  # 1.0f
+
+    def test_vector_load(self):
+        kb = KernelBuilder("vec")
+        p = kb.param("p", ptr(f32))
+        o = kb.param("o", ptr(f32))
+        v = kb.let("v", p.as_vector(float4)[0], dtype=float4)
+        kb.store(o.as_vector(float4), 0, v)
+        ptx = kernel_to_ptx(kb.build())
+        assert "ld.global.v4.f32" in ptx
+        assert "st.global.v4.f32" in ptx
+
+    def test_readonly_load_nc(self):
+        kb = KernelBuilder("ro")
+        p = kb.param("p", ptr(f32, readonly=True, restrict=True))
+        o = kb.param("o", ptr(f32))
+        kb.store(o, 0, p[0])
+        ptx = kernel_to_ptx(kb.build())
+        assert "ld.global.nc" in ptx
+
+    def test_math_opcodes(self):
+        kb = KernelBuilder("m")
+        o = kb.param("o", ptr(f32))
+        a = kb.param("a", f32)
+        d = kb.param("d", ptr(f64))
+        kb.store(o, 0, mad(a, a, sqrtf(a)))
+        kb.store(d, 0, a.cast(f64) * 2.0)
+        ptx = kernel_to_ptx(kb.build())
+        assert "fma.rn.f32" in ptx
+        assert "sqrt.approx.f32" in ptx
+        assert "cvt.f64.f32" in ptx
+
+    def test_conversions(self):
+        kb = KernelBuilder("c")
+        o = kb.param("o", ptr(f32))
+        t = kb.let("t", kb.thread_idx.x, dtype=i32)
+        kb.store(o, t, t.cast(f32))
+        ptx = kernel_to_ptx(kb.build())
+        assert "cvt.rn.f32.s32" in ptx
+
+    def test_sass_artifacts_absent(self):
+        """PTX must not leak SASS-only forms (LOP3 LUTs, PT chains)."""
+        ptx = kernel_to_ptx(_histogram_kernel())
+        assert ", 192" not in ptx  # LOP3 LUT immediate
+        assert "%pt," not in ptx.lower().replace(" ", "")
+
+
+class TestParser:
+    def test_roundtrip_structure(self):
+        kernel = _histogram_kernel()
+        pk = parse_ptx(kernel_to_ptx(kernel))
+        assert pk.name == "histo"
+        assert len(pk.params) == 2
+        assert pk.shared_bytes == 256
+        assert pk.instructions()
+
+    def test_guards(self):
+        pk = parse_ptx(kernel_to_ptx(_histogram_kernel()))
+        guarded = [i for i in pk.instructions() if i.guard]
+        assert guarded
+        assert all(g.guard.startswith(("%p", "!%p")) for g in guarded)
+
+    def test_labels_positioned(self):
+        pk = parse_ptx(kernel_to_ptx(_histogram_kernel()))
+        labels = pk.label_positions()
+        assert labels
+        branches = [i for i in pk.instructions() if i.is_branch]
+        assert branches
+        assert all(b.branch_target() is not None for b in branches)
+
+    def test_lines_attached(self):
+        pk = parse_ptx(kernel_to_ptx(_histogram_kernel()))
+        assert any(i.line is not None for i in pk.instructions())
+
+    def test_opcode_histogram(self):
+        pk = parse_ptx(kernel_to_ptx(_histogram_kernel()))
+        hist = pk.opcode_histogram()
+        assert hist["atom"] >= 1
+        assert hist["red"] >= 1
+        assert hist["ld"] >= 1
+
+    def test_atomic_classification(self):
+        pk = parse_ptx(kernel_to_ptx(_histogram_kernel()))
+        spaces = {i.atomic_space for i in pk.instructions() if i.is_atomic}
+        assert spaces == {"shared", "global"}
+
+
+class TestAtomicsScan:
+    def test_counts(self):
+        summary = scan_atomics(parse_ptx(kernel_to_ptx(_histogram_kernel())))
+        assert summary.global_atomics == 1
+        assert summary.shared_atomics == 1
+        assert summary.total == 2
+
+    def test_loop_membership(self):
+        summary = scan_atomics(parse_ptx(kernel_to_ptx(_histogram_kernel())))
+        assert summary.shared_in_loop == 1  # the per-element shared add
+        assert summary.global_in_loop == 0  # the merge is after the loop
+
+    def test_global_in_loop_detected(self):
+        summary = scan_atomics(
+            parse_ptx(kernel_to_ptx(_histogram_kernel(loop_global=True)))
+        )
+        assert summary.global_in_loop >= 1
+        assert summary.recommends_shared_atomics
+
+    def test_no_atomics(self):
+        kb = KernelBuilder("plain")
+        o = kb.param("o", ptr(f32))
+        kb.store(o, 0, 1.0)
+        summary = scan_atomics(parse_ptx(kernel_to_ptx(kb.build())))
+        assert summary.total == 0
+        assert not summary.recommends_shared_atomics
+
+    def test_sites_carry_lines(self):
+        summary = scan_atomics(parse_ptx(kernel_to_ptx(_histogram_kernel())))
+        assert all(line is not None for _, line in summary.sites)
+
+
+class TestEngineCrossCheck:
+    def test_ptx_summary_attached_to_report(self):
+        from repro.core import GPUscout
+
+        ck = compile_kernel(_histogram_kernel(loop_global=True))
+        report = GPUscout().analyze(ck, dry_run=True)
+        assert report.ptx_atomics is not None
+        finding = report.findings_for("use_shared_atomics")[0]
+        # SASS-level and PTX-level counts agree
+        assert finding.details["global_atomics"] == \
+            finding.details["ptx_global_atomics"]
+        assert finding.details["shared_atomics"] == \
+            finding.details["ptx_shared_atomics"]
+
+    def test_raw_sass_has_no_ptx(self):
+        from repro.core import GPUscout
+
+        report = GPUscout().analyze("EXIT ;\n", dry_run=True)
+        assert report.ptx_atomics is None
+
+    def test_compiled_kernel_exposes_ptx_text(self):
+        ck = compile_kernel(_histogram_kernel())
+        assert ".visible .entry" in ck.ptx_text

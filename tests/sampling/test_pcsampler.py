@@ -1,0 +1,105 @@
+"""PC sampler and line-profile aggregation tests."""
+
+import pytest
+
+from repro.gpu.stalls import StallReason
+from repro.sampling import PCSampler, build_line_profiles
+from repro.sampling.pcsampler import PCSample, PCSamplingResult
+
+
+class TestSampler:
+    def test_sample_counts_proportional(self, saxpy_launch):
+        sampler = PCSampler(period_cycles=64)
+        result = sampler.sample(saxpy_launch)
+        assert result.total_samples > 0
+        # expectation: total stall cycles / period, +-1 per entry
+        total_cycles = sum(saxpy_launch.counters.stall_cycles.values())
+        assert result.total_samples == pytest.approx(
+            total_cycles / 64, abs=len(saxpy_launch.counters.stall_cycles)
+        )
+
+    def test_larger_period_fewer_samples(self, saxpy_launch):
+        fine = PCSampler(period_cycles=32).sample(saxpy_launch)
+        coarse = PCSampler(period_cycles=1024).sample(saxpy_launch)
+        assert coarse.total_samples < fine.total_samples
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PCSampler(period_cycles=0)
+
+    def test_samples_have_lines(self, saxpy_launch):
+        result = PCSampler(period_cycles=64).sample(saxpy_launch)
+        lined = [s for s in result.samples if s.line is not None]
+        assert lined  # line tables attached
+
+    def test_shares_sum_to_one(self, saxpy_launch):
+        result = PCSampler(period_cycles=64).sample(saxpy_launch)
+        total = sum(
+            result.stall_share(r) for r in StallReason
+            if r is not StallReason.SELECTED
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_dominant_reason(self, saxpy_launch):
+        result = PCSampler(period_cycles=64).sample(saxpy_launch)
+        # the FADD consuming the loads should stall on long scoreboard
+        by_reason = result.by_reason()
+        stall_only = {k: v for k, v in by_reason.items()
+                      if k is not StallReason.SELECTED}
+        assert max(stall_only, key=lambda k: stall_only[k]) is \
+            StallReason.LONG_SCOREBOARD
+
+    def test_overhead_grows_with_duration(self, saxpy_launch):
+        sampler = PCSampler()
+        base = sampler.overhead_seconds(saxpy_launch)
+        assert base > 0
+
+    def test_at_pc_and_at_line(self, saxpy_launch):
+        result = PCSampler(period_cycles=64).sample(saxpy_launch)
+        s = next(s for s in result.samples if s.line is not None)
+        assert result.at_pc(s.pc)
+        assert result.at_line(s.line)
+
+
+class TestLineProfiles:
+    def test_aggregation(self):
+        sampling = PCSamplingResult(
+            kernel="k", period_cycles=64, total_samples=30,
+            samples=[
+                PCSample(0, 5, StallReason.LONG_SCOREBOARD, 10),
+                PCSample(1, 5, StallReason.LG_THROTTLE, 5),
+                PCSample(2, 7, StallReason.WAIT, 10),
+                PCSample(3, None, StallReason.WAIT, 5),  # dropped
+            ],
+        )
+        profiles = build_line_profiles(sampling)
+        assert set(profiles) == {5, 7}
+        assert profiles[5].total_samples == 15
+        assert profiles[5].dominant() is StallReason.LONG_SCOREBOARD
+        assert profiles[5].share(StallReason.LG_THROTTLE) == pytest.approx(1 / 3)
+
+    def test_selected_excluded_from_share(self):
+        sampling = PCSamplingResult(
+            kernel="k", period_cycles=64, total_samples=20,
+            samples=[
+                PCSample(0, 1, StallReason.SELECTED, 10),
+                PCSample(0, 1, StallReason.BARRIER, 10),
+            ],
+        )
+        prof = build_line_profiles(sampling)[1]
+        assert prof.share(StallReason.BARRIER) == 1.0
+        assert prof.dominant() is StallReason.BARRIER
+
+    def test_empty_profile(self):
+        sampling = PCSamplingResult(kernel="k", period_cycles=64,
+                                    total_samples=0, samples=[])
+        assert build_line_profiles(sampling) == {}
+
+    def test_share_zero_when_no_stalls(self):
+        sampling = PCSamplingResult(
+            kernel="k", period_cycles=64, total_samples=5,
+            samples=[PCSample(0, 1, StallReason.SELECTED, 5)],
+        )
+        prof = build_line_profiles(sampling)[1]
+        assert prof.share(StallReason.WAIT) == 0.0
+        assert prof.dominant() is None

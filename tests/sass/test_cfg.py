@@ -1,0 +1,149 @@
+"""CFG construction, dominators and natural-loop detection."""
+
+import pytest
+
+from repro.sass import build_cfg, parse_sass
+
+
+def _cfg(text: str):
+    return build_cfg(parse_sass(text))
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        cfg = _cfg("MOV R1, R2 ;\nMOV R3, R4 ;\nEXIT ;\n")
+        assert len(cfg) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_loop_blocks(self, loop_program):
+        cfg = build_cfg(loop_program)
+        # entry, loop body, exit tail
+        assert len(cfg) == 3
+        entry, body, tail = cfg.blocks
+        assert entry.successors == [body.bid]
+        assert set(body.successors) == {body.bid, tail.bid}
+        assert tail.successors == []
+
+    def test_predecessors_symmetric(self, loop_program):
+        cfg = build_cfg(loop_program)
+        for blk in cfg.blocks:
+            for s in blk.successors:
+                assert blk.bid in cfg.blocks[s].predecessors
+
+    def test_unconditional_branch_no_fallthrough(self):
+        text = (
+            "BRA `(END) ;\n"
+            "MOV R1, R2 ;\n"
+            ".END:\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        # block 0 jumps straight to END
+        assert cfg.blocks[0].successors == [2]
+
+    def test_exit_terminates(self):
+        text = "EXIT ;\nMOV R1, R2 ;\nEXIT ;\n"
+        cfg = _cfg(text)
+        assert cfg.blocks[0].successors == []
+
+    def test_block_of_instruction(self, loop_program):
+        cfg = build_cfg(loop_program)
+        for blk in cfg.blocks:
+            for i in range(blk.start, blk.end):
+                assert cfg.block_of_instruction(i) is blk
+
+    def test_empty_program_rejected(self):
+        from repro.sass.isa import Program
+
+        with pytest.raises(ValueError):
+            build_cfg(Program("empty", []))
+
+
+class TestDominators:
+    def test_entry_dominates_all(self, loop_program):
+        cfg = build_cfg(loop_program)
+        for blk in cfg.blocks:
+            assert cfg.dominates(0, blk.bid)
+
+    def test_self_domination(self, loop_program):
+        cfg = build_cfg(loop_program)
+        for blk in cfg.blocks:
+            assert cfg.dominates(blk.bid, blk.bid)
+
+    def test_diamond(self):
+        text = (
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(ELSE) ;\n"
+            "MOV R1, 0x1 ;\n"
+            "BRA `(JOIN) ;\n"
+            ".ELSE:\n"
+            "MOV R1, 0x2 ;\n"
+            ".JOIN:\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        join = len(cfg.blocks) - 1
+        then_block, else_block = 1, 2
+        assert not cfg.dominates(then_block, join)
+        assert not cfg.dominates(else_block, join)
+        assert cfg.dominates(0, join)
+
+
+class TestLoops:
+    def test_single_loop(self, loop_program):
+        cfg = build_cfg(loop_program)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == loop.back_edge_from  # self loop block
+        assert loop.blocks == frozenset({loop.header})
+
+    def test_loop_depth(self, loop_program):
+        cfg = build_cfg(loop_program)
+        body = cfg.loops[0].header
+        blk = cfg.blocks[body]
+        for i in range(blk.start, blk.end):
+            assert cfg.in_loop(i)
+        assert not cfg.in_loop(0)
+        assert not cfg.in_loop(len(loop_program) - 1)
+
+    def test_nested_loops(self):
+        text = (
+            "MOV R0, RZ ;\n"
+            ".OUTER:\n"
+            "MOV R1, RZ ;\n"
+            ".INNER:\n"
+            "IADD3 R1, R1, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R1, 0x4, PT ;\n"
+            "@P0 BRA `(INNER) ;\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(OUTER) ;\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        assert len(cfg.loops) == 2
+        prog = cfg.program
+        inner_i = prog.index_of_offset(prog.label_offset("INNER"))
+        assert cfg.loop_depth[inner_i] == 2  # nested twice
+        outer_i = prog.index_of_offset(prog.label_offset("OUTER"))
+        assert cfg.loop_depth[outer_i] == 1
+
+    def test_no_loops_straightline(self):
+        cfg = _cfg("MOV R1, R2 ;\nEXIT ;\n")
+        assert cfg.loops == []
+        assert cfg.loop_depth == [0, 0]
+
+    def test_loops_sorted_outermost_first(self):
+        text = (
+            ".OUTER:\n"
+            "MOV R1, RZ ;\n"
+            ".INNER:\n"
+            "IADD3 R1, R1, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R1, 0x4, PT ;\n"
+            "@P0 BRA `(INNER) ;\n"
+            "ISETP.LT.AND P1, PT, R0, 0x4, PT ;\n"
+            "@P1 BRA `(OUTER) ;\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        assert len(cfg.loops[0].blocks) >= len(cfg.loops[1].blocks)

@@ -1,0 +1,88 @@
+"""Liveness, register pressure, def-use and last-writer queries."""
+
+from repro.sass import compute_liveness, def_use_chains, parse_sass
+from repro.sass.isa import Register
+from repro.sass.liveness import last_writer_before, last_writer_index_before
+
+
+SIMPLE = """
+MOV R1, 0x1 ;
+MOV R2, 0x2 ;
+IADD3 R3, R1, R2, RZ ;
+STG.E.SYS [R4], R3 ;
+EXIT ;
+"""
+
+
+class TestLiveness:
+    def test_pressure_profile(self):
+        prog = parse_sass(SIMPLE)
+        li = compute_liveness(prog)
+        # after first MOV: R1 and R4 live (R4 is live-in, used later)
+        assert li.pressure_at(0) == 2
+        # after IADD3: R3 and R4 live
+        assert li.pressure_at(2) == 2
+        # after the store nothing is live
+        assert li.pressure_at(3) == 0
+
+    def test_max_pressure(self):
+        prog = parse_sass(SIMPLE)
+        li = compute_liveness(prog)
+        assert li.max_pressure == 3  # R1, R2, R4 between the MOVs
+
+    def test_live_through_loop(self, loop_program):
+        li = compute_liveness(loop_program)
+        # R2 (the address) is live across the whole loop
+        r2 = Register(2)
+        loop_start = loop_program.index_of_offset(0x30)
+        assert r2 in li.live_in[loop_start]
+        assert r2 in li.live_out[loop_start]
+
+    def test_dead_code_pressure_zero_at_exit(self, loop_program):
+        li = compute_liveness(loop_program)
+        assert li.pressure_at(len(loop_program) - 1) == 0
+
+    def test_predicated_def_treated_live_through(self):
+        # @P0 MOV R1 conditionally overwrites R1; the old value must
+        # stay live before it
+        text = (
+            "MOV R1, 0x5 ;\n"
+            "@P0 MOV R1, 0x6 ;\n"
+            "STG.E.SYS [R2], R1 ;\n"
+            "EXIT ;\n"
+        )
+        prog = parse_sass(text)
+        li = compute_liveness(prog)
+        assert Register(1) in li.live_in[1]
+        assert Register(1) in li.live_out[0]
+
+
+class TestDefUse:
+    def test_chains(self):
+        prog = parse_sass(SIMPLE)
+        chains = def_use_chains(prog)
+        r1 = chains[Register(1)]
+        assert r1.defs == [0]
+        assert r1.uses == [2]
+        assert r1.is_read_only_after_first_def
+
+    def test_multiple_defs(self, loop_program):
+        chains = def_use_chains(loop_program)
+        r4 = chains[Register(4)]
+        assert len(r4.defs) == 2  # LDG and FFMA
+        assert not r4.is_read_only_after_first_def
+
+    def test_last_writer(self, loop_program):
+        store_idx = len(loop_program) - 2  # STG
+        writer = last_writer_before(loop_program, Register(4), store_idx)
+        assert writer is not None
+        assert writer.opcode.base == "FFMA"
+
+    def test_last_writer_index(self, loop_program):
+        store_idx = len(loop_program) - 2
+        idx = last_writer_index_before(loop_program, Register(4), store_idx)
+        assert loop_program[idx].opcode.base == "FFMA"
+
+    def test_last_writer_none(self):
+        prog = parse_sass(SIMPLE)
+        assert last_writer_before(prog, Register(9), 3) is None

@@ -1,0 +1,95 @@
+"""Volta occupancy-calculator tests (cross-checked against the CUDA
+occupancy calculator for CC 7.0)."""
+
+import pytest
+
+from repro.sass.occupancy import OccupancyLimits, compute_occupancy
+
+
+class TestFullOccupancy:
+    def test_light_kernel(self):
+        occ = compute_occupancy(256, 32)
+        assert occ.occupancy == 1.0
+        assert occ.active_warps == 64
+        assert occ.active_blocks == 8
+
+    def test_min_registers_clamped(self):
+        # tiny register counts allocate at least 8/thread, still 100 %
+        assert compute_occupancy(256, 2).occupancy == 1.0
+
+
+class TestRegisterLimits:
+    def test_regs_64_halves_occupancy(self):
+        # 64 regs/thread: 2048 regs/warp -> 32 warps resident
+        occ = compute_occupancy(256, 64)
+        assert occ.active_warps == 32
+        assert occ.occupancy == 0.5
+        assert occ.limiter == "registers"
+
+    def test_regs_128(self):
+        occ = compute_occupancy(256, 128)
+        assert occ.active_warps == 16
+        assert occ.limiter == "registers"
+
+    def test_paper_sgemm_regs(self):
+        # the case-study shift 25 -> 72 registers must lower occupancy
+        low = compute_occupancy(256, 25)
+        high = compute_occupancy(256, 72)
+        assert high.occupancy < low.occupancy
+
+    def test_monotone_in_registers(self):
+        prev = 2.0
+        for regs in (16, 32, 48, 64, 96, 128, 192, 255):
+            occ = compute_occupancy(128, regs).occupancy
+            assert occ <= prev
+            prev = occ
+
+
+class TestSharedLimits:
+    def test_shared_unlimited_when_zero(self):
+        assert compute_occupancy(128, 32, 0).occupancy == 1.0
+
+    def test_shared_limits_blocks(self):
+        # 48 KiB/block -> 2 blocks of 96 KiB/SM
+        occ = compute_occupancy(256, 32, 48 * 1024)
+        assert occ.active_blocks == 2
+        assert occ.limiter == "shared"
+        assert occ.active_warps == 16
+
+    def test_shared_allocation_granularity(self):
+        # 1 byte rounds up to one 256 B allocation unit
+        occ = compute_occupancy(1024, 32, 1)
+        assert occ.active_blocks >= 1
+
+
+class TestBlockAndThreadLimits:
+    def test_block_count_limit(self):
+        # 32-thread blocks: 32-block limit binds before the warp limit
+        occ = compute_occupancy(32, 16)
+        assert occ.active_blocks == 32
+        assert occ.active_warps == 32
+        assert occ.occupancy == 0.5
+
+    def test_thread_limit(self):
+        occ = compute_occupancy(1024, 16)
+        assert occ.active_blocks == 2
+        assert occ.active_warps == 64
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(0, 32)
+        with pytest.raises(ValueError):
+            compute_occupancy(2048, 32)
+
+    def test_zero_occupancy_when_impossible(self):
+        # a block needing more shared memory than the SM has
+        occ = compute_occupancy(128, 32, 200 * 1024)
+        assert occ.occupancy == 0.0
+        assert occ.active_blocks == 0
+
+
+class TestCustomLimits:
+    def test_custom_architecture(self):
+        pascal_ish = OccupancyLimits(registers_per_sm=32768)
+        occ = compute_occupancy(256, 64, limits=pascal_ish)
+        assert occ.active_warps == 16

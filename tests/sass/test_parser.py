@@ -1,0 +1,160 @@
+"""Parser and writer tests, including round-trip on paper Listing 1."""
+
+import pytest
+
+from repro.errors import SassSyntaxError
+from repro.sass import format_program, parse_sass
+from repro.sass.parser import parse_instruction
+from repro.sass.writer import format_instruction
+
+
+PAPER_LISTING_1 = """
+LDG.E.SYS R0, [R2] ;
+LDG.E.SYS R5, [R4] ;
+LDG.E.SYS R7, [R4+-0x8] ;
+LDG.E.SYS R9, [R2+-0x8] ;
+STG.E.SYS [R4], R9 ;
+"""
+
+
+class TestParseInstruction:
+    def test_offset_comment(self):
+        ins = parse_instruction("/*01a0*/ MOV R1, R2 ;")
+        assert ins.offset == 0x1A0
+
+    def test_predicated(self):
+        ins = parse_instruction("@!P2 EXIT ;")
+        assert ins.pred is not None and ins.pred.index == 2
+        assert ins.pred_negated
+
+    def test_operand_kinds(self):
+        ins = parse_instruction(
+            "IMAD.WIDE R2, R0, 0x4, c[0x0][0x160] ;"
+        )
+        kinds = [op.kind for op in ins.operands]
+        assert kinds == ["reg", "reg", "imm", "const"]
+
+    def test_float_immediate(self):
+        ins = parse_instruction("FMUL R1, R2, 0.5 ;")
+        assert ins.operands[2].kind == "fimm"
+        assert ins.operands[2].fimm == 0.5
+
+    def test_negative_immediate(self):
+        ins = parse_instruction("IADD3 R1, R2, -0x4, RZ ;")
+        assert ins.operands[2].imm == -4
+
+    def test_negated_register_operand(self):
+        ins = parse_instruction("FADD R1, R2, -R3 ;")
+        assert ins.operands[2].negated
+
+    def test_negated_const_operand(self):
+        ins = parse_instruction("IADD3 R1, R2, -c[0x0][0x168], RZ ;")
+        assert ins.operands[2].kind == "const"
+        assert ins.operands[2].negated
+
+    def test_special_register(self):
+        ins = parse_instruction("S2R R0, SR_CTAID.X ;")
+        assert ins.operands[1].special == "SR_CTAID.X"
+
+    def test_label_operand(self):
+        ins = parse_instruction("BRA `(L_x_1) ;")
+        assert ins.branch_target() == "L_x_1"
+
+    def test_memref_negative(self):
+        ins = parse_instruction("LDG.E.SYS R7, [R4+-0x8] ;")
+        assert ins.mem_operand().offset == -8
+
+    def test_errors(self):
+        with pytest.raises(SassSyntaxError):
+            parse_instruction(";")
+        with pytest.raises(SassSyntaxError):
+            parse_instruction("MOV R1, ??? ;")
+
+    def test_error_carries_lineno(self):
+        with pytest.raises(SassSyntaxError) as exc:
+            parse_instruction("MOV R1, ??? ;", lineno=42)
+        assert "42" in str(exc.value)
+
+
+class TestParseProgram:
+    def test_paper_listing_1(self):
+        prog = parse_sass(PAPER_LISTING_1, "listing1")
+        assert len(prog) == 5
+        assert prog[0].opcode.is_global_load
+        assert prog[2].mem_operand().offset == -8
+        assert prog[4].opcode.name == "STG.E.SYS"
+
+    def test_labels(self, loop_program):
+        assert "LOOP" in loop_program.labels
+        idx = loop_program.index_of_offset(loop_program.label_offset("LOOP"))
+        assert loop_program[idx].opcode.base == "LDG"
+
+    def test_at_offset(self, loop_program):
+        assert loop_program.at_offset(0).opcode.base == "S2R"
+        with pytest.raises(KeyError):
+            loop_program.at_offset(0x9999)
+
+    def test_line_info_sticky(self):
+        text = (
+            '//## File "k.cu", line 7\n'
+            "MOV R1, R2 ;\n"
+            "MOV R3, R4 ;\n"
+            '//## File "k.cu", line 9\n'
+            "EXIT ;\n"
+        )
+        prog = parse_sass(text)
+        assert [i.line for i in prog] == [7, 7, 9]
+
+    def test_section_metadata(self):
+        text = (
+            ".section .text.mykernel\n"
+            '.sectioninfo @"SHI_REGISTERS=25"\n'
+            '.sectioninfo @"SHI_LOCAL=8"\n'
+            '.sectioninfo @"SHI_SHARED=2048"\n'
+            "EXIT ;\n"
+        )
+        prog = parse_sass(text)
+        assert prog.name == "mykernel"
+        assert prog.registers_per_thread == 25
+        assert prog.local_bytes_per_thread == 8
+        assert prog.shared_bytes == 2048
+
+    def test_duplicate_label_rejected(self):
+        text = ".A:\nMOV R1, R2 ;\n.A:\nEXIT ;\n"
+        with pytest.raises(ValueError):
+            parse_sass(text)
+
+    def test_opcode_histogram(self, loop_program):
+        hist = loop_program.opcode_histogram()
+        assert hist["IADD3"] == 2
+        assert hist["LDG"] == 1
+
+    def test_source_lines_grouping(self):
+        text = '//## File "k.cu", line 3\nMOV R1, R2 ;\nMOV R3, R4 ;\nEXIT ;\n'
+        prog = parse_sass(text)
+        assert len(prog.source_lines()[3]) == 3
+
+
+class TestRoundTrip:
+    def test_loop_roundtrip(self, loop_program):
+        text = format_program(loop_program)
+        again = parse_sass(text)
+        assert len(again) == len(loop_program)
+        assert again.name == loop_program.name
+        for a, b in zip(loop_program, again):
+            assert format_instruction(a) == format_instruction(b)
+        assert again.labels == loop_program.labels
+
+    def test_single_instruction_roundtrip(self):
+        src = "@!P1 LDG.E.128.CONSTANT.SYS R4, [R2+-0x10] ;"
+        ins = parse_instruction(src)
+        assert format_instruction(ins, with_offset=False) == src
+
+    def test_negation_roundtrip(self):
+        for src in (
+            "FADD R1, R2, -R3 ;",
+            "IADD3 R1, R2, -c[0x0][0x168], RZ ;",
+            "FMNMX R1, R2, R3, !PT ;",
+        ):
+            ins = parse_instruction(src)
+            assert format_instruction(ins, with_offset=False) == src

@@ -1,0 +1,53 @@
+"""Parser robustness: arbitrary text must either parse or raise
+SassSyntaxError/ValueError — never crash with anything else."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SassSyntaxError
+from repro.sass import parse_sass
+from repro.sass.parser import parse_instruction
+
+
+printable_lines = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;[]()+-@!%/*_#\"'",
+    max_size=80,
+)
+
+
+@given(st.lists(printable_lines, max_size=12).map("\n".join))
+@settings(max_examples=200, deadline=None)
+def test_parse_sass_never_crashes(text):
+    try:
+        parse_sass(text)
+    except (SassSyntaxError, ValueError):
+        pass  # rejecting bad input is correct
+
+
+@given(printable_lines)
+@settings(max_examples=200, deadline=None)
+def test_parse_instruction_never_crashes(line):
+    try:
+        parse_instruction(line)
+    except (SassSyntaxError, ValueError):
+        pass
+
+
+@given(st.sampled_from([
+    "LDG", "STG", "IADD3", "FFMA", "BRA", "EXIT", "MOV",
+]), st.lists(st.sampled_from([
+    "R0", "R4", "RZ", "PT", "P0", "0x10", "-0x4", "[R2]", "[R2+0x8]",
+    "c[0x0][0x160]", "1.5", "-R3", "`(L)", "SR_TID.X",
+]), max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_wellformed_operand_soup_roundtrips(base, ops):
+    """Syntactically valid instruction lines parse, and re-render to
+    something that parses to the same thing."""
+    from repro.sass.writer import format_instruction
+
+    line = base + (" " + ", ".join(ops) if ops else "") + " ;"
+    ins = parse_instruction(line)
+    again = parse_instruction(format_instruction(ins, with_offset=False))
+    assert format_instruction(ins) == format_instruction(again)

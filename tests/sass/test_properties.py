@@ -1,0 +1,194 @@
+"""Property-based tests (Hypothesis) for the SASS toolkit."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sass import (
+    build_cfg,
+    compute_liveness,
+    format_program,
+    parse_sass,
+)
+from repro.sass.isa import (
+    Instruction,
+    Label,
+    Opcode,
+    Operand,
+    Program,
+    Register,
+)
+from repro.sass.occupancy import compute_occupancy
+from repro.sass.writer import format_instruction
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+regs = st.integers(0, 30).map(Register)
+imms = st.integers(-(2**15), 2**15 - 1)
+
+
+@st.composite
+def alu_instruction(draw):
+    op = draw(st.sampled_from(["IADD3", "IMAD", "LOP3.LUT"]))
+    d, a, b = draw(regs), draw(regs), draw(regs)
+    ops = [Operand.r(d), Operand.r(a), Operand.r(b), Operand.i(draw(imms))]
+    if op == "LOP3.LUT":
+        ops.append(Operand.i(draw(st.integers(0, 255))))
+    return Instruction(Opcode.parse(op), ops)
+
+
+@st.composite
+def mem_instruction(draw):
+    load = draw(st.booleans())
+    width = draw(st.sampled_from(["", ".64", ".128"]))
+    base = draw(regs)
+    # quad-aligned dest keeps the instruction architecturally legal
+    data = Register(draw(st.integers(0, 7)) * 4)
+    off = draw(st.integers(-64, 64)) * 4
+    if load:
+        return Instruction(
+            Opcode.parse(f"LDG.E{width}.SYS"),
+            [Operand.r(data), Operand.m(base, off)],
+        )
+    return Instruction(
+        Opcode.parse(f"STG.E{width}.SYS"),
+        [Operand.m(base, off), Operand.r(data)],
+    )
+
+
+@st.composite
+def straightline_program(draw):
+    body = draw(
+        st.lists(st.one_of(alu_instruction(), mem_instruction()),
+                 min_size=1, max_size=30)
+    )
+    body.append(Instruction(Opcode.parse("EXIT"), []))
+    return Program("prop", body)
+
+
+@st.composite
+def looped_program(draw):
+    """A program with 0-2 well-formed counted loops."""
+    items: list = []
+    n_loops = draw(st.integers(0, 2))
+    for k in range(n_loops):
+        items.extend(draw(st.lists(alu_instruction(), max_size=4)))
+        items.append(Label(f"L{k}"))
+        items.extend(draw(st.lists(st.one_of(alu_instruction(),
+                                             mem_instruction()),
+                                   min_size=1, max_size=6)))
+        ctr = draw(regs)
+        items.append(Instruction(Opcode.parse("IADD3"),
+                                 [Operand.r(ctr), Operand.r(ctr),
+                                  Operand.i(1), Operand.i(0)]))
+        items.append(Instruction(
+            Opcode.parse("ISETP.LT.AND"),
+            [Operand.r(Register(0, predicate=True)),
+             Operand.r(Register(7, predicate=True)),
+             Operand.r(ctr), Operand.i(16),
+             Operand.r(Register(7, predicate=True))],
+        ))
+        items.append(Instruction(
+            Opcode.parse("BRA"), [Operand.lbl(f"L{k}")],
+            pred=Register(0, predicate=True),
+        ))
+    items.extend(draw(st.lists(alu_instruction(), max_size=4)))
+    items.append(Instruction(Opcode.parse("EXIT"), []))
+    return Program("loopy", items)
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_straightline(prog):
+    """parse(format(p)) reproduces every instruction verbatim."""
+    again = parse_sass(format_program(prog))
+    assert len(again) == len(prog)
+    for a, b in zip(prog, again):
+        assert format_instruction(a) == format_instruction(b)
+
+
+@given(looped_program())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_looped(prog):
+    again = parse_sass(format_program(prog))
+    assert len(again) == len(prog)
+    assert again.labels == prog.labels
+    for a, b in zip(prog, again):
+        assert format_instruction(a, with_offset=False) == \
+            format_instruction(b, with_offset=False)
+
+
+@given(looped_program())
+@settings(max_examples=40, deadline=None)
+def test_cfg_partitions_program(prog):
+    """Blocks tile the instruction stream exactly once, and edges are
+    symmetric."""
+    cfg = build_cfg(prog)
+    covered = []
+    for blk in cfg.blocks:
+        covered.extend(range(blk.start, blk.end))
+    assert covered == list(range(len(prog)))
+    for blk in cfg.blocks:
+        for s in blk.successors:
+            assert blk.bid in cfg.blocks[s].predecessors
+        for p in blk.predecessors:
+            assert blk.bid in cfg.blocks[p].successors
+
+
+@given(looped_program())
+@settings(max_examples=40, deadline=None)
+def test_loops_have_headers_dominating_backedges(prog):
+    cfg = build_cfg(prog)
+    for loop in cfg.loops:
+        assert cfg.dominates(loop.header, loop.back_edge_from)
+        assert loop.header in loop.blocks
+        assert loop.back_edge_from in loop.blocks
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_liveness_subset_invariant(prog):
+    """live_out(i) ⊆ live_in(i) ∪ defs(i); sources ⊆ live_in."""
+    li = compute_liveness(prog)
+    for i, ins in enumerate(prog):
+        defs = {r for r in ins.dest_registers()
+                if not r.predicate and not r.is_zero}
+        srcs = {r for r in ins.source_registers()
+                if not r.predicate and not r.is_zero}
+        assert li.live_out[i] <= li.live_in[i] | defs
+        assert srcs <= li.live_in[i]
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_liveness_nothing_live_after_exit(prog):
+    li = compute_liveness(prog)
+    assert li.live_out[len(prog) - 1] == frozenset()
+
+
+@given(
+    st.integers(32, 1024),
+    st.integers(8, 255),
+    st.integers(0, 96 * 1024),
+)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_bounds(threads, regs_per_thread, shared):
+    occ = compute_occupancy(threads, regs_per_thread, shared)
+    assert 0.0 <= occ.occupancy <= 1.0
+    assert occ.active_warps <= 64
+    assert occ.active_blocks <= 32
+
+
+@given(st.integers(32, 1024), st.integers(8, 128))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_monotone_registers(threads, regs_per_thread):
+    lo = compute_occupancy(threads, regs_per_thread)
+    hi = compute_occupancy(threads, min(regs_per_thread * 2, 255))
+    assert hi.occupancy <= lo.occupancy

@@ -1,0 +1,88 @@
+"""CLI tests (argument handling and end-to-end invocations)."""
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_kernel
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_kernel_and_sass_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--kernel", "sgemm:naive", "--sass", "x.sass"]
+            )
+
+
+class TestResolveKernel:
+    @pytest.mark.parametrize("spec", [
+        "mixbench:sp:naive", "mixbench:dp:vec", "heat:naive",
+        "heat:texture", "sgemm:naive", "sgemm:shared_vec",
+    ])
+    def test_known_specs(self, spec):
+        ck, config, args, textures = resolve_kernel(spec, 64)
+        assert ck.program is not None
+        assert config.num_blocks >= 1
+        assert args
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            resolve_kernel("quantum:naive", 64)
+
+
+class TestMain:
+    def test_list_kernels(self, capsys):
+        assert main(["list-kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "sgemm:naive" in out
+        assert "heat:texture" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "--kernel", "mixbench:sp:naive"]) == 0
+        out = capsys.readouterr().out
+        assert "LDG.E.SYS" in out
+
+    def test_disasm_with_source(self, capsys):
+        assert main(["disasm", "--kernel", "sgemm:naive", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+
+    def test_analyze_dry_run(self, capsys):
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "vectorized" in out.lower()
+
+    def test_analyze_dynamic_small(self, capsys):
+        assert main(["analyze", "--kernel", "heat:naive", "--size", "64",
+                     "--max-blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel-wide metric analysis" in out
+        assert "[overhead]" in out
+
+    def test_analyze_sass_file(self, tmp_path, capsys):
+        sass = tmp_path / "k.sass"
+        sass.write_text(
+            "LDG.E.SYS R4, [R2] ;\n"
+            "LDG.E.SYS R5, [R2+0x4] ;\n"
+            "STG.E.SYS [R6], R4 ;\n"
+            "EXIT ;\n"
+        )
+        assert main(["analyze", "--sass", str(sass), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out.lower()
+
+    def test_sass_without_dry_run_warns(self, tmp_path, capsys):
+        sass = tmp_path / "k.sass"
+        sass.write_text("EXIT ;\n")
+        assert main(["analyze", "--sass", str(sass)]) == 0
+        err = capsys.readouterr().err
+        assert "dry-run" in err

@@ -1,0 +1,93 @@
+"""Documentation consistency tests: generated docs in sync, README
+claims match reality, every public module documented."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestGeneratedDocs:
+    def test_metrics_doc_in_sync(self):
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            from gen_metric_docs import build
+        finally:
+            sys.path.pop(0)
+        on_disk = (ROOT / "docs" / "metrics.md").read_text()
+        assert on_disk == build(), (
+            "docs/metrics.md is stale; run tools/gen_metric_docs.py"
+        )
+
+    def test_metrics_doc_covers_registry(self):
+        from repro.metrics.names import METRIC_REGISTRY
+
+        text = (ROOT / "docs" / "metrics.md").read_text()
+        for name in METRIC_REGISTRY:
+            assert f"`{name}`" in text
+
+    def test_stall_reasons_documented(self):
+        from repro.gpu.stalls import StallReason
+
+        text = (ROOT / "docs" / "metrics.md").read_text()
+        for reason in StallReason:
+            assert reason.cupti_name in text
+
+
+class TestReadmeClaims:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (ROOT / "README.md").read_text()
+
+    def test_cli_commands_exist(self, readme):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        for cmd in ("analyze", "disasm", "list-kernels", "compare",
+                    "explain"):
+            assert cmd in sub.choices
+
+    def test_example_files_exist(self, readme):
+        for m in re.finditer(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / m.group(1)).exists(), m.group(0)
+
+    def test_doc_files_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (ROOT / name).exists()
+        for name in ("architecture.md", "writing-kernels.md",
+                     "simulator.md", "metrics.md"):
+            assert (ROOT / "docs" / name).exists()
+
+
+class TestDocstringCoverage:
+    def test_public_modules_have_docstrings(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, "repro."):
+            mod = importlib.import_module(info.name)
+            if not (mod.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_classes_have_docstrings(self):
+        import inspect
+
+        from repro import core, cudalite, gpu, metrics, ptx, sampling, sass
+
+        missing = []
+        for pkg in (core, cudalite, gpu, metrics, ptx, sampling, sass):
+            for name in getattr(pkg, "__all__", []):
+                obj = getattr(pkg, name)
+                if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
+                    missing.append(f"{pkg.__name__}.{name}")
+        assert not missing, f"classes without docstrings: {missing}"

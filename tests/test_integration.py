@@ -1,0 +1,194 @@
+"""End-to-end integration tests reproducing the paper's case-study
+*shapes* at test scale (the benchmark harness runs the full-size
+versions; see benchmarks/ and EXPERIMENTS.md)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUscout
+from repro.gpu import GPUSpec, LaunchConfig, Simulator
+from repro.gpu.stalls import StallReason
+from repro.kernels.heat import build_heat, heat_args
+from repro.kernels.mixbench import build_mixbench, mixbench_args
+from repro.kernels.sgemm import (
+    build_sgemm,
+    sgemm_args,
+    sgemm_launch,
+    sgemm_reference,
+)
+
+
+from repro.kernels.calibration import heat_spec, mixbench_spec, sgemm_spec
+
+
+class TestMixbenchCaseStudy:
+    """§5.1 shape: vectorization speeds up all three dtypes and lowers
+    the long-scoreboard share."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        sim = Simulator(mixbench_spec())
+        out = {}
+        for dtype in ("sp", "dp", "int"):
+            for vec in (False, True):
+                ck = build_mixbench(dtype, 8, vectorized=vec)
+                args = mixbench_args(4096, 8, dtype)
+                args["compute_iterations"] = 4
+                out[(dtype, vec)] = sim.launch(
+                    ck, LaunchConfig(grid=(16, 1), block=(256, 1)),
+                    args=args, functional_all=False,
+                )
+        return out
+
+    @pytest.mark.parametrize("dtype", ["sp", "dp", "int"])
+    def test_vectorized_faster(self, results, dtype):
+        naive = results[(dtype, False)]
+        vec = results[(dtype, True)]
+        assert vec.cycles < naive.cycles
+
+    @pytest.mark.parametrize("dtype", ["sp", "dp", "int"])
+    def test_fewer_load_instructions(self, results, dtype):
+        assert (results[(dtype, True)].counters.global_load_instructions
+                < results[(dtype, False)].counters.global_load_instructions)
+
+    def test_memory_stall_share_drops(self, results):
+        """Paper: long-scoreboard dropped 70 % -> 62 % per active warp.
+        In our model the naive variant's memory waiting surfaces as
+        lg_throttle rather than long_scoreboard (the LG queue is the
+        binding stage); the combined LG-path share drops, which is the
+        same observation (see EXPERIMENTS.md)."""
+        def mem_share(res):
+            tot = res.counters.stall_totals()
+            stall = sum(v for k, v in tot.items()
+                        if k is not StallReason.SELECTED)
+            return (tot.get(StallReason.LONG_SCOREBOARD, 0)
+                    + tot.get(StallReason.LG_THROTTLE, 0)) / stall
+
+        assert mem_share(results[("sp", True)]) < mem_share(results[("sp", False)])
+
+    def test_occupancy_drops_with_vectorization(self, results):
+        """Paper: achieved occupancy 92 % -> 83 %."""
+        assert (results[("sp", True)].achieved_occupancy
+                < results[("sp", False)].achieved_occupancy)
+
+
+class TestHeatCaseStudy:
+    """§5.2 shape: texture variant is faster; restrict variant changes
+    little; TEX throttle appears only after the texture switch."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        sim = Simulator(heat_spec())
+        w, h = 256, 128
+        out = {}
+        for variant in ("naive", "restrict", "texture"):
+            ck = build_heat(variant)
+            args, t0 = heat_args(w, h, variant=variant)
+            tex = {"t_tex": t0.reshape(h, w)} if variant == "texture" else {}
+            out[variant] = sim.launch(
+                ck, LaunchConfig(grid=(w // 256, h), block=(256, 1)),
+                args=args, textures=tex, max_blocks=32, functional_all=False,
+            )
+        return out
+
+    def test_texture_faster_than_naive(self, results):
+        """Paper: 39.2 % runtime improvement (1.65x)."""
+        speedup = results["naive"].cycles / results["texture"].cycles
+        assert 1.3 < speedup < 2.2
+
+    def test_restrict_effect_small(self, results):
+        """Paper: +0.3 % only."""
+        naive = results["naive"].cycles
+        restrict = results["restrict"].cycles
+        assert abs(naive - restrict) / naive < 0.02
+
+    def test_tex_throttle_only_with_texture(self, results):
+        get = lambda r: r.counters.stall_totals().get(  # noqa: E731
+            StallReason.TEX_THROTTLE, 0)
+        assert get(results["naive"]) == 0
+        assert get(results["texture"]) > 0
+
+    def test_texture_bytes_reported(self, results):
+        c = results["texture"].device_counters
+        assert c.texture_sectors * 32 > 0
+        miss_pct = 100.0 * c.texture_misses / max(
+            c.texture_misses + c.texture_hits, 1)
+        assert 0 < miss_pct < 100  # partial locality, as in the paper
+
+
+class TestSgemmCaseStudy:
+    """§5.3 shape: shared-memory tiling is a large win; vectorized
+    shared is faster still; register pressure climbs."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        sim = Simulator(sgemm_spec())
+        n = 256
+        out = {}
+        for variant in ("naive", "shared", "shared_vec"):
+            ck = build_sgemm(variant)
+            args = sgemm_args(n, n, n)
+            out[variant] = (
+                ck,
+                sim.launch(ck, sgemm_launch(variant, n, n), args=args,
+                           max_blocks=8, functional_all=False),
+            )
+        return out
+
+    def test_shared_much_faster(self, results):
+        naive = results["naive"][1].cycles
+        shared = results["shared"][1].cycles
+        assert shared < naive / 2  # large win (paper: 54x at 10240^2)
+
+    def test_vectorized_faster_still(self, results):
+        assert results["shared_vec"][1].cycles < results["shared"][1].cycles
+
+    def test_mio_stalls_rise_with_shared(self, results):
+        def mio(res):
+            tot = res.counters.stall_totals()
+            stall = sum(v for k, v in tot.items()
+                        if k is not StallReason.SELECTED)
+            return (tot.get(StallReason.MIO_THROTTLE, 0)
+                    + tot.get(StallReason.SHORT_SCOREBOARD, 0)) / stall
+
+        assert mio(results["shared"][1]) > mio(results["naive"][1])
+
+    def test_register_climb(self, results):
+        regs = {v: ck.allocation.registers_used
+                for v, (ck, _) in results.items()}
+        assert regs["naive"] <= regs["shared"] < regs["shared_vec"]
+
+
+class TestOptimizationGuidedWorkflow:
+    """The paper's §5 loop: analyze -> apply recommendation ->
+    re-analyze shows the predicted stall shifts."""
+
+    def test_mixbench_workflow(self):
+        scout = GPUscout(spec=mixbench_spec())
+        args = mixbench_args(2048, 8, "sp")
+        args["compute_iterations"] = 4
+        cfg = LaunchConfig(grid=(8, 1), block=(256, 1))
+
+        naive_report = scout.analyze(build_mixbench("sp", 8), cfg, dict(args))
+        warns = [f for f in naive_report.findings_for("use_vectorized_loads")
+                 if f.severity.value >= 1]
+        assert warns, "the tool must recommend vectorization first"
+
+        vec_report = scout.analyze(
+            build_mixbench("sp", 8, vectorized=True), cfg, dict(args)
+        )
+        # the recommendation held: fewer cycles after the change
+        assert vec_report.launch.cycles < naive_report.launch.cycles
+
+    def test_sgemm_correctness_through_ladder(self):
+        sim = Simulator(sgemm_spec())
+        n = 64
+        ref = None
+        for variant in ("naive", "shared", "shared_vec"):
+            args = sgemm_args(n, n, n)
+            res = sim.launch(build_sgemm(variant), sgemm_launch(variant, n, n),
+                             args=args)
+            got = res.read_buffer("c")
+            if ref is None:
+                ref = sgemm_reference(args)
+            assert np.allclose(got, ref, rtol=1e-3, atol=1e-4), variant
