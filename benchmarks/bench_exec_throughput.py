@@ -1,0 +1,127 @@
+"""Functional-path execution throughput: batched engine vs. legacy loop.
+
+Runs the SGEMM and histogram case-study kernels with the timed portion
+capped at one block so nearly the whole grid executes on the functional
+path, once with the batched engine (``fast=True``) and once with the
+legacy per-warp loop (``fast=False``).  Instruction counts come from
+the in-band ``Counters.inst_functional`` counter, wall-clock from
+``LaunchResult.functional_seconds`` — the same observability signals
+the report footer surfaces.
+
+Writes ``BENCH_exec_throughput.json`` at the repository root so the
+performance trajectory is tracked from this PR onward.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exec_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_exec_throughput.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_exec_throughput.py --check    # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import resolve_kernel  # noqa: E402
+from repro.gpu.simulator import Simulator  # noqa: E402
+
+JSON_PATH = REPO_ROOT / "BENCH_exec_throughput.json"
+
+#: (spec, full-run size, smoke size)
+WORKLOADS = [
+    ("sgemm:naive", 192, 48),
+    ("sgemm:shared", 192, 48),
+    ("histogram:global", 65536, 2048),
+    ("histogram:shared", 65536, 2048),
+]
+
+TARGET_SPEEDUP = 5.0
+
+
+def _measure(spec: str, size: int, fast: bool, repeats: int = 3) -> dict:
+    """Best-of-N functional-path throughput for one kernel."""
+    ck, config, args, textures = resolve_kernel(spec, size, 4)
+    best = None
+    for _ in range(repeats):
+        sim = Simulator(fast=fast)
+        res = sim.launch(ck, config, args, textures=textures,
+                         max_blocks=1, functional_all=True)
+        if res.counters.inst_functional == 0:
+            raise RuntimeError(
+                f"{spec} size={size}: no functional blocks executed "
+                "(grid too small to benchmark)"
+            )
+        if best is None or res.functional_seconds < best.functional_seconds:
+            best = res
+    return {
+        "instructions": best.counters.inst_functional,
+        "seconds": round(best.functional_seconds, 6),
+        "inst_per_sec": round(best.functional_inst_per_sec, 1),
+        "fast_path": best.fast_path,
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    results = {}
+    for spec, full_size, smoke_size in WORKLOADS:
+        size = smoke_size if smoke else full_size
+        legacy = _measure(spec, size, fast=False, repeats=1 if smoke else 3)
+        fast = _measure(spec, size, fast=True, repeats=1 if smoke else 3)
+        assert fast["fast_path"] and not legacy["fast_path"]
+        assert fast["instructions"] == legacy["instructions"], (
+            f"{spec}: instruction counts diverge between paths"
+        )
+        speedup = fast["inst_per_sec"] / legacy["inst_per_sec"]
+        results[spec] = {
+            "size": size,
+            "before": legacy,
+            "after": fast,
+            "speedup": round(speedup, 2),
+        }
+        print(f"{spec:<20s} size={size:<7d} "
+              f"legacy {legacy['inst_per_sec']:>12,.0f} inst/s | "
+              f"batched {fast['inst_per_sec']:>14,.0f} inst/s | "
+              f"{speedup:6.1f}x")
+    return results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes, single repeat (CI import/runtime "
+                         "check; no perf gate)")
+    ap.add_argument("--check", action="store_true",
+                    help=f"exit non-zero unless every kernel reaches "
+                         f">={TARGET_SPEEDUP:.0f}x")
+    args = ap.parse_args(argv)
+
+    t0 = time.time()
+    results = run(smoke=args.smoke)
+    payload = {
+        "benchmark": "exec_throughput",
+        "mode": "smoke" if args.smoke else "full",
+        "target_speedup": TARGET_SPEEDUP,
+        "wall_seconds": round(time.time() - t0, 2),
+        "kernels": results,
+    }
+    if not args.smoke:
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {JSON_PATH}")
+
+    worst = min(r["speedup"] for r in results.values())
+    print(f"worst-case speedup: {worst:.1f}x (target {TARGET_SPEEDUP:.0f}x)")
+    if args.check and worst < TARGET_SPEEDUP:
+        print("FAIL: below target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

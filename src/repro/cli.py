@@ -142,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--json", metavar="PATH", default=None,
                       help="also write the findings as JSON (use '-' "
                            "for stdout instead of the text report)")
+    p_an.add_argument("--fast", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="batched functional execution (default on; "
+                           "REPRO_FAST=0 also disables)")
 
     p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
     p_dis.add_argument("--kernel", required=True)
@@ -212,6 +216,7 @@ def _main(argv: Optional[list[str]] = None) -> int:
     scout = GPUscout(
         analyses=all_analyses() if args.extended else None,
         spec=GPUSpec.v100(),
+        fast=args.fast,
     )
     if args.sass:
         with open(args.sass) as fh:

@@ -86,11 +86,14 @@ class GPUscout:
         spec: Optional[GPUSpec] = None,
         sampler: Optional[PCSampler] = None,
         ncu: Optional[NsightComputeCLI] = None,
+        fast: Optional[bool] = None,
     ):
         self.analyses = list(analyses) if analyses is not None else default_analyses()
         self.spec = spec or GPUSpec.v100()
         self.sampler = sampler or PCSampler()
         self.ncu = ncu or NsightComputeCLI()
+        #: batched functional execution toggle (None = REPRO_FAST/default)
+        self.fast = fast
 
     # ------------------------------------------------------------------
     def analyze(
@@ -159,7 +162,7 @@ class GPUscout:
                 raise AnalysisError(
                     "dynamic analysis needs a LaunchConfig and kernel args"
                 )
-            sim = Simulator(self.spec)
+            sim = Simulator(self.spec, fast=self.fast)
             launch = sim.launch(
                 compiled, config, args, textures=textures,
                 max_blocks=max_blocks, functional_all=False,

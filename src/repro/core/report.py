@@ -127,4 +127,14 @@ def render_report(report, color: bool = False) -> str:
             f"metrics {o.metrics_seconds*1e3:.2f} ms | "
             f"total {o.total_factor:.1f}x kernel time"
         )
+    if report.launch is not None and not report.dry_run:
+        launch = report.launch
+        exec_line = f"[exec] inst issued (timed) {launch.counters.inst_issued}"
+        if launch.counters.inst_functional:
+            path = "fast (batched)" if launch.fast_path else "legacy"
+            exec_line += (
+                f" | functional inst {launch.counters.inst_functional}"
+                f" ({launch.functional_inst_per_sec:,.0f}/s, {path} path)"
+            )
+        lines.append(exec_line)
     return "\n".join(lines) + "\n"

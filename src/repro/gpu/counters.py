@@ -34,6 +34,10 @@ class Counters:
     blocks_launched: int = 0
     #: integral of resident (unfinished) warps over cycles
     warp_cycles_active: float = 0.0
+    #: warp-instructions retired on the functional (untimed) path; an
+    #: exact count, deliberately NOT extrapolated by :meth:`scaled` —
+    #: it feeds the instructions/sec throughput report, not metrics
+    inst_functional: int = 0
 
     # -- global memory -------------------------------------------------------
     global_load_instructions: int = 0

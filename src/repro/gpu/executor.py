@@ -5,6 +5,12 @@ predication.  The executor updates architectural state immediately and
 returns an :class:`Effect` describing the memory/pipeline footprint of
 the instruction; the scheduler turns effects into timing.
 
+Dispatch runs off the :mod:`~repro.gpu.predecode` table: handler
+resolution, operand kinds, modifier modes and branch targets are all
+resolved once per program, so :meth:`Executor.step` does no string or
+attribute dispatch on the hot path.  The batched functional engine in
+:mod:`~repro.gpu.batch` consumes the same table.
+
 Representation choices (documented simplifications):
 
 * registers are 32-bit; 64-bit values occupy aligned pairs (as on real
@@ -20,7 +26,7 @@ Representation choices (documented simplifications):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -28,7 +34,16 @@ from repro.cudalite.compiler import CompiledKernel
 from repro.errors import SimulationError
 from repro.gpu.coalesce import coalesce_sectors, shared_transactions
 from repro.gpu.config import GPUSpec
-from repro.sass.isa import Instruction, Opcode, Operand, Program
+from repro.gpu.predecode import (
+    ATOM_F32,
+    ATOM_F64,
+    DecOp,
+    K_CONST,
+    K_FIMM,
+    K_REG,
+    predecode,
+)
+from repro.sass.isa import Program
 
 __all__ = ["DeviceMemory", "WarpState", "Effect", "Executor", "TextureLayout"]
 
@@ -54,8 +69,16 @@ class DeviceMemory:
                 f"device memory access out of bounds: [{lo:#x}, {hi:#x}) "
                 f"outside 0..{self.size:#x}"
             )
-        if (addrs % nbytes).any() if nbytes in (4, 8) else False:
-            raise SimulationError(f"misaligned {nbytes}-byte access")
+        # natural-alignment check for every power-of-two access width
+        # (the old form only looked at 4- and 8-byte accesses, behind an
+        # inverted one-liner that read as if it skipped them)
+        if nbytes > 1 and (nbytes & (nbytes - 1)) == 0:
+            misaligned = addrs & (nbytes - 1)
+            if misaligned.any():
+                bad = int(addrs[np.nonzero(misaligned)[0][0]])
+                raise SimulationError(
+                    f"misaligned {nbytes}-byte access at {bad:#x}"
+                )
 
     def read_u32(self, addrs: np.ndarray) -> np.ndarray:
         self._check(addrs, 4)
@@ -196,39 +219,15 @@ class Executor:
         self.spec = spec
         self.param_values = param_values  # cbank offset -> 32-bit value
         self.textures = textures
-        self._label_index = {
-            name: self.program.index_of_offset(off)
-            for name, off in self.program.labels.items()
-            if off < len(self.program) * Program.INSTR_BYTES
-        }
-        self._end_labels = {
-            name
-            for name, off in self.program.labels.items()
-            if off >= len(self.program) * Program.INSTR_BYTES
-        }
-        self._dispatch: dict[str, Callable] = {
-            "MOV": self._op_mov, "MOV32I": self._op_mov, "S2R": self._op_s2r,
-            "IADD3": self._op_iadd3, "IMAD": self._op_imad,
-            "IMNMX": self._op_imnmx, "LOP3": self._op_lop3,
-            "SHFL": self._op_shfl,
-            "SHF": self._op_shf, "SEL": self._op_sel,
-            "ISETP": self._op_isetp, "FSETP": self._op_fsetp,
-            "DSETP": self._op_dsetp, "PLOP3": self._op_plop3,
-            "FADD": self._op_fadd, "FMUL": self._op_fmul,
-            "FFMA": self._op_ffma, "FMNMX": self._op_fmnmx,
-            "MUFU": self._op_mufu,
-            "DADD": self._op_dadd, "DMUL": self._op_dmul,
-            "DFMA": self._op_dfma,
-            "I2F": self._op_i2f, "F2I": self._op_f2i,
-            "F2F": self._op_f2f, "I2I": self._op_i2i,
-            "LDG": self._op_ldg, "STG": self._op_stg,
-            "LDL": self._op_ldl, "STL": self._op_stl,
-            "LDS": self._op_lds, "STS": self._op_sts,
-            "RED": self._op_red, "ATOM": self._op_red,
-            "ATOMS": self._op_atoms, "TEX": self._op_tex,
-            "BRA": self._op_bra, "EXIT": self._op_exit,
-            "BAR": self._op_bar, "NOP": self._op_nop,
-        }
+        #: shared predecode table (also consumed by the batched engine)
+        self.decoded = predecode(self.program)
+        #: per-PC bound handlers, resolved once (no per-step dispatch)
+        self._handlers = [
+            getattr(self, "_op_" + d.hname) if d.hname is not None else None
+            for d in self.decoded.table
+        ]
+        #: (const_off, negated, domain) -> frozen 32-lane broadcast row
+        self._const_cache: dict[tuple[int, bool, str], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # register/operand access helpers
@@ -240,61 +239,73 @@ class Executor:
             return np.zeros(WARP, dtype=np.uint32)
         return warp.regs[idx]
 
-    def _read_u32(self, warp: WarpState, op: Operand) -> np.ndarray:
-        if op.kind == "reg":
-            val = self._reg_row(warp, op.reg.index).copy()
-        elif op.kind == "imm":
-            val = np.full(WARP, np.uint32(op.imm & 0xFFFFFFFF), dtype=np.uint32)
-        elif op.kind == "fimm":
-            val = np.full(
-                WARP, np.float32(op.fimm).view(np.uint32), dtype=np.uint32
-            )
-        elif op.kind == "const":
-            val = np.full(
-                WARP,
-                np.uint32(self.param_values.get(op.const.offset, 0) & 0xFFFFFFFF),
-                dtype=np.uint32,
-            )
-        else:
-            raise SimulationError(f"cannot read operand {op} as u32")
-        if op.negated:
-            val = (~val + np.uint32(1)).astype(np.uint32)
-        return val
+    def _const_row(self, o: DecOp, domain: str) -> np.ndarray:
+        key = (o.const_off, o.negated, domain)
+        row = self._const_cache.get(key)
+        if row is None:
+            raw = self.param_values.get(o.const_off, 0)
+            if domain == "f64":
+                val = np.full(WARP, np.uint64(raw),
+                              dtype=np.uint64).view(np.float64)
+                if o.negated:
+                    val = -val
+            else:
+                bits = np.uint32(raw & 0xFFFFFFFF)
+                val = np.full(WARP, bits, dtype=np.uint32)
+                if domain == "f32":
+                    val = val.view(np.float32).copy()
+                    if o.negated:
+                        val = -val
+                elif o.negated:
+                    val = (~val + np.uint32(1)).astype(np.uint32)
+            val.setflags(write=False)
+            row = self._const_cache[key] = val
+        return row
 
-    def _read_s32(self, warp: WarpState, op: Operand) -> np.ndarray:
-        return self._read_u32(warp, op).view(np.int32)
+    def _ru32(self, warp: WarpState, o: DecOp) -> np.ndarray:
+        k = o.kind
+        if k == K_REG:
+            val = self._reg_row(warp, o.reg).copy()
+            if o.negated:
+                val = (~val + np.uint32(1)).astype(np.uint32)
+            return val
+        if k == K_CONST:
+            return self._const_row(o, "u32")
+        if o.u32_row is not None:  # imm / fimm, negation pre-folded
+            return o.u32_row
+        raise SimulationError(f"cannot read operand {o.kind} as u32")
 
-    def _read_f32(self, warp: WarpState, op: Operand) -> np.ndarray:
-        if op.kind == "fimm":
-            val = np.full(WARP, np.float32(op.fimm), dtype=np.float32)
-        elif op.kind == "imm":
-            # integer immediate used in float context carries raw bits
-            val = np.full(WARP, np.uint32(op.imm & 0xFFFFFFFF),
-                          dtype=np.uint32).view(np.float32)
-        else:
-            val = self._read_u32(
-                warp, Operand(op.kind, reg=op.reg, const=op.const)
-            ).view(np.float32)
-        if op.negated:
-            val = -val
-        return val
+    def _rs32(self, warp: WarpState, o: DecOp) -> np.ndarray:
+        return self._ru32(warp, o).view(np.int32)
 
-    def _read_f64(self, warp: WarpState, op: Operand) -> np.ndarray:
-        if op.kind == "fimm":
-            val = np.full(WARP, np.float64(op.fimm), dtype=np.float64)
-        elif op.kind == "reg":
-            lo = self._reg_row(warp, op.reg.index).astype(np.uint64)
-            hi_idx = op.reg.index + 1 if op.reg.index != 255 else 255
+    def _rf32(self, warp: WarpState, o: DecOp) -> np.ndarray:
+        k = o.kind
+        if k == K_REG:
+            val = self._reg_row(warp, o.reg).copy().view(np.float32)
+            if o.negated:
+                val = -val
+            return val
+        if k == K_CONST:
+            return self._const_row(o, "f32")
+        if o.f32_row is not None:  # imm / fimm, negation pre-folded
+            return o.f32_row
+        raise SimulationError(f"cannot read operand {o.kind} as f32")
+
+    def _rf64(self, warp: WarpState, o: DecOp) -> np.ndarray:
+        k = o.kind
+        if k == K_FIMM:
+            return np.full(WARP, o.f64_val, dtype=np.float64)
+        if k == K_REG:
+            lo = self._reg_row(warp, o.reg).astype(np.uint64)
+            hi_idx = o.reg + 1 if o.reg != 255 else 255
             hi = self._reg_row(warp, hi_idx).astype(np.uint64)
             val = ((hi << np.uint64(32)) | lo).view(np.float64)
-        elif op.kind == "const":
-            bits = np.uint64(self.param_values.get(op.const.offset, 0))
-            val = np.full(WARP, bits, dtype=np.uint64).view(np.float64)
-        else:
-            raise SimulationError(f"cannot read operand {op} as f64")
-        if op.negated:
-            val = -val
-        return val
+            if o.negated:
+                val = -val
+            return val
+        if k == K_CONST:
+            return self._const_row(o, "f64")
+        raise SimulationError(f"cannot read operand {o.kind} as f64")
 
     @staticmethod
     def _write_u32(warp: WarpState, reg_idx: int, value: np.ndarray,
@@ -315,17 +326,10 @@ class Executor:
         self._write_u32(warp, reg_idx, (bits & np.uint64(0xFFFFFFFF)).astype(np.uint32), guard)
         self._write_u32(warp, reg_idx + 1, (bits >> np.uint64(32)).astype(np.uint32), guard)
 
-    def _pred_val(self, warp: WarpState, op: Operand) -> np.ndarray:
-        assert op.kind == "reg" and op.reg is not None and op.reg.predicate
-        val = warp.preds[op.reg.index].copy()
-        return ~val if op.negated else val
-
-    def _guard(self, warp: WarpState, ins: Instruction) -> np.ndarray:
-        guard = warp.active.copy()
-        if ins.pred is not None:
-            p = warp.preds[ins.pred.index]
-            guard &= (~p if ins.pred_negated else p)
-        return guard
+    def _pv(self, warp: WarpState, o: DecOp) -> np.ndarray:
+        assert o.kind == K_REG and o.is_pred
+        val = warp.preds[o.reg].copy()
+        return ~val if o.negated else val
 
     # ------------------------------------------------------------------
     # stepping
@@ -340,24 +344,28 @@ class Executor:
             raise SimulationError("stepping a finished warp")
         if warp.pc >= len(self.program):
             raise SimulationError("PC ran off the end of the program")
-        ins = self.program[warp.pc]
-        handler = self._dispatch.get(ins.opcode.base)
+        dec = self.decoded.table[warp.pc]
+        handler = self._handlers[warp.pc]
         if handler is None:
+            ins = dec.ins
             raise SimulationError(
                 f"unimplemented opcode {ins.opcode.name} at {ins.offset:#x}"
             )
-        guard = self._guard(warp, ins)
+        guard = warp.active.copy()
+        if dec.pred >= 0:
+            p = warp.preds[dec.pred]
+            guard &= (~p if dec.pred_neg else p)
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            effect = handler(warp, ins, guard)
+            effect = handler(warp, dec, guard)
         if effect.kind not in ("branch", "exit"):
             warp.pc += 1
         return effect
 
     # -- moves / special ------------------------------------------------
-    def _op_mov(self, warp, ins, guard) -> Effect:
-        val = self._read_u32(warp, ins.operands[1])
-        self._write_u32(warp, ins.operands[0].reg.index, val, guard)
-        return Effect("alu", dest_regs=(ins.operands[0].reg.index,))
+    def _op_mov(self, warp, dec, guard) -> Effect:
+        val = self._ru32(warp, dec.ops[1])
+        self._write_u32(warp, dec.ops[0].reg, val, guard)
+        return Effect("alu", dest_regs=(dec.ops[0].reg,))
 
     _SR_VALUES = {
         "SR_TID.X": ("tid", 0), "SR_TID.Y": ("tid", 1), "SR_TID.Z": ("tid", 2),
@@ -369,8 +377,8 @@ class Executor:
         "SR_NCTAID.Z": ("nctaid", 2),
     }
 
-    def _op_s2r(self, warp, ins, guard) -> Effect:
-        name = ins.operands[1].special
+    def _op_s2r(self, warp, dec, guard) -> Effect:
+        name = dec.ops[1].special
         if name == "SR_LANEID":
             val = np.arange(WARP, dtype=np.uint32)
         else:
@@ -380,44 +388,44 @@ class Executor:
                 val = raw.astype(np.uint32)
             else:
                 val = np.full(WARP, np.uint32(raw), dtype=np.uint32)
-        self._write_u32(warp, ins.operands[0].reg.index, val, guard)
-        return Effect("alu", dest_regs=(ins.operands[0].reg.index,))
+        self._write_u32(warp, dec.ops[0].reg, val, guard)
+        return Effect("alu", dest_regs=(dec.ops[0].reg,))
 
     # -- integer ALU ---------------------------------------------------
-    def _op_iadd3(self, warp, ins, guard) -> Effect:
-        d, a, b, c = ins.operands[:4]
+    def _op_iadd3(self, warp, dec, guard) -> Effect:
+        d, a, b, c = dec.ops[:4]
         val = (
-            self._read_u32(warp, a)
-            + self._read_u32(warp, b)
-            + self._read_u32(warp, c)
+            self._ru32(warp, a)
+            + self._ru32(warp, b)
+            + self._ru32(warp, c)
         ).astype(np.uint32)
-        self._write_u32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_u32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_imad(self, warp, ins, guard) -> Effect:
-        d, a, b, c = ins.operands[:4]
+    def _op_imad(self, warp, dec, guard) -> Effect:
+        d, a, b, c = dec.ops[:4]
         val = (
-            self._read_u32(warp, a).astype(np.uint64)
-            * self._read_u32(warp, b).astype(np.uint64)
-            + self._read_u32(warp, c).astype(np.uint64)
+            self._ru32(warp, a).astype(np.uint64)
+            * self._ru32(warp, b).astype(np.uint64)
+            + self._ru32(warp, c).astype(np.uint64)
         ).astype(np.uint32)
-        self._write_u32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_u32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_imnmx(self, warp, ins, guard) -> Effect:
-        d, a, b, sel = ins.operands[:4]
-        av = self._read_s32(warp, a)
-        bv = self._read_s32(warp, b)
-        use_min = self._pred_val(warp, sel)
+    def _op_imnmx(self, warp, dec, guard) -> Effect:
+        d, a, b, sel = dec.ops[:4]
+        av = self._rs32(warp, a)
+        bv = self._rs32(warp, b)
+        use_min = self._pv(warp, sel)
         val = np.where(use_min, np.minimum(av, bv), np.maximum(av, bv))
-        self._write_u32(warp, d.reg.index, val.view(np.uint32), guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_u32(warp, d.reg, val.view(np.uint32), guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_lop3(self, warp, ins, guard) -> Effect:
-        d, a, b, c, lut = ins.operands[:5]
-        av = self._read_u32(warp, a)
-        bv = self._read_u32(warp, b)
-        cv = self._read_u32(warp, c)
+    def _op_lop3(self, warp, dec, guard) -> Effect:
+        d, a, b, c, lut = dec.ops[:5]
+        av = self._ru32(warp, a)
+        bv = self._ru32(warp, b)
+        cv = self._ru32(warp, c)
         lut_val = lut.imm
         out = np.zeros(WARP, dtype=np.uint32)
         full = np.uint32(0xFFFFFFFF)
@@ -427,270 +435,258 @@ class Executor:
                 term = term & (bv if k & 2 else bv ^ full)
                 term = term & (cv if k & 1 else cv ^ full)
                 out |= term
-        self._write_u32(warp, d.reg.index, out, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_u32(warp, d.reg, out, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_shf(self, warp, ins, guard) -> Effect:
-        d, a, b = ins.operands[:3]
-        shift = (self._read_u32(warp, b) & np.uint32(31)).astype(np.uint32)
-        if ins.opcode.has_modifier("L"):
-            val = (self._read_u32(warp, a) << shift).astype(np.uint32)
-        elif ins.opcode.has_modifier("S32"):
-            val = (self._read_s32(warp, a) >> shift.view(np.int32)).view(np.uint32)
-        else:
-            val = (self._read_u32(warp, a) >> shift).astype(np.uint32)
-        self._write_u32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+    def _op_shf(self, warp, dec, guard) -> Effect:
+        d, a, b = dec.ops[:3]
+        shift = (self._ru32(warp, b) & np.uint32(31)).astype(np.uint32)
+        if dec.mode == 0:  # .L
+            val = (self._ru32(warp, a) << shift).astype(np.uint32)
+        elif dec.mode == 1:  # .S32 arithmetic right
+            val = (self._rs32(warp, a) >> shift.view(np.int32)).view(np.uint32)
+        else:  # logical right
+            val = (self._ru32(warp, a) >> shift).astype(np.uint32)
+        self._write_u32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_shfl(self, warp, ins, guard) -> Effect:
-        d, a, delta_op, _mask = ins.operands[:4]
-        src = self._read_u32(warp, a)
-        delta = delta_op.imm or 0
-        lanes = np.arange(WARP)
-        if ins.opcode.has_modifier("DOWN"):
-            idx = lanes + delta
-        elif ins.opcode.has_modifier("UP"):
-            idx = lanes - delta
-        elif ins.opcode.has_modifier("BFLY"):
-            idx = lanes ^ delta
-        else:
-            raise SimulationError(f"unknown SHFL mode {ins.opcode.name}")
-        in_range = (idx >= 0) & (idx < WARP)
-        out = np.where(in_range, src[np.clip(idx, 0, WARP - 1)], src)
-        self._write_u32(warp, d.reg.index, out.astype(np.uint32), guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+    def _op_shfl(self, warp, dec, guard) -> Effect:
+        if dec.shfl_idx is None:
+            raise SimulationError(
+                f"unknown SHFL mode {dec.ins.opcode.name}")
+        d, a = dec.ops[:2]
+        src = self._ru32(warp, a)
+        out = np.where(dec.shfl_valid, src[dec.shfl_idx], src)
+        self._write_u32(warp, d.reg, out.astype(np.uint32), guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_sel(self, warp, ins, guard) -> Effect:
-        d, a, b, p = ins.operands[:4]
-        pv = self._pred_val(warp, p)
-        val = np.where(pv, self._read_u32(warp, a), self._read_u32(warp, b))
-        self._write_u32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+    def _op_sel(self, warp, dec, guard) -> Effect:
+        d, a, b, p = dec.ops[:4]
+        pv = self._pv(warp, p)
+        val = np.where(pv, self._ru32(warp, a), self._ru32(warp, b))
+        self._write_u32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
     # -- comparisons -----------------------------------------------------
-    _CMP = {
-        "LT": np.less, "LE": np.less_equal, "GT": np.greater,
-        "GE": np.greater_equal, "EQ": np.equal, "NE": np.not_equal,
-    }
-
-    def _setp_common(self, warp, ins, guard, av, bv) -> Effect:
-        cmp_mod = next(m for m in ins.opcode.modifiers if m in self._CMP)
-        result = self._CMP[cmp_mod](av, bv)
-        chain = self._pred_val(warp, ins.operands[4])
-        if ins.opcode.has_modifier("OR"):
+    def _setp_common(self, warp, dec, guard, av, bv) -> Effect:
+        if dec.cmp is None:
+            raise SimulationError(
+                f"unknown comparison {dec.ins.opcode.name}")
+        result = dec.cmp(av, bv)
+        chain = self._pv(warp, dec.ops[4])
+        if dec.setp_or:
             result = result | chain
         else:
             result = result & chain
-        pd = ins.operands[0].reg
-        if not pd.is_zero:
-            warp.preds[pd.index][guard] = result[guard]
+        pd = dec.ops[0]
+        if pd.reg != (7 if pd.is_pred else 255):  # PT/RZ writes discarded
+            warp.preds[pd.reg][guard] = result[guard]
         return Effect("alu")
 
-    def _op_isetp(self, warp, ins, guard) -> Effect:
-        a, b = ins.operands[2], ins.operands[3]
-        if ins.opcode.has_modifier("U32"):
-            av, bv = self._read_u32(warp, a), self._read_u32(warp, b)
+    def _op_isetp(self, warp, dec, guard) -> Effect:
+        a, b = dec.ops[2], dec.ops[3]
+        if dec.setp_u32:
+            av, bv = self._ru32(warp, a), self._ru32(warp, b)
         else:
-            av, bv = self._read_s32(warp, a), self._read_s32(warp, b)
-        return self._setp_common(warp, ins, guard, av, bv)
+            av, bv = self._rs32(warp, a), self._rs32(warp, b)
+        return self._setp_common(warp, dec, guard, av, bv)
 
-    def _op_fsetp(self, warp, ins, guard) -> Effect:
-        av = self._read_f32(warp, ins.operands[2])
-        bv = self._read_f32(warp, ins.operands[3])
-        return self._setp_common(warp, ins, guard, av, bv)
+    def _op_fsetp(self, warp, dec, guard) -> Effect:
+        av = self._rf32(warp, dec.ops[2])
+        bv = self._rf32(warp, dec.ops[3])
+        return self._setp_common(warp, dec, guard, av, bv)
 
-    def _op_dsetp(self, warp, ins, guard) -> Effect:
-        av = self._read_f64(warp, ins.operands[2])
-        bv = self._read_f64(warp, ins.operands[3])
-        eff = self._setp_common(warp, ins, guard, av, bv)
+    def _op_dsetp(self, warp, dec, guard) -> Effect:
+        av = self._rf64(warp, dec.ops[2])
+        bv = self._rf64(warp, dec.ops[3])
+        self._setp_common(warp, dec, guard, av, bv)
         return Effect("fp64")
 
-    def _op_plop3(self, warp, ins, guard) -> Effect:
-        pa = self._pred_val(warp, ins.operands[2])
-        pb = self._pred_val(warp, ins.operands[3])
-        result = (pa | pb) if ins.opcode.has_modifier("OR") else (pa & pb)
-        pd = ins.operands[0].reg
-        if not pd.is_zero:
-            warp.preds[pd.index][guard] = result[guard]
+    def _op_plop3(self, warp, dec, guard) -> Effect:
+        pa = self._pv(warp, dec.ops[2])
+        pb = self._pv(warp, dec.ops[3])
+        result = (pa | pb) if dec.setp_or else (pa & pb)
+        pd = dec.ops[0]
+        if pd.reg != (7 if pd.is_pred else 255):
+            warp.preds[pd.reg][guard] = result[guard]
         return Effect("alu")
 
     # -- fp32 ------------------------------------------------------------
-    def _op_fadd(self, warp, ins, guard) -> Effect:
-        d, a, b = ins.operands[:3]
-        val = self._read_f32(warp, a) + self._read_f32(warp, b)
-        self._write_f32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+    def _op_fadd(self, warp, dec, guard) -> Effect:
+        d, a, b = dec.ops[:3]
+        val = self._rf32(warp, a) + self._rf32(warp, b)
+        self._write_f32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_fmul(self, warp, ins, guard) -> Effect:
-        d, a, b = ins.operands[:3]
-        val = self._read_f32(warp, a) * self._read_f32(warp, b)
-        self._write_f32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+    def _op_fmul(self, warp, dec, guard) -> Effect:
+        d, a, b = dec.ops[:3]
+        val = self._rf32(warp, a) * self._rf32(warp, b)
+        self._write_f32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_ffma(self, warp, ins, guard) -> Effect:
-        d, a, b, c = ins.operands[:4]
+    def _op_ffma(self, warp, dec, guard) -> Effect:
+        d, a, b, c = dec.ops[:4]
         val = (
-            self._read_f32(warp, a) * self._read_f32(warp, b)
-            + self._read_f32(warp, c)
+            self._rf32(warp, a) * self._rf32(warp, b)
+            + self._rf32(warp, c)
         )
-        self._write_f32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_f32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_fmnmx(self, warp, ins, guard) -> Effect:
-        d, a, b, sel = ins.operands[:4]
-        av = self._read_f32(warp, a)
-        bv = self._read_f32(warp, b)
-        use_min = self._pred_val(warp, sel)
+    def _op_fmnmx(self, warp, dec, guard) -> Effect:
+        d, a, b, sel = dec.ops[:4]
+        av = self._rf32(warp, a)
+        bv = self._rf32(warp, b)
+        use_min = self._pv(warp, sel)
         val = np.where(use_min, np.minimum(av, bv), np.maximum(av, bv))
-        self._write_f32(warp, d.reg.index, val, guard)
-        return Effect("alu", dest_regs=(d.reg.index,))
+        self._write_f32(warp, d.reg, val, guard)
+        return Effect("alu", dest_regs=(d.reg,))
 
-    def _op_mufu(self, warp, ins, guard) -> Effect:
-        d, a = ins.operands[:2]
-        av = self._read_f32(warp, a)
+    def _op_mufu(self, warp, dec, guard) -> Effect:
+        d, a = dec.ops[:2]
+        av = self._rf32(warp, a)
         with np.errstate(divide="ignore", invalid="ignore"):
-            if ins.opcode.has_modifier("RCP"):
+            if dec.mode == 0:
                 val = np.float32(1.0) / av
-            elif ins.opcode.has_modifier("SQRT"):
+            elif dec.mode == 1:
                 val = np.sqrt(av)
-            elif ins.opcode.has_modifier("RSQ"):
+            elif dec.mode == 2:
                 val = np.float32(1.0) / np.sqrt(av)
             else:
-                raise SimulationError(f"unknown MUFU mode {ins.opcode.name}")
-        self._write_f32(warp, d.reg.index, val, guard)
-        return Effect("mufu", dest_regs=(d.reg.index,))
+                raise SimulationError(
+                    f"unknown MUFU mode {dec.ins.opcode.name}")
+        self._write_f32(warp, d.reg, val, guard)
+        return Effect("mufu", dest_regs=(d.reg,))
 
     # -- fp64 -------------------------------------------------------------
-    def _op_dadd(self, warp, ins, guard) -> Effect:
-        d, a, b = ins.operands[:3]
-        val = self._read_f64(warp, a) + self._read_f64(warp, b)
-        self._write_f64(warp, d.reg.index, val, guard)
-        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+    def _op_dadd(self, warp, dec, guard) -> Effect:
+        d, a, b = dec.ops[:3]
+        val = self._rf64(warp, a) + self._rf64(warp, b)
+        self._write_f64(warp, d.reg, val, guard)
+        return Effect("fp64", dest_regs=(d.reg, d.reg + 1))
 
-    def _op_dmul(self, warp, ins, guard) -> Effect:
-        d, a, b = ins.operands[:3]
-        val = self._read_f64(warp, a) * self._read_f64(warp, b)
-        self._write_f64(warp, d.reg.index, val, guard)
-        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+    def _op_dmul(self, warp, dec, guard) -> Effect:
+        d, a, b = dec.ops[:3]
+        val = self._rf64(warp, a) * self._rf64(warp, b)
+        self._write_f64(warp, d.reg, val, guard)
+        return Effect("fp64", dest_regs=(d.reg, d.reg + 1))
 
-    def _op_dfma(self, warp, ins, guard) -> Effect:
-        d, a, b, c = ins.operands[:4]
+    def _op_dfma(self, warp, dec, guard) -> Effect:
+        d, a, b, c = dec.ops[:4]
         val = (
-            self._read_f64(warp, a) * self._read_f64(warp, b)
-            + self._read_f64(warp, c)
+            self._rf64(warp, a) * self._rf64(warp, b)
+            + self._rf64(warp, c)
         )
-        self._write_f64(warp, d.reg.index, val, guard)
-        return Effect("fp64", dest_regs=(d.reg.index, d.reg.index + 1))
+        self._write_f64(warp, d.reg, val, guard)
+        return Effect("fp64", dest_regs=(d.reg, d.reg + 1))
 
     # -- conversions ---------------------------------------------------------
-    def _op_i2f(self, warp, ins, guard) -> Effect:
-        d, a = ins.operands[:2]
-        if ins.opcode.has_modifier("U32"):
-            src = self._read_u32(warp, a).astype(np.float64)
+    def _op_i2f(self, warp, dec, guard) -> Effect:
+        d, a = dec.ops[:2]
+        if dec.src_u32:
+            src = self._ru32(warp, a).astype(np.float64)
         else:
-            src = self._read_s32(warp, a).astype(np.float64)
-        if ins.opcode.has_modifier("F64"):
-            self._write_f64(warp, d.reg.index, src, guard)
-            dests = (d.reg.index, d.reg.index + 1)
+            src = self._rs32(warp, a).astype(np.float64)
+        if dec.dst_f64:
+            self._write_f64(warp, d.reg, src, guard)
+            dests = (d.reg, d.reg + 1)
         else:
-            self._write_f32(warp, d.reg.index, src.astype(np.float32), guard)
-            dests = (d.reg.index,)
+            self._write_f32(warp, d.reg, src.astype(np.float32), guard)
+            dests = (d.reg,)
         return Effect("convert", dest_regs=dests)
 
-    def _op_f2i(self, warp, ins, guard) -> Effect:
-        d, a = ins.operands[:2]
-        if ins.opcode.has_modifier("F64"):
-            src = self._read_f64(warp, a)
+    def _op_f2i(self, warp, dec, guard) -> Effect:
+        d, a = dec.ops[:2]
+        if dec.dst_f64:
+            src = self._rf64(warp, a)
         else:
-            src = self._read_f32(warp, a).astype(np.float64)
+            src = self._rf32(warp, a).astype(np.float64)
         val = np.trunc(src).astype(np.int64).astype(np.uint32)
-        self._write_u32(warp, d.reg.index, val, guard)
-        return Effect("convert", dest_regs=(d.reg.index,))
+        self._write_u32(warp, d.reg, val, guard)
+        return Effect("convert", dest_regs=(d.reg,))
 
-    def _op_f2f(self, warp, ins, guard) -> Effect:
-        d, a = ins.operands[:2]
-        if ins.opcode.has_modifier("F64") and ins.opcode.modifiers[0] == "F64":
+    def _op_f2f(self, warp, dec, guard) -> Effect:
+        d, a = dec.ops[:2]
+        if dec.f2f_widen:
             # F2F.F64.F32: widen
-            src = self._read_f32(warp, a).astype(np.float64)
-            self._write_f64(warp, d.reg.index, src, guard)
-            dests = (d.reg.index, d.reg.index + 1)
+            src = self._rf32(warp, a).astype(np.float64)
+            self._write_f64(warp, d.reg, src, guard)
+            dests = (d.reg, d.reg + 1)
         else:
             # F2F.F32.F64: narrow
-            src = self._read_f64(warp, a).astype(np.float32)
-            self._write_f32(warp, d.reg.index, src, guard)
-            dests = (d.reg.index,)
+            src = self._rf64(warp, a).astype(np.float32)
+            self._write_f32(warp, d.reg, src, guard)
+            dests = (d.reg,)
         return Effect("convert", dest_regs=dests)
 
-    def _op_i2i(self, warp, ins, guard) -> Effect:
-        d, a = ins.operands[:2]
-        self._write_u32(warp, d.reg.index, self._read_u32(warp, a), guard)
-        return Effect("convert", dest_regs=(d.reg.index,))
+    def _op_i2i(self, warp, dec, guard) -> Effect:
+        d, a = dec.ops[:2]
+        self._write_u32(warp, d.reg, self._ru32(warp, a), guard)
+        return Effect("convert", dest_regs=(d.reg,))
 
     # -- global memory ---------------------------------------------------
-    def _lane_addresses(self, warp, mem) -> np.ndarray:
+    def _lane_addresses(self, warp, mem: DecOp) -> np.ndarray:
         base = (
-            self._reg_row(warp, mem.base.index).astype(np.int64)
-            if mem.base is not None
+            self._reg_row(warp, mem.mem_base).astype(np.int64)
+            if mem.mem_base >= 0
             else np.zeros(WARP, dtype=np.int64)
         )
-        return base + mem.offset
+        return base + mem.mem_off
 
-    def _op_ldg(self, warp, ins, guard) -> Effect:
-        d = ins.operands[0].reg
-        mem = ins.operands[1].mem
-        width_regs = ins.opcode.width_regs
+    def _op_ldg(self, warp, dec, guard) -> Effect:
+        d = dec.ops[0]
+        mem = dec.ops[1]
+        width_regs = dec.width_regs
         nbytes = 4 * width_regs
         addrs = self._lane_addresses(warp, mem)
-        dests = tuple(d.index + k for k in range(width_regs))
+        dests = tuple(d.reg + k for k in range(width_regs))
         if guard.any():
             act = addrs[guard]
             for k in range(width_regs):
                 vals = self.memory.read_u32(act + 4 * k)
-                row = warp.regs[d.index + k] if d.index != 255 else None
+                row = warp.regs[d.reg + k] if d.reg != 255 else None
                 if row is not None:
                     row[guard] = vals
         sectors = coalesce_sectors(addrs, nbytes, guard, self.spec.sector_bytes)
-        space = "readonly" if ins.opcode.is_readonly_load else "global"
+        space = "readonly" if dec.readonly else "global"
         return Effect("global_load", sectors=sectors, dest_regs=dests, space=space)
 
-    def _op_stg(self, warp, ins, guard) -> Effect:
-        mem = ins.operands[0].mem
-        src = ins.operands[1].reg
-        width_regs = ins.opcode.width_regs
+    def _op_stg(self, warp, dec, guard) -> Effect:
+        mem = dec.ops[0]
+        src = dec.ops[1]
+        width_regs = dec.width_regs
         nbytes = 4 * width_regs
         addrs = self._lane_addresses(warp, mem)
         if guard.any():
             act = addrs[guard]
             for k in range(width_regs):
                 self.memory.write_u32(act + 4 * k,
-                                      self._reg_row(warp, src.index + k)[guard])
+                                      self._reg_row(warp, src.reg + k)[guard])
         sectors = coalesce_sectors(addrs, nbytes, guard, self.spec.sector_bytes)
         return Effect("global_store", sectors=sectors, space="global")
 
     # -- local memory (spills) ----------------------------------------------
-    def _op_ldl(self, warp, ins, guard) -> Effect:
-        d = ins.operands[0].reg
-        mem = ins.operands[1].mem
-        width_regs = ins.opcode.width_regs
-        slot = (mem.offset if mem.base is None else 0) // 4
+    def _op_ldl(self, warp, dec, guard) -> Effect:
+        d = dec.ops[0]
+        width_regs = dec.width_regs
+        slot = dec.mem_slot
         for k in range(width_regs):
-            row = warp.regs[d.index + k]
+            row = warp.regs[d.reg + k]
             row[guard] = warp.local[slot + k][guard]
         # local memory is thread-interleaved: a full warp access to one
         # 32-bit slot touches 4 sectors
         n_sectors = 4 * width_regs
         sectors = np.arange(n_sectors, dtype=np.int64) * self.spec.sector_bytes \
             + (1 << 40) + slot * 128  # distinct local address space
-        dests = tuple(d.index + k for k in range(width_regs))
+        dests = tuple(d.reg + k for k in range(width_regs))
         return Effect("local_load", sectors=sectors, dest_regs=dests, space="local")
 
-    def _op_stl(self, warp, ins, guard) -> Effect:
-        mem = ins.operands[0].mem
-        src = ins.operands[1].reg
-        width_regs = ins.opcode.width_regs
-        slot = (mem.offset if mem.base is None else 0) // 4
+    def _op_stl(self, warp, dec, guard) -> Effect:
+        src = dec.ops[1]
+        width_regs = dec.width_regs
+        slot = dec.mem_slot
         for k in range(width_regs):
-            warp.local[slot + k][guard] = self._reg_row(warp, src.index + k)[guard]
+            warp.local[slot + k][guard] = self._reg_row(warp, src.reg + k)[guard]
         n_sectors = 4 * width_regs
         sectors = np.arange(n_sectors, dtype=np.int64) * self.spec.sector_bytes \
             + (1 << 40) + slot * 128
@@ -702,10 +698,10 @@ class Executor:
             raise SimulationError("kernel uses shared memory but none allocated")
         return warp.shared.view(np.uint32)
 
-    def _op_lds(self, warp, ins, guard) -> Effect:
-        d = ins.operands[0].reg
-        mem = ins.operands[1].mem
-        width_regs = ins.opcode.width_regs
+    def _op_lds(self, warp, dec, guard) -> Effect:
+        d = dec.ops[0]
+        mem = dec.ops[1]
+        width_regs = dec.width_regs
         addrs = self._lane_addresses(warp, mem)
         smem = self._shared_u32(warp)
         if guard.any():
@@ -713,17 +709,17 @@ class Executor:
             if (act < 0).any() or (act + 4 * width_regs > warp.shared.size).any():
                 raise SimulationError("shared memory access out of bounds")
             for k in range(width_regs):
-                warp.regs[d.index + k][guard] = smem[(act >> 2) + k]
+                warp.regs[d.reg + k][guard] = smem[(act >> 2) + k]
         tx = shared_transactions(addrs, 4 * width_regs, guard,
                                  self.spec.smem_banks, self.spec.smem_bank_bytes)
-        dests = tuple(d.index + k for k in range(width_regs))
+        dests = tuple(d.reg + k for k in range(width_regs))
         return Effect("shared_load", transactions=tx, dest_regs=dests,
                       space="shared")
 
-    def _op_sts(self, warp, ins, guard) -> Effect:
-        mem = ins.operands[0].mem
-        src = ins.operands[1].reg
-        width_regs = ins.opcode.width_regs
+    def _op_sts(self, warp, dec, guard) -> Effect:
+        mem = dec.ops[0]
+        src = dec.ops[1]
+        width_regs = dec.width_regs
         addrs = self._lane_addresses(warp, mem)
         smem = self._shared_u32(warp)
         if guard.any():
@@ -731,29 +727,29 @@ class Executor:
             if (act < 0).any() or (act + 4 * width_regs > warp.shared.size).any():
                 raise SimulationError("shared memory access out of bounds")
             for k in range(width_regs):
-                smem[(act >> 2) + k] = self._reg_row(warp, src.index + k)[guard]
+                smem[(act >> 2) + k] = self._reg_row(warp, src.reg + k)[guard]
         tx = shared_transactions(addrs, 4 * width_regs, guard,
                                  self.spec.smem_banks, self.spec.smem_bank_bytes)
         return Effect("shared_store", transactions=tx, space="shared")
 
     # -- atomics -------------------------------------------------------------
-    def _op_red(self, warp, ins, guard) -> Effect:
-        mem = ins.operands[0].mem
-        src = ins.operands[1]
+    def _op_red(self, warp, dec, guard) -> Effect:
+        mem = dec.ops[0]
+        src = dec.ops[1]
         addrs = self._lane_addresses(warp, mem)
         uniq = 0
         serial = 0
         sectors = _NOSECTORS
         if guard.any():
             act = addrs[guard]
-            if ins.opcode.has_modifier("F32"):
-                self.memory.atomic_add_f32(act, self._read_f32(warp, src)[guard])
+            if dec.atom_kind == ATOM_F32:
+                self.memory.atomic_add_f32(act, self._rf32(warp, src)[guard])
                 nbytes = 4
-            elif ins.opcode.has_modifier("F64"):
-                self.memory.atomic_add_f64(act, self._read_f64(warp, src)[guard])
+            elif dec.atom_kind == ATOM_F64:
+                self.memory.atomic_add_f64(act, self._rf64(warp, src)[guard])
                 nbytes = 8
             else:
-                self.memory.atomic_add_u32(act, self._read_u32(warp, src)[guard])
+                self.memory.atomic_add_u32(act, self._ru32(warp, src)[guard])
                 nbytes = 4
             _, counts = np.unique(act, return_counts=True)
             uniq = int(counts.size)
@@ -762,9 +758,9 @@ class Executor:
         return Effect("atomic_global", sectors=sectors, space="atomic",
                       unique_atomic_addrs=uniq, atomic_serial=serial)
 
-    def _op_atoms(self, warp, ins, guard) -> Effect:
-        mem = ins.operands[0].mem
-        src = ins.operands[1]
+    def _op_atoms(self, warp, dec, guard) -> Effect:
+        mem = dec.ops[0]
+        src = dec.ops[1]
         addrs = self._lane_addresses(warp, mem)
         uniq = 0
         serial = 0
@@ -773,12 +769,12 @@ class Executor:
             act = addrs[guard]
             if (act < 0).any() or (act + 4 > warp.shared.size).any():
                 raise SimulationError("shared atomic out of bounds")
-            if ins.opcode.has_modifier("F32"):
+            if dec.atom_kind == ATOM_F32:
                 np.add.at(warp.shared.view(np.float32), act >> 2,
-                          self._read_f32(warp, src)[guard])
+                          self._rf32(warp, src)[guard])
             else:
                 np.add.at(self._shared_u32(warp), act >> 2,
-                          self._read_u32(warp, src)[guard])
+                          self._ru32(warp, src)[guard])
             _, counts = np.unique(act, return_counts=True)
             uniq = int(counts.size)
             serial = int(counts.max())
@@ -788,30 +784,28 @@ class Executor:
                       unique_atomic_addrs=uniq, atomic_serial=serial)
 
     # -- texture ---------------------------------------------------------
-    def _op_tex(self, warp, ins, guard) -> Effect:
-        d = ins.operands[0].reg
-        x = self._read_s32(warp, ins.operands[1]).astype(np.int64)
-        y = self._read_s32(warp, ins.operands[2]).astype(np.int64)
-        slot = ins.operands[3].imm
-        layout = self.textures.get(slot)
+    def _op_tex(self, warp, dec, guard) -> Effect:
+        d = dec.ops[0]
+        x = self._rs32(warp, dec.ops[1]).astype(np.int64)
+        y = self._rs32(warp, dec.ops[2]).astype(np.int64)
+        layout = self.textures.get(dec.tex_slot)
         if layout is None:
-            raise SimulationError(f"no texture bound to slot {slot}")
+            raise SimulationError(f"no texture bound to slot {dec.tex_slot}")
         addrs = layout.addresses(x, y)
         if guard.any():
             vals = self.memory.read_u32(addrs[guard].astype(np.int64))
-            warp.regs[d.index][guard] = vals
+            warp.regs[d.reg][guard] = vals
         sectors = coalesce_sectors(addrs, layout.elem_bytes, guard,
                                    self.spec.sector_bytes)
-        return Effect("texture", sectors=sectors, dest_regs=(d.index,),
+        return Effect("texture", sectors=sectors, dest_regs=(d.reg,),
                       space="texture")
 
     # -- control flow -----------------------------------------------------
-    def _op_bra(self, warp, ins, guard) -> Effect:
-        target = ins.branch_target()
-        if target in self._end_labels:
-            taken_pc = len(self.program)  # branch past the end == EXIT
-        else:
-            taken_pc = self._label_index[target]
+    def _op_bra(self, warp, dec, guard) -> Effect:
+        if dec.target_pc < 0:
+            raise SimulationError(
+                f"unknown branch target at {dec.ins.offset:#x}")
+        taken_pc = dec.target_pc
         if not warp.active.any():
             warp.done = True
             return Effect("branch")
@@ -819,7 +813,7 @@ class Executor:
         n_active = int(warp.active.sum())
         if 0 < n_taken < n_active:
             raise SimulationError(
-                f"divergent branch at {ins.offset:#x} "
+                f"divergent branch at {dec.ins.offset:#x} "
                 "(cudalite kernels keep loop trip counts warp-uniform; "
                 "use predication for divergent control flow)"
             )
@@ -832,7 +826,7 @@ class Executor:
             warp.pc += 1
         return Effect("branch")
 
-    def _op_exit(self, warp, ins, guard) -> Effect:
+    def _op_exit(self, warp, dec, guard) -> Effect:
         warp.active &= ~guard
         if not warp.active.any():
             warp.done = True
@@ -840,8 +834,8 @@ class Executor:
         warp.pc += 1
         return Effect("exit")
 
-    def _op_bar(self, warp, ins, guard) -> Effect:
+    def _op_bar(self, warp, dec, guard) -> Effect:
         return Effect("barrier")
 
-    def _op_nop(self, warp, ins, guard) -> Effect:
+    def _op_nop(self, warp, dec, guard) -> Effect:
         return Effect("nop")

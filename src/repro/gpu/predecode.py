@@ -1,0 +1,316 @@
+"""Instruction predecode: per-:class:`~repro.sass.isa.Program` resolution
+of operands, guards and handlers into a flat table.
+
+The functional executors used to re-derive everything from the
+:class:`~repro.sass.isa.Instruction` dataclasses on *every* step: a
+string dict-lookup for the handler, ``op.kind`` string comparisons per
+operand, a modifier scan for comparison/shift/MUFU modes, and a label
+lookup per branch.  For large grids that per-step Python work — not the
+NumPy lane arithmetic — dominates simulation wall-clock.
+
+:func:`predecode` walks a program once and produces one
+:class:`Decoded` record per instruction:
+
+* ``hname`` — the handler key (``None`` for opcodes the executor does
+  not implement; the error is still raised at execution time, exactly
+  like the legacy dispatch, so static-analysis-only programs predecode
+  fine);
+* ``pred``/``pred_neg`` — the ``@P0``/``@!P0`` guard, resolved to a
+  predicate-file index;
+* ``ops`` — one :class:`DecOp` per operand with integer kind tags and,
+  for immediates, the 32-lane broadcast rows *pre-built* (negation
+  folded in, arrays frozen read-only);
+* opcode metadata that used to need a modifier scan: the SETP compare
+  ufunc and OR/U32 flags, SHF/MUFU/SHFL modes, conversion flags, memory
+  width in registers, local-slot indices, atomic element type, texture
+  slot and the branch target resolved to an instruction index.
+
+Both the per-warp :class:`~repro.gpu.executor.Executor` (timed path)
+and the batched :mod:`~repro.gpu.batch` engine (functional path)
+consume the same table, so the two paths cannot drift apart on operand
+semantics.  The table is cached on the program object — predecoding is
+paid once per compiled kernel, not per launch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sass.isa import Instruction, Operand, Program
+
+__all__ = [
+    "DecOp",
+    "Decoded",
+    "PredecodedProgram",
+    "predecode",
+    "K_REG", "K_IMM", "K_FIMM", "K_MEM", "K_CONST", "K_SPECIAL", "K_LABEL",
+]
+
+WARP = 32
+
+# operand kind tags (integers; compared with ``is``-fast int equality
+# instead of the legacy string kinds)
+K_REG = 0
+K_IMM = 1
+K_FIMM = 2
+K_MEM = 3
+K_CONST = 4
+K_SPECIAL = 5
+K_LABEL = 6
+
+_KIND_TAGS = {
+    "reg": K_REG,
+    "imm": K_IMM,
+    "fimm": K_FIMM,
+    "mem": K_MEM,
+    "const": K_CONST,
+    "special": K_SPECIAL,
+    "label": K_LABEL,
+}
+
+#: handler keys the executors implement (mirrors ``Executor``'s table)
+HANDLED_BASES = {
+    "MOV": "mov", "MOV32I": "mov", "S2R": "s2r",
+    "IADD3": "iadd3", "IMAD": "imad", "IMNMX": "imnmx",
+    "LOP3": "lop3", "SHFL": "shfl", "SHF": "shf", "SEL": "sel",
+    "ISETP": "isetp", "FSETP": "fsetp", "DSETP": "dsetp",
+    "PLOP3": "plop3",
+    "FADD": "fadd", "FMUL": "fmul", "FFMA": "ffma", "FMNMX": "fmnmx",
+    "MUFU": "mufu",
+    "DADD": "dadd", "DMUL": "dmul", "DFMA": "dfma",
+    "I2F": "i2f", "F2I": "f2i", "F2F": "f2f", "I2I": "i2i",
+    "LDG": "ldg", "STG": "stg", "LDL": "ldl", "STL": "stl",
+    "LDS": "lds", "STS": "sts",
+    "RED": "red", "ATOM": "red", "ATOMS": "atoms", "TEX": "tex",
+    "BRA": "bra", "EXIT": "exit", "BAR": "bar", "NOP": "nop",
+}
+
+_CMP_UFUNCS = {
+    "LT": np.less, "LE": np.less_equal, "GT": np.greater,
+    "GE": np.greater_equal, "EQ": np.equal, "NE": np.not_equal,
+}
+
+#: atomic element types
+ATOM_U32 = 0
+ATOM_F32 = 1
+ATOM_F64 = 2
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+class DecOp:
+    """One pre-resolved operand.
+
+    ``kind`` is an integer tag (``K_*``).  Register operands carry the
+    register-file index (255 is RZ; predicate registers set
+    ``is_pred``).  Immediate operands carry pre-broadcast 32-lane rows
+    with negation already folded in *per read domain*: ``u32_row`` for
+    integer reads (two's complement), ``f32_row`` for float reads (sign
+    flip) — mirroring how the legacy readers applied negation.
+    """
+
+    __slots__ = (
+        "kind", "reg", "is_pred", "negated", "imm", "fimm",
+        "const_off", "mem_base", "mem_off", "special",
+        "u32_row", "f32_row", "f64_val",
+    )
+
+    def __init__(self, op: Operand):
+        self.kind = _KIND_TAGS[op.kind]
+        self.negated = op.negated
+        self.reg = -1
+        self.is_pred = False
+        self.imm = op.imm
+        self.fimm = op.fimm
+        self.const_off = -1
+        self.mem_base = -1
+        self.mem_off = 0
+        self.special = op.special
+        self.u32_row: Optional[np.ndarray] = None
+        self.f32_row: Optional[np.ndarray] = None
+        self.f64_val: Optional[np.float64] = None
+        if self.kind == K_REG:
+            self.reg = op.reg.index
+            self.is_pred = op.reg.predicate
+        elif self.kind == K_CONST:
+            self.const_off = op.const.offset
+        elif self.kind == K_MEM:
+            self.mem_base = (op.mem.base.index
+                             if op.mem.base is not None else -1)
+            self.mem_off = op.mem.offset
+        elif self.kind == K_IMM:
+            bits = np.uint32(op.imm & 0xFFFFFFFF)
+            u32 = np.full(WARP, bits, dtype=np.uint32)
+            # integer immediate in float context carries raw bits
+            f32 = u32.view(np.float32).copy()
+            if op.negated:
+                u32 = (~u32 + np.uint32(1)).astype(np.uint32)
+                f32 = -f32
+            self.u32_row = _frozen(u32)
+            self.f32_row = _frozen(f32)
+        elif self.kind == K_FIMM:
+            f = np.float32(op.fimm)
+            u32 = np.full(WARP, f.view(np.uint32), dtype=np.uint32)
+            f32 = np.full(WARP, f, dtype=np.float32)
+            if op.negated:
+                u32 = (~u32 + np.uint32(1)).astype(np.uint32)
+                f32 = -f32
+            self.u32_row = _frozen(u32)
+            self.f32_row = _frozen(f32)
+            self.f64_val = np.float64(-op.fimm if op.negated else op.fimm)
+
+
+class Decoded:
+    """One instruction, fully resolved for dispatch-free execution."""
+
+    __slots__ = (
+        "ins", "pc", "base", "hname", "pred", "pred_neg", "ops",
+        "width_regs", "target_pc", "cmp", "setp_or", "setp_u32",
+        "mode", "shfl_idx", "shfl_valid", "atom_kind", "readonly",
+        "src_u32", "dst_f64", "f2f_widen", "mem_slot", "tex_slot",
+        "is_exit_target",
+    )
+
+    def __init__(self, ins: Instruction, pc: int, program: Program,
+                 end_labels: set[str]):
+        op = ins.opcode
+        self.ins = ins
+        self.pc = pc
+        self.base = op.base
+        self.hname = HANDLED_BASES.get(op.base)
+        self.pred = ins.pred.index if ins.pred is not None else -1
+        self.pred_neg = ins.pred_negated
+        self.ops = tuple(DecOp(o) for o in ins.operands)
+        self.width_regs = op.width_regs
+        # -- branch target (resolved to an instruction index) ----------
+        self.target_pc = -1
+        self.is_exit_target = False
+        if op.base == "BRA":
+            target = ins.branch_target()
+            if target in end_labels:
+                self.target_pc = len(program)
+                self.is_exit_target = True
+            elif target in program.labels:
+                self.target_pc = program.index_of_offset(
+                    program.labels[target])
+            # unresolved targets keep -1; execution raises, decode does not
+        # -- comparison metadata ---------------------------------------
+        self.cmp = None
+        self.setp_or = False
+        self.setp_u32 = False
+        if op.base in ("ISETP", "FSETP", "DSETP"):
+            self.cmp = next(
+                (_CMP_UFUNCS[m] for m in op.modifiers if m in _CMP_UFUNCS),
+                None,
+            )
+            self.setp_or = op.has_modifier("OR")
+            self.setp_u32 = op.has_modifier("U32")
+        if op.base == "PLOP3":
+            self.setp_or = op.has_modifier("OR")
+        # -- mode flags (SHF / MUFU / SHFL share the slot) --------------
+        self.mode = -1
+        if op.base == "SHF":
+            self.mode = 0 if op.has_modifier("L") else (
+                1 if op.has_modifier("S32") else 2)
+        elif op.base == "MUFU":
+            self.mode = (0 if op.has_modifier("RCP") else
+                         1 if op.has_modifier("SQRT") else
+                         2 if op.has_modifier("RSQ") else -1)
+        self.shfl_idx: Optional[np.ndarray] = None
+        self.shfl_valid: Optional[np.ndarray] = None
+        if op.base == "SHFL" and len(ins.operands) >= 3:
+            delta = ins.operands[2].imm or 0
+            lanes = np.arange(WARP)
+            idx = None
+            if op.has_modifier("DOWN"):
+                idx = lanes + delta
+            elif op.has_modifier("UP"):
+                idx = lanes - delta
+            elif op.has_modifier("BFLY"):
+                idx = lanes ^ delta
+            if idx is not None:
+                self.shfl_valid = _frozen((idx >= 0) & (idx < WARP))
+                self.shfl_idx = _frozen(np.clip(idx, 0, WARP - 1))
+        # -- conversions -----------------------------------------------
+        self.src_u32 = op.has_modifier("U32")      # I2F source signedness
+        self.dst_f64 = op.has_modifier("F64")      # I2F/F2I width
+        self.f2f_widen = (op.base == "F2F" and op.has_modifier("F64")
+                          and bool(op.modifiers) and op.modifiers[0] == "F64")
+        # -- atomics ----------------------------------------------------
+        self.atom_kind = ATOM_U32
+        if op.base in ("RED", "ATOM", "ATOMS"):
+            if op.has_modifier("F32"):
+                self.atom_kind = ATOM_F32
+            elif op.has_modifier("F64"):
+                self.atom_kind = ATOM_F64
+        # -- memory -----------------------------------------------------
+        self.readonly = op.is_readonly_load
+        self.mem_slot = -1
+        if op.base in ("LDL", "STL"):
+            mem = ins.mem_operand()
+            if mem is not None:
+                self.mem_slot = (mem.offset if mem.base is None else 0) // 4
+        self.tex_slot = -1
+        if op.base == "TEX" and len(ins.operands) >= 4:
+            self.tex_slot = ins.operands[3].imm
+
+
+class PredecodedProgram:
+    """The flat decode table for one :class:`Program`."""
+
+    __slots__ = ("program", "table", "has_barrier",
+                 "float_atomic_in_loop", "unhandled")
+
+    def __init__(self, program: Program):
+        self.program = program
+        end_labels = {
+            name
+            for name, off in program.labels.items()
+            if off >= len(program) * Program.INSTR_BYTES
+        }
+        self.table: list[Decoded] = [
+            Decoded(ins, pc, program, end_labels)
+            for pc, ins in enumerate(program)
+        ]
+        self.has_barrier = any(d.base == "BAR" for d in self.table)
+        self.unhandled = sorted(
+            {d.base for d in self.table if d.hname is None}
+        )
+        # A float atomic inside a loop is order-sensitive *across* loop
+        # iterations: the legacy functional path runs each warp to
+        # completion before the next, while the batched path interleaves
+        # iterations across warps.  Integer atomics are associative so
+        # any order is bit-identical; float atomics outside loops retire
+        # exactly once per warp, in warp order, on both paths.
+        loop_head = min(
+            (d.target_pc for d in self.table
+             if d.base == "BRA" and 0 <= d.target_pc <= d.pc),
+            default=None,
+        )
+        self.float_atomic_in_loop = loop_head is not None and any(
+            d.base in ("RED", "ATOM", "ATOMS")
+            and d.atom_kind in (ATOM_F32, ATOM_F64)
+            and any(b.base == "BRA" and 0 <= b.target_pc <= d.pc <= b.pc
+                    for b in self.table)
+            for d in self.table
+        )
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __getitem__(self, pc: int) -> Decoded:
+        return self.table[pc]
+
+
+def predecode(program: Program) -> PredecodedProgram:
+    """Predecode ``program``, caching the table on the program object."""
+    cached = getattr(program, "_predecoded", None)
+    if cached is None:
+        cached = PredecodedProgram(program)
+        program._predecoded = cached
+    return cached

@@ -59,9 +59,10 @@ class DeviceSession:
     """A long-lived device context for multi-launch workloads."""
 
     def __init__(self, spec: Optional[GPUSpec] = None,
-                 capacity_bytes: int = 64 * 1024 * 1024):
+                 capacity_bytes: int = 64 * 1024 * 1024,
+                 fast: Optional[bool] = None):
         self.spec = spec or GPUSpec.v100()
-        self.sim = Simulator(self.spec)
+        self.sim = Simulator(self.spec, fast=fast)
         self.memory = DeviceMemory(capacity_bytes)
         #: caches persist across launches (warm-cache semantics)
         self.hierarchy = MemoryHierarchy(self.spec)

@@ -10,6 +10,8 @@ remaining blocks functionally so output buffers are complete.
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -18,6 +20,7 @@ import numpy as np
 from repro.cudalite.compiler import CompiledKernel
 from repro.cudalite.types import PointerType
 from repro.errors import LaunchError, SimulationError
+from repro.gpu.batch import batchable, run_functional_batched
 from repro.gpu.caches import MemoryHierarchy
 from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
@@ -25,7 +28,23 @@ from repro.gpu.executor import DeviceMemory, Executor, TextureLayout, WarpState
 from repro.gpu.scheduler import SMScheduler
 from repro.sass.occupancy import compute_occupancy
 
-__all__ = ["LaunchConfig", "LaunchResult", "Simulator", "TextureDesc"]
+__all__ = ["LaunchConfig", "LaunchResult", "Simulator", "TextureDesc",
+           "resolve_fast_mode"]
+
+_FALSE_STRINGS = ("0", "false", "off", "no")
+
+
+def resolve_fast_mode(fast: Optional[bool] = None) -> bool:
+    """Resolve the fast-path toggle: an explicit argument wins, then the
+    ``REPRO_FAST`` environment variable (``0``/``false``/``off``/``no``
+    disable), then the default (enabled)."""
+    if fast is not None:
+        return bool(fast)
+    env = os.environ.get("REPRO_FAST")
+    if env is not None and env.strip().lower() in _FALSE_STRINGS:
+        return False
+    return True
+
 
 WARP = 32
 _ALLOC_ALIGN = 256
@@ -94,6 +113,18 @@ class LaunchResult:
     buffers: dict[str, tuple[int, tuple, np.dtype]] = field(default_factory=dict)
     simulated_blocks: int = 0
     extrapolation: float = 1.0
+    #: wall-clock spent completing the grid functionally (host seconds)
+    functional_seconds: float = 0.0
+    #: whether the batched fast path executed the functional phase
+    fast_path: bool = False
+
+    @property
+    def functional_inst_per_sec(self) -> float:
+        """Functional-path throughput in warp-instructions per host
+        second (0.0 when no functional instructions ran)."""
+        if self.counters.inst_functional and self.functional_seconds > 0:
+            return self.counters.inst_functional / self.functional_seconds
+        return 0.0
 
     @property
     def duration_s(self) -> float:
@@ -110,8 +141,11 @@ class LaunchResult:
 class Simulator:
     """Launches compiled kernels on the simulated GPU."""
 
-    def __init__(self, spec: Optional[GPUSpec] = None):
+    def __init__(self, spec: Optional[GPUSpec] = None,
+                 fast: Optional[bool] = None):
         self.spec = spec or GPUSpec.v100()
+        #: use the batched functional engine (see :mod:`repro.gpu.batch`)
+        self.fast = resolve_fast_mode(fast)
 
     # ------------------------------------------------------------------
     def launch(
@@ -208,10 +242,23 @@ class Simulator:
         cycles = scheduler.now * extrapolation
         counters.cycles = cycles
 
+        functional_seconds = 0.0
+        fast_path = False
         if functional_all:
             timed_set = set(timed_blocks)
             rest = [b for b in all_blocks if b not in timed_set]
-            self._run_functional(compiled, config, rest, executor, mem)
+            t0 = time.perf_counter()
+            if self.fast and batchable(executor.decoded):
+                fast_path = True
+                counters.inst_functional += run_functional_batched(
+                    lambda b: self._make_block_warps(compiled, config, b, mem),
+                    executor, rest, compiled.program.shared_bytes,
+                )
+            else:
+                counters.inst_functional += self._run_functional(
+                    compiled, config, rest, executor, mem
+                )
+            functional_seconds = time.perf_counter() - t0
 
         achieved = 0.0
         if cycles > 0:
@@ -238,6 +285,8 @@ class Simulator:
             buffers=buffers,
             simulated_blocks=len(timed_blocks),
             extrapolation=extrapolation,
+            functional_seconds=functional_seconds,
+            fast_path=fast_path,
         )
 
     # ------------------------------------------------------------------
@@ -355,10 +404,12 @@ class Simulator:
         return warps
 
     # ------------------------------------------------------------------
-    def _run_functional(self, compiled, config, blocks, executor, mem) -> None:
+    def _run_functional(self, compiled, config, blocks, executor, mem) -> int:
         """Execute ``blocks`` functionally only (no timing): round-robin
-        warps within a block so barriers synchronise correctly."""
+        warps within a block so barriers synchronise correctly.  Returns
+        the number of warp-instructions executed."""
         max_steps = 50_000_000
+        total_steps = 0
         for block_id in blocks:
             warps = self._make_block_warps(compiled, config, block_id, mem)
             steps = 0
@@ -385,12 +436,15 @@ class Simulator:
                     # all at the barrier: release
                     for warp in arrived:
                         executor.step(warp)  # executes BAR, advances pc
+                        steps += 1
                     progressed = True
                 pending = [w for w in pending if not w.done]
                 if pending and not progressed:
                     raise SimulationError(
                         "barrier deadlock during functional execution"
                     )
+            total_steps += steps
+        return total_steps
 
 
 def _scalar_bits(value, dtype) -> int:

@@ -1,0 +1,59 @@
+"""Unit tests for :class:`repro.gpu.executor.DeviceMemory` access
+checking — bounds and natural-alignment enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.executor import DeviceMemory
+
+
+class TestAlignment:
+    def test_misaligned_4_byte_access_raises(self):
+        mem = DeviceMemory(1024)
+        with pytest.raises(SimulationError, match="misaligned 4-byte"):
+            mem.read_u32(np.array([2], dtype=np.int64))
+        with pytest.raises(SimulationError, match="misaligned 4-byte"):
+            mem.write_u32(np.array([0, 4, 6], dtype=np.int64),
+                          np.zeros(3, dtype=np.uint32))
+
+    def test_misaligned_8_byte_access_raises(self):
+        mem = DeviceMemory(1024)
+        with pytest.raises(SimulationError, match="misaligned 8-byte"):
+            mem.atomic_add_f64(np.array([4], dtype=np.int64),
+                               np.ones(1, dtype=np.float64))
+
+    def test_error_names_offending_address(self):
+        mem = DeviceMemory(1024)
+        with pytest.raises(SimulationError, match="0x6"):
+            mem.read_u32(np.array([4, 6], dtype=np.int64))
+
+    def test_aligned_accesses_pass(self):
+        mem = DeviceMemory(1024)
+        mem.write_u32(np.array([0, 4, 1020], dtype=np.int64),
+                      np.array([1, 2, 3], dtype=np.uint32))
+        got = mem.read_u32(np.array([0, 4, 1020], dtype=np.int64))
+        assert got.tolist() == [1, 2, 3]
+        mem.atomic_add_f64(np.array([8, 16], dtype=np.int64),
+                           np.array([1.5, 2.5]))
+
+    def test_check_covers_other_pow2_widths(self):
+        # the old implementation silently skipped any width not in (4, 8)
+        mem = DeviceMemory(1024)
+        with pytest.raises(SimulationError, match="misaligned 16-byte"):
+            mem._check(np.array([8], dtype=np.int64), 16)
+        mem._check(np.array([16], dtype=np.int64), 16)  # aligned: fine
+        mem._check(np.array([3], dtype=np.int64), 1)  # byte access: any addr
+
+
+class TestBounds:
+    def test_out_of_bounds_raises(self):
+        mem = DeviceMemory(256)
+        with pytest.raises(SimulationError, match="out of bounds"):
+            mem.read_u32(np.array([256], dtype=np.int64))
+        with pytest.raises(SimulationError, match="out of bounds"):
+            mem.read_u32(np.array([-4], dtype=np.int64))
+
+    def test_empty_access_is_noop(self):
+        mem = DeviceMemory(256)
+        assert mem.read_u32(np.empty(0, dtype=np.int64)).size == 0
