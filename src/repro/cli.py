@@ -144,8 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "for stdout instead of the text report)")
     p_an.add_argument("--fast", action=argparse.BooleanOptionalAction,
                       default=None,
-                      help="batched functional execution (default on; "
-                           "REPRO_FAST=0 also disables)")
+                      help="batched functional execution and trace-driven "
+                           "timed scheduling (default on; REPRO_FAST=0 "
+                           "also disables)")
 
     p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
     p_dis.add_argument("--kernel", required=True)

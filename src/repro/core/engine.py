@@ -92,7 +92,8 @@ class GPUscout:
         self.spec = spec or GPUSpec.v100()
         self.sampler = sampler or PCSampler()
         self.ncu = ncu or NsightComputeCLI()
-        #: batched functional execution toggle (None = REPRO_FAST/default)
+        #: fast-path toggle (None = REPRO_FAST/default): batched
+        #: functional execution *and* the trace-driven timed scheduler
         self.fast = fast
 
     # ------------------------------------------------------------------

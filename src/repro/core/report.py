@@ -130,6 +130,12 @@ def render_report(report, color: bool = False) -> str:
     if report.launch is not None and not report.dry_run:
         launch = report.launch
         exec_line = f"[exec] inst issued (timed) {launch.counters.inst_issued}"
+        if launch.timed_instructions:
+            timed_path = ("trace (batched)" if launch.timed_fast_path
+                          else "legacy")
+            exec_line += (
+                f" ({launch.timed_inst_per_sec:,.0f}/s, {timed_path} path)"
+            )
         if launch.counters.inst_functional:
             path = "fast (batched)" if launch.fast_path else "legacy"
             exec_line += (

@@ -33,7 +33,7 @@ order-sensitive float atomics, are simply routed to the legacy path;
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -171,6 +171,10 @@ class BatchEngine:
         self.decoded = executor.decoded
         self.program = executor.program
         self.textures = executor.textures
+        #: optional TraceEmitter (set by the timed-trace subclass); when
+        #: present the lockstep driver records the executed row stream
+        #: and per-warp death rows for the trace-driven scheduler
+        self.emit = None
         self._handlers: list[Optional[Callable]] = [
             getattr(self, "_b_" + d.hname, None) if d.hname else None
             for d in self.decoded.table
@@ -601,18 +605,29 @@ class BatchEngine:
                 if dec.pred >= 0:
                     p = pack.preds[dec.pred]
                     guard &= (~p if dec.pred_neg else p)
+                emit = self.emit
+                if emit is not None:
+                    emit.begin_row(pc)
                 base = dec.base
                 if base == "BRA":
+                    prev_live = live.copy() if emit is not None else None
                     if not self._branch(pack, dec, guard):
                         # disagreement: rewind this BRA (the legacy loop
                         # re-executes it, reproducing exact semantics,
                         # including the divergent-lane error)
                         insts -= n_live
                         return insts, pack.dissolve(pc)
+                    if emit is not None:
+                        emit.deaths(prev_live & ~live)
                     continue
                 if base == "EXIT":
                     pack.active &= ~guard
-                    live &= pack.active.any(axis=1)
+                    if emit is not None:
+                        prev_live = live.copy()
+                        live &= pack.active.any(axis=1)
+                        emit.deaths(prev_live & ~live)
+                    else:
+                        live &= pack.active.any(axis=1)
                     pack.pc = pc + 1
                     continue
                 if base in ("BAR", "NOP"):
@@ -704,32 +719,37 @@ def _finish_legacy(executor: Executor, warps: list[WarpState]) -> int:
 def run_functional_batched(
     make_warps: Callable[[int], list[WarpState]],
     executor: Executor,
-    blocks: list[int],
+    blocks: Iterable[int],
     shared_bytes: int,
 ) -> int:
     """Execute ``blocks`` functionally on the batched engine.
 
     ``make_warps`` builds the per-warp states for one block (the
-    simulator's block factory).  Returns the number of instructions
+    simulator's block factory).  ``blocks`` may be any iterable — it is
+    consumed lazily, one pack's worth at a time, so huge grids never
+    materialise a block list.  Returns the number of instructions
     executed.  The caller is responsible for routing non-batchable
     programs (see :func:`batchable`) to the legacy path.
     """
     engine = BatchEngine(executor)
-    warps_per_block = None
     insts = 0
-    i = 0
-    while i < len(blocks):
-        chunk_warps: list[WarpState] = []
-        while i < len(blocks):
-            block_warps = make_warps(blocks[i])
-            if warps_per_block is None:
-                warps_per_block = max(len(block_warps), 1)
+    it = iter(blocks)
+    carry: Optional[list[WarpState]] = None
+    while True:
+        if carry is not None:
+            chunk_warps, carry = carry, None
+        else:
+            chunk_warps = []
+        for block in it:
+            block_warps = make_warps(block)
             if chunk_warps and (
                 len(chunk_warps) + len(block_warps) > MAX_PACK_WARPS
             ):
+                carry = block_warps
                 break
             chunk_warps.extend(block_warps)
-            i += 1
+        if not chunk_warps:
+            break
         pack = WarpPack(chunk_warps, shared_bytes)
         done, leftover = engine.run(pack)
         insts += done

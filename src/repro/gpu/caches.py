@@ -15,7 +15,7 @@ from typing import Iterable
 __all__ = ["SectorCache", "CacheStats", "HierarchyResult", "MemoryHierarchy"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters for one cache (in sectors)."""
 
@@ -98,7 +98,7 @@ class SectorCache:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of pushing one warp-access through the hierarchy."""
 
@@ -142,6 +142,13 @@ class MemoryHierarchy:
             "L2", spec.l2_bytes, spec.l2_line_bytes, spec.sector_bytes,
             spec.l2_assoc,
         )
+        self._first_level = {
+            "global": self.l1,
+            "local": self.l1,
+            "readonly": self.l1,
+            "texture": self.tex,
+            "atomic": None,
+        }
 
     def access(
         self,
@@ -162,44 +169,43 @@ class MemoryHierarchy:
         promoted into the cache and their traffic is accounted as
         ``fill_sectors`` through L2/DRAM.
         """
-        res = HierarchyResult()
-        first_level = {
-            "global": self.l1,
-            "local": self.l1,
-            "readonly": self.l1,
-            "texture": self.tex,
-            "atomic": None,
-        }[space]
+        first_level = self._first_level[space]
         line_fill = space == "texture"
+        # accumulate in locals — this walk sits on the hot path of every
+        # timed memory instruction, legacy and trace-consumer alike
+        l2_lookup = self.l2.lookup
+        fl_lookup = first_level.lookup if first_level is not None else None
+        probe_l1 = fl_lookup is not None and not write
+        total = l1_hits = l1_misses = l2_hits = l2_misses = fills = 0
         for sector in sectors:
-            res.sectors_total += 1
-            if first_level is not None and not write:
-                if first_level.lookup(sector):
-                    res.l1_hits += 1
-                    continue
-                res.l1_misses += 1
+            total += 1
+            if probe_l1 and fl_lookup(sector):
+                l1_hits += 1
+                continue
+            # bypass/write-through counts as an L2 access
+            l1_misses += 1
+            if l2_lookup(sector):
+                l2_hits += 1
             else:
-                res.l1_misses += 1  # bypass/write-through counts as L2 access
-            if self.l2.lookup(sector):
-                res.l2_hits += 1
-                res.deepest = "l2" if res.deepest == "l1" else res.deepest
-            else:
-                res.l2_misses += 1
-                res.deepest = "dram"
-            if line_fill and first_level is not None:
+                l2_misses += 1
+            if line_fill:
                 line_base = sector - sector % first_level.line_bytes
                 for k in range(first_level.sectors_per_line):
                     sibling = line_base + k * first_level.sector_bytes
                     if sibling == sector:
                         continue
-                    if not first_level.lookup(sibling, fill=False):
-                        first_level.lookup(sibling)  # promote
-                        res.fill_sectors += 1
-                        if self.l2.lookup(sibling):
-                            res.l2_hits += 1
+                    if not fl_lookup(sibling, fill=False):
+                        fl_lookup(sibling)  # promote
+                        fills += 1
+                        if l2_lookup(sibling):
+                            l2_hits += 1
                         else:
-                            res.l2_misses += 1
-                            res.deepest = "dram"
-        if res.deepest == "l1" and res.l1_misses > 0:
-            res.deepest = "l2"
-        return res
+                            l2_misses += 1
+        deepest = ("dram" if l2_misses
+                   else "l2" if l1_misses
+                   else "l1")
+        return HierarchyResult(
+            sectors_total=total, l1_hits=l1_hits, l1_misses=l1_misses,
+            l2_hits=l2_hits, l2_misses=l2_misses, deepest=deepest,
+            fill_sectors=fills,
+        )

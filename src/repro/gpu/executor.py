@@ -45,7 +45,8 @@ from repro.gpu.predecode import (
 )
 from repro.sass.isa import Program
 
-__all__ = ["DeviceMemory", "WarpState", "Effect", "Executor", "TextureLayout"]
+__all__ = ["DeviceMemory", "WarpState", "Effect", "Executor", "TextureLayout",
+           "StaticEffect", "static_effect_table"]
 
 WARP = 32
 
@@ -839,3 +840,121 @@ class Executor:
 
     def _op_nop(self, warp, dec, guard) -> Effect:
         return Effect("nop")
+
+
+# ---------------------------------------------------------------------------
+# static effect metadata (consumed by the trace-driven timed scheduler)
+# ---------------------------------------------------------------------------
+
+class StaticEffect:
+    """The launch-invariant part of an instruction's :class:`Effect`.
+
+    Everything about an Effect that depends only on the decoded
+    instruction — kind, destination registers, memory space, the fixed
+    local-memory sector footprint and the opcode name — as opposed to
+    the per-execution payload (coalesced sectors, bank transactions,
+    atomic contention), which the trace builder records per warp.
+    ``None`` entries mark instructions without a handler; such programs
+    are not trace-eligible in the first place.
+    """
+
+    __slots__ = ("kind", "dest_regs", "space", "sectors", "opname")
+
+    def __init__(self, kind: str, dest_regs: tuple[int, ...] = (),
+                 space: str = "", sectors: Optional[np.ndarray] = None,
+                 opname: str = ""):
+        self.kind = kind
+        self.dest_regs = dest_regs
+        self.space = space
+        self.sectors = sectors
+        self.opname = opname
+
+
+#: hnames whose Effect is ("alu", dest=(ops[0].reg,))
+_ALU_DEST_HNAMES = frozenset((
+    "mov", "s2r", "iadd3", "imad", "imnmx", "lop3", "shf", "shfl", "sel",
+    "fadd", "fmul", "ffma", "fmnmx",
+))
+#: hnames whose Effect is ("alu") with no destinations
+_ALU_NODEST_HNAMES = frozenset(("isetp", "fsetp", "plop3"))
+_CTRL_KINDS = {"bra": "branch", "exit": "exit", "bar": "barrier",
+               "nop": "nop"}
+
+
+def static_effect_table(decoded, spec: GPUSpec) -> list:
+    """Per-PC :class:`StaticEffect` rows for ``decoded``.
+
+    Mirrors exactly what each ``Executor._op_*`` handler puts into the
+    Effect it returns, minus the data-dependent fields.  Destination
+    registers are pre-filtered of RZ (255), matching what
+    ``SMScheduler._set_dests`` skips at run time.
+    """
+    table: list = []
+    for dec in decoded.table:
+        hname = dec.hname
+        opname = dec.ins.opcode.name
+        if hname is None:
+            table.append(None)
+            continue
+        if hname in _ALU_DEST_HNAMES:
+            se = StaticEffect("alu", (dec.ops[0].reg,), opname=opname)
+        elif hname in _ALU_NODEST_HNAMES:
+            se = StaticEffect("alu", opname=opname)
+        elif hname == "dsetp":
+            se = StaticEffect("fp64", opname=opname)
+        elif hname in ("dadd", "dmul", "dfma"):
+            d = dec.ops[0].reg
+            se = StaticEffect("fp64", (d, d + 1), opname=opname)
+        elif hname == "mufu":
+            se = StaticEffect("mufu", (dec.ops[0].reg,), opname=opname)
+        elif hname == "i2f":
+            d = dec.ops[0].reg
+            dests = (d, d + 1) if dec.dst_f64 else (d,)
+            se = StaticEffect("convert", dests, opname=opname)
+        elif hname == "f2f":
+            d = dec.ops[0].reg
+            dests = (d, d + 1) if dec.f2f_widen else (d,)
+            se = StaticEffect("convert", dests, opname=opname)
+        elif hname in ("f2i", "i2i"):
+            se = StaticEffect("convert", (dec.ops[0].reg,), opname=opname)
+        elif hname == "ldg":
+            d = dec.ops[0].reg
+            dests = tuple(d + k for k in range(dec.width_regs))
+            space = "readonly" if dec.readonly else "global"
+            se = StaticEffect("global_load", dests, space, opname=opname)
+        elif hname == "stg":
+            se = StaticEffect("global_store", space="global", opname=opname)
+        elif hname in ("ldl", "stl"):
+            # thread-interleaved spill space: the sector footprint is a
+            # fixed function of the slot (see Executor._op_ldl)
+            n_sectors = 4 * dec.width_regs
+            sectors = (np.arange(n_sectors, dtype=np.int64)
+                       * spec.sector_bytes + (1 << 40) + dec.mem_slot * 128)
+            if hname == "ldl":
+                d = dec.ops[0].reg
+                dests = tuple(d + k for k in range(dec.width_regs))
+                se = StaticEffect("local_load", dests, "local", sectors,
+                                  opname)
+            else:
+                se = StaticEffect("local_store", (), "local", sectors, opname)
+        elif hname == "lds":
+            d = dec.ops[0].reg
+            dests = tuple(d + k for k in range(dec.width_regs))
+            se = StaticEffect("shared_load", dests, "shared", opname=opname)
+        elif hname == "sts":
+            se = StaticEffect("shared_store", space="shared", opname=opname)
+        elif hname == "red":
+            se = StaticEffect("atomic_global", space="atomic", opname=opname)
+        elif hname == "atoms":
+            se = StaticEffect("atomic_shared", space="shared", opname=opname)
+        elif hname == "tex":
+            se = StaticEffect("texture", (dec.ops[0].reg,), "texture",
+                              opname=opname)
+        elif hname in _CTRL_KINDS:
+            se = StaticEffect(_CTRL_KINDS[hname], opname=opname)
+        else:
+            table.append(None)
+            continue
+        se.dest_regs = tuple(r for r in se.dest_regs if r != 255)
+        table.append(se)
+    return table

@@ -29,10 +29,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.gpu.caches import MemoryHierarchy
 from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
-from repro.gpu.executor import Effect, Executor, WarpState
+from repro.gpu.executor import Effect, Executor, WarpState, static_effect_table
 from repro.gpu.stalls import StallReason
 from repro.sass.isa import OpClass, Program
 
@@ -95,6 +96,68 @@ class _WarpRT:
         self.at_barrier = False
 
 
+class _PCMeta:
+    """Per-PC timing metadata for the trace consumer.
+
+    Everything :meth:`SMScheduler.run_wave_trace` needs about an
+    instruction that does not depend on run-time data: the dispatch code,
+    destination/source registers, structural pipe, issue cost and the
+    L1-level hit latency.  Derived once per scheduler from
+    :func:`~repro.gpu.executor.static_effect_table`.
+    """
+
+    __slots__ = ("code", "kind", "opname", "dests", "srcs", "pipe",
+                 "issue_cost", "access_space", "write", "sub", "conv",
+                 "static_sectors", "static_len", "hit_lat")
+
+    def __init__(self):
+        self.code = 0
+        self.kind = ""
+        self.opname = ""
+        self.dests = ()
+        self.srcs = ()
+        self.pipe = 0
+        self.issue_cost = 1.0
+        self.access_space = ""
+        self.write = False
+        self.sub = 0
+        self.conv = False
+        self.static_sectors = None
+        self.static_len = -1
+        self.hit_lat = 0.0
+
+
+class _TraceRT:
+    """Scheduling state for one warp replayed from an effect trace.
+
+    The per-warp scoreboard mirrors :class:`_WarpRT` but uses plain
+    Python lists (faster scalar indexing than NumPy in the hot loop —
+    the arithmetic is identical IEEE-double math either way).
+    """
+
+    __slots__ = (
+        "row", "end_row", "index", "block_id", "subpartition", "earliest",
+        "reg_ready", "reg_kind", "forced_wait", "forced_reason",
+        "start_time", "finish_time", "at_barrier",
+    )
+
+    def __init__(self, index: int, subpartition: int, nregs: int,
+                 start_time: float, end_row: int, block_id: int):
+        self.row = 0
+        self.end_row = end_row
+        self.index = index
+        self.block_id = block_id
+        self.subpartition = subpartition
+        self.earliest = start_time
+        self.reg_ready = [0.0] * nregs
+        self.reg_kind = [0] * nregs
+        self.forced_wait = 0.0
+        self.forced_reason: Optional[StallReason] = None
+        self.start_time = start_time
+        self.finish_time = start_time
+        self.at_barrier = False
+
+
 class SMScheduler:
     """Runs one wave of resident blocks on one SM."""
 
@@ -150,6 +213,8 @@ class SMScheduler:
                 self._struct_pipe.append(4)
             else:
                 self._struct_pipe.append(0)
+        #: lazily-built per-PC metadata for the trace consumer
+        self._trace_meta: Optional[list] = None
 
     # ------------------------------------------------------------------
     def run_wave(self, warps: list[WarpState],
@@ -243,11 +308,487 @@ class SMScheduler:
         # warps stuck at a barrier that never completes => deadlock
         for rt in rts:
             if not rt.state.done:
-                from repro.errors import SimulationError
-
                 raise SimulationError(
                     f"warp {rt.index} never finished (barrier deadlock? "
                     f"pc={rt.state.pc})"
+                )
+        self.now = wave_end
+        return wave_end
+
+    # ------------------------------------------------------------------
+    def _ensure_trace_meta(self) -> list:
+        """Per-PC :class:`_PCMeta` rows (built once, cached)."""
+        if self._trace_meta is not None:
+            return self._trace_meta
+        spec = self.spec
+        metas: list = []
+        for pc, se in enumerate(
+                static_effect_table(self.executor.decoded, spec)):
+            if se is None:
+                metas.append(None)
+                continue
+            m = _PCMeta()
+            kind = se.kind
+            m.kind = kind
+            m.opname = se.opname
+            m.dests = se.dest_regs
+            m.srcs = self._src_regs[pc]
+            m.pipe = self._struct_pipe[pc]
+            m.issue_cost = float(spec.issue_default)
+            if kind in ("alu", "convert", "branch", "exit", "nop"):
+                m.code = 0
+                m.conv = kind == "convert"
+            elif kind == "fp64":
+                m.code = 1
+                m.issue_cost = float(spec.issue_fp64)
+            elif kind == "mufu":
+                m.code = 2
+                m.issue_cost = float(spec.issue_mufu)
+            elif kind in ("global_load", "global_store",
+                          "local_load", "local_store"):
+                m.code = 3
+                m.sub = ("global_load", "global_store",
+                         "local_load", "local_store").index(kind)
+                m.write = kind.endswith("store")
+                m.access_space = ("local" if kind.startswith("local")
+                                  else se.space)
+                m.hit_lat = float(spec.lat_readonly_hit
+                                  if se.space == "readonly"
+                                  else spec.lat_l1_hit)
+                if se.sectors is not None:
+                    # plain ints: the cache walk is faster on them
+                    m.static_sectors = se.sectors.tolist()
+                    m.static_len = len(m.static_sectors)
+            elif kind in ("shared_load", "shared_store"):
+                m.code = 4
+                m.sub = 0 if kind == "shared_load" else 1
+            elif kind == "atomic_global":
+                m.code = 5
+            elif kind == "atomic_shared":
+                m.code = 6
+            elif kind == "texture":
+                m.code = 7
+                m.hit_lat = float(spec.lat_tex_hit)
+            else:  # barrier
+                m.code = 8
+            metas.append(m)
+        self._trace_meta = metas
+        return metas
+
+    # ------------------------------------------------------------------
+    def run_wave_trace(self, ttrace,
+                       block_warp_counts: dict[int, int]) -> float:
+        """Replay a precomputed effect trace through the timing model.
+
+        ``ttrace`` is a :class:`~repro.gpu.timed_trace.TimedTrace`
+        recorded by the batched engine for this wave's warps.  The heap,
+        ``Timeline`` bookings, scoreboard and stall attribution follow
+        :meth:`run_wave` decision-for-decision (the resource bookings are
+        manually inlined but perform the identical IEEE arithmetic in the
+        identical order), so cycles, counters and PC-sample streams are
+        bit-identical to stepping the executor live — the equivalence
+        suite in ``tests/gpu/test_timed_equivalence.py`` enforces this.
+        Cache-hierarchy lookups run here, at issue time, in heap order —
+        exactly where the legacy path performs them.
+        """
+        spec = self.spec
+        counters = self.counters
+        metas = self._ensure_trace_meta()
+        pcs = ttrace.pcs
+        dyn = ttrace.dyn
+        start = self.now
+        nregs = ttrace.nregs
+        nsub = spec.subpartitions
+        rts = [
+            _TraceRT(i, i % nsub, nregs, start, ttrace.end_row[i],
+                     ttrace.block_ids[i])
+            for i in range(ttrace.n_warps)
+        ]
+        # hot locals
+        sp_next = self.sp_next
+        lsu, mio, tex, mufu = self.lsu, self.mio, self.tex, self.mufu
+        l2bw, drambw, atom = self.l2bw, self.drambw, self.atom
+        stall = counters.stall_cycles
+        by_class = counters.inst_by_class
+        by_pc = counters.inst_by_pc
+        access = self.hierarchy.access
+        trace_rec = self.trace
+        lg_depth = spec.lg_queue_depth
+        mio_depth = spec.mio_queue_depth
+        tex_depth = spec.tex_queue_depth
+        lat_alu = float(spec.lat_alu)
+        lat_fp64 = float(spec.lat_fp64)
+        lat_mufu = float(spec.lat_mufu)
+        lat_shared = float(spec.lat_shared)
+        lat_dram = float(spec.lat_dram)
+        lat_l2 = float(spec.lat_l2_hit)
+        R_SEL = StallReason.SELECTED
+        R_NOTSEL = StallReason.NOT_SELECTED
+        R_LG = StallReason.LG_THROTTLE
+        R_MIO = StallReason.MIO_THROTTLE
+        R_TEX = StallReason.TEX_THROTTLE
+        R_MATH = StallReason.MATH_PIPE_THROTTLE
+        R_BAR = StallReason.BARRIER
+        kind_reason = (StallReason.WAIT, StallReason.LONG_SCOREBOARD,
+                       StallReason.SHORT_SCOREBOARD)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        def next_ready(rt):
+            # mirrors _next_ready with the trace row in place of the
+            # warp state and Timeline.ready_after_backlog inlined
+            ready = rt.earliest
+            reason = None
+            if rt.forced_wait > ready:
+                ready = rt.forced_wait
+                reason = rt.forced_reason
+            row = rt.row
+            if row >= rt.end_row:
+                return ready, reason
+            m = metas[pcs[row]]
+            reg_ready = rt.reg_ready
+            reg_kind = rt.reg_kind
+            for idx in m.srcs:
+                t = reg_ready[idx]
+                if t > ready:
+                    ready = t
+                    reason = kind_reason[reg_kind[idx]]
+            pipe = m.pipe
+            if pipe == 1:
+                t = lsu.next_free - lg_depth
+                if t > ready:
+                    ready = t
+                    reason = R_LG
+                if m.code == 5:
+                    t = atom.next_free - lg_depth
+                    if t > ready:
+                        ready = t
+                        reason = R_LG
+            elif pipe == 2:
+                t = mio.next_free - mio_depth
+                if t > ready:
+                    ready = t
+                    reason = R_MIO
+            elif pipe == 3:
+                t = tex.next_free - tex_depth
+                if t > ready:
+                    ready = t
+                    reason = R_TEX
+            elif pipe == 4:
+                t = mufu.next_free - 8.0
+                if t > ready:
+                    ready = t
+                    reason = R_MATH
+            return ready, reason
+
+        barrier_arrivals: dict[int, list[_TraceRT]] = {}
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        for rt in rts:
+            ready, _ = next_ready(rt)
+            heappush(heap, (ready, seq, rt.index))
+            seq += 1
+
+        # Exact-integer accounting (inst_issued, inst_by_class/pc, the
+        # per-kind instruction counts, SELECTED samples == one 1.0 per
+        # issue) is batched per PC and merged after the loop: integer
+        # sums are associative, so the merged totals are bit-identical
+        # to legacy per-issue increments while saving three dict
+        # operations per issue.  Fractional stall cycles are NOT
+        # batchable (float addition is order-sensitive) and stay inline.
+        pc_counts = [0] * len(metas)
+
+        wave_end = start
+        while heap:
+            popped_ready, _, wi = heappop(heap)
+            rt = rts[wi]
+            row = rt.row
+            if row >= rt.end_row:
+                continue
+            ready, reason = next_ready(rt)
+            if ready > popped_ready + 1e-9:
+                heappush(heap, (ready, seq, wi))
+                seq += 1
+                continue
+            sp = rt.subpartition
+            t_issue = sp_next[sp]
+            if ready > t_issue:
+                t_issue = ready
+            pc = pcs[row]
+            m = metas[pc]
+            dep_stall = ready - rt.earliest
+            if dep_stall > 0 and reason is not None:
+                stall[(pc, reason)] += dep_stall
+            arb = t_issue - ready
+            if arb > 0:
+                stall[(pc, R_NOTSEL)] += arb
+            pc_counts[pc] += 1
+            if trace_rec is not None:
+                trace_rec.record(
+                    t_issue, wi, rt.block_id, pc, m.opname,
+                    dep_stall + arb, reason if dep_stall > 0 else None,
+                )
+            rt.row = row + 1
+            t_next = t_issue + m.issue_cost
+            sp_next[sp] = t_next
+            rt.earliest = t_next
+            rt.forced_wait = 0.0
+            rt.forced_reason = None
+            code = m.code
+            reg_ready = rt.reg_ready
+            reg_kind = rt.reg_kind
+
+            if code == 0:  # alu / convert / branch / exit / nop
+                t_ready = t_issue + lat_alu
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 0
+            elif code == 1:  # fp64
+                t_ready = t_issue + lat_fp64
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 0
+            elif code == 2:  # mufu
+                t = t_issue + 1
+                nf = mufu.next_free
+                if nf > t:
+                    t = nf
+                finish = t + 1.0 / mufu.rate
+                mufu.next_free = finish
+                t_ready = finish + lat_mufu
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 0
+            elif code == 3:  # global/local load/store
+                slen = m.static_len
+                if slen >= 0:
+                    sectors = m.static_sectors
+                else:
+                    offs, pool = dyn[row]
+                    o0 = offs[wi]
+                    o1 = offs[wi + 1]
+                    sectors = pool[o0:o1]
+                    slen = o1 - o0
+                res = access(sectors, m.access_space, write=m.write)
+                t = t_issue + 1
+                nf = lsu.next_free
+                if nf > t:
+                    t = nf
+                finish = t + (slen if slen > 0 else 1) / lsu.rate
+                lsu.next_free = finish
+                units = res.l2_accesses
+                if units:
+                    nf = l2bw.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / l2bw.rate
+                    l2bw.next_free = finish
+                units = res.dram_sectors
+                if units:
+                    nf = drambw.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / drambw.rate
+                    drambw.next_free = finish
+                deepest = res.deepest
+                if deepest == "dram":
+                    t_ready = finish + lat_dram
+                elif deepest == "l2":
+                    t_ready = finish + lat_l2
+                else:
+                    t_ready = finish + m.hit_lat
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 1
+                sub = m.sub
+                if sub == 0:
+                    counters.global_load_sectors += slen
+                elif sub == 1:
+                    counters.global_store_sectors += slen
+                elif sub == 2:
+                    counters.local_load_sectors += slen
+                else:
+                    counters.local_store_sectors += slen
+                self._account_hierarchy(m.access_space, res, write=m.write)
+            elif code == 4:  # shared load/store
+                tx = dyn[row][wi]
+                t = t_issue + 1
+                nf = mio.next_free
+                if nf > t:
+                    t = nf
+                finish = t + (tx if tx > 0 else 1) / mio.rate
+                mio.next_free = finish
+                t_ready = finish + lat_shared
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 2
+                if m.sub == 0:
+                    counters.shared_load_transactions += tx
+                else:
+                    counters.shared_store_transactions += tx
+            elif code == 5:  # atomic_global (no destinations)
+                offs, pool, uniqs, serials = dyn[row]
+                o0 = offs[wi]
+                o1 = offs[wi + 1]
+                slen = o1 - o0
+                if slen:
+                    res = access(pool[o0:o1], "atomic")
+                    t = t_issue + 1
+                    nf = lsu.next_free
+                    if nf > t:
+                        t = nf
+                    finish = t + slen / lsu.rate
+                    lsu.next_free = finish
+                    units = res.l2_accesses
+                    if units < 1:
+                        units = 1
+                    nf = l2bw.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / l2bw.rate
+                    l2bw.next_free = finish
+                    units = serials[wi]
+                    u2 = uniqs[wi] / 4.0
+                    if u2 > units:
+                        units = u2
+                    if units < 1.0:
+                        units = 1.0
+                    nf = atom.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / atom.rate
+                    atom.next_free = finish
+                    units = res.dram_sectors
+                    if units:
+                        nf = drambw.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + units / drambw.rate
+                        drambw.next_free = finish
+                    self._account_hierarchy("atomic", res)
+                    counters.atomic_sectors += slen
+                    counters.atomic_l2_hits += res.l2_hits
+                    counters.atomic_l2_misses += res.l2_misses
+            elif code == 6:  # atomic_shared (no destinations)
+                txs, uniqs, serials = dyn[row]
+                units = serials[wi]
+                if units:
+                    tx = txs[wi]
+                    if tx > units:
+                        units = tx
+                    if units < 1:
+                        units = 1
+                    t = t_issue + 1
+                    nf = mio.next_free
+                    if nf > t:
+                        t = nf
+                    mio.next_free = t + units / mio.rate
+            elif code == 7:  # texture
+                offs, pool = dyn[row]
+                o0 = offs[wi]
+                o1 = offs[wi + 1]
+                res = access(pool[o0:o1], "texture")
+                t = t_issue + 1
+                nf = tex.next_free
+                if nf > t:
+                    t = nf
+                finish = t + 1.0 / tex.rate
+                tex.next_free = finish
+                units = res.l2_hits + res.l2_misses  # incl. line fills
+                if units:
+                    nf = l2bw.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / l2bw.rate
+                    l2bw.next_free = finish
+                units = res.dram_sectors
+                if units:
+                    nf = drambw.next_free
+                    t = finish if finish > nf else nf
+                    finish = t + units / drambw.rate
+                    drambw.next_free = finish
+                deepest = res.deepest
+                if deepest == "dram":
+                    t_ready = finish + lat_dram
+                elif deepest == "l2":
+                    t_ready = finish + lat_l2
+                else:
+                    t_ready = finish + m.hit_lat
+                for reg in m.dests:
+                    reg_ready[reg] = t_ready
+                    reg_kind[reg] = 1
+                counters.texture_sectors += o1 - o0
+                counters.texture_hits += res.l1_hits
+                counters.texture_misses += res.l1_misses
+                counters.record_l2("texture", res.l2_hits, res.l2_misses)
+            else:  # code == 8: barrier
+                block = rt.block_id
+                arrived = barrier_arrivals.get(block)
+                if arrived is None:
+                    arrived = barrier_arrivals[block] = []
+                arrived.append(rt)
+                rt.at_barrier = True
+                if len(arrived) == block_warp_counts[block]:
+                    release = t_issue + 1
+                    for other in arrived:
+                        other.at_barrier = False
+                        if other is not rt:
+                            other.forced_wait = release
+                            other.forced_reason = R_BAR
+                        r2, _ = next_ready(other)
+                        heappush(heap, (r2 if r2 > release else release,
+                                        seq, other.index))
+                        seq += 1
+                    barrier_arrivals[block] = []
+                continue  # barrier warps re-enter via release
+
+            if rt.row >= rt.end_row:
+                rt.finish_time = t_next
+                if t_next > wave_end:
+                    wave_end = t_next
+                counters.warp_cycles_active += t_next - rt.start_time
+                continue
+            r2, _ = next_ready(rt)
+            heappush(heap, (r2, seq, wi))
+            seq += 1
+            if t_next > wave_end:
+                wave_end = t_next
+
+        # merge the batched per-PC integer accounting (before the
+        # deadlock check so counters are complete even when it raises)
+        for pc, n in enumerate(pc_counts):
+            if not n:
+                continue
+            m = metas[pc]
+            counters.inst_issued += n
+            by_class[m.kind] += n
+            by_pc[pc] += n
+            stall[(pc, R_SEL)] += float(n)
+            code = m.code
+            if code == 0:
+                if m.conv:
+                    counters.conversion_instructions += n
+            elif code == 3:
+                sub = m.sub
+                if sub == 0:
+                    counters.global_load_instructions += n
+                elif sub == 1:
+                    counters.global_store_instructions += n
+                elif sub == 2:
+                    counters.local_load_instructions += n
+                else:
+                    counters.local_store_instructions += n
+            elif code == 4:
+                if m.sub == 0:
+                    counters.shared_load_instructions += n
+                else:
+                    counters.shared_store_instructions += n
+            elif code == 5:
+                counters.global_atomic_instructions += n
+            elif code == 6:
+                counters.shared_atomic_instructions += n
+            elif code == 7:
+                counters.texture_instructions += n
+
+        for rt in rts:
+            if rt.row < rt.end_row:
+                raise SimulationError(
+                    f"warp {rt.index} never finished (barrier deadlock? "
+                    f"pc={pcs[rt.row]})"
                 )
         self.now = wave_end
         return wave_end

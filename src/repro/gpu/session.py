@@ -15,6 +15,13 @@ for the simulator:
 
 The one-shot :meth:`~repro.gpu.simulator.Simulator.launch` remains the
 convenient path for single launches.
+
+``fast`` selects both the batched functional engine and the
+trace-driven timed scheduler (:mod:`repro.gpu.timed_trace`).  Warm
+caches compose with the trace path: the consumer replays cache-tag
+lookups in legacy issue order, so back-to-back launches stay
+bit-identical across modes even though later launches start from the
+cache state earlier ones left behind.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
 from repro.gpu.executor import DeviceMemory, Executor, TextureLayout, WarpState
 from repro.gpu.scheduler import SMScheduler
+from repro.gpu.timed_trace import build_timed_trace, timed_batchable
 from repro.sass.occupancy import compute_occupancy
 
 __all__ = ["LaunchConfig", "LaunchResult", "Simulator", "TextureDesc",
@@ -117,6 +118,12 @@ class LaunchResult:
     functional_seconds: float = 0.0
     #: whether the batched fast path executed the functional phase
     fast_path: bool = False
+    #: wall-clock spent in the timed phase (host seconds)
+    timed_seconds: float = 0.0
+    #: whether every timed wave ran on the trace-driven scheduler
+    timed_fast_path: bool = False
+    #: warp-instructions issued by the timed phase (unscaled)
+    timed_instructions: int = 0
 
     @property
     def functional_inst_per_sec(self) -> float:
@@ -124,6 +131,14 @@ class LaunchResult:
         second (0.0 when no functional instructions ran)."""
         if self.counters.inst_functional and self.functional_seconds > 0:
             return self.counters.inst_functional / self.functional_seconds
+        return 0.0
+
+    @property
+    def timed_inst_per_sec(self) -> float:
+        """Timed-phase throughput in warp-instructions per host second
+        (0.0 when no timed instructions ran)."""
+        if self.timed_instructions and self.timed_seconds > 0:
+            return self.timed_instructions / self.timed_seconds
         return 0.0
 
     @property
@@ -215,20 +230,32 @@ class Simulator:
                 f"(limiter: {occ.limiter})"
             )
 
-        all_blocks = list(range(config.num_blocks))
-        my_blocks = [b for b in all_blocks if b % spec.num_sms == sm_id]
-        if not my_blocks:
-            my_blocks = all_blocks[:1]
-        timed_blocks = my_blocks[: max_blocks] if max_blocks else my_blocks
+        if max_blocks is not None and max_blocks <= 0:
+            raise LaunchError(
+                f"max_blocks must be positive, got {max_blocks}"
+            )
+        # pure range arithmetic: huge grids must not materialise
+        # O(num_blocks) Python lists before a single instruction runs
+        num_blocks = config.num_blocks
+        my_blocks = (
+            range(sm_id, num_blocks, spec.num_sms)
+            if 0 <= sm_id < spec.num_sms
+            else range(0, 0)
+        )
+        if len(my_blocks) == 0:
+            my_blocks = range(0, 1)
+        timed_blocks = (
+            my_blocks[:max_blocks] if max_blocks is not None else my_blocks
+        )
         extrapolation = len(my_blocks) / len(timed_blocks)
 
         counters.blocks_launched = len(timed_blocks)
         resident = occ.active_blocks
-        waves = [
-            timed_blocks[i : i + resident]
-            for i in range(0, len(timed_blocks), resident)
-        ]
-        for wave in waves:
+        use_trace = self.fast and timed_batchable(executor.decoded)
+        timed_fast_path = use_trace
+        t0 = time.perf_counter()
+        for i in range(0, len(timed_blocks), resident):
+            wave = timed_blocks[i : i + resident]
             warps: list[WarpState] = []
             warp_counts: dict[int, int] = {}
             for block_id in wave:
@@ -238,15 +265,33 @@ class Simulator:
                 warp_counts[block_id] = len(block_warps)
                 warps.extend(block_warps)
             counters.warps_launched += len(warps)
+            if use_trace:
+                ttrace = build_timed_trace(
+                    executor, warps, compiled.program.shared_bytes
+                )
+                if ttrace is not None:
+                    scheduler.run_wave_trace(ttrace, warp_counts)
+                    continue
+                # dissolved (divergent wave) or build error: device
+                # memory was rolled back — rebuild pristine warps and
+                # replay the wave on the legacy interleaved path
+                timed_fast_path = False
+                warps = []
+                for block_id in wave:
+                    warps.extend(self._make_block_warps(
+                        compiled, config, block_id, mem
+                    ))
             scheduler.run_wave(warps, warp_counts)
+        timed_seconds = time.perf_counter() - t0
+        timed_instructions = counters.inst_issued
         cycles = scheduler.now * extrapolation
         counters.cycles = cycles
 
         functional_seconds = 0.0
         fast_path = False
         if functional_all:
-            timed_set = set(timed_blocks)
-            rest = [b for b in all_blocks if b not in timed_set]
+            # range membership is O(1): no timed-block set, no list
+            rest = (b for b in range(num_blocks) if b not in timed_blocks)
             t0 = time.perf_counter()
             if self.fast and batchable(executor.decoded):
                 fast_path = True
@@ -287,6 +332,9 @@ class Simulator:
             extrapolation=extrapolation,
             functional_seconds=functional_seconds,
             fast_path=fast_path,
+            timed_seconds=timed_seconds,
+            timed_fast_path=timed_fast_path,
+            timed_instructions=timed_instructions,
         )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,11 @@ __all__ = ["StallReason", "STALL_EXPLANATIONS"]
 class StallReason(enum.Enum):
     """Why a warp could not issue on a given cycle."""
 
+    # members are singletons, so identity hashing is consistent with
+    # Enum equality — and C-speed, which matters: the scheduler hashes
+    # (pc, reason) stall keys on every issue
+    __hash__ = object.__hash__
+
     SELECTED = "selected"
     NOT_SELECTED = "not_selected"
     LONG_SCOREBOARD = "long_scoreboard"

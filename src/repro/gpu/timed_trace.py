@@ -1,0 +1,344 @@
+"""Trace-decoupled timed execution: batched functional pass + effect trace.
+
+The legacy timed wave interleaves *what each warp does* (``Executor.step``,
+one Python call per warp-instruction) with *when the hardware lets it
+issue* (the event-heap in :class:`~repro.gpu.scheduler.SMScheduler`).
+Only the second half needs the heap; the first half is exactly what the
+batched lockstep engine (:mod:`repro.gpu.batch`) already does two orders
+of magnitude faster.
+
+This module runs a wave's warps through the batched engine once while
+recording a compact **effect trace**: the global row stream of executed
+PCs (lockstep means every live warp executes the same rows), each warp's
+death row, and per-row structure-of-arrays payloads for the
+data-dependent parts of each :class:`~repro.gpu.executor.Effect`
+(coalesced sector lists, shared-memory bank transactions, atomic
+contention counts).  ``SMScheduler.run_wave_trace`` then replays the
+trace through the unchanged heap/scoreboard/stall-attribution logic, so
+cycles, counters and PC-sample streams are bit-identical to the legacy
+interleaved path.
+
+Cache-hierarchy lookups are deliberately **not** recorded: the L1/TEX/L2
+sector caches are stateful LRUs whose results depend on global access
+order, so the consumer performs them at replay time in issue order —
+exactly where the legacy path would.
+
+Eligibility is stricter than the functional fast path: float atomics
+retire in pack order during the trace build but in heap order on the
+legacy path, and float addition is not associative, so programs with
+any non-``u32`` atomic fall back to the legacy timed wave
+(:func:`timed_batchable`).  A pack that dissolves mid-build (divergent
+waves) or raises is rolled back — global-memory stores and atomics are
+undone from a pre-image log — and the wave re-runs on the legacy path
+with pristine warps, reproducing legacy results (and legacy errors)
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.batch import BatchEngine, WarpPack, batchable
+from repro.gpu.coalesce import coalesce_sectors
+from repro.gpu.executor import Executor, WarpState
+from repro.gpu.predecode import ATOM_U32, PredecodedProgram
+
+__all__ = ["TimedTrace", "TraceEmitter", "build_timed_trace",
+           "timed_batchable"]
+
+#: sorts after every real sector/word id (addresses are < 2**41)
+_SENTINEL = np.int64(1) << 62
+
+
+def timed_batchable(decoded: PredecodedProgram) -> bool:
+    """Whether a program is eligible for the trace-driven timed path.
+
+    Functional batchability plus *no float atomics at all*: the timed
+    heap interleaves warps in issue order while the trace build retires
+    atomics in pack order, which is only bit-identical when the update
+    is associative (wrapping ``u32`` adds).
+    """
+    if not batchable(decoded):
+        return False
+    return not any(
+        d.base in ("RED", "ATOM", "ATOMS") and d.atom_kind != ATOM_U32
+        for d in decoded.table
+    )
+
+
+# ---------------------------------------------------------------------------
+# vectorised per-warp payload packing (row-wise equivalents of coalesce.py)
+# ---------------------------------------------------------------------------
+
+def _pack_coalesce(addrs: np.ndarray, nbytes: int, guard: np.ndarray,
+                   sector_bytes: int) -> tuple[list, list]:
+    """Per-warp :func:`coalesce_sectors` over a ``(n, 32)`` pack.
+
+    Returns ``(offs, pool)``: warp ``w`` touches byte-addressed sectors
+    ``pool[offs[w]:offs[w + 1]]``, ascending — exactly the values the
+    scalar helper returns for that warp's lanes.  Both are plain Python
+    lists: the consumer's cache walk does per-sector integer arithmetic,
+    which is several times faster on ``int`` than on NumPy scalars.
+    """
+    n = addrs.shape[0]
+    first = addrs // sector_bytes
+    last = (addrs + (nbytes - 1)) // sector_bytes
+    straddle = (first != last) & guard
+    if straddle.any():
+        if ((last - first) > 1)[guard].any():
+            # accesses wider than a sector: exact per-warp fallback
+            # (the ISA's 4..16-byte accesses never reach this)
+            pools = [coalesce_sectors(addrs[i], nbytes, guard[i],
+                                      sector_bytes) for i in range(n)]
+            offs = [0]
+            pool: list = []
+            for p in pools:
+                offs.append(offs[-1] + len(p))
+                pool.extend(p.tolist())
+            return offs, pool
+        cand = np.concatenate([first, last], axis=1)
+        valid = np.concatenate([guard, straddle], axis=1)
+    else:
+        cand = first
+        valid = guard
+    cand = np.where(valid, cand, _SENTINEL)
+    cand.sort(axis=1)  # invalid lanes collect at the row tail
+    keep = cand != _SENTINEL
+    keep[:, 1:] &= cand[:, 1:] != cand[:, :-1]
+    counts = keep.sum(axis=1)
+    offs_arr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offs_arr[1:])
+    # row-major compaction keeps each row's ascending order, matching
+    # the per-warp np.unique of the scalar path
+    pool_arr = cand[keep] * sector_bytes
+    return offs_arr.tolist(), pool_arr.tolist()
+
+
+def _pack_shared_tx(addrs: np.ndarray, nbytes: int, guard: np.ndarray,
+                    banks: int, bank_bytes: int) -> list:
+    """Per-warp :func:`~repro.gpu.coalesce.shared_transactions` over a
+    ``(n, 32)`` pack; returns one transaction count per warp."""
+    n = addrs.shape[0]
+    tx = np.zeros(n, dtype=np.int64)
+    for k in range(max(1, nbytes // bank_bytes)):
+        words = np.where(guard, (addrs + k * bank_bytes) // bank_bytes,
+                         _SENTINEL)
+        words.sort(axis=1)
+        keep = words != _SENTINEL
+        keep[:, 1:] &= words[:, 1:] != words[:, :-1]
+        counts = np.zeros((n, banks), dtype=np.int64)
+        r, c = np.nonzero(keep)
+        np.add.at(counts, (r, words[r, c] % banks), 1)
+        tx += counts.max(axis=1)
+    return tx.tolist()
+
+
+def _pack_unique_counts(addrs: np.ndarray,
+                        guard: np.ndarray) -> tuple[list, list]:
+    """Per-warp ``np.unique(act, return_counts=True)`` summary: the
+    number of distinct guarded addresses and the worst-case same-address
+    lane count (serialization depth).  Zeros for guard-empty warps."""
+    n, w = addrs.shape
+    a = np.where(guard, addrs, _SENTINEL)
+    a.sort(axis=1)
+    valid = a != _SENTINEL
+    keep = valid.copy()
+    keep[:, 1:] &= a[:, 1:] != a[:, :-1]
+    uniq = keep.sum(axis=1)
+    run = np.cumsum(keep, axis=1) - 1  # per-lane run index, < 32
+    counts = np.zeros((n, w), dtype=np.int64)
+    r, c = np.nonzero(valid)
+    np.add.at(counts, (r, run[r, c]), 1)
+    return uniq.tolist(), counts.max(axis=1).tolist()
+
+
+# ---------------------------------------------------------------------------
+# the trace
+# ---------------------------------------------------------------------------
+
+class TimedTrace:
+    """One wave's effect trace (structure-of-arrays).
+
+    ``pcs`` is the global row stream; warp ``i`` executes rows
+    ``0..end_row[i] - 1`` (the death row — an EXIT or warp-killing BRA —
+    still issues, hence the ``+ 1``).  ``dyn`` maps the rows of
+    memory/atomic/texture instructions to their per-warp payloads.
+    """
+
+    __slots__ = ("pcs", "end_row", "dyn", "n_warps", "nregs", "block_ids")
+
+    def __init__(self, pcs: list, end_row: list, dyn: dict, n_warps: int,
+                 nregs: int, block_ids: list):
+        self.pcs = pcs
+        self.end_row = end_row
+        self.dyn = dyn
+        self.n_warps = n_warps
+        self.nregs = nregs
+        self.block_ids = block_ids
+
+
+class TraceEmitter:
+    """Collects the effect trace while the batched engine runs.
+
+    Also keeps the pre-image undo log for device-memory writes so a
+    dissolved (or failed) build can be rolled back before the legacy
+    path replays the wave from scratch.
+    """
+
+    def __init__(self, spec, memory, n_warps: int):
+        self.spec = spec
+        self.memory = memory
+        self.pcs: list[int] = []
+        self.end_row = [-1] * n_warps
+        self.dyn: dict[int, object] = {}
+        self.undo: list[tuple[np.ndarray, np.ndarray]] = []
+
+    # -- row lifecycle ---------------------------------------------------
+    def begin_row(self, pc: int) -> None:
+        self.pcs.append(pc)
+
+    def deaths(self, newly_dead: np.ndarray) -> None:
+        """Mark warps that died executing the current row."""
+        if newly_dead.any():
+            row_end = len(self.pcs)  # death row index + 1
+            for i in np.flatnonzero(newly_dead):
+                self.end_row[i] = row_end
+
+    # -- per-row payloads ------------------------------------------------
+    def global_row(self, addrs: np.ndarray, nbytes: int,
+                   guard: np.ndarray) -> None:
+        self.dyn[len(self.pcs) - 1] = _pack_coalesce(
+            addrs, nbytes, guard, self.spec.sector_bytes)
+
+    def shared_row(self, addrs: np.ndarray, nbytes: int,
+                   guard: np.ndarray) -> None:
+        self.dyn[len(self.pcs) - 1] = _pack_shared_tx(
+            addrs, nbytes, guard, self.spec.smem_banks,
+            self.spec.smem_bank_bytes)
+
+    def atomic_global_row(self, addrs: np.ndarray, nbytes: int,
+                          guard: np.ndarray) -> None:
+        offs, pool = _pack_coalesce(addrs, nbytes, guard,
+                                    self.spec.sector_bytes)
+        uniq, serial = _pack_unique_counts(addrs, guard)
+        self.dyn[len(self.pcs) - 1] = (offs, pool, uniq, serial)
+
+    def atomic_shared_row(self, addrs: np.ndarray,
+                          guard: np.ndarray) -> None:
+        tx = _pack_shared_tx(addrs, 4, guard, self.spec.smem_banks,
+                             self.spec.smem_bank_bytes)
+        uniq, serial = _pack_unique_counts(addrs, guard)
+        self.dyn[len(self.pcs) - 1] = (tx, uniq, serial)
+
+    # -- undo log --------------------------------------------------------
+    def capture_undo(self, addrs: np.ndarray) -> None:
+        """Record the pre-image of device words about to be written
+        (``read_u32`` bounds-checks, so out-of-range addresses raise
+        before anything is logged — the same error the write would)."""
+        self.undo.append((addrs, self.memory.read_u32(addrs)))
+
+    def rollback(self) -> None:
+        """Restore device memory to its pre-build state.  Reverse order
+        makes overlapping captures resolve to the earliest pre-image."""
+        for addrs, vals in reversed(self.undo):
+            self.memory.write_u32(addrs, vals)
+        self.undo.clear()
+
+    def finish(self, warps: list[WarpState]) -> TimedTrace:
+        n_rows = len(self.pcs)
+        return TimedTrace(
+            pcs=self.pcs,
+            end_row=[e if e >= 0 else n_rows for e in self.end_row],
+            dyn=self.dyn,
+            n_warps=len(warps),
+            nregs=warps[0].regs.shape[0] if warps else 0,
+            block_ids=[w.block_id for w in warps],
+        )
+
+
+class _TracingEngine(BatchEngine):
+    """Batched engine that emits effect payloads as it executes.
+
+    Each override emits *before* delegating so rows are recorded even
+    when the guard is empty — the legacy handlers compute sector/bank
+    footprints for guard-false issues too (they still book resources).
+    Global stores and atomics additionally capture undo pre-images.
+    """
+
+    def __init__(self, executor: Executor, emitter: TraceEmitter):
+        super().__init__(executor)
+        self.emit = emitter
+
+    def _b_ldg(self, pack, dec, guard) -> None:
+        self.emit.global_row(self._addrs(pack, dec.ops[1]),
+                             4 * dec.width_regs, guard)
+        super()._b_ldg(pack, dec, guard)
+
+    def _b_stg(self, pack, dec, guard) -> None:
+        addrs = self._addrs(pack, dec.ops[0])
+        self.emit.global_row(addrs, 4 * dec.width_regs, guard)
+        if guard.any():
+            act = addrs[guard]
+            for k in range(dec.width_regs):
+                self.emit.capture_undo(act + 4 * k)
+        super()._b_stg(pack, dec, guard)
+
+    def _b_lds(self, pack, dec, guard) -> None:
+        self.emit.shared_row(self._addrs(pack, dec.ops[1]),
+                             4 * dec.width_regs, guard)
+        super()._b_lds(pack, dec, guard)
+
+    def _b_sts(self, pack, dec, guard) -> None:
+        self.emit.shared_row(self._addrs(pack, dec.ops[0]),
+                             4 * dec.width_regs, guard)
+        super()._b_sts(pack, dec, guard)
+
+    def _b_red(self, pack, dec, guard) -> None:
+        # timed_batchable admits u32 atomics only => 4-byte elements
+        addrs = self._addrs(pack, dec.ops[0])
+        self.emit.atomic_global_row(addrs, 4, guard)
+        if guard.any():
+            self.emit.capture_undo(addrs[guard])
+        super()._b_red(pack, dec, guard)
+
+    def _b_atoms(self, pack, dec, guard) -> None:
+        self.emit.atomic_shared_row(self._addrs(pack, dec.ops[0]), guard)
+        super()._b_atoms(pack, dec, guard)
+
+    def _b_tex(self, pack, dec, guard) -> None:
+        layout = self.textures.get(dec.tex_slot)
+        if layout is None:
+            raise SimulationError(f"no texture bound to slot {dec.tex_slot}")
+        x = self._rs32(pack, dec.ops[1]).astype(np.int64)
+        y = self._rs32(pack, dec.ops[2]).astype(np.int64)
+        self.emit.global_row(layout.addresses(x, y), layout.elem_bytes,
+                             guard)
+        super()._b_tex(pack, dec, guard)
+
+
+def build_timed_trace(executor: Executor, warps: list[WarpState],
+                      shared_bytes: int) -> Optional[TimedTrace]:
+    """Execute one timed wave functionally and record its effect trace.
+
+    Returns ``None`` when the pack dissolves (divergent waves) or any
+    error occurs; device memory is rolled back in either case so the
+    caller can rebuild pristine warps and replay the wave — results and
+    errors included — on the legacy interleaved path.  The passed
+    ``warps`` are consumed (their shared-memory views are re-pointed at
+    the pack) and must not be reused after a ``None`` return.
+    """
+    emitter = TraceEmitter(executor.spec, executor.memory, len(warps))
+    engine = _TracingEngine(executor, emitter)
+    pack = WarpPack(warps, shared_bytes)
+    try:
+        _, leftover = engine.run(pack)
+    except SimulationError:
+        emitter.rollback()
+        return None
+    if leftover is not None:
+        emitter.rollback()
+        return None
+    return emitter.finish(warps)

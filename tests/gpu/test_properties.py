@@ -7,6 +7,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.gpu.caches import SectorCache
 from repro.gpu.coalesce import coalesce_sectors, shared_transactions
+from repro.gpu.scheduler import Timeline
 
 
 addresses = hnp.arrays(
@@ -93,3 +94,42 @@ def test_cache_large_enough_never_evicts(stream):
     for s in stream:
         c.lookup(s)
     assert c.stats.misses == len(set(stream))
+
+
+bookings = st.lists(
+    st.tuples(
+        st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+        st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=100,
+)
+
+
+@given(bookings, st.sampled_from([0.25, 1.0, 4.0, 32.0]))
+@settings(max_examples=120, deadline=None)
+def test_timeline_completions_monotone(reqs, rate):
+    """A pipelined resource completes requests in booking order: for
+    positive units the returned completion times never decrease, and
+    each booking strictly advances ``next_free``."""
+    tl = Timeline(rate)
+    prev_done = 0.0
+    for t, units in reqs:
+        done = tl.book(t, units)
+        assert done >= prev_done
+        assert done == tl.next_free
+        assert done >= t  # cannot complete before the request arrives
+        prev_done = done
+
+
+@given(bookings, st.sampled_from([0.25, 1.0, 4.0, 32.0]),
+       st.floats(0.0, 2e6, allow_nan=False, allow_infinity=False))
+@settings(max_examples=120, deadline=None)
+def test_timeline_backlog_never_negative(reqs, rate, probe_t):
+    """``backlog`` is clamped at zero no matter how the resource was
+    booked or when it is probed."""
+    tl = Timeline(rate)
+    assert tl.backlog(probe_t) >= 0.0
+    for t, units in reqs:
+        tl.book(t, units)
+        assert tl.backlog(t) >= 0.0
+        assert tl.backlog(probe_t) >= 0.0
