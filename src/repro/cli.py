@@ -177,6 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stall reason (e.g. stalled_lg_throttle) or "
                             "metric name; omit to list everything")
 
+    p_val = sub.add_parser(
+        "validate",
+        help="cross-validate the static affine predictions against the "
+             "simulator's measured per-access counters",
+    )
+    p_val.add_argument("--kernel", action="append", default=None,
+                       metavar="SPEC",
+                       help="kernel spec to validate (repeatable; default: "
+                            "the full built-in suite)")
+    p_val.add_argument("--smoke", action="store_true",
+                       help="validate only the fast smoke subset (CI gate)")
+    p_val.add_argument("--size", type=int, default=128,
+                       help="problem size for every kernel")
+    p_val.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the per-access results as JSON "
+                            "(use '-' for stdout instead of the table)")
+    p_val.add_argument("--verbose", action="store_true",
+                       help="show every access, not only mismatches")
+
     sub.add_parser("list-kernels", help="list built-in kernel specs")
     return parser
 
@@ -211,6 +230,8 @@ def _main(argv: Optional[list[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "explain":
         return _run_explain(args.name)
+    if args.command == "validate":
+        return _run_validate(args)
     # analyze
     from repro.core import all_analyses
 
@@ -281,6 +302,38 @@ def _run_explain(name: Optional[str]) -> int:
         return 0
     print(f"unknown stall reason or metric: {name!r}", file=sys.stderr)
     return 1
+
+
+def _run_validate(args) -> int:
+    """``gpuscout validate``: predict-vs-measure cross-validation.
+
+    Exit code 1 when any *proven* prediction disagrees with the
+    simulator's measurement — unproven accesses never fail the run."""
+    from repro.core.validate import (
+        SMOKE_KERNELS,
+        render_validations,
+        validate_suite,
+    )
+
+    kernels = args.kernel  # None -> full suite
+    if args.smoke:
+        kernels = SMOKE_KERNELS
+    results = validate_suite(kernels, size=args.size)
+    payload = [r.to_dict() for r in results]
+    if args.json == "-":
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_validations(results, verbose=args.verbose))
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"validation results written to {args.json}",
+                  file=sys.stderr)
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _run_compare(args) -> int:

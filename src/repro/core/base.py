@@ -37,9 +37,11 @@ class AddressGroup:
 
     Loads ``[R2]`` and ``[R2+0x4]`` belong to the same group only if
     R2 holds the same value at both — i.e. the same reaching definition
-    of R2.  ``key`` is (register index, definition index)."""
+    of R2.  ``key`` is (register index, definition index); when several
+    definitions reach (a base set in both arms of a branch) the second
+    element is the tuple of definition indices instead."""
 
-    key: tuple[int, int]
+    key: tuple
     base: Register
     #: (instruction index, byte offset within the group) pairs
     accesses: tuple[tuple[int, int], ...]
@@ -55,14 +57,31 @@ class AnalysisContext:
     ``--dry-run`` mode can compute without touching the GPU.
     """
 
-    def __init__(self, program: Program, compiled=None):
+    def __init__(self, program: Program, compiled=None, config=None):
         self.program = program
         #: optional CompiledKernel (present when analyzing cudalite output)
         self.compiled = compiled
+        #: optional LaunchConfig (lets predictors fold launch dims)
+        self.config = config
 
     @cached_property
     def cfg(self) -> ControlFlowGraph:
         return build_cfg(self.program)
+
+    @cached_property
+    def affine(self):
+        """The symbolic affine dataflow result (lazy; see
+        :mod:`repro.sass.affine`)."""
+        from repro.sass.affine import AffineAnalysis
+
+        return AffineAnalysis(self.program, self.cfg)
+
+    @cached_property
+    def reaching(self):
+        """CFG-aware reaching definitions."""
+        from repro.sass.affine import ReachingDefinitions
+
+        return ReachingDefinitions(self.program, self.cfg)
 
     @cached_property
     def liveness(self) -> LivenessInfo:
@@ -84,22 +103,18 @@ class AnalysisContext:
 
     # ------------------------------------------------------------------
     def reaching_def(self, reg: Register, index: int) -> int:
-        """Index of the last definition of ``reg`` at or before
-        ``index`` in stream order (-1 when reg is live-in/unwritten).
+        """Index of the unique definition of ``reg`` reaching
+        instruction ``index`` (a definition *at* ``index`` counts).
 
-        Stream order approximates dominance well enough here because
-        cudalite (like nvcc) emits address setup before the loop body
-        that uses it."""
-        du = self.def_use.get(reg)
-        if du is None:
-            return -1
-        best = -1
-        for d in du.defs:
-            if d <= index:
-                best = d
-            else:
-                break
-        return best
+        Computed over the CFG, not stream order: a definition inside a
+        non-dominating branch does not clobber the value seen on the
+        other path.  Returns ``-1`` when the register is live-in or
+        never written, and ``-2`` when several definitions can reach
+        (e.g. one per branch arm)."""
+        defs = self.reaching.defs_at(reg, index)
+        if len(defs) == 1:
+            return defs[0]
+        return -2
 
     @cached_property
     def global_load_groups(self) -> list[AddressGroup]:
@@ -114,8 +129,8 @@ class AnalysisContext:
         return self._address_groups(loads_only=False)
 
     def _address_groups(self, loads_only: bool) -> list[AddressGroup]:
-        groups: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        bases: dict[tuple[int, int], Register] = {}
+        groups: dict[tuple, list[tuple[int, int]]] = {}
+        bases: dict[tuple, Register] = {}
         for i, ins in enumerate(self.program):
             op = ins.opcode
             is_load = op.is_global_load
@@ -125,7 +140,10 @@ class AnalysisContext:
             mem = ins.mem_operand()
             if mem is None or mem.base is None:
                 continue
-            key = (mem.base.index, self.reaching_def(mem.base, i))
+            defs = self.reaching.defs_at(mem.base, i)
+            # an ambiguous base (different defs on different paths) is
+            # keyed by the whole def set — never merged with either arm
+            key = (mem.base.index, defs[0] if len(defs) == 1 else defs)
             groups.setdefault(key, []).append((i, mem.offset))
             bases[key] = mem.base
         return [

@@ -5,97 +5,30 @@ spirit of §7 ("due to the modular nature of GPUscout, more SASS
 analyses can be added very easily").
 
 A warp's 32 lanes should touch consecutive addresses so a 32-bit access
-needs only 4 sectors.  The telltale *static* pattern of a lane-strided
-(uncoalesced) access is an address index that is a thread-id-derived
-value multiplied by a constant before the final address scale:
+needs only 4 sectors.  The affine engine (:mod:`repro.sass.affine`)
+resolves every access's per-lane byte address to a symbolic form
 
-    S2R      R0, SR_TID.X ;
-    IMAD     R1, R0, 0x8, ... ;       <- index = tid * 8
-    IMAD.WIDE R2, R1, 0x4, Rbase ;    <- byte stride per lane = 32
+    c0 + c_tid·tid.x + ... ;
 
-Each lane then starts its own 32-byte sector — a 32-bit load costs 32
-sectors instead of 4 (mixbench's per-thread-contiguous layout does
-exactly this).  The analysis walks the reaching-definition chain of
-every global access's address register, accumulating immediate
-multipliers, and flags accesses whose per-lane byte stride exceeds the
-access width.  The dynamic cross-check is the
+the per-lane byte stride is simply the ``tid.x`` (plus ``laneid``)
+coefficient.  mixbench's per-thread-contiguous layout, for example,
+produces ``32·tid.x + ...`` for its 32-bit loads: every lane starts its
+own 32-byte sector, so the access costs 32 sectors instead of 4.  The
+analysis flags accesses whose proven lane stride exceeds the access
+width; addresses the engine cannot prove affine are skipped, never
+guessed.  The dynamic cross-check is the
 ``derived__sectors_per_global_load`` metric attached to the finding.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.base import Analysis, AnalysisContext, register_extension
 from repro.core.findings import Finding, Severity
 from repro.gpu.stalls import StallReason
-from repro.sass.isa import Program, Register
+from repro.sass.affine import TOP
+from repro.sass.isa import Program
 
 __all__ = ["UncoalescedAccessAnalysis"]
-
-_TRACE_DEPTH = 8
-
-
-def _lane_stride(ctx: AnalysisContext, reg: Register, at: int,
-                 depth: int = _TRACE_DEPTH) -> Optional[int]:
-    """Best-effort per-lane stride (in index units) of ``reg``'s value
-    at instruction ``at``: 1 for a raw thread id, multiplied along
-    IMAD/SHF chains, ``None`` when the value is not tid-derived."""
-    if depth <= 0:
-        return None
-    d = ctx.reaching_def(reg, at)
-    if d < 0:
-        return None
-    ins = ctx.program[d]
-    base = ins.opcode.base
-    if base == "S2R":
-        special = ins.operands[1].special or ""
-        return 1 if special.startswith("SR_TID") else None
-    if base == "IMAD" and len(ins.operands) >= 4:
-        _, a, b, c = ins.operands[:4]
-        # index * imm (+ accumulator): stride multiplies
-        if a.kind == "reg" and b.kind == "imm":
-            inner = _lane_stride(ctx, a.reg, d, depth - 1)
-            if inner is not None:
-                return inner * abs(b.imm or 1)
-        if b.kind == "reg" and a.kind == "imm":
-            inner = _lane_stride(ctx, b.reg, d, depth - 1)
-            if inner is not None:
-                return inner * abs(a.imm or 1)
-        # blockIdx*blockDim style products are block-uniform: the lane
-        # stride comes from whichever operand is tid-derived
-        if a.kind == "reg" and b.kind == "reg":
-            for cand in (a.reg, b.reg):
-                inner = _lane_stride(ctx, cand, d, depth - 1)
-                if inner is not None:
-                    return None  # tid * non-constant: unknown stride
-        if c.kind == "reg":
-            return _lane_stride(ctx, c.reg, d, depth - 1)
-        return None
-    if base == "IADD3":
-        # additive terms: lane stride is the tid-derived term's stride
-        strides = []
-        for op in ins.operands[1:]:
-            if op.kind == "reg" and op.reg is not None and not op.reg.is_zero:
-                s = _lane_stride(ctx, op.reg, d, depth - 1)
-                if s is not None:
-                    strides.append(s)
-        if len(strides) == 1:
-            return strides[0]
-        return strides[0] if strides else None
-    if base == "SHF" and ins.opcode.has_modifier("L"):
-        a, b = ins.operands[1], ins.operands[2]
-        if a.kind == "reg" and b.kind == "imm":
-            inner = _lane_stride(ctx, a.reg, d, depth - 1)
-            if inner is not None:
-                return inner << (b.imm or 0)
-        return None
-    if base == "MOV":
-        src = ins.operands[1]
-        if src.kind == "reg" and src.reg is not None:
-            return _lane_stride(ctx, src.reg, d, depth - 1)
-        return None
-    return None
 
 
 @register_extension
@@ -107,35 +40,20 @@ class UncoalescedAccessAnalysis(Analysis):
 
     def run(self, ctx: AnalysisContext) -> list[Finding]:
         program: Program = ctx.program
+        affine = ctx.affine
         findings: list[Finding] = []
-        seen_groups: set[tuple[int, int]] = set()
         for group in ctx.global_access_groups:
             first, _ = group.accesses[0]
-            ins = program[first]
-            # the address register was produced by IMAD.WIDE idx*elem+base
-            addr_def = ctx.reaching_def(group.base, first)
-            if addr_def < 0:
-                continue
-            addr_ins = program[addr_def]
-            if addr_ins.opcode.base != "IMAD" or \
-                    not addr_ins.opcode.has_modifier("WIDE"):
-                continue
-            idx_op, scale_op = addr_ins.operands[1], addr_ins.operands[2]
-            if idx_op.kind != "reg" or scale_op.kind != "imm":
-                continue
-            elem_bytes = scale_op.imm or 4
-            stride_units = _lane_stride(ctx, idx_op.reg, addr_def)
-            if stride_units is None:
-                continue
-            byte_stride = stride_units * elem_bytes
+            addr = affine.address_value(first)
+            if addr is TOP:
+                continue  # not provable: stay silent, never guess
+            # consecutive lanes advance tid.x (and laneid) by one
+            byte_stride = abs(addr.coeff("tid.x") + addr.coeff("laneid"))
             width_bytes = max(
                 program[i].opcode.width_bits // 8 for i, _ in group.accesses
             )
             if byte_stride <= width_bytes:
                 continue  # dense: consecutive lanes touch adjacent data
-            if group.key in seen_groups:
-                continue
-            seen_groups.add(group.key)
             pcs = sorted(i for i, _ in group.accesses)
             # with lanes byte_stride apart, ~byte_stride/32 of a sector
             # is wasted per lane: 32 lanes touch min(32, byte_stride)
@@ -149,11 +67,11 @@ class UncoalescedAccessAnalysis(Analysis):
                     if byte_stride >= 32 else Severity.INFO,
                     message=(
                         f"Lanes of the accesses off {group.base.name} are "
-                        f"{byte_stride} bytes apart (thread-id index scaled "
-                        f"by {stride_units}, {elem_bytes}-byte elements) "
-                        f"while each access moves only {width_bytes} bytes. "
-                        "Every lane starts its own 32-byte sector, "
-                        "multiplying the L1TEX wavefronts per instruction."
+                        f"{byte_stride} bytes apart (address resolves to "
+                        f"{addr}) while each access moves only "
+                        f"{width_bytes} bytes. Every lane starts its own "
+                        "32-byte sector, multiplying the L1TEX wavefronts "
+                        "per instruction."
                     ),
                     recommendation=(
                         "Re-layout the data (structure-of-arrays / "
@@ -171,6 +89,10 @@ class UncoalescedAccessAnalysis(Analysis):
                         "lane_byte_stride": byte_stride,
                         "access_bytes": width_bytes,
                         "estimated_sectors_per_access": sectors_per_access,
+                        "affine_address": str(addr),
+                    },
+                    predicted={
+                        "sectors_per_request": float(sectors_per_access),
                     },
                     stall_focus=[StallReason.LG_THROTTLE,
                                  StallReason.LONG_SCOREBOARD],

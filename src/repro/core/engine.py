@@ -53,6 +53,10 @@ class ScoutReport:
     overhead: Optional[OverheadBreakdown] = None
     #: PTX-level §4.4 atomics summary (None when only raw SASS given)
     ptx_atomics: Optional["PTXAtomicsSummary"] = None
+    #: static affine proof counts per space (see
+    #: :func:`repro.sass.affine.summarize_proofs`); rendered as the
+    #: report footer
+    affine_summary: dict = field(default_factory=dict)
 
     def findings_for(self, analysis: str) -> list[Finding]:
         return [f for f in self.findings if f.analysis == analysis]
@@ -118,7 +122,7 @@ class GPUscout:
         """
         program, compiled = self._resolve(kernel)
         t0 = time.perf_counter()
-        ctx = AnalysisContext(program, compiled)
+        ctx = AnalysisContext(program, compiled, config)
         findings: list[Finding] = []
         for analysis in self.analyses:
             findings.extend(analysis.run(ctx))
@@ -136,6 +140,20 @@ class GPUscout:
                         ptx_atomics.global_atomics
                     finding.details["ptx_shared_atomics"] = \
                         ptx_atomics.shared_atomics
+        # launch-independent affine proof footer: which accesses are
+        # statically proven coalesced/conflict-free vs. flagged
+        from repro.sass.affine import (
+            pointer_param_offsets,
+            static_access_report,
+            summarize_proofs,
+        )
+
+        affine_summary = summarize_proofs(
+            static_access_report(
+                program, ctx.cfg, ctx.affine, config,
+                pointer_params=pointer_param_offsets(compiled),
+            )
+        )
         sass_seconds = time.perf_counter() - t0
 
         if dry_run:
@@ -145,6 +163,7 @@ class GPUscout:
                 dry_run=True,
                 program=program,
                 ptx_atomics=ptx_atomics,
+                affine_summary=affine_summary,
                 overhead=OverheadBreakdown(
                     kernel_seconds=0.0,
                     sass_analysis_seconds=sass_seconds,
@@ -181,6 +200,7 @@ class GPUscout:
                 for name in finding.metric_focus
                 if name in metrics.values
             }
+        self._attach_predictions(findings, ctx, compiled, config, launch)
 
         overhead = OverheadBreakdown(
             kernel_seconds=launch.duration_s,
@@ -199,7 +219,86 @@ class GPUscout:
             metrics=metrics,
             launch=launch,
             overhead=overhead,
+            affine_summary=affine_summary,
         )
+
+    # ------------------------------------------------------------------
+    def _attach_predictions(
+        self,
+        findings: Sequence[Finding],
+        ctx: AnalysisContext,
+        compiled: CompiledKernel,
+        config: Optional[LaunchConfig],
+        launch: LaunchResult,
+    ) -> None:
+        """Fill each finding's ``predicted``/``measured`` dicts.
+
+        ``measured`` comes from the simulator's per-PC counters;
+        ``predicted`` from the launch-aware affine predictor (which may
+        sharpen a launch-free prediction an analysis attached earlier).
+        Only the finding's own memory-access PCs are considered, so the
+        two dicts compare the same accesses."""
+        from repro.sass.affine import (
+            _GLOBAL_CLASSES,
+            _SHARED_CLASSES,
+            AffineAnalysis,
+            AffineEnv,
+            MemoryPredictor,
+        )
+
+        config = config or launch.config
+        spec = launch.spec
+        env = AffineEnv.from_launch(compiled, config, launch.param_values)
+        affine = AffineAnalysis(ctx.program, ctx.cfg, env)
+        # enumerate exactly the blocks the simulator timed (SM 0's
+        # share, possibly capped by max_blocks) so the prediction and
+        # the measurement cover the same work
+        blocks = range(0, config.num_blocks, spec.num_sms)
+        if len(blocks) == 0:
+            blocks = range(0, 1)
+        if launch.simulated_blocks:
+            blocks = blocks[: launch.simulated_blocks]
+        predictor = MemoryPredictor(
+            ctx.program, ctx.cfg, affine, config, spec, blocks=list(blocks)
+        )
+        counters = launch.counters
+        for finding in findings:
+            for classes, key, by_pc in (
+                (_GLOBAL_CLASSES, "sectors_per_request",
+                 counters.mem_sectors_by_pc),
+                (_SHARED_CLASSES, "transactions_per_request",
+                 counters.shared_tx_by_pc),
+            ):
+                pcs = [
+                    pc for pc in finding.pcs
+                    if pc < len(ctx.program)
+                    and ctx.program[pc].opcode.op_class in classes
+                ]
+                if not pcs:
+                    continue
+                issues = sum(counters.inst_by_pc.get(pc, 0) for pc in pcs)
+                if issues:
+                    finding.measured[key] = (
+                        sum(by_pc.get(pc, 0) for pc in pcs) / issues
+                    )
+                total = weight = 0.0
+                unproven: list[int] = []
+                for pc in pcs:
+                    pred = predictor.predict(pc)
+                    if pred.proven:
+                        # weight by measured issues so a proven aggregate
+                        # compares apples-to-apples with ``measured``
+                        w = counters.inst_by_pc.get(pc, 0) or 1
+                        total += pred.per_request * w
+                        weight += w
+                    else:
+                        unproven.append(pc)
+                if weight:
+                    finding.predicted[key] = total / weight
+                if unproven:
+                    finding.predicted.setdefault(
+                        "unproven_pcs", []
+                    ).extend(unproven)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -60,9 +60,16 @@ class Finding:
     details: dict = field(default_factory=dict)
     stall_focus: list[StallReason] = field(default_factory=list)
     metric_focus: list[str] = field(default_factory=list)
+    #: static predictions from the affine engine, e.g.
+    #: ``{"sectors_per_request": 32.0}`` — what the access *must* cost
+    #: given the proven address pattern (empty when nothing was proven)
+    predicted: dict = field(default_factory=dict)
     # filled by the engine after dynamic passes:
     stall_profile: dict[StallReason, int] = field(default_factory=dict)
     metrics: dict[str, float] = field(default_factory=dict)
+    #: measured counterparts of ``predicted`` from the simulator's
+    #: per-PC counters (empty on dry runs)
+    measured: dict = field(default_factory=dict)
 
     @property
     def lines(self) -> list[int]:

@@ -170,6 +170,10 @@ def _findings_section(report: ScoutReport) -> str:
             f"<p class='kv'>{html.escape(name)} = {value:,.2f}</p>"
             for name, value in f.metrics.items()
         )
+        from repro.core.report import _fmt_predicted_measured
+
+        pm = _fmt_predicted_measured(f)
+        pm_row = f"<p class='kv'>{html.escape(pm)}</p>" if pm else ""
         locs = ", ".join(sorted({str(l) for l in f.locations}))
         cards.append(
             f"<div class='finding {cls}'><h3>{html.escape(f.title)}</h3>"
@@ -178,7 +182,7 @@ def _findings_section(report: ScoutReport) -> str:
             + (f" | registers: {', '.join(f.registers)}" if f.registers else "")
             + "</p>"
             f"<p>{html.escape(f.recommendation)}</p>"
-            f"{stall_rows}{metric_rows}</div>"
+            f"{pm_row}{stall_rows}{metric_rows}</div>"
         )
     return "\n".join(cards)
 
@@ -207,6 +211,22 @@ def _stall_bar(report: ScoutReport) -> str:
         "<h2>Warp-stall distribution</h2>"
         f"<div class='bar'>{''.join(segs)}</div>"
         f"<div class='legend'>{' &nbsp; '.join(legend)}</div>"
+    )
+
+
+def _affine_footer(report: ScoutReport) -> str:
+    if not report.affine_summary:
+        return ""
+    g = report.affine_summary.get("global", {})
+    s = report.affine_summary.get("shared", {})
+    return (
+        "<h2>Static address proofs</h2><p class='kv'>"
+        f"global accesses: {g.get('proven_coalesced', 0)} proven coalesced, "
+        f"{g.get('flagged', 0)} flagged, {g.get('unproven', 0)} unproven"
+        " &nbsp;|&nbsp; "
+        f"shared accesses: {s.get('proven_conflict_free', 0)} proven "
+        f"conflict-free, {s.get('flagged', 0)} flagged, "
+        f"{s.get('unproven', 0)} unproven</p>"
     )
 
 
@@ -270,6 +290,9 @@ def render_html(report: ScoutReport,
         "</div></div>",
         "<div class='section'><h2>Findings</h2>",
         _findings_section(report),
+        "</div>",
+        "<div class='section'>",
+        _affine_footer(report),
         "</div>",
         "<div class='section'>",
         _stall_bar(report),

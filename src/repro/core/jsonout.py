@@ -16,7 +16,7 @@ from repro.gpu.stalls import StallReason
 
 __all__ = ["report_to_dict", "report_to_json", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _finding_dict(f) -> dict[str, Any]:
@@ -37,6 +37,8 @@ def _finding_dict(f) -> dict[str, Any]:
             r.cupti_name: int(v) for r, v in f.stall_profile.items()
         },
         "metrics": {k: float(v) for k, v in f.metrics.items()},
+        "predicted": _jsonable(f.predicted),
+        "measured": _jsonable(f.measured),
     }
 
 
@@ -60,6 +62,8 @@ def report_to_dict(report: ScoutReport) -> dict[str, Any]:
         "dry_run": report.dry_run,
         "findings": [_finding_dict(f) for f in report.findings],
     }
+    if report.affine_summary:
+        out["affine_summary"] = _jsonable(report.affine_summary)
     if report.ptx_atomics is not None:
         out["ptx_atomics"] = {
             "global": report.ptx_atomics.global_atomics,

@@ -37,6 +37,41 @@ def _fmt_value(name: str, value: float) -> str:
     return f"{value:.2f}{unit}"
 
 
+_PM_LABEL = {
+    "sectors_per_request": "sectors/request",
+    "transactions_per_request": "shared transactions/request",
+    "bank_conflict_ways": "bank-conflict ways",
+}
+
+
+def _fmt_predicted_measured(finding: Finding) -> Optional[str]:
+    """``Predicted: 32 sectors/request (measured 32.0)`` style line.
+
+    The static prediction and the simulator's per-PC measurement of the
+    same accesses, side by side — the cross-validation the affine
+    engine makes possible."""
+    parts = []
+    for key, label in _PM_LABEL.items():
+        pred = finding.predicted.get(key)
+        meas = finding.measured.get(key)
+        if pred is None and meas is None:
+            continue
+        if pred is not None and meas is not None:
+            mark = "=" if abs(pred - meas) < 1e-9 else "!="
+            parts.append(f"{pred:g} {label} (measured {meas:g}, "
+                         f"predicted {mark} measured)")
+        elif pred is not None:
+            parts.append(f"{pred:g} {label} (static)")
+        else:
+            parts.append(f"{label}: measured {meas:g}")
+    unproven = finding.predicted.get("unproven_pcs")
+    if unproven:
+        parts.append(f"{len(unproven)} access(es) unproven")
+    if not parts:
+        return None
+    return "Predicted: " + "; ".join(parts)
+
+
 def render_finding(finding: Finding, color: bool = False) -> str:
     """One finding block: SASS facts, then stalls, then metrics."""
     tag = _SEV_TAG[finding.severity]
@@ -55,6 +90,9 @@ def render_finding(finding: Finding, color: bool = False) -> str:
     if pressure is not None:
         lines.append(f"    Live register pressure at the instruction(s): "
                      f"{pressure}")
+    pm = _fmt_predicted_measured(finding)
+    if pm:
+        lines.append(f"    {pm}")
     lines.append(f"    Advice: {finding.recommendation}")
     if finding.stall_profile:
         total = sum(
@@ -117,6 +155,16 @@ def render_report(report, color: bool = False) -> str:
                 pct = 100.0 * count / stall_total if stall_total else 0.0
                 lines.append(f"  {reason.cupti_name:<30s} {pct:5.1f} % "
                              f"({count} samples)")
+    if report.affine_summary:
+        g = report.affine_summary.get("global", {})
+        s = report.affine_summary.get("shared", {})
+        lines.append(
+            f"[affine] global accesses: {g.get('proven_coalesced', 0)} "
+            f"proven coalesced, {g.get('flagged', 0)} flagged, "
+            f"{g.get('unproven', 0)} unproven | shared accesses: "
+            f"{s.get('proven_conflict_free', 0)} proven conflict-free, "
+            f"{s.get('flagged', 0)} flagged, {s.get('unproven', 0)} unproven"
+        )
     if report.overhead is not None and not report.dry_run:
         o = report.overhead
         lines.append("")

@@ -1,0 +1,281 @@
+"""Predict-vs-measure cross-validation of the static affine analyses.
+
+The affine engine (:mod:`repro.sass.affine`) claims its proven
+predictions are *exact*: a global access predicted at 32
+sectors-per-request must measure 32.0 in the simulator, a shared access
+predicted 2-way bank-conflicted must measure 2.0
+transactions-per-request.  This harness checks that claim for every
+memory access of every built-in kernel, turning analysis regressions
+into test failures (``gpuscout validate`` / the CI smoke step).
+
+Per access the harness reports one of three verdicts:
+
+* **match** — proven prediction equals the measured per-request counter
+  (within ``tolerance``, default exact up to float rounding);
+* **MISMATCH** — proven prediction disagrees with the measurement: a
+  bug in the engine or the simulator, and a non-zero exit code;
+* **unproven** — the engine declined to predict (⊤ address,
+  data-dependent guard, ...).  Never counted as failure, but reported,
+  so silent prediction-coverage regressions stay visible too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.gpu.config import GPUSpec
+
+__all__ = [
+    "AccessCheck",
+    "KernelValidation",
+    "ALL_KERNELS",
+    "SMOKE_KERNELS",
+    "validate_kernel",
+    "validate_suite",
+    "render_validations",
+]
+
+#: every built-in kernel spec (kept in sync with the CLI catalog)
+ALL_KERNELS = [
+    "mixbench:sp:naive", "mixbench:sp:vec",
+    "mixbench:dp:naive", "mixbench:dp:vec",
+    "mixbench:int:naive", "mixbench:int:vec",
+    "heat:naive", "heat:restrict", "heat:texture",
+    "sgemm:naive", "sgemm:shared", "sgemm:shared_vec",
+    "histogram:global", "histogram:shared",
+    "reduction:atomic", "reduction:shared", "reduction:warp",
+]
+
+#: fast subset for CI smoke runs: covers global sectors (mixbench),
+#: shared banks + predicated guards (histogram), and loops (reduction)
+SMOKE_KERNELS = ["mixbench:sp:naive", "histogram:shared", "reduction:shared"]
+
+#: proven predictions must match measurements bit-for-bit; the epsilon
+#: only absorbs float division noise in the per-request ratio
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class AccessCheck:
+    """Predict-vs-measure verdict for one memory access."""
+
+    pc: int
+    opcode: str
+    space: str  # "global" | "shared"
+    line: Optional[int]
+    proven: bool
+    #: predicted sectors- (global) or transactions- (shared) per request
+    predicted: Optional[float]
+    #: measured per-request counter (None when the access never issued)
+    measured: Optional[float]
+    #: measured warp-level issues of this access
+    requests: int
+    #: statically enumerated requests (only when the predictor proved
+    #: the access issues exactly once per surviving warp)
+    predicted_requests: Optional[int]
+    reason: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.predicted is None or self.measured is None:
+            return None
+        return self.predicted - self.measured
+
+    @property
+    def matches(self) -> Optional[bool]:
+        """True/False for proven+measured accesses, None otherwise."""
+        d = self.delta
+        if d is None:
+            return None
+        return abs(d) <= TOLERANCE
+
+
+@dataclass
+class KernelValidation:
+    """All access checks of one kernel launch."""
+
+    kernel: str
+    checks: list[AccessCheck] = field(default_factory=list)
+
+    @property
+    def proven(self) -> list[AccessCheck]:
+        return [c for c in self.checks if c.proven]
+
+    @property
+    def unproven(self) -> list[AccessCheck]:
+        return [c for c in self.checks if not c.proven]
+
+    @property
+    def mismatches(self) -> list[AccessCheck]:
+        return [c for c in self.checks if c.matches is False]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "ok": self.ok,
+            "proven": len(self.proven),
+            "unproven": len(self.unproven),
+            "mismatches": len(self.mismatches),
+            "checks": [
+                {
+                    "pc": c.pc,
+                    "opcode": c.opcode,
+                    "space": c.space,
+                    "line": c.line,
+                    "proven": c.proven,
+                    "predicted": c.predicted,
+                    "measured": c.measured,
+                    "requests": c.requests,
+                    "predicted_requests": c.predicted_requests,
+                    "delta": c.delta,
+                    "reason": c.reason,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def measured_per_request(counters, program) -> dict[int, tuple[str, float, int]]:
+    """Per-PC measured (space, per-request count, requests) for every
+    global/shared access that issued at least once."""
+    from repro.sass.affine import _GLOBAL_CLASSES, _SHARED_CLASSES
+
+    out: dict[int, tuple[str, float, int]] = {}
+    for pc, issues in counters.inst_by_pc.items():
+        if not issues or pc >= len(program):
+            continue
+        oc = program[pc].opcode.op_class
+        if oc in _GLOBAL_CLASSES:
+            out[pc] = ("global",
+                       counters.mem_sectors_by_pc.get(pc, 0) / issues,
+                       issues)
+        elif oc in _SHARED_CLASSES:
+            out[pc] = ("shared",
+                       counters.shared_tx_by_pc.get(pc, 0) / issues,
+                       issues)
+    return out
+
+
+def validate_kernel(
+    spec_name: str,
+    size: int = 128,
+    gpu: Optional[GPUSpec] = None,
+    compute_iterations: int = 8,
+) -> KernelValidation:
+    """Run ``spec_name`` in the simulator and cross-check every memory
+    access's static prediction against the measured counters."""
+    # imported lazily: repro.cli imports repro.core
+    from repro.cli import resolve_kernel
+    from repro.gpu.simulator import Simulator
+    from repro.sass.affine import AffineAnalysis, AffineEnv, MemoryPredictor
+    from repro.sass.cfg import build_cfg
+
+    gpu = gpu or GPUSpec.small(1)
+    ck, config, args, textures = resolve_kernel(
+        spec_name, size, compute_iterations
+    )
+    sim = Simulator(gpu)
+    # max_blocks=None keeps extrapolation at 1.0: the counters are the
+    # *exact* SM-0 share, the same block set the predictor enumerates
+    launch = sim.launch(ck, config, args, textures=textures,
+                        max_blocks=None, functional_all=False)
+    program = ck.program
+    cfg = build_cfg(program)
+    env = AffineEnv.from_launch(ck, config, launch.param_values)
+    affine = AffineAnalysis(program, cfg, env)
+    predictor = MemoryPredictor(program, cfg, affine, config, gpu)
+    measured = measured_per_request(launch.counters, program)
+
+    out = KernelValidation(kernel=spec_name)
+    for i, ins in enumerate(program):
+        pred = predictor.predict(i)
+        if not pred.space:
+            continue  # not a global/shared access
+        m = measured.get(i)
+        out.checks.append(
+            AccessCheck(
+                pc=i,
+                opcode=ins.opcode.name,
+                space=pred.space,
+                line=ins.line,
+                proven=pred.proven,
+                predicted=pred.per_request if pred.proven else None,
+                measured=m[1] if m else None,
+                requests=m[2] if m else 0,
+                predicted_requests=(
+                    pred.requests if pred.proven and pred.exact_requests
+                    else None
+                ),
+                reason=pred.unproven_reason,
+            )
+        )
+    # requests cross-check: when the predictor enumerated the issues
+    # exactly, a count disagreement is as much a bug as a ratio one
+    checked = []
+    for c in out.checks:
+        if (c.predicted_requests is not None and c.requests
+                and c.predicted_requests != c.requests):
+            checked.append(
+                AccessCheck(
+                    pc=c.pc, opcode=c.opcode, space=c.space, line=c.line,
+                    proven=True, predicted=float(c.predicted_requests),
+                    measured=float(c.requests), requests=c.requests,
+                    predicted_requests=c.predicted_requests,
+                    reason="request-count mismatch",
+                )
+            )
+        else:
+            checked.append(c)
+    out.checks = checked
+    return out
+
+
+def validate_suite(
+    kernels: Optional[Sequence[str]] = None,
+    size: int = 128,
+    gpu: Optional[GPUSpec] = None,
+) -> list[KernelValidation]:
+    """Validate several kernels (default: the full built-in suite)."""
+    return [
+        validate_kernel(name, size=size, gpu=gpu)
+        for name in (kernels if kernels is not None else ALL_KERNELS)
+    ]
+
+
+def render_validations(results: Sequence[KernelValidation],
+                       verbose: bool = False) -> str:
+    """Human-readable summary table of a validation run."""
+    lines = []
+    total_proven = total_unproven = total_mismatch = 0
+    for r in results:
+        np_, nu, nm = len(r.proven), len(r.unproven), len(r.mismatches)
+        total_proven += np_
+        total_unproven += nu
+        total_mismatch += nm
+        status = "ok" if r.ok else "FAIL"
+        lines.append(
+            f"{r.kernel:<22s} {status:<5s} proven={np_:<3d} "
+            f"unproven={nu:<3d} mismatches={nm}"
+        )
+        shown = r.mismatches if not verbose else r.checks
+        for c in shown:
+            mark = ("MISMATCH" if c.matches is False
+                    else "match" if c.matches else "unproven")
+            pred = f"{c.predicted:g}" if c.predicted is not None else "-"
+            meas = f"{c.measured:g}" if c.measured is not None else "-"
+            extra = f"  ({c.reason})" if c.reason and mark != "match" else ""
+            lines.append(
+                f"    [{c.pc:3d}] {c.opcode:<16s} {c.space:<6s} "
+                f"pred={pred:<8s} meas={meas:<8s} {mark}{extra}"
+            )
+    lines.append(
+        f"{'TOTAL':<22s} {'ok' if not total_mismatch else 'FAIL':<5s} "
+        f"proven={total_proven:<3d} unproven={total_unproven:<3d} "
+        f"mismatches={total_mismatch}"
+    )
+    return "\n".join(lines)

@@ -9,6 +9,12 @@ Also reports (as INFO) vectorized reads the compiler already emitted —
 the paper notes GPUscout "detected a 64-bit width vectorized read
 performed by the compiler" in the double-precision mixbench.
 
+Adjacency is *proven* with the affine engine where possible: loads
+whose symbolic addresses share the same non-constant part and differ
+only by the byte constant are adjacent regardless of register naming.
+Loads the engine cannot resolve fall back to the syntactic grouping
+(same base-register value, literal memory offsets).
+
 Metrics attached: register pressure and occupancy, because vectorizing
 raises pressure and can drop occupancy (the Mixbench case study saw
 92 % -> 83 %).  Stall to watch: ``long_scoreboard``.
@@ -19,6 +25,7 @@ from __future__ import annotations
 from repro.core.base import Analysis, AnalysisContext, register_analysis
 from repro.core.findings import Finding, Severity
 from repro.gpu.stalls import StallReason
+from repro.sass.affine import TOP
 
 __all__ = ["VectorizeLoadsAnalysis"]
 
@@ -49,13 +56,35 @@ class VectorizeLoadsAnalysis(Analysis):
     def run(self, ctx: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         program = ctx.program
+        affine = ctx.affine
+        # partition the narrow loads: affine-resolved addresses group by
+        # their non-constant part (a *proof* of adjacency); unresolved
+        # ones fall back to the syntactic base-register grouping
+        proven_groups: dict[tuple, list[tuple[int, int]]] = {}
+        unresolved: set[int] = set()
+        for i, ins in enumerate(program):
+            if not (ins.opcode.is_global_load
+                    and ins.opcode.width_bits == 32):
+                continue
+            addr = affine.address_value(i)
+            if addr is TOP:
+                unresolved.add(i)
+            else:
+                proven_groups.setdefault(addr.terms, []).append(
+                    (i, addr.const)
+                )
+        candidates: list[tuple[str, list[tuple[int, int]], bool]] = []
+        for accesses in proven_groups.values():
+            mem = program[accesses[0][0]].mem_operand()
+            base_name = mem.base.name if mem and mem.base else "RZ"
+            candidates.append((base_name, accesses, True))
         for group in ctx.global_load_groups:
-            narrow = [
-                (i, off)
-                for i, off in group.accesses
-                if program[i].opcode.is_global_load
-                and program[i].opcode.width_bits == 32
+            accesses = [
+                (i, off) for i, off in group.accesses if i in unresolved
             ]
+            if accesses:
+                candidates.append((group.base.name, accesses, False))
+        for base_name, narrow, adjacency_proven in candidates:
             if len(narrow) < 2:
                 continue
             offsets = sorted({off for _, off in narrow})
@@ -78,7 +107,7 @@ class VectorizeLoadsAnalysis(Analysis):
                     message=(
                         f"{len(narrow)} non-vectorized 32-bit loads (LDG.E) "
                         f"read adjacent addresses off base register "
-                        f"{group.base.name} (offsets "
+                        f"{base_name} (offsets "
                         f"{', '.join(hex(o) for o in offsets)}). "
                         f"A {width}-bit vectorized load (LDG.E.{width}) can "
                         "fetch these in a single transaction."
@@ -95,10 +124,13 @@ class VectorizeLoadsAnalysis(Analysis):
                     registers=dests,
                     in_loop=in_loop,
                     details={
-                        "base_register": group.base.name,
+                        "base_register": base_name,
                         "offsets": offsets,
                         "achievable_width_bits": width,
                         "live_register_pressure": pressure,
+                        #: True when the affine engine proved the
+                        #: adjacency (vs. syntactic offset matching)
+                        "adjacency_proven": adjacency_proven,
                     },
                     stall_focus=[StallReason.LONG_SCOREBOARD],
                     metric_focus=[

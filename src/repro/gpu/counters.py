@@ -30,6 +30,15 @@ class Counters:
     inst_issued: int = 0
     inst_by_class: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inst_by_pc: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: pc -> 32-byte sectors moved by the access at that pc (global /
+    #: local / texture / global atomics); feeds predict-vs-measure
+    mem_sectors_by_pc: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: pc -> shared-memory transactions (wavefronts) at that pc
+    shared_tx_by_pc: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     warps_launched: int = 0
     blocks_launched: int = 0
     #: integral of resident (unfinished) warps over cycles
@@ -152,7 +161,8 @@ class Counters:
         ):
             setattr(out, name, int(round(getattr(self, name) * factor)))
         out.warp_cycles_active = self.warp_cycles_active * factor
-        for d_name in ("inst_by_class", "inst_by_pc", "l2_sectors_by_space",
+        for d_name in ("inst_by_class", "inst_by_pc", "mem_sectors_by_pc",
+                       "shared_tx_by_pc", "l2_sectors_by_space",
                        "l2_hits_by_space", "l2_misses_by_space"):
             d = getattr(out, d_name)
             for key in d:

@@ -569,6 +569,7 @@ class SMScheduler:
                     o1 = offs[wi + 1]
                     sectors = pool[o0:o1]
                     slen = o1 - o0
+                counters.mem_sectors_by_pc[pc] += int(slen)
                 res = access(sectors, m.access_space, write=m.write)
                 t = t_issue + 1
                 nf = lsu.next_free
@@ -610,6 +611,7 @@ class SMScheduler:
                 self._account_hierarchy(m.access_space, res, write=m.write)
             elif code == 4:  # shared load/store
                 tx = dyn[row][wi]
+                counters.shared_tx_by_pc[pc] += int(tx)
                 t = t_issue + 1
                 nf = mio.next_free
                 if nf > t:
@@ -629,6 +631,7 @@ class SMScheduler:
                 o0 = offs[wi]
                 o1 = offs[wi + 1]
                 slen = o1 - o0
+                counters.mem_sectors_by_pc[pc] += int(slen)
                 if slen:
                     res = access(pool[o0:o1], "atomic")
                     t = t_issue + 1
@@ -666,6 +669,7 @@ class SMScheduler:
                     counters.atomic_l2_misses += res.l2_misses
             elif code == 6:  # atomic_shared (no destinations)
                 txs, uniqs, serials = dyn[row]
+                counters.shared_tx_by_pc[pc] += int(txs[wi])
                 units = serials[wi]
                 if units:
                     tx = txs[wi]
@@ -712,6 +716,7 @@ class SMScheduler:
                     reg_ready[reg] = t_ready
                     reg_kind[reg] = 1
                 counters.texture_sectors += o1 - o0
+                counters.mem_sectors_by_pc[pc] += int(o1 - o0)
                 counters.texture_hits += res.l1_hits
                 counters.texture_misses += res.l1_misses
                 counters.record_l2("texture", res.l2_hits, res.l2_misses)
@@ -963,27 +968,36 @@ class SMScheduler:
         if kind == "global_load":
             c.global_load_instructions += 1
             c.global_load_sectors += len(effect.sectors)
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "global_store":
             c.global_store_instructions += 1
             c.global_store_sectors += len(effect.sectors)
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "local_load":
             c.local_load_instructions += 1
             c.local_load_sectors += len(effect.sectors)
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "local_store":
             c.local_store_instructions += 1
             c.local_store_sectors += len(effect.sectors)
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "shared_load":
             c.shared_load_instructions += 1
             c.shared_load_transactions += effect.transactions
+            c.shared_tx_by_pc[pc] += effect.transactions
         elif kind == "shared_store":
             c.shared_store_instructions += 1
             c.shared_store_transactions += effect.transactions
+            c.shared_tx_by_pc[pc] += effect.transactions
         elif kind == "texture":
             c.texture_instructions += 1
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "atomic_global":
             c.global_atomic_instructions += 1
+            c.mem_sectors_by_pc[pc] += len(effect.sectors)
         elif kind == "atomic_shared":
             c.shared_atomic_instructions += 1
+            c.shared_tx_by_pc[pc] += effect.transactions
         elif kind == "convert":
             c.conversion_instructions += 1
 

@@ -124,6 +124,10 @@ class LaunchResult:
     timed_fast_path: bool = False
     #: warp-instructions issued by the timed phase (unscaled)
     timed_instructions: int = 0
+    #: constant-bank offset -> staged value for each kernel parameter
+    #: (pointers resolve to device offsets) — lets static predictors
+    #: rebuild the launch environment
+    param_values: dict[int, int] = field(default_factory=dict)
 
     @property
     def functional_inst_per_sec(self) -> float:
@@ -335,6 +339,7 @@ class Simulator:
             timed_seconds=timed_seconds,
             timed_fast_path=timed_fast_path,
             timed_instructions=timed_instructions,
+            param_values=dict(param_values),
         )
 
     # ------------------------------------------------------------------

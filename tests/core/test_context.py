@@ -147,3 +147,58 @@ class TestReadOnlyClassification:
     def test_never_loaded_not_readonly(self):
         ctx = ctx_of("MOV R4, 0x1 ;\nEXIT ;\n")
         assert not ctx.is_readonly_register(Register(4))
+
+
+class TestCFGReachingDef:
+    """CFG-aware reaching definitions (not stream order)."""
+
+    BRANCHY = """
+        MOV R1, 0x1 ;
+        ISETP.LT.AND P0, PT, R0, 0x10, PT ;
+        @P0 BRA `(SKIP) ;
+        MOV R1, 0x2 ;
+        .SKIP:
+        MOV R2, R1 ;
+        EXIT ;
+    """
+
+    def test_definition_inside_branch_is_ambiguous(self):
+        # stream order would blame instruction 3 alone; through the CFG
+        # both the pre-branch def (0) and the taken-arm def (3) reach
+        ctx = ctx_of(self.BRANCHY)
+        assert ctx.reaching_def(Register(1), 4) == -2
+        assert ctx.reaching.defs_at(Register(1), 4) == (0, 3)
+
+    def test_branch_does_not_leak_backwards(self):
+        ctx = ctx_of(self.BRANCHY)
+        # before the branch only the first def exists
+        assert ctx.reaching_def(Register(1), 1) == 0
+
+    def test_definition_after_join_is_unique_again(self):
+        text = """
+            MOV R1, 0x1 ;
+            ISETP.LT.AND P0, PT, R0, 0x10, PT ;
+            @P0 BRA `(SKIP) ;
+            MOV R1, 0x2 ;
+            .SKIP:
+            MOV R1, 0x3 ;
+            MOV R2, R1 ;
+            EXIT ;
+        """
+        ctx = ctx_of(text)
+        assert ctx.reaching_def(Register(1), 5) == 4
+
+    def test_loop_body_def_reaches_its_own_header(self):
+        text = """
+            MOV R2, c[0x0][0x160] ;
+            .LOOP:
+            LDG.E.SYS R4, [R2] ;
+            IADD3 R2, R2, 0x80, RZ ;
+            ISETP.LT.AND P0, PT, R2, 0x800, PT ;
+            @P0 BRA `(LOOP) ;
+            EXIT ;
+        """
+        ctx = ctx_of(text)
+        # at the loop load both the initial def and the increment reach
+        assert ctx.reaching.defs_at(Register(2), 1) == (0, 2)
+        assert ctx.reaching_def(Register(2), 1) == -2

@@ -1,0 +1,431 @@
+"""The affine address abstract interpreter (repro.sass.affine)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.config import GPUSpec
+from repro.gpu.simulator import LaunchConfig
+from repro.sass import build_cfg, parse_sass
+from repro.sass.affine import (
+    TOP,
+    Affine,
+    AffineAnalysis,
+    AffineEnv,
+    CmpExpr,
+    MemoryPredictor,
+    ReachingDefinitions,
+    pred_proof,
+    static_access_report,
+    summarize_proofs,
+)
+from repro.sass.isa import Register
+
+
+def _analysis(text: str, env=None):
+    program = parse_sass(text)
+    cfg = build_cfg(program)
+    return program, cfg, AffineAnalysis(program, cfg, env)
+
+
+class TestAffineAlgebra:
+    def test_make_drops_zero_coeffs(self):
+        a = Affine.make(3, {"tid.x": 0, "ctaid.x": 2})
+        assert a.dims() == ("ctaid.x",)
+        assert a.coeff("tid.x") == 0
+
+    def test_add_sub_neg_scale(self):
+        a = Affine.make(1, {"tid.x": 4})
+        b = Affine.make(2, {"tid.x": -4, "ctaid.x": 8})
+        s = a.add(b)
+        assert s.const == 3
+        assert s.coeff("tid.x") == 0 and s.coeff("ctaid.x") == 8
+        assert a.sub(a).is_constant and a.sub(a).const == 0
+        assert a.neg().coeff("tid.x") == -4
+        assert a.scale(3).coeff("tid.x") == 12 and a.scale(3).const == 3
+
+    def test_scale_by_zero_is_constant_zero(self):
+        a = Affine.make(5, {"tid.x": 4})
+        z = a.scale(0)
+        assert z.is_constant and z.const == 0
+
+    def test_str_is_stable(self):
+        a = Affine.make(16, {"tid.x": 4, "ctaid.x": 512})
+        assert str(a) == "16 + 512*ctaid.x + 4*tid.x"
+
+
+class TestTransfers:
+    def test_s2r_and_imad_chain(self):
+        # addr = 4*tid.x + base(param)
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R2, c[0x0][0x160] ;\n"
+            "IMAD R4, R0, 0x4, R2 ;\n"
+            "LDG.E.SYS R6, [R4] ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        addr = aff.address_value(3)
+        assert addr is not TOP
+        assert addr.coeff("tid.x") == 4
+        assert addr.coeff("param:0x160") == 1
+
+    def test_shf_left_scales(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "SHF.L.U32 R1, R0, 0x3, RZ ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        v = aff.value_before(Register(1), 2)
+        assert v.coeff("tid.x") == 8
+
+    def test_iadd3_with_negation(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "S2R R1, SR_CTAID.X ;\n"
+            "IADD3 R2, R0, 0x10, -R1 ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        v = aff.value_before(Register(2), 3)
+        assert v.coeff("tid.x") == 1
+        assert v.coeff("ctaid.x") == -1
+        assert v.const == 16
+
+    def test_unknown_producer_is_top(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "I2F R1, R0 ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        assert aff.value_before(Register(1), 2) is TOP
+
+    def test_env_folds_params_and_ntid(self):
+        text = (
+            "MOV R2, c[0x0][0x160] ;\n"
+            "S2R R3, SR_NTID.X ;\n"
+            "EXIT ;\n"
+        )
+        env = AffineEnv(params={0x160: 0x10000}, ntid=(64, 1, 1))
+        _, _, aff = _analysis(text, env)
+        v = aff.value_before(Register(2), 2)
+        assert v.is_constant and v.const == 0x10000
+        v = aff.value_before(Register(3), 2)
+        assert v.is_constant and v.const == 64
+
+
+class TestJoins:
+    def test_agreeing_branches_survive_the_meet(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(SKIP) ;\n"
+            "MOV R1, 0x4 ;\n"
+            ".SKIP:\n"
+            "MOV R2, R0 ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        # R0 is the same on both edges into SKIP
+        v = aff.value_before(Register(0), 4)
+        assert v.coeff("tid.x") == 1
+
+    def test_disagreeing_branches_meet_to_top(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R1, 0x8 ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(SKIP) ;\n"
+            "MOV R1, 0x4 ;\n"
+            ".SKIP:\n"
+            "MOV R2, R1 ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        assert aff.value_before(Register(1), 5) is TOP
+
+
+class TestInductionVariables:
+    LOOP = (
+        "S2R R0, SR_TID.X ;\n"
+        "MOV R2, c[0x0][0x160] ;\n"
+        "IMAD R2, R0, 0x4, R2 ;\n"
+        "MOV R3, RZ ;\n"
+        ".LOOP:\n"
+        "LDG.E.SYS R4, [R2] ;\n"
+        "IADD3 R2, R2, 0x80, RZ ;\n"
+        "IADD3 R3, R3, 0x1, RZ ;\n"
+        "ISETP.LT.AND P0, PT, R3, 0x8, PT ;\n"
+        "@P0 BRA `(LOOP) ;\n"
+        "EXIT ;\n"
+    )
+
+    def test_pointer_and_counter_detected(self):
+        program, cfg, aff = _analysis(self.LOOP)
+        header = cfg.block_of_instruction(4).bid
+        steps = aff.iv_steps(header)
+        assert steps.get(2) == 0x80  # pointer advances 128 bytes/iter
+        assert steps.get(3) == 1  # counter increments
+
+    def test_loop_address_keeps_lane_stride(self):
+        program, cfg, aff = _analysis(self.LOOP)
+        addr = aff.address_value(4)
+        assert addr is not TOP
+        assert addr.coeff("tid.x") == 4
+        header = cfg.block_of_instruction(4).bid
+        assert addr.coeff(f"iv:{header}") == 0x80
+
+    def test_non_affine_update_drops_to_top(self):
+        # s >>= 1 is not an affine step: the value must not survive
+        text = (
+            "MOV R2, 0x80 ;\n"
+            ".LOOP:\n"
+            "SHF.R.S32.HI R2, R2, 0x1, RZ ;\n"
+            "ISETP.NE.AND P0, PT, R2, RZ, PT ;\n"
+            "@P0 BRA `(LOOP) ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        assert aff.value_before(Register(2), 2) is TOP
+
+    def test_loop_invariant_value_survives(self):
+        program, cfg, aff = _analysis(self.LOOP)
+        # R0 = tid.x never changes inside the loop
+        v = aff.value_before(Register(0), 5)
+        assert v.coeff("tid.x") == 1
+
+
+class TestLoopEdgeCases:
+    def test_nested_loops_one_iv_each(self):
+        text = (
+            "MOV R0, RZ ;\n"
+            ".OUTER:\n"
+            "MOV R1, RZ ;\n"
+            ".INNER:\n"
+            "IADD3 R1, R1, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R1, 0x4, PT ;\n"
+            "@P0 BRA `(INNER) ;\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(OUTER) ;\n"
+            "EXIT ;\n"
+        )
+        program, cfg, aff = _analysis(text)
+        inner = cfg.block_of_instruction(2).bid
+        # the inner counter is reset each outer iteration: at the inner
+        # header it is a pure function of the *inner* iv only
+        assert aff.iv_steps(inner).get(1) == 1
+        v = aff.value_before(Register(1), 3)
+        assert v is not TOP and v.dims() == (f"iv:{inner}",)
+        # the outer counter crosses the inner loop; the analysis is
+        # allowed to degrade it to ⊤ but must never claim a wrong value
+        v0 = aff.value_before(Register(0), 7)
+        assert v0 is TOP or v0.coeff("iv:%d" % cfg.block_of_instruction(1).bid)
+
+    def test_two_back_edges_sharing_a_header(self):
+        text = (
+            "MOV R0, RZ ;\n"
+            ".HEAD:\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(HEAD) ;\n"
+            "ISETP.LT.AND P1, PT, R0, 0x8, PT ;\n"
+            "@P1 BRA `(HEAD) ;\n"
+            "EXIT ;\n"
+        )
+        program, cfg, aff = _analysis(text)
+        header = cfg.block_of_instruction(1).bid
+        # both edges step R0 by one: still a recognised induction var
+        assert aff.iv_steps(header).get(0) == 1
+
+    def test_irreducible_region_degrades_without_crash(self):
+        # two blocks branching into each other's middles: no natural
+        # loop structure; the analysis must terminate and answer TOP
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(B) ;\n"
+            ".A:\n"
+            "IADD3 R1, R1, 0x1, RZ ;\n"
+            "ISETP.LT.AND P1, PT, R1, 0x8, PT ;\n"
+            "@P1 BRA `(B) ;\n"
+            "BRA `(END) ;\n"
+            ".B:\n"
+            "IADD3 R1, R1, 0x2, RZ ;\n"
+            "ISETP.LT.AND P2, PT, R1, 0x8, PT ;\n"
+            "@P2 BRA `(A) ;\n"
+            ".END:\n"
+            "EXIT ;\n"
+        )
+        program, cfg, aff = _analysis(text)
+        assert aff.value_before(Register(1), len(program) - 1) is TOP
+        # tid.x does not flow through the region: still precise
+        assert aff.value_before(Register(0), len(program) - 1).coeff(
+            "tid.x") == 1
+
+
+class TestPredicates:
+    def test_guard_expr_recovers_comparison(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 LDG.E.SYS R2, [R4] ;\n"
+            "EXIT ;\n"
+        )
+        _, _, aff = _analysis(text)
+        g = aff.guard_expr(2)
+        assert isinstance(g, CmpExpr)
+
+    def test_pred_proof_uses_dim_ranges(self):
+        env = AffineEnv(ntid=(32, 1, 1))
+        lhs = Affine.dim("tid.x")
+        # tid.x < 64 always holds for a 32-wide block
+        assert pred_proof(CmpExpr("LT", lhs, Affine(64), False), env) is True
+        # tid.x < 16 is sometimes false
+        assert pred_proof(CmpExpr("LT", lhs, Affine(16), False), env) is None
+
+
+class TestReachingDefinitions:
+    def test_branch_definition_joins(self):
+        # R1 defined before the branch AND inside one arm: both defs
+        # reach the join (the stream-order approximation saw only one)
+        text = (
+            "MOV R1, 0x1 ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(SKIP) ;\n"
+            "MOV R1, 0x2 ;\n"
+            ".SKIP:\n"
+            "MOV R2, R1 ;\n"
+            "EXIT ;\n"
+        )
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(program, cfg)
+        assert rd.defs_at(Register(1), 4) == (0, 3)
+
+    def test_same_block_definition_wins(self):
+        text = (
+            "MOV R1, 0x1 ;\n"
+            "MOV R1, 0x2 ;\n"
+            "MOV R2, R1 ;\n"
+            "EXIT ;\n"
+        )
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(program, cfg)
+        assert rd.defs_at(Register(1), 2) == (1,)
+
+    def test_live_in_reported(self):
+        text = "MOV R2, R9 ;\nEXIT ;\n"
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        rd = ReachingDefinitions(program, cfg)
+        assert rd.defs_at(Register(9), 0) == (-1,)
+
+
+class TestMemoryPredictor:
+    def _predict(self, text, config, env, pc):
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        aff = AffineAnalysis(program, cfg, env)
+        pred = MemoryPredictor(program, cfg, aff, config, GPUSpec.small(1))
+        return pred.predict(pc)
+
+    def test_coalesced_load_is_four_sectors(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R2, c[0x0][0x160] ;\n"
+            "IMAD R4, R0, 0x4, R2 ;\n"
+            "LDG.E.SYS R6, [R4] ;\n"
+            "EXIT ;\n"
+        )
+        config = LaunchConfig(grid=(1, 1), block=(32, 1))
+        env = AffineEnv(params={0x160: 0x10000}, ntid=(32, 1, 1),
+                        nctaid=(1, 1, 1))
+        p = self._predict(text, config, env, 3)
+        assert p.proven and p.space == "global"
+        assert p.per_request == 4.0
+        assert p.exact_requests and p.requests == 1
+
+    def test_strided_load_is_thirtytwo_sectors(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R2, c[0x0][0x160] ;\n"
+            "IMAD R4, R0, 0x20, R2 ;\n"
+            "LDG.E.SYS R6, [R4] ;\n"
+            "EXIT ;\n"
+        )
+        config = LaunchConfig(grid=(1, 1), block=(32, 1))
+        env = AffineEnv(params={0x160: 0x10000}, ntid=(32, 1, 1),
+                        nctaid=(1, 1, 1))
+        p = self._predict(text, config, env, 3)
+        assert p.proven and p.per_request == 32.0
+
+    def test_bank_conflicted_shared_store(self):
+        # 8-byte lane stride: lanes 0 and 16 share bank 0 -> 2-way
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "SHF.L.U32 R1, R0, 0x3, RZ ;\n"
+            "STS [R1], R0 ;\n"
+            "EXIT ;\n"
+        )
+        config = LaunchConfig(grid=(1, 1), block=(32, 1))
+        env = AffineEnv(ntid=(32, 1, 1), nctaid=(1, 1, 1))
+        p = self._predict(text, config, env, 2)
+        assert p.proven and p.space == "shared"
+        assert p.per_request == 2.0
+
+    def test_unresolved_address_is_unproven(self):
+        text = (
+            "LDG.E.SYS R2, [R4] ;\n"  # R4 live-in: unknown
+            "EXIT ;\n"
+        )
+        config = LaunchConfig(grid=(1, 1), block=(32, 1))
+        p = self._predict(text, config, AffineEnv(), 0)
+        assert not p.proven
+        assert p.unproven_reason
+
+
+class TestStaticReport:
+    def test_report_without_any_launch(self):
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R2, c[0x0][0x160] ;\n"
+            "IMAD R4, R0, 0x4, R2 ;\n"
+            "LDG.E.SYS R6, [R4] ;\n"
+            "SHF.L.U32 R1, R0, 0x3, RZ ;\n"
+            "STS [R1], R0 ;\n"
+            "LDG.E.SYS R8, [R10] ;\n"
+            "EXIT ;\n"
+        )
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        aff = AffineAnalysis(program, cfg)
+        proofs = static_access_report(
+            program, cfg, aff, None, pointer_params=frozenset({0x160})
+        )
+        by_pc = {p.pc: p for p in proofs}
+        assert by_pc[3].space == "global" and by_pc[3].status == "proven"
+        assert by_pc[5].space == "shared" and by_pc[5].status == "flagged"
+        assert by_pc[6].status == "unproven"
+        summary = summarize_proofs(proofs)
+        assert summary["global"]["proven_coalesced"] == 1
+        assert summary["global"]["unproven"] == 1
+        assert summary["shared"]["flagged"] == 1
+
+    def test_unknown_param_slot_stays_unproven(self):
+        # without knowing 0x160 is a pointer, the base could shift the
+        # sector window: no verdict, never a guess
+        text = (
+            "S2R R0, SR_TID.X ;\n"
+            "MOV R2, c[0x0][0x160] ;\n"
+            "IMAD R4, R0, 0x4, R2 ;\n"
+            "LDG.E.SYS R6, [R4] ;\n"
+            "EXIT ;\n"
+        )
+        program = parse_sass(text)
+        cfg = build_cfg(program)
+        aff = AffineAnalysis(program, cfg)
+        proofs = static_access_report(program, cfg, aff, None)
+        assert proofs[0].status == "unproven"

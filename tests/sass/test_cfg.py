@@ -147,3 +147,63 @@ class TestLoops:
         )
         cfg = _cfg(text)
         assert len(cfg.loops[0].blocks) >= len(cfg.loops[1].blocks)
+
+
+class TestLoopRecoveryEdgeCases:
+    def test_two_back_edges_sharing_a_header(self):
+        text = (
+            "MOV R0, RZ ;\n"
+            ".HEAD:\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(HEAD) ;\n"
+            "ISETP.LT.AND P1, PT, R0, 0x8, PT ;\n"
+            "@P1 BRA `(HEAD) ;\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        # one natural loop per back edge, same header for both
+        headers = [l.header for l in cfg.loops]
+        assert len(cfg.loops) == 2
+        assert headers[0] == headers[1]
+        tails = {l.back_edge_from for l in cfg.loops}
+        assert len(tails) == 2
+        # every instruction between HEAD and the second BRA is in a loop
+        for i in range(1, 6):
+            assert cfg.in_loop(i)
+
+    def test_irreducible_region_no_natural_loop_claimed(self):
+        # A and B jump into each other's middles; neither header
+        # dominates the other, so the back-edge test must reject both
+        # cycles instead of inventing a bogus natural loop
+        text = (
+            "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+            "@P0 BRA `(B) ;\n"
+            ".A:\n"
+            "IADD3 R1, R1, 0x1, RZ ;\n"
+            "@P1 BRA `(B) ;\n"
+            "BRA `(END) ;\n"
+            ".B:\n"
+            "IADD3 R1, R1, 0x2, RZ ;\n"
+            "@P2 BRA `(A) ;\n"
+            ".END:\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        assert cfg.loops == []
+        # dominators still well-defined: entry dominates everything
+        for blk in cfg.blocks:
+            assert cfg.dominates(0, blk.bid)
+
+    def test_self_loop_block(self):
+        text = (
+            ".LOOP:\n"
+            "IADD3 R0, R0, 0x1, RZ ;\n"
+            "ISETP.LT.AND P0, PT, R0, 0x4, PT ;\n"
+            "@P0 BRA `(LOOP) ;\n"
+            "EXIT ;\n"
+        )
+        cfg = _cfg(text)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == loop.back_edge_from

@@ -86,3 +86,37 @@ class TestMain:
         assert main(["analyze", "--sass", str(sass)]) == 0
         err = capsys.readouterr().err
         assert "dry-run" in err
+
+
+class TestValidate:
+    def test_single_kernel_table(self, capsys):
+        assert main(["validate", "--kernel", "mixbench:sp:naive",
+                     "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "mixbench:sp:naive" in out
+        assert "mismatches=0" in out
+        assert "TOTAL" in out
+
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        assert main(["validate", "--kernel", "mixbench:sp:naive",
+                     "--size", "64", "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["kernel"] == "mixbench:sp:naive"
+        assert data[0]["ok"] is True
+        assert data[0]["checks"]
+
+    def test_verbose_lists_every_access(self, capsys):
+        assert main(["validate", "--kernel", "mixbench:sp:naive",
+                     "--size", "64", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "match" in out
+        assert "LDG" in out
+
+    def test_dry_run_report_shows_affine_footer(self, capsys):
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "[affine]" in out
+        assert "proven coalesced" in out

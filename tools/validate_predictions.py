@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Standalone predict-vs-measure cross-validation runner.
+
+Equivalent to ``gpuscout validate`` but runnable straight from a
+checkout without installing the package:
+
+    PYTHONPATH=src python tools/validate_predictions.py [--smoke] ...
+
+Exits non-zero when any statically *proven* prediction disagrees with
+the simulator's measured per-access counters.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["validate", *sys.argv[1:]]))
