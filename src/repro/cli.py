@@ -21,9 +21,41 @@ import sys
 from typing import Optional
 
 from repro.core import GPUscout
+from repro.errors import (
+    AnalysisError,
+    CompileError,
+    LaunchError,
+    ReproError,
+    SassSyntaxError,
+    SimulationError,
+)
 from repro.gpu import GPUSpec, LaunchConfig
+from repro.gpu.budget import SimBudget
 
-__all__ = ["main", "build_parser", "resolve_kernel"]
+__all__ = ["main", "build_parser", "exit_code_for", "resolve_kernel"]
+
+#: BSD-style sysexits mapping: scripts branch on *what* failed.  Order
+#: matters only in that subclasses (e.g. SimulationTimeout) match their
+#: closest listed ancestor.
+EXIT_INTERNAL = 70  # EX_SOFTWARE
+_EXIT_CODES: list[tuple[type, int]] = [
+    (SassSyntaxError, 2),
+    (CompileError, 3),
+    (LaunchError, 4),
+    (SimulationError, 5),
+    (AnalysisError, 6),
+]
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Process exit code for an exception escaping the CLI: 2-6 for
+    the :class:`~repro.errors.ReproError` stages (parse, compile,
+    launch, simulation, analysis), 70 (EX_SOFTWARE) for anything
+    unexpected."""
+    for cls, code in _EXIT_CODES:
+        if isinstance(exc, cls):
+            return code
+    return EXIT_INTERNAL
 
 
 def _kernel_catalog() -> dict[str, str]:
@@ -147,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="batched functional execution and trace-driven "
                            "timed scheduling (default on; REPRO_FAST=0 "
                            "also disables)")
+    p_an.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget for the simulation; on "
+                           "expiry the run degrades (functional/static) "
+                           "instead of failing")
 
     p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
     p_dis.add_argument("--kernel", required=True)
@@ -195,13 +232,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(use '-' for stdout instead of the table)")
     p_val.add_argument("--verbose", action="store_true",
                        help="show every access, not only mismatches")
+    p_val.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget for the whole suite; "
+                            "kernels past the deadline are skipped and "
+                            "the partial results exit cleanly")
 
     sub.add_parser("list-kernels", help="list built-in kernel specs")
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code (see
+    :func:`exit_code_for` for the error mapping)."""
     try:
         return _main(argv)
     except BrokenPipeError:
@@ -212,6 +255,24 @@ def main(argv: Optional[list[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ReproError as exc:
+        print(f"gpuscout: error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    except Exception as exc:
+        # unexpected crash: one line naming the class, then the code 70
+        # contract scripts can rely on
+        print(f"gpuscout: internal error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return exit_code_for(exc)
+
+
+def _print_health(report) -> None:
+    """Diagnostics summary on stderr (stdout carries the report)."""
+    from repro.core.report import render_health
+
+    for line in render_health(report):
+        if line:
+            print(f"gpuscout: {line}", file=sys.stderr)
 
 
 def _main(argv: Optional[list[str]] = None) -> int:
@@ -239,6 +300,8 @@ def _main(argv: Optional[list[str]] = None) -> int:
         analyses=all_analyses() if args.extended else None,
         spec=GPUSpec.v100(),
         fast=args.fast,
+        budget=(SimBudget(max_wall_seconds=args.deadline)
+                if args.deadline is not None else None),
     )
     if args.sass:
         with open(args.sass) as fh:
@@ -272,6 +335,7 @@ def _main(argv: Optional[list[str]] = None) -> int:
         with open(args.html, "w") as fh:
             fh.write(report.render_html())
         print(f"interactive report written to {args.html}", file=sys.stderr)
+    _print_health(report)
     return 0
 
 
@@ -318,7 +382,8 @@ def _run_validate(args) -> int:
     kernels = args.kernel  # None -> full suite
     if args.smoke:
         kernels = SMOKE_KERNELS
-    results = validate_suite(kernels, size=args.size)
+    results = validate_suite(kernels, size=args.size,
+                             deadline=args.deadline)
     payload = [r.to_dict() for r in results]
     if args.json == "-":
         import json
@@ -333,6 +398,10 @@ def _run_validate(args) -> int:
                 json.dump(payload, fh, indent=2)
             print(f"validation results written to {args.json}",
                   file=sys.stderr)
+    skipped = [r for r in results if r.error]
+    if skipped:
+        print(f"gpuscout: deadline hit — {len(skipped)} kernel(s) "
+              "skipped (partial results)", file=sys.stderr)
     return 0 if all(r.ok for r in results) else 1
 
 

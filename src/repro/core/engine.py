@@ -9,6 +9,19 @@
    drawn, and the curated ncu metric sets are collected.
 4. **Data evaluation** — stalls and metrics are correlated to each
    finding's instructions and the terminal report is rendered.
+
+Every stage runs inside a **fault boundary**: unexpected exceptions are
+converted into :class:`~repro.errors.Diagnostic` records on the
+:class:`ScoutReport` instead of aborting the run, so a crash in one
+analysis (or in sampling, metric collection, …) still yields every
+other stage's results.  The dynamic stage additionally degrades down a
+ladder — trace-driven timed → legacy timed → functional-only →
+static-only — when the simulator fails or a
+:class:`~repro.gpu.budget.SimBudget` limit trips; each demotion is
+recorded as a diagnostic and the report's ``mode`` names the rung that
+finally succeeded.  Truly unexpected (non-:class:`~repro.errors.ReproError`)
+crashes also write a reproducer bundle to a temp dir (see
+:mod:`repro.core.reproducer`) named in the diagnostic.
 """
 
 from __future__ import annotations
@@ -22,10 +35,22 @@ import numpy as np
 from repro.core.base import Analysis, AnalysisContext, default_analyses
 from repro.core.findings import Finding
 from repro.core.overhead import OverheadBreakdown
+from repro.core.reproducer import write_reproducer_bundle
 from repro.cudalite.compiler import CompiledKernel
-from repro.errors import AnalysisError
+from repro.errors import (
+    AnalysisError,
+    Diagnostic,
+    ReproError,
+    diagnostic_from_exception,
+)
 from repro.gpu.config import GPUSpec
-from repro.gpu.simulator import LaunchConfig, LaunchResult, Simulator
+from repro.gpu.simulator import (
+    LaunchConfig,
+    LaunchResult,
+    SimBudget,
+    Simulator,
+    resolve_fast_mode,
+)
 from repro.gpu.stalls import StallReason
 from repro.metrics.collector import MetricReport, NsightComputeCLI
 from repro.metrics.names import METRIC_SETS
@@ -34,6 +59,7 @@ from repro.sampling.stall_report import LineStallProfile, build_line_profiles
 from repro.ptx.analysis import PTXAtomicsSummary
 from repro.sass.isa import Program
 from repro.sass.parser import parse_sass
+from repro.testing.faultinject import fail_point
 
 __all__ = ["GPUscout", "ScoutReport"]
 
@@ -57,6 +83,19 @@ class ScoutReport:
     #: :func:`repro.sass.affine.summarize_proofs`); rendered as the
     #: report footer
     affine_summary: dict = field(default_factory=dict)
+    #: which degradation-ladder rung produced the dynamic data:
+    #: ``full`` (timed), ``functional`` (no timing), ``static``
+    #: (simulation abandoned), or ``dry-run`` (never attempted)
+    mode: str = "full"
+    #: fault-boundary records accumulated across all stages
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run fell short of what was asked of it."""
+        return self.mode in ("functional", "static") or any(
+            d.severity == "error" for d in self.diagnostics
+        )
 
     def findings_for(self, analysis: str) -> list[Finding]:
         return [f for f in self.findings if f.analysis == analysis]
@@ -91,6 +130,7 @@ class GPUscout:
         sampler: Optional[PCSampler] = None,
         ncu: Optional[NsightComputeCLI] = None,
         fast: Optional[bool] = None,
+        budget: Optional[SimBudget] = None,
     ):
         self.analyses = list(analyses) if analyses is not None else default_analyses()
         self.spec = spec or GPUSpec.v100()
@@ -99,6 +139,9 @@ class GPUscout:
         #: fast-path toggle (None = REPRO_FAST/default): batched
         #: functional execution *and* the trace-driven timed scheduler
         self.fast = fast
+        #: default resource budget applied to every :meth:`analyze`
+        #: (a per-call ``budget`` argument overrides it)
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def analyze(
@@ -110,6 +153,7 @@ class GPUscout:
         dry_run: bool = False,
         max_blocks: Optional[int] = None,
         launch: Optional[LaunchResult] = None,
+        budget: Optional[SimBudget] = None,
     ) -> ScoutReport:
         """Run the full GPUscout workflow on ``kernel``.
 
@@ -119,41 +163,94 @@ class GPUscout:
         simulator) involvement at all, usable on architectures ncu does
         not support (paper §3.1).  A pre-existing ``launch`` result can
         be supplied to correlate against (avoids re-simulation).
+
+        Stage failures do not abort the run: they are recorded as
+        :class:`~repro.errors.Diagnostic` entries on the returned
+        report, which carries whatever the remaining stages produced
+        (see the module docstring).  Only *usage* errors — an
+        unanalyzable ``kernel`` object, or a dynamic run without a
+        launchable kernel / launch setup — still raise
+        :class:`~repro.errors.AnalysisError`.
         """
-        program, compiled = self._resolve(kernel)
+        budget = budget if budget is not None else self.budget
+        diags: list[Diagnostic] = []
+        crashed = {"bundled": False}
+
+        def note(stage: str, site: str, exc: BaseException,
+                 severity: str = "warning", *,
+                 program=None) -> Diagnostic:
+            d = diagnostic_from_exception(stage, site, exc,
+                                          severity=severity)
+            if not isinstance(exc, ReproError) and not crashed["bundled"]:
+                # an exception no stage anticipated: keep the evidence
+                crashed["bundled"] = True
+                bundle = write_reproducer_bundle(
+                    exc, program=program, config=config, args=args,
+                )
+                if bundle:
+                    d.detail["reproducer"] = bundle
+                    d.message += f" [reproducer bundle: {bundle}]"
+            diags.append(d)
+            return d
+
+        # -- stage 1: configuration / parse -----------------------------
+        try:
+            program, compiled = self._resolve(kernel, diags)
+        except AnalysisError:
+            raise  # unanalyzable input object: a usage error
+        except Exception as exc:
+            # even a wholesale parse failure yields a (static, empty)
+            # report so batch pipelines keep their per-kernel records
+            note("parse", "parser.program", exc, severity="error")
+            program, compiled = Program("kernel", []), None
+
+        # -- stage 2: static instrumentation -----------------------------
         t0 = time.perf_counter()
         ctx = AnalysisContext(program, compiled, config)
         findings: list[Finding] = []
         for analysis in self.analyses:
-            findings.extend(analysis.run(ctx))
+            try:
+                fail_point("engine.analysis")
+                findings.extend(analysis.run(ctx))
+            except Exception as exc:
+                d = note("static", "engine.analysis", exc,
+                         severity="error", program=program)
+                d.detail["analysis"] = analysis.name
         findings.sort(key=lambda f: (-int(f.severity), f.analysis))
         # PTX-level cross-check of the atomics analysis (paper §3 fn. 2:
         # "analogously to SASS, a PTX analysis is performed in §4.4")
         ptx_atomics = None
         if compiled is not None:
-            from repro.ptx import parse_ptx, scan_atomics
+            try:
+                from repro.ptx import parse_ptx, scan_atomics
 
-            ptx_atomics = scan_atomics(parse_ptx(compiled.ptx_text))
-            for finding in findings:
-                if finding.analysis == "use_shared_atomics":
-                    finding.details["ptx_global_atomics"] = \
-                        ptx_atomics.global_atomics
-                    finding.details["ptx_shared_atomics"] = \
-                        ptx_atomics.shared_atomics
+                ptx_atomics = scan_atomics(parse_ptx(compiled.ptx_text))
+                for finding in findings:
+                    if finding.analysis == "use_shared_atomics":
+                        finding.details["ptx_global_atomics"] = \
+                            ptx_atomics.global_atomics
+                        finding.details["ptx_shared_atomics"] = \
+                            ptx_atomics.shared_atomics
+            except Exception as exc:
+                note("static", "engine.ptx", exc, program=program)
         # launch-independent affine proof footer: which accesses are
         # statically proven coalesced/conflict-free vs. flagged
-        from repro.sass.affine import (
-            pointer_param_offsets,
-            static_access_report,
-            summarize_proofs,
-        )
-
-        affine_summary = summarize_proofs(
-            static_access_report(
-                program, ctx.cfg, ctx.affine, config,
-                pointer_params=pointer_param_offsets(compiled),
+        affine_summary: dict = {}
+        try:
+            from repro.sass.affine import (
+                pointer_param_offsets,
+                static_access_report,
+                summarize_proofs,
             )
-        )
+
+            affine_summary = summarize_proofs(
+                static_access_report(
+                    program, ctx.cfg, ctx.affine, config,
+                    pointer_params=pointer_param_offsets(compiled),
+                )
+            )
+        except Exception as exc:
+            note("static", "engine.affine", exc, program=program)
         sass_seconds = time.perf_counter() - t0
 
         if dry_run:
@@ -164,6 +261,8 @@ class GPUscout:
                 program=program,
                 ptx_atomics=ptx_atomics,
                 affine_summary=affine_summary,
+                mode="dry-run",
+                diagnostics=diags,
                 overhead=OverheadBreakdown(
                     kernel_seconds=0.0,
                     sass_analysis_seconds=sass_seconds,
@@ -177,36 +276,66 @@ class GPUscout:
                 "dynamic analysis needs a CompiledKernel (launchable); "
                 "raw SASS supports --dry-run only"
             )
+
+        # -- stage 3: dynamic collection (degradation ladder) ------------
+        mode = "full"
         if launch is None:
             if config is None or args is None:
                 raise AnalysisError(
                     "dynamic analysis needs a LaunchConfig and kernel args"
                 )
-            sim = Simulator(self.spec, fast=self.fast)
-            launch = sim.launch(
-                compiled, config, args, textures=textures,
-                max_blocks=max_blocks, functional_all=False,
+            launch, mode = self._launch_with_degradation(
+                compiled, config, args, textures, max_blocks, budget,
+                note, program,
             )
-        sampling = self.sampler.sample(launch)
-        line_profiles = build_line_profiles(sampling)
 
-        metric_names = self._metric_names(findings)
-        metrics = self.ncu.collect(launch, metric_names)
+        sampling = None
+        line_profiles: dict[int, LineStallProfile] = {}
+        metrics = None
+        if launch is not None and mode == "full":
+            try:
+                sampling = self.sampler.sample(launch)
+                line_profiles = build_line_profiles(sampling)
+            except Exception as exc:
+                sampling, line_profiles = None, {}
+                note("sampling", "sampler.sample", exc, program=program)
+            try:
+                metrics = self.ncu.collect(
+                    launch, self._metric_names(findings)
+                )
+            except Exception as exc:
+                metrics = None
+                note("metrics", "metrics.collect", exc, program=program)
 
+        # -- stage 4: evaluation ------------------------------------------
         for finding in findings:
-            finding.stall_profile = self._stalls_for(finding, sampling)
-            finding.metrics = {
-                name: metrics.values[name]
-                for name in finding.metric_focus
-                if name in metrics.values
-            }
-        self._attach_predictions(findings, ctx, compiled, config, launch)
+            if sampling is not None:
+                finding.stall_profile = self._stalls_for(finding, sampling)
+            if metrics is not None:
+                finding.metrics = {
+                    name: metrics.values[name]
+                    for name in finding.metric_focus
+                    if name in metrics.values
+                }
+        if launch is not None:
+            try:
+                fail_point("engine.predictions")
+                self._attach_predictions(
+                    findings, ctx, compiled, config, launch
+                )
+            except Exception as exc:
+                note("evaluate", "engine.predictions", exc, program=program)
 
         overhead = OverheadBreakdown(
-            kernel_seconds=launch.duration_s,
+            kernel_seconds=launch.duration_s if launch is not None else 0.0,
             sass_analysis_seconds=sass_seconds,
-            pc_sampling_seconds=self.sampler.overhead_seconds(launch),
-            metrics_seconds=metrics.collection_seconds,
+            pc_sampling_seconds=(
+                self.sampler.overhead_seconds(launch)
+                if launch is not None and sampling is not None else 0.0
+            ),
+            metrics_seconds=(
+                metrics.collection_seconds if metrics is not None else 0.0
+            ),
         )
         return ScoutReport(
             kernel=program.name,
@@ -220,7 +349,61 @@ class GPUscout:
             launch=launch,
             overhead=overhead,
             affine_summary=affine_summary,
+            mode=mode,
+            diagnostics=diags,
         )
+
+    # ------------------------------------------------------------------
+    def _launch_with_degradation(
+        self,
+        compiled: CompiledKernel,
+        config: LaunchConfig,
+        args: dict,
+        textures: Optional[dict],
+        max_blocks: Optional[int],
+        budget: Optional[SimBudget],
+        note,
+        program: Program,
+    ) -> tuple[Optional[LaunchResult], str]:
+        """Run the dynamic stage down the degradation ladder.
+
+        Rungs, most to least capable: the configured timed path
+        (trace-driven when fast mode is on), the legacy timed path
+        (only distinct when fast mode was on), functional-only
+        execution (``timed=False`` — fills counters' functional side
+        but no cycles/stalls), and finally static-only (no launch at
+        all).  Every demotion is recorded via ``note``; a latched
+        :class:`~repro.gpu.budget.SimBudget` makes the remaining rungs
+        fail fast, so budget exhaustion cascades straight to
+        static-only.
+        """
+        fast = resolve_fast_mode(self.fast)
+        rungs: list[tuple[str, bool, bool]] = [
+            ("timed-trace" if fast else "timed-legacy", fast, True),
+        ]
+        if fast:
+            rungs.append(("timed-legacy", False, True))
+        rungs.append(("functional-only", fast, False))
+        for i, (rung, rung_fast, timed) in enumerate(rungs):
+            fallback = rungs[i + 1][0] if i + 1 < len(rungs) else "static-only"
+            sim = Simulator(self.spec, fast=rung_fast)
+            try:
+                launch = sim.launch(
+                    compiled, config, args, textures=textures,
+                    max_blocks=max_blocks,
+                    functional_all=not timed,
+                    timed=timed, budget=budget,
+                )
+                return launch, ("full" if timed else "functional")
+            except Exception as exc:
+                d = note("launch", "simulator.launch", exc, program=program)
+                d.detail["rung"] = rung
+                d.detail["fallback"] = fallback
+                d.message = (
+                    f"{rung} simulation failed ({d.message}); "
+                    f"falling back to {fallback}"
+                )
+        return None, "static"
 
     # ------------------------------------------------------------------
     def _attach_predictions(
@@ -302,13 +485,18 @@ class GPUscout:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _resolve(kernel) -> tuple[Program, Optional[CompiledKernel]]:
+    def _resolve(
+        kernel, diagnostics: Optional[list] = None,
+    ) -> tuple[Program, Optional[CompiledKernel]]:
         if isinstance(kernel, CompiledKernel):
             return kernel.program, kernel
         if isinstance(kernel, Program):
             return kernel, None
         if isinstance(kernel, str):
-            return parse_sass(kernel), None
+            # raw disassembly may come from nvdisasm versions with
+            # operand forms the grammar does not know: recover per line
+            return parse_sass(kernel, recover=True,
+                              diagnostics=diagnostics), None
         raise AnalysisError(f"cannot analyze object of type {type(kernel)!r}")
 
     def _metric_names(self, findings: Sequence[Finding]) -> list[str]:

@@ -230,6 +230,32 @@ def _affine_footer(report: ScoutReport) -> str:
     )
 
 
+def _health_section(report: ScoutReport) -> str:
+    diags = getattr(report, "diagnostics", None) or []
+    mode = getattr(report, "mode", "full")
+    degraded = mode in ("functional", "static")
+    if not diags and not degraded:
+        return ""
+    rows = "".join(
+        f"<tr><td>{html.escape(d.stage)}</td>"
+        f"<td>{html.escape(d.site)}</td>"
+        f"<td>{html.escape(d.severity)}</td>"
+        f"<td>{html.escape(d.error)}</td>"
+        f"<td>{html.escape(d.message)}</td></tr>"
+        for d in diags
+    )
+    note = " (degraded)" if degraded else ""
+    return (
+        f"<h2>Run health</h2><p class='kv'>mode: {html.escape(mode)}{note}"
+        f" — {len(diags)} diagnostic(s)</p>"
+        "<table><tr><th>stage</th><th>site</th><th>severity</th>"
+        f"<th>error</th><th>message</th></tr>{rows}</table>"
+        if diags else
+        f"<h2>Run health</h2><p class='kv'>mode: {html.escape(mode)}{note}"
+        "</p>"
+    )
+
+
 def _metrics_table(report: ScoutReport) -> str:
     if report.metrics is None:
         return ""
@@ -299,6 +325,9 @@ def render_html(report: ScoutReport,
         "</div>",
         "<div class='section'>",
         _metrics_table(report),
+        "</div>",
+        "<div class='section'>",
+        _health_section(report),
         "</div>",
     ]
     if comparison is not None:

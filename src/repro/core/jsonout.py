@@ -16,7 +16,9 @@ from repro.gpu.stalls import StallReason
 
 __all__ = ["report_to_dict", "report_to_json", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 2
+#: v3 added ``mode`` (degradation-ladder rung) and ``diagnostics``
+#: (fault-boundary records) — both always present
+SCHEMA_VERSION = 3
 
 
 def _finding_dict(f) -> dict[str, Any]:
@@ -60,6 +62,8 @@ def report_to_dict(report: ScoutReport) -> dict[str, Any]:
         "schema_version": SCHEMA_VERSION,
         "kernel": report.kernel,
         "dry_run": report.dry_run,
+        "mode": report.mode,
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
         "findings": [_finding_dict(f) for f in report.findings],
     }
     if report.affine_summary:

@@ -13,7 +13,7 @@ from repro.core.findings import Finding, Severity
 from repro.gpu.stalls import STALL_EXPLANATIONS, StallReason
 from repro.metrics.names import METRIC_REGISTRY
 
-__all__ = ["render_report", "render_finding"]
+__all__ = ["render_report", "render_finding", "render_health"]
 
 _RULE = "-" * 72
 _SEV_TAG = {
@@ -191,4 +191,33 @@ def render_report(report, color: bool = False) -> str:
                 f" ({launch.functional_inst_per_sec:,.0f}/s, {path} path)"
             )
         lines.append(exec_line)
+    lines.extend(render_health(report))
     return "\n".join(lines) + "\n"
+
+
+_HEALTH_MAX_LINES = 8
+
+
+def render_health(report) -> list[str]:
+    """The ``[health]`` footer: degradation mode plus diagnostics.
+
+    Empty (no lines at all) for a clean run, so reports only mention
+    health when there is something to say."""
+    diags = getattr(report, "diagnostics", None) or []
+    mode = getattr(report, "mode", "full")
+    degraded = mode in ("functional", "static")
+    if not diags and not degraded:
+        return []
+    errors = sum(1 for d in diags if d.severity == "error")
+    head = f"[health] mode: {mode}"
+    if degraded:
+        head += " (degraded)"
+    head += f" | {len(diags)} diagnostic(s)"
+    if errors:
+        head += f", {errors} error(s)"
+    lines = ["", head]
+    for d in diags[:_HEALTH_MAX_LINES]:
+        lines.append(f"  {d}")
+    if len(diags) > _HEALTH_MAX_LINES:
+        lines.append(f"  ... and {len(diags) - _HEALTH_MAX_LINES} more")
+    return lines

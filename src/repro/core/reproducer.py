@@ -1,0 +1,104 @@
+"""Reproducer bundles for unexpected crashes.
+
+When a fault boundary catches an exception that is *not* a
+:class:`~repro.errors.ReproError` — i.e. a bug, not a modelled failure —
+the engine snapshots everything needed to replay the crash offline into
+a temp directory and names that directory in the diagnostic, so a bug
+report carries its own reproduction:
+
+* ``kernel.sass`` — the exact disassembly under analysis;
+* ``launch.json`` — grid/block shape, kernel name, argument metadata;
+* ``environment.json`` — Python/NumPy/package versions and the RNG seed;
+* ``traceback.txt`` — the captured stack.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["write_reproducer_bundle"]
+
+#: the deterministic seed the simulator's (seedless) model would use if
+#: it drew random numbers; recorded so bundles stay replayable if
+#: stochastic components are ever added
+RNG_SEED = 0
+
+
+def write_reproducer_bundle(
+    exc: BaseException,
+    program=None,
+    config=None,
+    args: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> Optional[str]:
+    """Write a crash-reproduction bundle; returns its path.
+
+    Never raises: a failure while writing the bundle returns ``None``
+    (the crash being reported must still surface as a diagnostic).
+    """
+    try:
+        bundle = Path(tempfile.mkdtemp(prefix="gpuscout-crash-"))
+        if program is not None:
+            from repro.sass.writer import format_program
+
+            (bundle / "kernel.sass").write_text(format_program(program))
+        launch: dict = {"kernel": getattr(program, "name", None)}
+        if config is not None:
+            launch["grid"] = list(config.grid)
+            launch["block"] = list(config.block)
+        if args is not None:
+            launch["args"] = {
+                name: _arg_meta(value) for name, value in args.items()
+            }
+        if extra:
+            launch.update(extra)
+        (bundle / "launch.json").write_text(json.dumps(launch, indent=2))
+        env = {
+            "python": sys.version,
+            "platform": platform.platform(),
+            "rng_seed": RNG_SEED,
+            "packages": _package_versions(),
+        }
+        (bundle / "environment.json").write_text(json.dumps(env, indent=2))
+        (bundle / "traceback.txt").write_text(
+            "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+        )
+        return str(bundle)
+    except Exception:
+        return None
+
+
+def _arg_meta(value) -> dict:
+    """JSON-safe description of one kernel argument (never raw data —
+    bundles must stay small)."""
+    if hasattr(value, "dtype") and hasattr(value, "shape"):
+        return {
+            "kind": "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    return {"kind": type(value).__name__, "value": repr(value)}
+
+
+def _package_versions() -> dict:
+    versions = {}
+    for name in ("numpy", "hypothesis", "pytest"):
+        try:
+            versions[name] = __import__(name).__version__
+        except Exception:
+            versions[name] = None
+    try:
+        from importlib.metadata import version
+
+        versions["repro"] = version("repro")
+    except Exception:
+        versions["repro"] = None
+    return versions

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.errors import ResourceLimitError
+from repro.gpu.budget import SimBudget
 from repro.gpu.config import GPUSpec
 
 __all__ = [
@@ -97,6 +99,9 @@ class KernelValidation:
 
     kernel: str
     checks: list[AccessCheck] = field(default_factory=list)
+    #: non-empty when the kernel never validated (deadline/budget hit);
+    #: such entries stay ``ok`` — partial suites exit cleanly
+    error: str = ""
 
     @property
     def proven(self) -> list[AccessCheck]:
@@ -118,6 +123,7 @@ class KernelValidation:
         return {
             "kernel": self.kernel,
             "ok": self.ok,
+            "error": self.error,
             "proven": len(self.proven),
             "unproven": len(self.unproven),
             "mismatches": len(self.mismatches),
@@ -166,9 +172,14 @@ def validate_kernel(
     size: int = 128,
     gpu: Optional[GPUSpec] = None,
     compute_iterations: int = 8,
+    budget: Optional[SimBudget] = None,
 ) -> KernelValidation:
     """Run ``spec_name`` in the simulator and cross-check every memory
-    access's static prediction against the measured counters."""
+    access's static prediction against the measured counters.
+
+    A :class:`~repro.gpu.budget.SimBudget` bounds the launch; when it
+    trips, the kernel is reported with ``error`` set instead of
+    raising, so suite runs under ``--deadline`` finish cleanly."""
     # imported lazily: repro.cli imports repro.core
     from repro.cli import resolve_kernel
     from repro.gpu.simulator import Simulator
@@ -182,8 +193,12 @@ def validate_kernel(
     sim = Simulator(gpu)
     # max_blocks=None keeps extrapolation at 1.0: the counters are the
     # *exact* SM-0 share, the same block set the predictor enumerates
-    launch = sim.launch(ck, config, args, textures=textures,
-                        max_blocks=None, functional_all=False)
+    try:
+        launch = sim.launch(ck, config, args, textures=textures,
+                            max_blocks=None, functional_all=False,
+                            budget=budget)
+    except ResourceLimitError as exc:
+        return KernelValidation(kernel=spec_name, error=str(exc))
     program = ck.program
     cfg = build_cfg(program)
     env = AffineEnv.from_launch(ck, config, launch.param_values)
@@ -239,10 +254,18 @@ def validate_suite(
     kernels: Optional[Sequence[str]] = None,
     size: int = 128,
     gpu: Optional[GPUSpec] = None,
+    deadline: Optional[float] = None,
 ) -> list[KernelValidation]:
-    """Validate several kernels (default: the full built-in suite)."""
+    """Validate several kernels (default: the full built-in suite).
+
+    ``deadline`` bounds the *whole* suite in wall-clock seconds: one
+    shared, latching :class:`~repro.gpu.budget.SimBudget` spans every
+    launch, so once time runs out the remaining kernels fail fast and
+    are reported with ``error`` set — partial results, clean exit."""
+    budget = (SimBudget(max_wall_seconds=deadline)
+              if deadline is not None else None)
     return [
-        validate_kernel(name, size=size, gpu=gpu)
+        validate_kernel(name, size=size, gpu=gpu, budget=budget)
         for name in (kernels if kernels is not None else ALL_KERNELS)
     ]
 
@@ -258,6 +281,9 @@ def render_validations(results: Sequence[KernelValidation],
         total_unproven += nu
         total_mismatch += nm
         status = "ok" if r.ok else "FAIL"
+        if r.error:
+            lines.append(f"{r.kernel:<22s} SKIP  {r.error}")
+            continue
         lines.append(
             f"{r.kernel:<22s} {status:<5s} proven={np_:<3d} "
             f"unproven={nu:<3d} mismatches={nm}"

@@ -1,24 +1,110 @@
-"""Exception hierarchy for the :mod:`repro` package.
+"""Exception hierarchy and recovery diagnostics for :mod:`repro`.
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class.  Subsystems raise the more
 specific subclasses below; none of them are raised for programmer errors
 (those surface as ``TypeError``/``ValueError`` from the standard
 library as usual).
+
+:class:`Diagnostic` is the structured record a fault boundary produces
+when it *recovers* from an error instead of propagating it: the
+analysis engine converts per-stage exceptions into diagnostics attached
+to the report, and the recovering SASS parser records one per skipped
+line.  This module stays dependency-free so every layer (sass, gpu,
+core) can import it.
 """
 
 from __future__ import annotations
 
+import traceback as _traceback
+from dataclasses import dataclass, field
+
 __all__ = [
+    "Diagnostic",
+    "diagnostic_from_exception",
     "ReproError",
     "SassSyntaxError",
     "CompileError",
     "RegisterAllocationError",
     "LaunchError",
     "SimulationError",
+    "ResourceLimitError",
+    "SimulationTimeout",
     "MetricError",
     "AnalysisError",
 ]
+
+
+@dataclass
+class Diagnostic:
+    """One recovered fault: where it happened and what was lost.
+
+    ``stage`` is the workflow stage (``parse``, ``static``, ``launch``,
+    ``sampling``, ``metrics``, ``correlate``); ``site`` the failing
+    component — an analysis name, a degradation-ladder rung, or a
+    fail-point name from :mod:`repro.testing.faultinject`.  ``severity``
+    is ``"info"`` (expected demotion), ``"warning"`` (data lost) or
+    ``"error"`` (unexpected crash, possibly with a reproducer bundle
+    named in ``message``).
+    """
+
+    stage: str
+    site: str
+    error: str  # exception class name ("" for informational records)
+    message: str
+    severity: str = "warning"
+    #: captured traceback text (empty for informational records)
+    traceback: str = ""
+    #: 1-based source line for parse diagnostics
+    lineno: int | None = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "stage": self.stage,
+            "site": self.site,
+            "error": self.error,
+            "message": self.message,
+            "severity": self.severity,
+        }
+        if self.traceback:
+            out["traceback"] = self.traceback
+        if self.lineno is not None:
+            out["lineno"] = self.lineno
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def __str__(self) -> str:
+        site = f"{self.stage}:{self.site}"
+        err = f" [{self.error}]" if self.error else ""
+        at = f" (line {self.lineno})" if self.lineno is not None else ""
+        return f"{site}{err}{at}: {self.message}"
+
+
+def diagnostic_from_exception(
+    stage: str,
+    site: str,
+    exc: BaseException,
+    severity: str = "warning",
+    lineno: int | None = None,
+    with_traceback: bool = True,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` from a caught exception."""
+    tb = ""
+    if with_traceback and exc.__traceback__ is not None:
+        tb = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    return Diagnostic(
+        stage=stage,
+        site=site,
+        error=type(exc).__name__,
+        message=str(exc) or type(exc).__name__,
+        severity=severity,
+        traceback=tb,
+        lineno=lineno,
+    )
 
 
 class ReproError(Exception):
@@ -58,6 +144,34 @@ class LaunchError(ReproError):
 class SimulationError(ReproError):
     """Raised when the GPU simulator encounters an unexecutable state
     (unknown opcode, misaligned access, out-of-bounds memory, ...)."""
+
+
+class ResourceLimitError(ReproError):
+    """Raised when a run exceeds one of its resource guards.
+
+    The guards (instruction, cycle and wall-clock budgets, see
+    :class:`repro.gpu.simulator.SimBudget`) bound how much work a single
+    simulated launch may consume.  The analysis engine treats this as a
+    demotion trigger on its graceful-degradation ladder rather than a
+    fatal error: the run continues with cheaper pillars and the report
+    carries a diagnostic naming the limit.
+    """
+
+
+class SimulationTimeout(SimulationError, ResourceLimitError):
+    """Raised when the GPU simulator exceeds its execution budget.
+
+    Subclasses both :class:`SimulationError` (callers treating any
+    simulator failure uniformly keep working) and
+    :class:`ResourceLimitError` (callers distinguishing budget
+    exhaustion from genuine simulator faults can).  ``limit`` names the
+    guard that tripped (``"instructions"``, ``"cycles"`` or
+    ``"wall-clock"``).
+    """
+
+    def __init__(self, message: str, limit: str = ""):
+        self.limit = limit
+        super().__init__(message)
 
 
 class MetricError(ReproError):

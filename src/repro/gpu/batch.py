@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.testing.faultinject import fail_point
 from repro.gpu.executor import Executor, WarpState
 from repro.gpu.predecode import (
     ATOM_F32,
@@ -731,6 +732,7 @@ def run_functional_batched(
     executed.  The caller is responsible for routing non-batchable
     programs (see :func:`batchable`) to the legacy path.
     """
+    fail_point("batch.functional")
     engine = BatchEngine(executor)
     insts = 0
     it = iter(blocks)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.testing.faultinject import fail_point
+
 __all__ = ["SectorCache", "CacheStats", "HierarchyResult", "MemoryHierarchy"]
 
 
@@ -169,6 +171,7 @@ class MemoryHierarchy:
         promoted into the cache and their traffic is accounted as
         ``fill_sectors`` through L2/DRAM.
         """
+        fail_point("caches.l2_lookup")
         first_level = self._first_level[space]
         line_fill = space == "texture"
         # accumulate in locals — this walk sits on the hot path of every

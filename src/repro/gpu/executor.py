@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.cudalite.compiler import CompiledKernel
 from repro.errors import SimulationError
+from repro.testing.faultinject import fail_point
 from repro.gpu.coalesce import coalesce_sectors, shared_transactions
 from repro.gpu.config import GPUSpec
 from repro.gpu.predecode import (
@@ -341,6 +342,7 @@ class Executor:
 
         Advances the PC (or branches); sets ``warp.done`` on full EXIT.
         """
+        fail_point("executor.step")
         if warp.done:
             raise SimulationError("stepping a finished warp")
         if warp.pc >= len(self.program):

@@ -30,6 +30,8 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.testing.faultinject import fail_point
+from repro.gpu.budget import SimBudget
 from repro.gpu.caches import MemoryHierarchy
 from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
@@ -38,6 +40,11 @@ from repro.gpu.stalls import StallReason
 from repro.sass.isa import OpClass, Program
 
 __all__ = ["Timeline", "SMScheduler"]
+
+#: how many issues pass between two budget checks inside a wave —
+#: coarse enough to stay off the hot path, fine enough that a runaway
+#: kernel is caught within a fraction of a wall-clock second
+_BUDGET_STRIDE = 256
 
 #: dependency-kind codes stored per register
 _KIND_WAIT = 0
@@ -168,6 +175,7 @@ class SMScheduler:
         hierarchy: MemoryHierarchy,
         counters: Counters,
         trace=None,
+        budget: Optional[SimBudget] = None,
     ):
         self.spec = spec
         self.executor = executor
@@ -175,6 +183,9 @@ class SMScheduler:
         self.counters = counters
         #: optional :class:`~repro.gpu.trace.TraceRecorder`
         self.trace = trace
+        #: optional :class:`~repro.gpu.budget.SimBudget` checked every
+        #: ``_BUDGET_STRIDE`` issues (None on the unguarded happy path)
+        self.budget = budget
         self.program: Program = executor.program
         # SM-lifetime resources (persist across waves)
         self.lsu = Timeline(spec.lsu_sectors_per_cycle)
@@ -224,6 +235,9 @@ class SMScheduler:
         ``block_warp_counts`` maps block id -> number of warps (for
         barrier membership).  Returns the wave completion time.
         """
+        fail_point("scheduler.run_wave")
+        budget = self.budget
+        budget_pending = 0
         start = self.now
         nregs = warps[0].regs.shape[0] if warps else 0
         rts = [
@@ -276,6 +290,11 @@ class SMScheduler:
             rt.forced_reason = None
             self._account(pc, ins, effect)
             self._apply_timing(rt, t_issue, effect)
+            if budget is not None:
+                budget_pending += 1
+                if budget_pending >= _BUDGET_STRIDE:
+                    budget.spend(budget_pending, t_issue)
+                    budget_pending = 0
 
             if effect.kind == "barrier":
                 block = rt.state.block_id
@@ -304,6 +323,9 @@ class SMScheduler:
             heapq.heappush(heap, (r2, seq, wi))
             seq += 1
             wave_end = max(wave_end, rt.earliest)
+
+        if budget is not None and budget_pending:
+            budget.spend(budget_pending, wave_end)
 
         # warps stuck at a barrier that never completes => deadlock
         for rt in rts:
@@ -391,6 +413,9 @@ class SMScheduler:
         Cache-hierarchy lookups run here, at issue time, in heap order —
         exactly where the legacy path performs them.
         """
+        fail_point("scheduler.run_wave_trace")
+        budget = self.budget
+        budget_pending = 0
         spec = self.spec
         counters = self.counters
         metas = self._ensure_trace_meta()
@@ -523,6 +548,11 @@ class SMScheduler:
             if arb > 0:
                 stall[(pc, R_NOTSEL)] += arb
             pc_counts[pc] += 1
+            if budget is not None:
+                budget_pending += 1
+                if budget_pending >= _BUDGET_STRIDE:
+                    budget.spend(budget_pending, t_issue)
+                    budget_pending = 0
             if trace_rec is not None:
                 trace_rec.record(
                     t_issue, wi, rt.block_id, pc, m.opname,
@@ -752,6 +782,9 @@ class SMScheduler:
             seq += 1
             if t_next > wave_end:
                 wave_end = t_next
+
+        if budget is not None and budget_pending:
+            budget.spend(budget_pending, wave_end)
 
         # merge the batched per-PC integer accounting (before the
         # deadlock check so counters are complete even when it raises)

@@ -21,6 +21,7 @@ from repro.cudalite.compiler import CompiledKernel
 from repro.cudalite.types import PointerType
 from repro.errors import LaunchError, SimulationError
 from repro.gpu.batch import batchable, run_functional_batched
+from repro.gpu.budget import SimBudget
 from repro.gpu.caches import MemoryHierarchy
 from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
@@ -28,9 +29,10 @@ from repro.gpu.executor import DeviceMemory, Executor, TextureLayout, WarpState
 from repro.gpu.scheduler import SMScheduler
 from repro.gpu.timed_trace import build_timed_trace, timed_batchable
 from repro.sass.occupancy import compute_occupancy
+from repro.testing.faultinject import fail_point
 
-__all__ = ["LaunchConfig", "LaunchResult", "Simulator", "TextureDesc",
-           "resolve_fast_mode"]
+__all__ = ["LaunchConfig", "LaunchResult", "SimBudget", "Simulator",
+           "TextureDesc", "resolve_fast_mode"]
 
 _FALSE_STRINGS = ("0", "false", "off", "no")
 
@@ -177,6 +179,8 @@ class Simulator:
         functional_all: bool = True,
         sm_id: int = 0,
         trace=None,
+        budget: Optional[SimBudget] = None,
+        timed: bool = True,
     ) -> LaunchResult:
         """Run one kernel launch.
 
@@ -186,6 +190,12 @@ class Simulator:
         linearly, the standard trick for simulating large grids.  With
         ``functional_all`` (default) every remaining block still runs
         functionally so output arrays are complete.
+
+        ``budget`` bounds the work the launch may consume (see
+        :class:`~repro.gpu.budget.SimBudget`); ``timed=False`` skips the
+        timed scheduler entirely and executes the whole grid
+        functionally — the cheapest rung of the engine's degradation
+        ladder that still fills output buffers.
         """
         textures = textures or {}
         mem, param_values, buffers, tex_layouts = self._stage_memory(
@@ -194,7 +204,7 @@ class Simulator:
         return self._launch_staged(
             compiled, config, mem, param_values, buffers, tex_layouts,
             max_blocks=max_blocks, functional_all=functional_all,
-            sm_id=sm_id, trace=trace,
+            sm_id=sm_id, trace=trace, budget=budget, timed=timed,
         )
 
     # ------------------------------------------------------------------
@@ -211,16 +221,22 @@ class Simulator:
         functional_all: bool = True,
         sm_id: int = 0,
         trace=None,
+        budget: Optional[SimBudget] = None,
+        timed: bool = True,
     ) -> LaunchResult:
         """Launch with memory already staged (used by
         :class:`~repro.gpu.session.DeviceSession`, which passes its
         persistent memory and warm cache hierarchy)."""
+        fail_point("simulator.launch")
+        if budget is not None:
+            budget.arm()
+            budget.check()
         spec = self.spec
         executor = Executor(compiled, mem, spec, param_values, tex_layouts)
         hierarchy = hierarchy or MemoryHierarchy(spec)
         counters = Counters()
         scheduler = SMScheduler(spec, executor, hierarchy, counters,
-                                trace=trace)
+                                trace=trace, budget=budget)
 
         occ = compute_occupancy(
             config.threads_per_block,
@@ -248,14 +264,19 @@ class Simulator:
         )
         if len(my_blocks) == 0:
             my_blocks = range(0, 1)
-        timed_blocks = (
-            my_blocks[:max_blocks] if max_blocks is not None else my_blocks
-        )
-        extrapolation = len(my_blocks) / len(timed_blocks)
+        if timed:
+            timed_blocks = (
+                my_blocks[:max_blocks] if max_blocks is not None
+                else my_blocks
+            )
+            extrapolation = len(my_blocks) / len(timed_blocks)
+        else:
+            timed_blocks = range(0, 0)
+            extrapolation = 1.0
 
         counters.blocks_launched = len(timed_blocks)
         resident = occ.active_blocks
-        use_trace = self.fast and timed_batchable(executor.decoded)
+        use_trace = timed and self.fast and timed_batchable(executor.decoded)
         timed_fast_path = use_trace
         t0 = time.perf_counter()
         for i in range(0, len(timed_blocks), resident):
@@ -299,13 +320,16 @@ class Simulator:
             t0 = time.perf_counter()
             if self.fast and batchable(executor.decoded):
                 fast_path = True
-                counters.inst_functional += run_functional_batched(
+                done = run_functional_batched(
                     lambda b: self._make_block_warps(compiled, config, b, mem),
                     executor, rest, compiled.program.shared_bytes,
                 )
+                counters.inst_functional += done
+                if budget is not None:
+                    budget.spend(done)
             else:
                 counters.inst_functional += self._run_functional(
-                    compiled, config, rest, executor, mem
+                    compiled, config, rest, executor, mem, budget=budget
                 )
             functional_seconds = time.perf_counter() - t0
 
@@ -457,11 +481,13 @@ class Simulator:
         return warps
 
     # ------------------------------------------------------------------
-    def _run_functional(self, compiled, config, blocks, executor, mem) -> int:
+    def _run_functional(self, compiled, config, blocks, executor, mem,
+                        budget: Optional[SimBudget] = None) -> int:
         """Execute ``blocks`` functionally only (no timing): round-robin
         warps within a block so barriers synchronise correctly.  Returns
         the number of warp-instructions executed."""
         max_steps = 50_000_000
+        budget_tick = 4096
         total_steps = 0
         for block_id in blocks:
             warps = self._make_block_warps(compiled, config, block_id, mem)
@@ -483,6 +509,8 @@ class Simulator:
                             raise SimulationError(
                                 "functional execution exceeded step budget"
                             )
+                        if budget is not None and steps % budget_tick == 0:
+                            budget.spend(budget_tick)
                     if not warp.done:
                         arrived.append(warp)
                 if arrived and len(arrived) == len(pending):

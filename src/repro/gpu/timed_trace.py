@@ -41,6 +41,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.testing.faultinject import fail_point
 from repro.gpu.batch import BatchEngine, WarpPack, batchable
 from repro.gpu.coalesce import coalesce_sectors
 from repro.gpu.executor import Executor, WarpState
@@ -330,6 +331,7 @@ def build_timed_trace(executor: Executor, warps: list[WarpState],
     ``warps`` are consumed (their shared-memory views are re-pointed at
     the pack) and must not be reused after a ``None`` return.
     """
+    fail_point("trace.build")
     emitter = TraceEmitter(executor.spec, executor.memory, len(warps))
     engine = _TracingEngine(executor, emitter)
     pack = WarpPack(warps, shared_bytes)

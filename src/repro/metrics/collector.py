@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import MetricError
+from repro.testing.faultinject import fail_point
 from repro.gpu.simulator import LaunchResult
 from repro.metrics.derive import derive_metric
 from repro.metrics.names import METRIC_REGISTRY
@@ -65,6 +66,7 @@ class NsightComputeCLI:
         metrics: Sequence[str],
     ) -> MetricReport:
         """Derive ``metrics`` from ``result`` and model the cost."""
+        fail_point("metrics.collect")
         unknown = [m for m in metrics if m not in METRIC_REGISTRY]
         if unknown:
             raise MetricError(f"unknown metrics requested: {unknown}")

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.gpu.simulator import LaunchResult
+from repro.testing.faultinject import fail_point
 from repro.gpu.stalls import StallReason
 
 __all__ = ["PCSample", "PCSamplingResult", "PCSampler"]
@@ -97,6 +98,7 @@ class PCSampler:
 
     def sample(self, result: LaunchResult) -> PCSamplingResult:
         """Draw the expected sample counts from exact stall cycles."""
+        fail_point("sampler.sample")
         program = result.compiled.program
         table = result.counters.stall_cycles
         entries = sorted(table.items(), key=lambda kv: (kv[0][0], kv[0][1].value))

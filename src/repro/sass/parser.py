@@ -17,7 +17,8 @@ from __future__ import annotations
 import re
 from typing import Optional
 
-from repro.errors import SassSyntaxError
+from repro.errors import Diagnostic, SassSyntaxError, diagnostic_from_exception
+from repro.testing.faultinject import fail_point
 from repro.sass.isa import (
     ConstRef,
     Instruction,
@@ -117,6 +118,7 @@ def parse_instruction(
     source_file: Optional[str] = None,
 ) -> Instruction:
     """Parse a single instruction line (offset comment optional)."""
+    fail_point("parser.instruction")
     text = text.strip()
     offset = 0
     m = _OFFSET_RE.match(text)
@@ -151,13 +153,27 @@ def parse_instruction(
     )
 
 
-def parse_sass(text: str, name: str = "kernel") -> Program:
+def parse_sass(
+    text: str,
+    name: str = "kernel",
+    recover: bool = False,
+    diagnostics: Optional[list[Diagnostic]] = None,
+) -> Program:
     """Parse a full nvdisasm-style listing into a :class:`Program`.
 
     Section headers are optional: a bare sequence of instruction lines
     (e.g. a snippet pasted from a paper) parses as a program named
     ``name`` with zero recorded register/local/shared sizes.
+
+    With ``recover=True`` unparseable instruction lines (and duplicate
+    labels) are *skipped* instead of aborting the parse: each skip
+    appends a :class:`~repro.errors.Diagnostic` carrying the 1-based
+    line number to ``diagnostics`` (when given) and the remaining lines
+    still yield a program — raw disassembly from architectures whose
+    dialect we only partially understand keeps the static analysis
+    pillar usable (paper §3.1's always-give-something posture).
     """
+    fail_point("parser.program")
     items: list[Instruction | Label] = []
     prog_name = name
     registers = 0
@@ -197,11 +213,37 @@ def parse_sass(text: str, name: str = "kernel") -> Program:
             continue
         m = _LABEL_LINE_RE.match(line)
         if m:
-            items.append(Label(m.group(1)))
+            label = Label(m.group(1))
+            if recover and any(
+                isinstance(it, Label) and it.name == label.name
+                for it in items
+            ):
+                if diagnostics is not None:
+                    diagnostics.append(Diagnostic(
+                        stage="parse", site="parser.instruction",
+                        error="SassSyntaxError",
+                        message=f"duplicate label {label.name!r} skipped",
+                        lineno=lineno,
+                    ))
+                continue
+            items.append(label)
             continue
-        items.append(
-            parse_instruction(line, lineno, source_line=cur_line, source_file=cur_file)
-        )
+        try:
+            items.append(
+                parse_instruction(line, lineno, source_line=cur_line,
+                                  source_file=cur_file)
+            )
+        except Exception as exc:
+            # recovery catches *any* per-line failure, not just
+            # SassSyntaxError: a crash inside operand parsing on exotic
+            # input must degrade to a skipped line, not a dead run
+            if not recover:
+                raise
+            if diagnostics is not None:
+                diagnostics.append(diagnostic_from_exception(
+                    "parse", "parser.instruction", exc,
+                    lineno=lineno, with_traceback=False,
+                ))
     return Program(
         prog_name,
         items,

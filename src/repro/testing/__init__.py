@@ -1,0 +1,16 @@
+"""Testing utilities for the GPUscout reproduction.
+
+Currently one member: the deterministic fault-injection harness in
+:mod:`repro.testing.faultinject`, which the chaos-test suite uses to
+prove every single-point failure still yields a well-formed partial
+report.
+"""
+
+from repro.testing.faultinject import (
+    FailPoint,
+    fail_at,
+    fail_point,
+    fail_points,
+)
+
+__all__ = ["FailPoint", "fail_at", "fail_point", "fail_points"]

@@ -1,0 +1,123 @@
+"""Recovering-parser fuzz tests: random line-level corruption of valid
+listings must never raise under ``recover=True``, and every diagnostic
+must point at a line the test actually corrupted."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SassSyntaxError
+from repro.sass import parse_sass
+
+from tests.conftest import LOOP_SASS
+
+BRANCHY_SASS = """
+        /*0000*/ S2R R0, SR_TID.X ;
+        /*0010*/ S2R R1, SR_CTAID.X ;
+        /*0020*/ IMAD R0, R1, 0x80, R0 ;
+        /*0030*/ ISETP.GE.AND P0, PT, R0, c[0x0][0x168], PT ;
+        /*0040*/ @P0 EXIT ;
+        /*0050*/ MOV R2, c[0x0][0x160] ;
+        /*0060*/ LDG.E.SYS R4, [R2] ;
+        /*0070*/ LDS.U.32 R5, [R0] ;
+        /*0080*/ FADD R4, R4, R5 ;
+        /*0090*/ STG.E.SYS [R2], R4 ;
+        /*00a0*/ EXIT ;
+"""
+
+LISTINGS = [LOOP_SASS, BRANCHY_SASS]
+
+#: the opcode grammar is deliberately lenient (a bare token parses as a
+#: no-operand instruction), so corruption must hit the *operand*
+#: position: none of these characters can form a register, immediate,
+#: or memory operand, and none ends in ':' (label) or starts a comment
+#: — a corrupted line is guaranteed unparseable, never silently skipped
+garbage = st.text(alphabet="?$~^&=}{", min_size=1, max_size=24).map(
+    lambda s: f"JUNK {s}"
+)
+
+
+def _instruction_linenos(text: str) -> list[int]:
+    """1-based line numbers that hold instructions (non-blank, not a
+    label, not a comment) — the lines worth corrupting."""
+    out = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("//") or line.startswith("."):
+            continue
+        if line.endswith(":"):
+            continue
+        out.append(lineno)
+    return out
+
+
+@st.composite
+def corrupted_listing(draw):
+    text = draw(st.sampled_from(LISTINGS))
+    lines = text.splitlines()
+    candidates = _instruction_linenos(text)
+    victims = draw(st.lists(st.sampled_from(candidates), min_size=1,
+                            unique=True))
+    for lineno in victims:
+        lines[lineno - 1] = draw(garbage)
+    return text, "\n".join(lines), sorted(victims)
+
+
+@given(corrupted_listing())
+@settings(max_examples=150, deadline=None)
+def test_recover_never_raises_and_linenos_point_at_corruption(case):
+    original, mangled, victims = case
+    diags = []
+    prog = parse_sass(mangled, recover=True, diagnostics=diags)
+    # every skipped line is one we corrupted, named by its 1-based line
+    assert diags, "corrupted lines must produce diagnostics"
+    assert {d.lineno for d in diags} == set(victims)
+    for d in diags:
+        assert d.stage == "parse"
+        assert d.site == "parser.instruction"
+        assert d.error
+    # the untouched instructions all survive
+    n_original = len(parse_sass(original))
+    assert len(prog) == n_original - len(victims)
+
+
+@given(corrupted_listing())
+@settings(max_examples=50, deadline=None)
+def test_without_recover_corruption_raises(case):
+    _, mangled, _ = case
+    with pytest.raises(SassSyntaxError):
+        parse_sass(mangled)
+
+
+class TestRecoverDeterministic:
+    def test_single_corrupted_line_is_named(self):
+        lines = LOOP_SASS.splitlines()
+        victim = _instruction_linenos(LOOP_SASS)[2]
+        lines[victim - 1] = "???? not sass at all"
+        diags = []
+        prog = parse_sass("\n".join(lines), recover=True,
+                          diagnostics=diags)
+        assert len(diags) == 1
+        assert diags[0].lineno == victim
+        assert len(prog) == len(parse_sass(LOOP_SASS)) - 1
+
+    def test_duplicate_label_skipped_with_diagnostic(self):
+        text = (".L0:\n"
+                "  MOV R0, RZ ;\n"
+                ".L0:\n"
+                "  EXIT ;\n")
+        diags = []
+        prog = parse_sass(text, recover=True, diagnostics=diags)
+        assert len(prog) == 2
+        assert any("duplicate label" in d.message for d in diags)
+        assert diags[0].lineno == 3
+
+    def test_recover_without_diagnostics_list(self):
+        # diagnostics=None is allowed: lines are still skipped silently
+        prog = parse_sass("JUNK ????\nEXIT ;\n", recover=True)
+        assert len(prog) == 1
+
+    def test_clean_listing_produces_no_diagnostics(self):
+        diags = []
+        parse_sass(LOOP_SASS, recover=True, diagnostics=diags)
+        assert diags == []

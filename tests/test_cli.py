@@ -120,3 +120,117 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "[affine]" in out
         assert "proven coalesced" in out
+
+
+class TestExitCodes:
+    def test_mapping(self):
+        from repro.cli import EXIT_INTERNAL, exit_code_for
+        from repro.errors import (
+            AnalysisError,
+            CompileError,
+            LaunchError,
+            SassSyntaxError,
+            SimulationError,
+            SimulationTimeout,
+        )
+
+        assert exit_code_for(SassSyntaxError("bad line")) == 2
+        assert exit_code_for(CompileError("no regs")) == 3
+        assert exit_code_for(LaunchError("bad grid")) == 4
+        assert exit_code_for(SimulationError("deadlock")) == 5
+        assert exit_code_for(AnalysisError("no config")) == 6
+        # a subclass maps like its closest listed ancestor
+        assert exit_code_for(SimulationTimeout("over", limit="cycles")) == 5
+        assert exit_code_for(RuntimeError("bug")) == EXIT_INTERNAL
+        assert EXIT_INTERNAL == 70
+
+    @pytest.mark.parametrize("exc,code", [
+        ("SimulationError", 5),
+        ("AnalysisError", 6),
+        ("LaunchError", 4),
+    ])
+    def test_repro_error_exit_and_stderr(self, monkeypatch, capsys,
+                                         exc, code):
+        import repro.errors as errors_mod
+        from repro.core import GPUscout
+
+        def boom(self, *a, **k):
+            raise getattr(errors_mod, exc)("synthetic failure")
+
+        monkeypatch.setattr(GPUscout, "analyze", boom)
+        rc = main(["analyze", "--kernel", "mixbench:sp:naive",
+                   "--dry-run"])
+        assert rc == code
+        err = capsys.readouterr().err
+        assert "gpuscout: error" in err
+        assert "synthetic failure" in err
+
+    def test_internal_error_exits_70(self, monkeypatch, capsys):
+        from repro.core import GPUscout
+
+        def boom(self, *a, **k):
+            raise RuntimeError("unexpected bug")
+
+        monkeypatch.setattr(GPUscout, "analyze", boom)
+        rc = main(["analyze", "--kernel", "mixbench:sp:naive",
+                   "--dry-run"])
+        assert rc == 70
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "RuntimeError" in err
+
+    def test_usage_errors_keep_argparse_exit(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestHealthOutput:
+    def test_degraded_run_prints_health_on_stderr(self, capsys):
+        from repro.errors import SimulationError
+        from repro.testing import fail_at
+
+        with fail_at("simulator.launch", SimulationError, times=None):
+            rc = main(["analyze", "--kernel", "mixbench:sp:naive",
+                       "--size", "64", "--max-blocks", "2"])
+        assert rc == 0  # degraded, not failed
+        captured = capsys.readouterr()
+        assert "[health]" in captured.err
+        assert "mode: static" in captured.err
+        assert "[health]" in captured.out  # report footer too
+
+    def test_clean_run_prints_no_health(self, capsys):
+        assert main(["analyze", "--kernel", "mixbench:sp:naive",
+                     "--dry-run"]) == 0
+        captured = capsys.readouterr()
+        assert "[health]" not in captured.err
+        assert "[health]" not in captured.out
+
+
+class TestDeadline:
+    def test_validate_deadline_exits_cleanly_with_partial_results(
+            self, capsys):
+        rc = main(["validate", "--kernel", "mixbench:sp:naive",
+                   "--kernel", "reduction:shared", "--size", "64",
+                   "--deadline", "0"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "SKIP" in captured.out
+        assert "deadline hit" in captured.err
+        assert "2 kernel(s)" in captured.err
+
+    def test_validate_generous_deadline_validates_everything(self, capsys):
+        rc = main(["validate", "--kernel", "mixbench:sp:naive",
+                   "--size", "64", "--deadline", "600"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SKIP" not in out
+        assert "mismatches=0" in out
+
+    def test_analyze_deadline_degrades_instead_of_failing(self, capsys):
+        rc = main(["analyze", "--kernel", "mixbench:sp:naive",
+                   "--size", "64", "--max-blocks", "2",
+                   "--deadline", "0"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "mode: static" in captured.err
+        assert "wall-clock" in captured.err + captured.out

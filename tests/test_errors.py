@@ -1,0 +1,94 @@
+"""Exception hierarchy and Diagnostic record tests."""
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    AnalysisError,
+    CompileError,
+    Diagnostic,
+    LaunchError,
+    ReproError,
+    ResourceLimitError,
+    SassSyntaxError,
+    SimulationError,
+    SimulationTimeout,
+    diagnostic_from_exception,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        SassSyntaxError, CompileError, LaunchError, SimulationError,
+        ResourceLimitError, AnalysisError, SimulationTimeout,
+    ])
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_simulation_timeout_dual_parentage(self):
+        # catchable both as "the simulation failed" and as "a resource
+        # limit tripped" — the degradation ladder uses the former, the
+        # validate deadline the latter
+        exc = SimulationTimeout("over budget", limit="cycles")
+        assert isinstance(exc, SimulationError)
+        assert isinstance(exc, ResourceLimitError)
+        assert exc.limit == "cycles"
+        assert "over budget" in str(exc)
+
+    def test_all_is_complete(self):
+        public = {
+            name for name, obj in vars(errors_mod).items()
+            if not name.startswith("_")
+            and getattr(obj, "__module__", None) == "repro.errors"
+        }
+        assert public == set(errors_mod.__all__)
+
+    def test_all_names_exist(self):
+        for name in errors_mod.__all__:
+            assert hasattr(errors_mod, name), name
+
+
+class TestDiagnostic:
+    def test_str_names_stage_site_and_error(self):
+        d = Diagnostic(stage="parse", site="parser.instruction",
+                       error="SassSyntaxError", message="bad operand",
+                       lineno=7)
+        text = str(d)
+        assert "parse" in text
+        assert "parser.instruction" in text
+        assert "SassSyntaxError" in text
+        assert "7" in text
+
+    def test_to_dict_omits_empty_fields(self):
+        d = Diagnostic(stage="launch", site="simulator.launch",
+                       error="SimulationError", message="boom")
+        data = d.to_dict()
+        assert data["stage"] == "launch"
+        assert "traceback" not in data
+        assert "lineno" not in data
+        assert "detail" not in data
+
+    def test_to_dict_keeps_populated_fields(self):
+        d = Diagnostic(stage="static", site="engine.analysis",
+                       error="RuntimeError", message="x",
+                       traceback="tb", lineno=3, detail={"analysis": "a"})
+        data = d.to_dict()
+        assert data["traceback"] == "tb"
+        assert data["lineno"] == 3
+        assert data["detail"] == {"analysis": "a"}
+
+    def test_from_exception(self):
+        try:
+            raise SimulationError("deadlock")
+        except SimulationError as exc:
+            d = diagnostic_from_exception("launch", "simulator.launch", exc)
+        assert d.error == "SimulationError"
+        assert d.message == "deadlock"
+        assert "deadlock" in d.traceback
+
+    def test_from_exception_without_traceback(self):
+        d = diagnostic_from_exception(
+            "parse", "parser.instruction", ValueError("nope"),
+            with_traceback=False,
+        )
+        assert d.traceback == ""
