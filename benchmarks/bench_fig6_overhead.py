@@ -15,11 +15,12 @@ overhead models calibrated to ncu/CUPTI behaviour (replay passes and
 serialized re-runs).
 """
 
+import json
+
 import pytest
 
-from benchmarks.common import emit, fmt_row
+from benchmarks.common import RESULTS_DIR, emit, fmt_row
 from repro.core import GPUscout
-from repro.gpu import Simulator
 from repro.kernels.calibration import sgemm_spec
 from repro.kernels.sgemm import build_sgemm, sgemm_args, sgemm_launch
 
@@ -27,20 +28,24 @@ SIZES = (64, 128, 256, 512)
 
 
 @pytest.fixture(scope="module")
-def sweep():
-    """GPUscout overhead breakdown per matrix size."""
+def reports():
+    """One full engine run per matrix size.  The engine does the launch
+    itself so its span profiler times every stage — the per-stage
+    breakdown (static vs simulate vs metrics) rides along in
+    ``report.profile``."""
     scout = GPUscout(spec=sgemm_spec())
-    sim = Simulator(sgemm_spec())
     ck = build_sgemm("naive")
-    rows = {}
-    for n in SIZES:
-        launch = sim.launch(
-            ck, sgemm_launch("naive", n, n), args=sgemm_args(n, n, n),
-            max_blocks=4, functional_all=False,
-        )
-        report = scout.analyze(ck, launch=launch)
-        rows[n] = report.overhead
-    return rows
+    return {
+        n: scout.analyze(ck, sgemm_launch("naive", n, n),
+                         sgemm_args(n, n, n), max_blocks=4)
+        for n in SIZES
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep(reports):
+    """GPUscout overhead breakdown per matrix size."""
+    return {n: r.overhead for n, r in reports.items()}
 
 
 def test_bench_fig6_components(benchmark, sweep):
@@ -94,6 +99,47 @@ def test_bench_fig6_total_factor(benchmark, sweep):
     emit("fig6_total_factor", lines)
     # overhead is always a large multiple of the kernel itself
     assert all(f > 5 for f in factors.values())
+
+
+def test_bench_fig6_stage_profile(benchmark, reports):
+    """Pipeline self-profile per size: measured host wall time of each
+    engine stage, written as JSON next to the text tables so dashboards
+    can track where the tool itself spends its time."""
+    profiles = benchmark.pedantic(
+        lambda: {n: r.profile.stage_totals() for n, r in reports.items()},
+        rounds=1, iterations=1,
+    )
+    payload = {
+        str(n): {stage: round(seconds, 6)
+                 for stage, seconds in stages.items()}
+        for n, stages in profiles.items()
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "fig6_stage_profile.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        fmt_row(["size", "static ms", "simulate ms", "metrics ms",
+                 "evaluate ms"], widths=(8, 12, 14, 12, 12)),
+        "-" * 58,
+    ]
+    for n, stages in profiles.items():
+        lines.append(fmt_row(
+            [n, f"{stages['static']*1e3:.2f}",
+             f"{stages['launch']*1e3:.2f}",
+             f"{stages['metrics']*1e3:.2f}",
+             f"{stages['evaluate']*1e3:.2f}"],
+            widths=(8, 12, 14, 12, 12),
+        ))
+    emit("fig6_stage_profile", lines)
+
+    for n, stages in profiles.items():
+        # the profiler covered the whole pipeline at every size
+        assert {"parse", "static", "launch", "sampling", "metrics",
+                "evaluate"} <= set(stages), n
+        # simulation wall time dominates the static analysis, and
+        # grows with the problem size
+    assert profiles[SIZES[-1]]["launch"] > profiles[SIZES[0]]["launch"]
 
 
 def test_bench_fig6_sass_constant_vs_kernel(benchmark, sweep):

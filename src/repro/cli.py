@@ -184,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="wall-clock budget for the simulation; on "
                            "expiry the run degrades (functional/static) "
                            "instead of failing")
+    p_an.add_argument("--trace", metavar="PATH", default=None,
+                      help="write the simulated-GPU timeline as Chrome "
+                           "Trace Event JSON (open in Perfetto or "
+                           "chrome://tracing)")
+    p_an.add_argument("--profile", action="store_true",
+                      help="append the [prof] footer: per-stage pipeline "
+                           "wall time and the hottest source lines")
 
     p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
     p_dis.add_argument("--kernel", required=True)
@@ -303,6 +310,11 @@ def _main(argv: Optional[list[str]] = None) -> int:
         budget=(SimBudget(max_wall_seconds=args.deadline)
                 if args.deadline is not None else None),
     )
+    capture = None
+    if args.trace and not args.dry_run and not args.sass:
+        from repro.obs import TimelineCapture
+
+        capture = TimelineCapture()
     if args.sass:
         with open(args.sass) as fh:
             text = fh.read()
@@ -310,6 +322,9 @@ def _main(argv: Optional[list[str]] = None) -> int:
         if not args.dry_run:
             print("note: raw SASS supports static analysis only; "
                   "running as --dry-run", file=sys.stderr)
+        if args.trace:
+            print("note: --trace needs a simulated launch; no trace "
+                  "written for raw SASS / --dry-run", file=sys.stderr)
     else:
         ck, config, kargs, textures = resolve_kernel(
             args.kernel, args.size, args.compute_iterations
@@ -318,13 +333,29 @@ def _main(argv: Optional[list[str]] = None) -> int:
             ck, config, kargs, textures=textures,
             dry_run=args.dry_run,
             max_blocks=args.max_blocks or 8,
+            trace=capture,
         )
+        if args.trace and capture is None:
+            print("note: --trace needs a simulated launch; no trace "
+                  "written for raw SASS / --dry-run", file=sys.stderr)
+    if capture is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace, capture, program=report.program,
+            spec=report.launch.spec if report.launch is not None else None,
+            kernel=report.kernel,
+        )
+        report.trace_path = args.trace
+        print(f"timeline trace written to {args.trace} "
+              "(open in https://ui.perfetto.dev or chrome://tracing)",
+              file=sys.stderr)
     if args.json == "-":
         from repro.core import report_to_json
 
         print(report_to_json(report))
     else:
-        print(report.render(color=args.color))
+        print(report.render(color=args.color, profile=args.profile))
         if args.json:
             from repro.core import report_to_json
 

@@ -26,7 +26,6 @@ crashes also write a reproducer bundle to a temp dir (see
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -36,6 +35,8 @@ from repro.core.base import Analysis, AnalysisContext, default_analyses
 from repro.core.findings import Finding
 from repro.core.overhead import OverheadBreakdown
 from repro.core.reproducer import write_reproducer_bundle
+from repro.obs.heatmap import Heatmap, build_heatmap
+from repro.obs.spans import NULL_PROFILER, Profiler
 from repro.cudalite.compiler import CompiledKernel
 from repro.errors import (
     AnalysisError,
@@ -89,6 +90,13 @@ class ScoutReport:
     mode: str = "full"
     #: fault-boundary records accumulated across all stages
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-stage self-profiling spans (see :mod:`repro.obs.spans`);
+    #: always present on engine-produced reports
+    profile: Optional[Profiler] = None
+    #: per-source-line stall heatmap (dynamic runs only)
+    heatmap: Optional[Heatmap] = None
+    #: where the CLI wrote the Chrome trace, when ``--trace`` was given
+    trace_path: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -103,10 +111,10 @@ class ScoutReport:
     def has_finding(self, analysis: str) -> bool:
         return any(f.analysis == analysis for f in self.findings)
 
-    def render(self, color: bool = False) -> str:
+    def render(self, color: bool = False, profile: bool = False) -> str:
         from repro.core.report import render_report
 
-        return render_report(self, color=color)
+        return render_report(self, color=color, profile=profile)
 
     def render_html(self, comparison=None) -> str:
         """The Figure-7 interactive frontend as a standalone HTML page."""
@@ -154,6 +162,7 @@ class GPUscout:
         max_blocks: Optional[int] = None,
         launch: Optional[LaunchResult] = None,
         budget: Optional[SimBudget] = None,
+        trace=None,
     ) -> ScoutReport:
         """Run the full GPUscout workflow on ``kernel``.
 
@@ -164,6 +173,11 @@ class GPUscout:
         not support (paper §3.1).  A pre-existing ``launch`` result can
         be supplied to correlate against (avoids re-simulation).
 
+        ``trace`` is an optional
+        :class:`~repro.obs.timeline_capture.TimelineCapture`: the
+        simulated-GPU timeline (per-warp issue/stall slices, counter
+        tracks) is recorded on it without perturbing the simulation.
+
         Stage failures do not abort the run: they are recorded as
         :class:`~repro.errors.Diagnostic` entries on the returned
         report, which carries whatever the remaining stages produced
@@ -171,16 +185,29 @@ class GPUscout:
         unanalyzable ``kernel`` object, or a dynamic run without a
         launchable kernel / launch setup — still raise
         :class:`~repro.errors.AnalysisError`.
+
+        Every stage runs inside a :class:`~repro.obs.spans.Profiler`
+        span; the per-stage wall-clock breakdown is returned as
+        ``report.profile`` and every recovered :class:`Diagnostic`
+        carries the enclosing stage's elapsed time in
+        ``detail["elapsed_s"]``.
         """
         budget = budget if budget is not None else self.budget
         diags: list[Diagnostic] = []
         crashed = {"bundled": False}
+        prof = Profiler()
 
         def note(stage: str, site: str, exc: BaseException,
                  severity: str = "warning", *,
                  program=None) -> Diagnostic:
             d = diagnostic_from_exception(stage, site, exc,
                                           severity=severity)
+            span = prof.current()
+            if span is not None:
+                # stage timing on the diagnostic: how long the stage
+                # had been running when the fault was recovered
+                d.detail["span"] = span.name
+                d.detail["elapsed_s"] = round(span.elapsed_s, 6)
             if not isinstance(exc, ReproError) and not crashed["bundled"]:
                 # an exception no stage anticipated: keep the evidence
                 crashed["bundled"] = True
@@ -194,64 +221,76 @@ class GPUscout:
             return d
 
         # -- stage 1: configuration / parse -----------------------------
-        try:
-            program, compiled = self._resolve(kernel, diags)
-        except AnalysisError:
-            raise  # unanalyzable input object: a usage error
-        except Exception as exc:
-            # even a wholesale parse failure yields a (static, empty)
-            # report so batch pipelines keep their per-kernel records
-            note("parse", "parser.program", exc, severity="error")
-            program, compiled = Program("kernel", []), None
+        with prof.span("parse") as parse_span:
+            try:
+                program, compiled = self._resolve(kernel, diags)
+            except AnalysisError:
+                raise  # unanalyzable input object: a usage error
+            except Exception as exc:
+                # even a wholesale parse failure yields a (static, empty)
+                # report so batch pipelines keep their per-kernel records
+                note("parse", "parser.program", exc, severity="error")
+                program, compiled = Program("kernel", []), None
+            # per-line recovery diagnostics come straight from the
+            # parser, not through note(): stamp stage timing on them too
+            for d in diags:
+                if "span" not in d.detail:
+                    d.detail["span"] = parse_span.name
+                    d.detail["elapsed_s"] = round(parse_span.elapsed_s, 6)
 
         # -- stage 2: static instrumentation -----------------------------
-        t0 = time.perf_counter()
-        ctx = AnalysisContext(program, compiled, config)
-        findings: list[Finding] = []
-        for analysis in self.analyses:
-            try:
-                fail_point("engine.analysis")
-                findings.extend(analysis.run(ctx))
-            except Exception as exc:
-                d = note("static", "engine.analysis", exc,
-                         severity="error", program=program)
-                d.detail["analysis"] = analysis.name
-        findings.sort(key=lambda f: (-int(f.severity), f.analysis))
-        # PTX-level cross-check of the atomics analysis (paper §3 fn. 2:
-        # "analogously to SASS, a PTX analysis is performed in §4.4")
-        ptx_atomics = None
-        if compiled is not None:
-            try:
-                from repro.ptx import parse_ptx, scan_atomics
+        with prof.span("static") as static_span:
+            ctx = AnalysisContext(program, compiled, config)
+            findings: list[Finding] = []
+            for analysis in self.analyses:
+                with prof.span(f"static:{analysis.name}"):
+                    try:
+                        fail_point("engine.analysis")
+                        findings.extend(analysis.run(ctx))
+                    except Exception as exc:
+                        d = note("static", "engine.analysis", exc,
+                                 severity="error", program=program)
+                        d.detail["analysis"] = analysis.name
+            findings.sort(key=lambda f: (-int(f.severity), f.analysis))
+            # PTX-level cross-check of the atomics analysis (paper §3
+            # fn. 2: "analogously to SASS, a PTX analysis is performed
+            # in §4.4")
+            ptx_atomics = None
+            if compiled is not None:
+                with prof.span("static:ptx"):
+                    try:
+                        from repro.ptx import parse_ptx, scan_atomics
 
-                ptx_atomics = scan_atomics(parse_ptx(compiled.ptx_text))
-                for finding in findings:
-                    if finding.analysis == "use_shared_atomics":
-                        finding.details["ptx_global_atomics"] = \
-                            ptx_atomics.global_atomics
-                        finding.details["ptx_shared_atomics"] = \
-                            ptx_atomics.shared_atomics
-            except Exception as exc:
-                note("static", "engine.ptx", exc, program=program)
-        # launch-independent affine proof footer: which accesses are
-        # statically proven coalesced/conflict-free vs. flagged
-        affine_summary: dict = {}
-        try:
-            from repro.sass.affine import (
-                pointer_param_offsets,
-                static_access_report,
-                summarize_proofs,
-            )
+                        ptx_atomics = scan_atomics(
+                            parse_ptx(compiled.ptx_text))
+                        for finding in findings:
+                            if finding.analysis == "use_shared_atomics":
+                                finding.details["ptx_global_atomics"] = \
+                                    ptx_atomics.global_atomics
+                                finding.details["ptx_shared_atomics"] = \
+                                    ptx_atomics.shared_atomics
+                    except Exception as exc:
+                        note("static", "engine.ptx", exc, program=program)
+            # launch-independent affine proof footer: which accesses are
+            # statically proven coalesced/conflict-free vs. flagged
+            affine_summary: dict = {}
+            with prof.span("static:affine"):
+                try:
+                    from repro.sass.affine import (
+                        pointer_param_offsets,
+                        static_access_report,
+                        summarize_proofs,
+                    )
 
-            affine_summary = summarize_proofs(
-                static_access_report(
-                    program, ctx.cfg, ctx.affine, config,
-                    pointer_params=pointer_param_offsets(compiled),
-                )
-            )
-        except Exception as exc:
-            note("static", "engine.affine", exc, program=program)
-        sass_seconds = time.perf_counter() - t0
+                    affine_summary = summarize_proofs(
+                        static_access_report(
+                            program, ctx.cfg, ctx.affine, config,
+                            pointer_params=pointer_param_offsets(compiled),
+                        )
+                    )
+                except Exception as exc:
+                    note("static", "engine.affine", exc, program=program)
+        sass_seconds = static_span.elapsed_s
 
         if dry_run:
             return ScoutReport(
@@ -263,6 +302,7 @@ class GPUscout:
                 affine_summary=affine_summary,
                 mode="dry-run",
                 diagnostics=diags,
+                profile=prof,
                 overhead=OverheadBreakdown(
                     kernel_seconds=0.0,
                     sass_analysis_seconds=sass_seconds,
@@ -284,47 +324,62 @@ class GPUscout:
                 raise AnalysisError(
                     "dynamic analysis needs a LaunchConfig and kernel args"
                 )
-            launch, mode = self._launch_with_degradation(
-                compiled, config, args, textures, max_blocks, budget,
-                note, program,
-            )
+            with prof.span("launch"):
+                launch, mode = self._launch_with_degradation(
+                    compiled, config, args, textures, max_blocks, budget,
+                    note, program, trace=trace, prof=prof,
+                )
 
         sampling = None
         line_profiles: dict[int, LineStallProfile] = {}
         metrics = None
         if launch is not None and mode == "full":
-            try:
-                sampling = self.sampler.sample(launch)
-                line_profiles = build_line_profiles(sampling)
-            except Exception as exc:
-                sampling, line_profiles = None, {}
-                note("sampling", "sampler.sample", exc, program=program)
-            try:
-                metrics = self.ncu.collect(
-                    launch, self._metric_names(findings)
-                )
-            except Exception as exc:
-                metrics = None
-                note("metrics", "metrics.collect", exc, program=program)
+            with prof.span("sampling"):
+                try:
+                    sampling = self.sampler.sample(launch)
+                    line_profiles = build_line_profiles(sampling)
+                except Exception as exc:
+                    sampling, line_profiles = None, {}
+                    note("sampling", "sampler.sample", exc, program=program)
+            with prof.span("metrics"):
+                try:
+                    metrics = self.ncu.collect(
+                        launch, self._metric_names(findings)
+                    )
+                except Exception as exc:
+                    metrics = None
+                    note("metrics", "metrics.collect", exc, program=program)
 
         # -- stage 4: evaluation ------------------------------------------
-        for finding in findings:
-            if sampling is not None:
-                finding.stall_profile = self._stalls_for(finding, sampling)
-            if metrics is not None:
-                finding.metrics = {
-                    name: metrics.values[name]
-                    for name in finding.metric_focus
-                    if name in metrics.values
-                }
-        if launch is not None:
-            try:
-                fail_point("engine.predictions")
-                self._attach_predictions(
-                    findings, ctx, compiled, config, launch
-                )
-            except Exception as exc:
-                note("evaluate", "engine.predictions", exc, program=program)
+        heatmap = None
+        with prof.span("evaluate"):
+            for finding in findings:
+                if sampling is not None:
+                    finding.stall_profile = self._stalls_for(finding,
+                                                            sampling)
+                if metrics is not None:
+                    finding.metrics = {
+                        name: metrics.values[name]
+                        for name in finding.metric_focus
+                        if name in metrics.values
+                    }
+            if launch is not None:
+                with prof.span("evaluate:predictions"):
+                    try:
+                        fail_point("engine.predictions")
+                        self._attach_predictions(
+                            findings, ctx, compiled, config, launch
+                        )
+                    except Exception as exc:
+                        note("evaluate", "engine.predictions", exc,
+                             program=program)
+                with prof.span("evaluate:heatmap"):
+                    try:
+                        heatmap = build_heatmap(program, launch.counters)
+                    except Exception as exc:
+                        heatmap = None
+                        note("evaluate", "engine.heatmap", exc,
+                             program=program)
 
         overhead = OverheadBreakdown(
             kernel_seconds=launch.duration_s if launch is not None else 0.0,
@@ -351,6 +406,8 @@ class GPUscout:
             affine_summary=affine_summary,
             mode=mode,
             diagnostics=diags,
+            profile=prof,
+            heatmap=heatmap,
         )
 
     # ------------------------------------------------------------------
@@ -364,6 +421,8 @@ class GPUscout:
         budget: Optional[SimBudget],
         note,
         program: Program,
+        trace=None,
+        prof: Optional[Profiler] = None,
     ) -> tuple[Optional[LaunchResult], str]:
         """Run the dynamic stage down the degradation ladder.
 
@@ -376,7 +435,15 @@ class GPUscout:
         :class:`~repro.gpu.budget.SimBudget` makes the remaining rungs
         fail fast, so budget exhaustion cascades straight to
         static-only.
+
+        Each rung attempt runs in its own span; a failed attempt's span
+        is renamed ``launch:retry`` so abandoned-rung wall time is
+        attributed to retry cost rather than the rung that eventually
+        succeeded.  A failed rung's partial timeline-capture events are
+        rolled back (``mark``/``reset_to``) so the exported trace only
+        shows the run that produced the report.
         """
+        prof = prof if prof is not None else NULL_PROFILER
         fast = resolve_fast_mode(self.fast)
         rungs: list[tuple[str, bool, bool]] = [
             ("timed-trace" if fast else "timed-legacy", fast, True),
@@ -387,22 +454,34 @@ class GPUscout:
         for i, (rung, rung_fast, timed) in enumerate(rungs):
             fallback = rungs[i + 1][0] if i + 1 < len(rungs) else "static-only"
             sim = Simulator(self.spec, fast=rung_fast)
-            try:
-                launch = sim.launch(
-                    compiled, config, args, textures=textures,
-                    max_blocks=max_blocks,
-                    functional_all=not timed,
-                    timed=timed, budget=budget,
-                )
-                return launch, ("full" if timed else "functional")
-            except Exception as exc:
-                d = note("launch", "simulator.launch", exc, program=program)
-                d.detail["rung"] = rung
-                d.detail["fallback"] = fallback
-                d.message = (
-                    f"{rung} simulation failed ({d.message}); "
-                    f"falling back to {fallback}"
-                )
+            capture_mark = trace.mark() if trace is not None and \
+                hasattr(trace, "mark") else None
+            with prof.span(f"launch:{rung}") as span:
+                try:
+                    launch = sim.launch(
+                        compiled, config, args, textures=textures,
+                        max_blocks=max_blocks,
+                        functional_all=not timed,
+                        timed=timed, budget=budget,
+                        trace=trace,
+                    )
+                    return launch, ("full" if timed else "functional")
+                except Exception as exc:
+                    if span is not None:
+                        # satellite: abandoned rung wall time shows up
+                        # as retry cost, not as the winning rung's
+                        span.name = "launch:retry"
+                        span.counters["rung"] = rung
+                    if capture_mark is not None:
+                        trace.reset_to(capture_mark)
+                    d = note("launch", "simulator.launch", exc,
+                             program=program)
+                    d.detail["rung"] = rung
+                    d.detail["fallback"] = fallback
+                    d.message = (
+                        f"{rung} simulation failed ({d.message}); "
+                        f"falling back to {fallback}"
+                    )
         return None, "static"
 
     # ------------------------------------------------------------------

@@ -109,6 +109,20 @@ _SEV_CLASS = {Severity.INFO: "info", Severity.WARNING: "warn",
               Severity.CRITICAL: "crit"}
 
 
+def _heat_style(share: float) -> str:
+    """Inline background for a heat-ramped source line.
+
+    The ramp runs transparent → amber → red with alpha following the
+    line's share of all attributed stall cycles, so the hottest line is
+    unmistakable and cool lines stay readable."""
+    if share <= 0.0:
+        return ""
+    alpha = min(0.85, 0.15 + 0.7 * share)
+    # amber below 30 % share, red above
+    rgb = "191,97,106" if share >= 0.3 else "235,203,139"
+    return f" style='background:rgba({rgb},{alpha:.2f})'"
+
+
 def _source_panel(report: ScoutReport) -> str:
     source = report.program.source
     if not source:
@@ -118,14 +132,24 @@ def _source_panel(report: ScoutReport) -> str:
         for line in f.lines:
             prev = badge_by_line.get(line, Severity.INFO)
             badge_by_line[line] = max(prev, f.severity)
+    heatmap = getattr(report, "heatmap", None)
+    heat_by_line = heatmap.lines if heatmap is not None else {}
     rows = []
     for i, text in enumerate(source.splitlines(), start=1):
         badge = ""
         if i in badge_by_line:
             cls = _SEV_CLASS[badge_by_line[i]]
             badge = f"<span class='badge {cls}'>{cls}</span>"
+        heat, title = "", ""
+        lh = heat_by_line.get(i)
+        if lh is not None:
+            heat = _heat_style(lh.share)
+            dom = lh.dominant()
+            dom_name = dom.cupti_name if dom is not None else "-"
+            title = (f" title='{lh.stall_cycles:.0f} stall cycles "
+                     f"({100 * lh.share:.1f}%), dominant: {dom_name}'")
         rows.append(
-            f"<div class='codeline' data-line='{i}'>"
+            f"<div class='codeline' data-line='{i}'{heat}{title}>"
             f"<span class='no'>{i}</span>"
             f"<span>{html.escape(text) or ' '}</span>{badge}</div>"
         )
@@ -256,6 +280,57 @@ def _health_section(report: ScoutReport) -> str:
     )
 
 
+def _heatmap_section(report: ScoutReport) -> str:
+    heatmap = getattr(report, "heatmap", None)
+    if heatmap is None or not heatmap.lines:
+        return ""
+    rows = []
+    for lh in heatmap.top(10):
+        dom = lh.dominant()
+        dom_name = dom.cupti_name if dom is not None else "-"
+        breakdown = ", ".join(
+            f"{r.cupti_name} {100 * v / lh.stall_cycles:.0f}%"
+            for r, v in sorted(lh.by_reason.items(), key=lambda kv: -kv[1])
+        )[:120]
+        rows.append(
+            f"<tr><td>{lh.line}</td>"
+            f"<td>{lh.stall_cycles:,.0f}</td>"
+            f"<td>{100 * lh.share:.1f}%</td>"
+            f"<td>{lh.issues}</td>"
+            f"<td>{html.escape(dom_name)}</td>"
+            f"<td class='kv'>{html.escape(breakdown)}</td></tr>"
+        )
+    unattr = ""
+    if heatmap.unattributed_cycles:
+        unattr = (f"<p class='kv'>{heatmap.unattributed_cycles:,.0f} stall "
+                  "cycles at instructions with no source-line info</p>")
+    return (
+        "<h2>Source-line heatmap (simulated stall cycles)</h2>"
+        "<table><tr><th>line</th><th>stall cycles</th><th>share</th>"
+        "<th>issues</th><th>dominant stall</th><th>breakdown</th></tr>"
+        f"{''.join(rows)}</table>{unattr}"
+    )
+
+
+def _profile_section(report: ScoutReport) -> str:
+    prof = getattr(report, "profile", None)
+    if prof is None or not prof.spans:
+        return ""
+    total = prof.total_seconds()
+    rows = "".join(
+        f"<tr><td>{html.escape(stage)}</td>"
+        f"<td>{seconds * 1e3:,.2f}</td>"
+        f"<td>{100 * seconds / total if total else 0:.1f}%</td></tr>"
+        for stage, seconds in prof.stage_totals().items()
+    )
+    return (
+        "<h2>Pipeline self-profile</h2>"
+        f"<p class='kv'>total wall time {total * 1e3:,.2f} ms</p>"
+        "<table><tr><th>stage</th><th>ms</th><th>share</th></tr>"
+        f"{rows}</table>"
+    )
+
+
 def _metrics_table(report: ScoutReport) -> str:
     if report.metrics is None:
         return ""
@@ -324,7 +399,13 @@ def render_html(report: ScoutReport,
         _stall_bar(report),
         "</div>",
         "<div class='section'>",
+        _heatmap_section(report),
+        "</div>",
+        "<div class='section'>",
         _metrics_table(report),
+        "</div>",
+        "<div class='section'>",
+        _profile_section(report),
         "</div>",
         "<div class='section'>",
         _health_section(report),

@@ -17,8 +17,13 @@ from repro.gpu.stalls import StallReason
 __all__ = ["report_to_dict", "report_to_json", "SCHEMA_VERSION"]
 
 #: v3 added ``mode`` (degradation-ladder rung) and ``diagnostics``
-#: (fault-boundary records) — both always present
-SCHEMA_VERSION = 3
+#: (fault-boundary records) — both always present.
+#: v4 added ``profile`` (per-stage pipeline wall time, always present
+#: when the engine produced the report), ``heatmap`` (per-source-line
+#: stall attribution, present when a launch produced counters) and
+#: ``trace_path`` (the exported Chrome trace, present when tracing was
+#: requested).
+SCHEMA_VERSION = 4
 
 
 def _finding_dict(f) -> dict[str, Any]:
@@ -98,6 +103,12 @@ def report_to_dict(report: ScoutReport) -> dict[str, Any]:
             k: (None if v == float("inf") else float(v))
             for k, v in report.overhead.as_dict().items()
         }
+    if report.profile is not None:
+        out["profile"] = report.profile.to_dict()
+    if report.heatmap is not None:
+        out["heatmap"] = report.heatmap.to_dict()
+    if report.trace_path is not None:
+        out["trace_path"] = report.trace_path
     return out
 
 

@@ -13,7 +13,8 @@ from repro.core.findings import Finding, Severity
 from repro.gpu.stalls import STALL_EXPLANATIONS, StallReason
 from repro.metrics.names import METRIC_REGISTRY
 
-__all__ = ["render_report", "render_finding", "render_health"]
+__all__ = ["render_report", "render_finding", "render_health",
+           "render_profile"]
 
 _RULE = "-" * 72
 _SEV_TAG = {
@@ -124,8 +125,13 @@ def render_finding(finding: Finding, color: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_report(report, color: bool = False) -> str:
-    """Full terminal report (Figure 2 / Figure 5 style)."""
+def render_report(report, color: bool = False,
+                  profile: bool = False) -> str:
+    """Full terminal report (Figure 2 / Figure 5 style).
+
+    With ``profile`` a ``[prof]`` footer is appended: the top pipeline
+    stages by wall time and the hottest source lines by stall cycles
+    (from the report's :class:`~repro.obs.heatmap.Heatmap`)."""
     lines: list[str] = []
     lines.append(_RULE)
     mode = " (dry run: SASS analysis only)" if report.dry_run else ""
@@ -192,7 +198,37 @@ def render_report(report, color: bool = False) -> str:
             )
         lines.append(exec_line)
     lines.extend(render_health(report))
+    if profile:
+        lines.extend(render_profile(report))
     return "\n".join(lines) + "\n"
+
+
+def render_profile(report) -> list[str]:
+    """The ``[prof]`` footer: top-5 pipeline stages and top-5 hot lines.
+
+    Empty when the report carries no profiler (e.g. hand-built report
+    objects in tests)."""
+    prof = getattr(report, "profile", None)
+    if prof is None or not prof.spans:
+        return []
+    total = prof.total_seconds()
+    lines = ["", f"[prof] pipeline wall time {total*1e3:.2f} ms"]
+    for span in prof.top_spans(5):
+        pct = 100.0 * span.elapsed_s / total if total else 0.0
+        lines.append(
+            f"  {span.name:<24s} {span.elapsed_s*1e3:8.2f} ms {pct:5.1f} %"
+        )
+    heatmap = getattr(report, "heatmap", None)
+    if heatmap is not None and heatmap.lines:
+        lines.append("[prof] hottest source lines (simulated stall cycles)")
+        for lh in heatmap.top(5):
+            dom = lh.dominant()
+            dom_name = dom.cupti_name if dom is not None else "-"
+            lines.append(
+                f"  line {lh.line:<5d} {lh.stall_cycles:10.0f} cycles "
+                f"{100.0 * lh.share:5.1f} %  dominant: {dom_name}"
+            )
+    return lines
 
 
 _HEALTH_MAX_LINES = 8

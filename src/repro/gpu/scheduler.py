@@ -181,8 +181,17 @@ class SMScheduler:
         self.executor = executor
         self.hierarchy = hierarchy
         self.counters = counters
-        #: optional :class:`~repro.gpu.trace.TraceRecorder`
+        #: optional :class:`~repro.gpu.trace.TraceRecorder` or
+        #: :class:`~repro.obs.timeline_capture.TimelineCapture`; both
+        #: paths call ``trace.record(...)`` once per issue.  A capture
+        #: additionally attaches to the scheduler so its counter-track
+        #: samples can *read* the memory-unit timelines (never mutate —
+        #: capture must not perturb the simulation).
         self.trace = trace
+        if trace is not None:
+            attach = getattr(trace, "attach", None)
+            if attach is not None:
+                attach(self)
         #: optional :class:`~repro.gpu.budget.SimBudget` checked every
         #: ``_BUDGET_STRIDE`` issues (None on the unguarded happy path)
         self.budget = budget

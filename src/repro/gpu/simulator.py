@@ -278,6 +278,10 @@ class Simulator:
         resident = occ.active_blocks
         use_trace = timed and self.fast and timed_batchable(executor.decoded)
         timed_fast_path = use_trace
+        # wave-boundary observability hook (TimelineCapture only; the
+        # plain TraceRecorder has no note_wave)
+        note_wave = getattr(trace, "note_wave", None)
+        capture = trace if note_wave is not None else None
         t0 = time.perf_counter()
         for i in range(0, len(timed_blocks), resident):
             wave = timed_blocks[i : i + resident]
@@ -292,7 +296,8 @@ class Simulator:
             counters.warps_launched += len(warps)
             if use_trace:
                 ttrace = build_timed_trace(
-                    executor, warps, compiled.program.shared_bytes
+                    executor, warps, compiled.program.shared_bytes,
+                    capture=capture,
                 )
                 if ttrace is not None:
                     scheduler.run_wave_trace(ttrace, warp_counts)
@@ -306,6 +311,8 @@ class Simulator:
                     warps.extend(self._make_block_warps(
                         compiled, config, block_id, mem
                     ))
+            elif note_wave is not None:
+                note_wave("legacy", len(warps))
             scheduler.run_wave(warps, warp_counts)
         timed_seconds = time.perf_counter() - t0
         timed_instructions = counters.inst_issued

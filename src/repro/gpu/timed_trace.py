@@ -321,7 +321,7 @@ class _TracingEngine(BatchEngine):
 
 
 def build_timed_trace(executor: Executor, warps: list[WarpState],
-                      shared_bytes: int) -> Optional[TimedTrace]:
+                      shared_bytes: int, capture=None) -> Optional[TimedTrace]:
     """Execute one timed wave functionally and record its effect trace.
 
     Returns ``None`` when the pack dissolves (divergent waves) or any
@@ -330,6 +330,12 @@ def build_timed_trace(executor: Executor, warps: list[WarpState],
     errors included — on the legacy interleaved path.  The passed
     ``warps`` are consumed (their shared-memory views are re-pointed at
     the pack) and must not be reused after a ``None`` return.
+
+    ``capture`` is an optional
+    :class:`~repro.obs.timeline_capture.TimelineCapture`: wave-boundary
+    annotations (built / dissolved, with row counts) are recorded on it.
+    The capture never influences the build — it is written to only
+    after the outcome is decided.
     """
     fail_point("trace.build")
     emitter = TraceEmitter(executor.spec, executor.memory, len(warps))
@@ -339,8 +345,18 @@ def build_timed_trace(executor: Executor, warps: list[WarpState],
         _, leftover = engine.run(pack)
     except SimulationError:
         emitter.rollback()
+        if capture is not None:
+            capture.note_wave("dissolve", len(warps),
+                              detail="build error; legacy replay")
         return None
     if leftover is not None:
         emitter.rollback()
+        if capture is not None:
+            capture.note_wave("dissolve", len(warps),
+                              detail="divergent wave; legacy replay")
         return None
-    return emitter.finish(warps)
+    trace = emitter.finish(warps)
+    if capture is not None:
+        capture.note_wave("trace", len(warps),
+                          detail=f"{len(trace.pcs)} trace rows")
+    return trace

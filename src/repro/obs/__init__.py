@@ -1,0 +1,42 @@
+"""Observability layer: self-profiling spans, simulated-GPU timeline
+capture, and source-line heatmaps.
+
+GPUscout's value proposition is attributing *where time goes* — warp
+stalls to PCs, PCs to source lines (paper §3, §5).  This package turns
+the data the pipeline already produces internally into three exportable
+views:
+
+* :mod:`repro.obs.spans` — a nestable span/counter API the engine
+  threads through every workflow stage, so each run can report its own
+  overhead per stage (paper §6 / Figure 6, now per-stage);
+* :mod:`repro.obs.timeline_capture` — opt-in recording of per-warp
+  issue/stall intervals and memory-unit counter tracks during
+  simulation, guaranteed not to perturb the simulated timing;
+* :mod:`repro.obs.chrometrace` — Chrome Trace Event Format / Perfetto
+  JSON export of a capture (one "process" per SM, one "thread" per
+  warp) plus a structural validator;
+* :mod:`repro.obs.heatmap` — per-PC stall cycles aggregated up the
+  line table into an annotated source listing.
+"""
+
+from repro.obs.chrometrace import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.heatmap import Heatmap, LineHeat, build_heatmap
+from repro.obs.spans import NULL_PROFILER, Profiler, Span
+from repro.obs.timeline_capture import TimelineCapture
+
+__all__ = [
+    "Heatmap",
+    "LineHeat",
+    "NULL_PROFILER",
+    "Profiler",
+    "Span",
+    "TimelineCapture",
+    "build_heatmap",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,264 @@
+"""Chrome Trace Event Format / Perfetto export of a timeline capture.
+
+Open the output in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Layout:
+
+* one **process** per SM (the simulator times one SM's share of the
+  grid, so there is one: ``SM 0``);
+* one **thread** per ``(block, warp)`` resident on that SM — each
+  issued instruction is a complete (``X``) slice in category ``issue``,
+  and the stall the warp paid before the issue is an ``X`` slice in
+  category ``stall`` named after the :class:`StallReason`;
+* **counter** (``C``) tracks for the LSU/MIO/TEX backlogs, the L1/L2
+  hit rates, cumulative issued instructions, and resident (eligible)
+  warps derived from slice lifetimes;
+* wave-boundary annotations as instant (``i``) events.
+
+Timestamps are simulated **cycles rendered as microseconds** (1 cycle
+== 1 µs) — Chrome's ``ts`` unit is µs and cycles are the native unit
+of the timing model; ``metadata.ts_unit`` records the convention.
+
+:func:`validate_chrome_trace` is the structural validator the CI smoke
+pipes traces through: every ``B`` has an ``E``, ``ts`` is monotone per
+thread, and every pid/tid used by a slice is declared via metadata
+events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace",
+           "write_chrome_trace"]
+
+#: counter-track names, stable for golden tests
+_COUNTER_TRACKS = (
+    ("lsu backlog", "lsu_backlog", "cycles"),
+    ("mio backlog", "mio_backlog", "cycles"),
+    ("tex backlog", "tex_backlog", "cycles"),
+    ("l1 hit rate", "l1_hit_rate", "ratio"),
+    ("l2 hit rate", "l2_hit_rate", "ratio"),
+    ("inst issued", "inst_issued", "count"),
+)
+
+
+def to_chrome_trace(capture, program=None, spec=None,
+                    sm_id: int = 0, kernel: str = "") -> dict:
+    """Convert a :class:`~repro.obs.timeline_capture.TimelineCapture`
+    to a Chrome Trace Event Format object (JSON-ready dict).
+
+    ``program`` (a :class:`~repro.sass.isa.Program`) adds source-line
+    attribution to slice args; ``spec`` is recorded in metadata.
+    """
+    pid = sm_id
+    events: list[dict] = []
+    # -- metadata: declare the process and every warp thread ------------
+    events.append({
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "ts": 0, "args": {"name": f"SM {sm_id}"},
+    })
+    warp_tids: dict[tuple[int, int], int] = {}
+    for tid, (block, warp) in enumerate(capture.warps()):
+        warp_tids[(block, warp)] = tid
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "ts": 0, "args": {"name": f"block {block} / warp {warp}"},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid,
+            "tid": tid, "ts": 0, "args": {"sort_index": tid},
+        })
+
+    # -- per-issue slices ------------------------------------------------
+    lines = None
+    if program is not None:
+        lines = [ins.line for ins in program]
+    for e in capture.events:
+        tid = warp_tids[(e.block, e.warp)]
+        args = {"pc": e.pc}
+        if lines is not None and e.pc < len(lines) and lines[e.pc] is not None:
+            args["line"] = lines[e.pc]
+        if e.stall_cycles > 0 and e.stall_reason is not None:
+            events.append({
+                "name": e.stall_reason.cupti_name, "cat": "stall",
+                "ph": "X", "ts": e.cycle - e.stall_cycles,
+                "dur": e.stall_cycles, "pid": pid, "tid": tid,
+                "args": args,
+            })
+        events.append({
+            "name": e.opcode, "cat": "issue", "ph": "X",
+            "ts": e.cycle, "dur": 1.0, "pid": pid, "tid": tid,
+            "args": args,
+        })
+
+    # -- counter tracks --------------------------------------------------
+    for s in capture.counter_samples:
+        for name, attr, unit in _COUNTER_TRACKS:
+            events.append({
+                "name": name, "cat": "counter", "ph": "C",
+                "ts": s.cycle, "pid": pid,
+                "args": {unit: getattr(s, attr)},
+            })
+    events.extend(_resident_warp_track(capture, pid))
+
+    # -- wave annotations (dedicated thread so the instants do not
+    # interleave with warp slices) ---------------------------------------
+    if capture.wave_notes:
+        wave_tid = len(warp_tids)
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": wave_tid, "ts": 0, "args": {"name": "waves"},
+        })
+        for note in capture.wave_notes:
+            events.append({
+                "name": f"wave:{note.kind}", "cat": "wave", "ph": "i",
+                "ts": note.cycle, "pid": pid, "tid": wave_tid, "s": "t",
+                "args": {"warps": note.warps, "detail": note.detail},
+            })
+
+    meta = {
+        "ts_unit": "simulated SM cycles (1 cycle rendered as 1 us)",
+        "kernel": kernel,
+        "truncated": capture.truncated,
+        "n_events": capture.n_events,
+    }
+    if spec is not None:
+        meta["gpu"] = getattr(spec, "name", str(type(spec).__name__))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": meta,
+    }
+
+
+def _resident_warp_track(capture, pid: int) -> list[dict]:
+    """Counter track of resident (eligible) warps, derived from slice
+    lifetimes: a warp counts from its first issue to its last."""
+    first_last: dict[tuple[int, int], list[float]] = {}
+    for e in capture.events:
+        key = (e.block, e.warp)
+        fl = first_last.get(key)
+        start = e.cycle - e.stall_cycles
+        if fl is None:
+            first_last[key] = [start, e.cycle]
+        else:
+            if start < fl[0]:
+                fl[0] = start
+            if e.cycle > fl[1]:
+                fl[1] = e.cycle
+    deltas: dict[float, int] = {}
+    for start, end in first_last.values():
+        deltas[start] = deltas.get(start, 0) + 1
+        deltas[end] = deltas.get(end, 0) - 1
+    out: list[dict] = []
+    level = 0
+    for ts in sorted(deltas):
+        level += deltas[ts]
+        out.append({
+            "name": "resident warps", "cat": "counter", "ph": "C",
+            "ts": ts, "pid": pid, "args": {"count": level},
+        })
+    return out
+
+
+def write_chrome_trace(path: str, capture, program=None, spec=None,
+                       sm_id: int = 0, kernel: str = "") -> dict:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the
+    object written (handy for tests)."""
+    data = to_chrome_trace(capture, program=program, spec=spec,
+                           sm_id=sm_id, kernel=kernel)
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    return data
+
+
+# ----------------------------------------------------------------------
+_SLICE_PHASES = ("B", "E", "X")
+_KNOWN_PHASES = ("B", "E", "X", "C", "M", "i", "b", "e", "n", "s", "t", "f")
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Structural validation of a Chrome Trace Event object.
+
+    Returns a list of problems (empty == valid):
+
+    * the object must be a dict with a ``traceEvents`` list;
+    * every event needs ``name``/``ph``/``pid`` and (non-``M``) ``ts``;
+    * every ``B`` must have a matching ``E`` on the same (pid, tid),
+      properly nested, with no ``E`` left over;
+    * ``ts`` must be monotone (non-decreasing) per (pid, tid) over the
+      slice phases, and ``X`` durations non-negative;
+    * every pid/tid used by a slice or instant event must be declared
+      via ``process_name``/``thread_name`` metadata events.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["top-level value is not an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+
+    declared_pids: set = set()
+    declared_tids: set = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        if ev.get("ph") == "M":
+            if ev.get("name") == "process_name":
+                declared_pids.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                declared_tids.add((ev.get("pid"), ev.get("tid")))
+
+    open_stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev or "pid" not in ev:
+            problems.append(f"event {i}: missing name/ph/pid")
+            continue
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            problems.append(f"event {i}: missing ts")
+            continue
+        pid = ev.get("pid")
+        if pid not in declared_pids:
+            problems.append(f"event {i}: pid {pid!r} not declared via "
+                            "process_name metadata")
+        key = (pid, ev.get("tid"))
+        if ph in _SLICE_PHASES or ph == "i":
+            if ph != "i" and key not in declared_tids:
+                problems.append(f"event {i}: tid {key!r} not declared "
+                                "via thread_name metadata")
+            prev = last_ts.get(key)
+            ts = ev["ts"]
+            if prev is not None and ts < prev - 1e-9:
+                problems.append(
+                    f"event {i}: ts {ts} goes backwards on {key} "
+                    f"(prev {prev})"
+                )
+            last_ts[key] = max(prev, ts) if prev is not None else ts
+        if ph == "X":
+            if ev.get("dur", 0) < 0:
+                problems.append(f"event {i}: negative duration")
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stacks.get(key)
+            if not stack:
+                problems.append(f"event {i}: 'E' with no open 'B' on {key}")
+            else:
+                stack.pop()
+    for key, stack in open_stacks.items():
+        if stack:
+            problems.append(
+                f"unclosed 'B' events on {key}: {stack!r}"
+            )
+    return problems

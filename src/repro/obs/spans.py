@@ -1,0 +1,164 @@
+"""Lightweight nestable span tracer (pipeline self-profiling).
+
+The engine wraps every workflow stage in a span::
+
+    with profiler.span("static:vectorize"):
+        findings.extend(analysis.run(ctx))
+
+Spans nest (a stack per profiler), cost two ``perf_counter_ns`` calls
+each, and are **zero-cost when disabled**: a disabled profiler's
+:meth:`Profiler.span` returns a shared no-op context manager and
+records nothing.  :data:`NULL_PROFILER` is the canonical disabled
+instance, so call sites never need an ``if profiler is not None`` —
+they always hold a profiler and the disabled one does nothing.
+
+Span names are ``stage`` or ``stage:detail`` — aggregations group by
+the text before the first ``:`` (``static:vectorize`` and
+``static:affine`` both roll up into ``static``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter_ns
+from typing import Optional
+
+__all__ = ["NULL_PROFILER", "Profiler", "Span"]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) span."""
+
+    name: str
+    start_ns: int
+    end_ns: Optional[int] = None
+    depth: int = 0
+    #: free-form counters attached via :meth:`Profiler.count`
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def elapsed_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None else perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / 1e9
+
+    @property
+    def stage(self) -> str:
+        """The roll-up key: text before the first ``:``."""
+        return self.name.split(":", 1)[0]
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "elapsed_ns": self.elapsed_ns,
+            "depth": self.depth,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        return out
+
+
+class _SpanContext:
+    """Context manager closing one span on exit (exceptions included —
+    a failed stage still reports how long it ran before failing)."""
+
+    __slots__ = ("_profiler", "_span")
+
+    def __init__(self, profiler: "Profiler", span: Span):
+        self._profiler = profiler
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._span.end_ns = perf_counter_ns()
+        self._profiler._stack.pop()
+        return None
+
+
+class _NullContext:
+    """Shared no-op context manager for disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Profiler:
+    """Collects :class:`Span` records for one pipeline run.
+
+    ``enabled=False`` makes every method a near-no-op (one attribute
+    load and one branch); the engine passes :data:`NULL_PROFILER` when
+    profiling is off so hot paths never pay for it.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """Open a nested span; use as ``with profiler.span("launch")``."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        s = Span(name=name, start_ns=perf_counter_ns(),
+                 depth=len(self._stack))
+        self.spans.append(s)
+        self._stack.append(s)
+        return _SpanContext(self, s)
+
+    def count(self, key: str, value) -> None:
+        """Attach a counter to the innermost open span (dropped when no
+        span is open or the profiler is disabled)."""
+        if self.enabled and self._stack:
+            self._stack[-1].counters[key] = value
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    def stage_totals(self) -> dict[str, float]:
+        """Seconds per top-level stage (depth-0 spans only, so nested
+        detail spans are not double-counted), insertion-ordered."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            if s.depth == 0:
+                out[s.stage] = out.get(s.stage, 0.0) + s.elapsed_s
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(self.stage_totals().values())
+
+    def top_spans(self, n: int = 5) -> list[Span]:
+        """The ``n`` longest depth-0 spans, longest first."""
+        return sorted(
+            (s for s in self.spans if s.depth == 0),
+            key=lambda s: -s.elapsed_ns,
+        )[:n]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: per-stage totals plus the full span list."""
+        return {
+            "stages": {k: v for k, v in self.stage_totals().items()},
+            "total_s": self.total_seconds(),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+#: the canonical disabled profiler — safe to share, it never mutates
+NULL_PROFILER = Profiler(enabled=False)

@@ -1,0 +1,170 @@
+"""Opt-in capture of the simulated GPU's execution timeline.
+
+A :class:`TimelineCapture` is passed where a
+:class:`~repro.gpu.trace.TraceRecorder` would be
+(``Simulator.launch(trace=...)`` / ``GPUscout.analyze(trace=...)``):
+the scheduler calls :meth:`record` once per issued warp-instruction on
+**both** timed paths (legacy and trace-driven), so the capture sees the
+same event stream either way.  On top of the per-issue slices it
+samples *counter tracks* — memory-unit backlogs (cycles of queued work
+in the LSU / MIO / TEX timelines) and cumulative cache hit rates —
+every ``counter_stride`` issues, by reading the scheduler it was
+attached to.
+
+The capture is strictly **passive**: it reads scheduler/counter state
+and never mutates it, so a trace-on run is bit-identical (cycles,
+``Counters``, device memory, PC samples) to a trace-off run —
+``tests/obs/test_capture_equivalence.py`` enforces this over the
+timed-equivalence kernel set.
+
+Export with :func:`repro.obs.chrometrace.to_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.stalls import StallReason
+
+__all__ = ["CaptureEvent", "CounterSample", "TimelineCapture", "WaveNote"]
+
+
+@dataclass(frozen=True)
+class CaptureEvent:
+    """One issued warp-instruction: issue cycle plus the stall interval
+    (``cycle - stall_cycles .. cycle``) the warp paid before it."""
+
+    cycle: float
+    warp: int
+    block: int
+    pc: int
+    opcode: str
+    stall_cycles: float
+    stall_reason: Optional[StallReason]
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of the scheduler's memory-unit state."""
+
+    cycle: float
+    lsu_backlog: float
+    mio_backlog: float
+    tex_backlog: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    inst_issued: int
+
+
+@dataclass(frozen=True)
+class WaveNote:
+    """A wave-boundary annotation from the simulator/trace builder:
+    ``kind`` is ``trace`` (wave ran on the trace-driven scheduler),
+    ``legacy`` (interleaved per-issue path) or ``dissolve`` (a trace
+    build rolled back mid-wave and the wave was replayed legacy)."""
+
+    kind: str
+    warps: int
+    detail: str = ""
+    #: scheduler cycle at the wave boundary (0.0 when unattached)
+    cycle: float = 0.0
+
+
+class TimelineCapture:
+    """Records the scheduler's issue stream and counter tracks.
+
+    ``max_events`` caps slice memory (recording silently stops at the
+    cap; ``truncated`` tells you it happened).  ``counter_stride`` is
+    how many issues pass between two counter-track samples.
+    """
+
+    def __init__(self, max_events: int = 500_000,
+                 counter_stride: int = 32):
+        self.max_events = max_events
+        self.counter_stride = max(1, counter_stride)
+        self.events: list[CaptureEvent] = []
+        self.counter_samples: list[CounterSample] = []
+        self.wave_notes: list[WaveNote] = []
+        self.truncated = False
+        self._sched = None
+        self._issues = 0
+
+    # -- scheduler protocol ------------------------------------------------
+    def attach(self, scheduler) -> None:
+        """Called by :class:`~repro.gpu.scheduler.SMScheduler` at
+        construction so counter-track samples can read its timelines."""
+        self._sched = scheduler
+
+    def record(self, cycle: float, warp: int, block: int, pc: int,
+               opcode: str, stall_cycles: float,
+               stall_reason: Optional[StallReason]) -> None:
+        """Per-issue hook (same signature as ``TraceRecorder.record``)."""
+        self._issues += 1
+        if self._issues % self.counter_stride == 0:
+            self._sample_counters(cycle)
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(
+            CaptureEvent(cycle, warp, block, pc, opcode, stall_cycles,
+                         stall_reason)
+        )
+
+    def note_wave(self, kind: str, warps: int, detail: str = "") -> None:
+        """Wave-boundary hook (simulator / timed-trace builder)."""
+        cycle = self._sched.now if self._sched is not None else 0.0
+        self.wave_notes.append(WaveNote(kind, warps, detail, cycle))
+        if self._sched is not None:
+            # a fresh sample at every wave boundary keeps the counter
+            # tracks honest across waves even with a large stride
+            self._sample_counters(cycle)
+
+    # -- degradation-ladder protocol --------------------------------------
+    def mark(self) -> tuple[int, int, int]:
+        """Snapshot for :meth:`reset_to`: taken by the engine before
+        each degradation-ladder rung attempt."""
+        return (len(self.events), len(self.counter_samples),
+                len(self.wave_notes))
+
+    def reset_to(self, mark: tuple[int, int, int]) -> None:
+        """Drop everything recorded after ``mark`` — an abandoned rung's
+        partial event stream must not pollute the successful rung's
+        trace."""
+        e, c, w = mark
+        del self.events[e:]
+        del self.counter_samples[c:]
+        del self.wave_notes[w:]
+        self.truncated = len(self.events) >= self.max_events
+
+    # ----------------------------------------------------------------------
+    def _sample_counters(self, cycle: float) -> None:
+        sched = self._sched
+        if sched is None:
+            return
+        c = sched.counters
+        l1_total = (c.global_load_l1_hits + c.global_load_l1_misses
+                    + c.local_l1_hits + c.local_l1_misses)
+        l1_hits = c.global_load_l1_hits + c.local_l1_hits
+        l2_total = sum(c.l2_sectors_by_space.values())
+        l2_hits = sum(c.l2_hits_by_space.values())
+        self.counter_samples.append(
+            CounterSample(
+                cycle=cycle,
+                lsu_backlog=sched.lsu.backlog(cycle),
+                mio_backlog=sched.mio.backlog(cycle),
+                tex_backlog=sched.tex.backlog(cycle),
+                l1_hit_rate=(l1_hits / l1_total) if l1_total else 0.0,
+                l2_hit_rate=(l2_hits / l2_total) if l2_total else 0.0,
+                inst_issued=c.inst_issued,
+            )
+        )
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def warps(self) -> list[tuple[int, int]]:
+        """Sorted distinct ``(block, warp)`` pairs seen in the stream."""
+        return sorted({(e.block, e.warp) for e in self.events})

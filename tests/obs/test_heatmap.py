@@ -1,0 +1,121 @@
+"""Unit tests for the source-line heatmap attribution rules."""
+
+import pytest
+
+from repro.gpu.stalls import StallReason
+from repro.obs.heatmap import build_heatmap
+
+
+class _Ins:
+    def __init__(self, line):
+        self.line = line
+
+
+class _Program:
+    def __init__(self, lines):
+        self._ins = [_Ins(line) for line in lines]
+
+    def __len__(self):
+        return len(self._ins)
+
+    def __getitem__(self, pc):
+        return self._ins[pc]
+
+
+class _Counters:
+    def __init__(self, stall_cycles, inst_by_pc=None):
+        self.stall_cycles = stall_cycles
+        self.inst_by_pc = inst_by_pc or {}
+
+
+def test_stalls_roll_up_the_line_table():
+    program = _Program([3, 3, 5, None])
+    counters = _Counters({
+        (0, StallReason.LONG_SCOREBOARD): 100.0,
+        (1, StallReason.WAIT): 50.0,
+        (2, StallReason.LG_THROTTLE): 30.0,
+        (3, StallReason.WAIT): 20.0,  # no line info
+    })
+    hm = build_heatmap(program, counters)
+    assert set(hm.lines) == {3, 5}
+    assert hm.lines[3].stall_cycles == pytest.approx(150.0)
+    assert hm.lines[3].pcs == [0, 1]
+    assert hm.lines[5].stall_cycles == pytest.approx(30.0)
+    assert hm.unattributed_cycles == pytest.approx(20.0)
+    assert hm.total_stall_cycles == pytest.approx(200.0)
+
+
+def test_selected_pseudo_stalls_excluded():
+    program = _Program([1])
+    counters = _Counters({
+        (0, StallReason.SELECTED): 999.0,
+        (0, StallReason.WAIT): 10.0,
+    })
+    hm = build_heatmap(program, counters)
+    assert hm.lines[1].stall_cycles == pytest.approx(10.0)
+    assert StallReason.SELECTED not in hm.lines[1].by_reason
+
+
+def test_share_is_fraction_of_attributed_cycles():
+    program = _Program([1, 2, None])
+    counters = _Counters({
+        (0, StallReason.WAIT): 75.0,
+        (1, StallReason.WAIT): 25.0,
+        (2, StallReason.WAIT): 100.0,  # unattributed: not in shares
+    })
+    hm = build_heatmap(program, counters)
+    assert hm.lines[1].share == pytest.approx(0.75)
+    assert hm.lines[2].share == pytest.approx(0.25)
+    assert sum(lh.share for lh in hm.lines.values()) == pytest.approx(1.0)
+    assert hm.share_for(1) == pytest.approx(0.75)
+    assert hm.share_for(999) == 0.0
+
+
+def test_dominant_reason_and_top_ordering():
+    program = _Program([1, 2])
+    counters = _Counters({
+        (0, StallReason.LONG_SCOREBOARD): 80.0,
+        (0, StallReason.WAIT): 20.0,
+        (1, StallReason.BARRIER): 300.0,
+    })
+    hm = build_heatmap(program, counters)
+    assert hm.lines[1].dominant() is StallReason.LONG_SCOREBOARD
+    assert [lh.line for lh in hm.top(2)] == [2, 1]
+
+
+def test_issue_counts_attach_without_inventing_stalls():
+    program = _Program([7])
+    counters = _Counters({}, inst_by_pc={0: 42})
+    hm = build_heatmap(program, counters)
+    assert hm.lines[7].issues == 42
+    assert hm.lines[7].stall_cycles == 0.0
+    assert hm.total_stall_cycles == 0.0
+
+
+def test_to_dict_is_json_clean():
+    import json
+
+    program = _Program([1])
+    counters = _Counters({(0, StallReason.WAIT): 5.0}, inst_by_pc={0: 3})
+    d = build_heatmap(program, counters).to_dict()
+    json.dumps(d)
+    assert d["lines"]["1"]["by_reason"] == {"stalled_wait": 5.0}
+    assert d["lines"]["1"]["issues"] == 3
+
+
+@pytest.mark.parametrize("spec", ["sgemm:naive", "histogram:global"])
+def test_case_study_kernels_produce_heatmaps(spec):
+    """Acceptance: the HTML report shows a heat-ramped source listing
+    for at least sgemm:naive and histogram:global."""
+    from repro.cli import resolve_kernel
+    from repro.core import GPUscout
+
+    ck, config, args, textures = resolve_kernel(spec, 64, 4)
+    report = GPUscout().analyze(ck, config, args, textures=textures,
+                                max_blocks=2)
+    assert report.heatmap is not None and report.heatmap.lines
+    hottest = report.heatmap.top(1)[0]
+    assert hottest.share > 0
+    html = report.render_html()
+    assert "Source-line heatmap" in html
+    assert "rgba(" in html  # at least one heat-ramped source line

@@ -1,0 +1,114 @@
+"""The self-profile through the renderers: [prof] footer, HTML
+sections, schema-v4 JSON keys, CLI flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main, resolve_kernel
+from repro.core import GPUscout
+from repro.core.jsonout import SCHEMA_VERSION, report_to_dict
+from repro.obs import TimelineCapture
+
+ENGINE_STAGES = {"parse", "static", "launch", "sampling", "metrics",
+                 "evaluate"}
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    ck, config, args, textures = resolve_kernel("sgemm:naive", 64, 4)
+    return GPUscout().analyze(ck, config, args, textures=textures,
+                              max_blocks=2)
+
+
+class TestProfileCoverage:
+    def test_profile_covers_every_engine_stage(self, full_report):
+        assert set(full_report.profile.stage_totals()) == ENGINE_STAGES
+
+    def test_nested_detail_spans_present(self, full_report):
+        names = {s.name for s in full_report.profile.spans}
+        assert "static:affine" in names
+        assert "evaluate:heatmap" in names
+        assert any(n.startswith("launch:") for n in names)
+
+    def test_dry_run_profiles_static_stages_only(self):
+        ck, _, _, _ = resolve_kernel("sgemm:naive", 64, 4)
+        report = GPUscout().analyze(ck, dry_run=True)
+        stages = set(report.profile.stage_totals())
+        assert stages == {"parse", "static"}
+
+
+class TestRenderers:
+    def test_prof_footer_off_by_default(self, full_report):
+        assert "[prof]" not in full_report.render()
+
+    def test_prof_footer_lists_stages_and_hot_lines(self, full_report):
+        text = full_report.render(profile=True)
+        assert "[prof] pipeline wall time" in text
+        assert "hottest source lines" in text
+        assert "launch" in text
+
+    def test_html_has_profile_table(self, full_report):
+        html = full_report.render_html()
+        assert "Pipeline self-profile" in html
+
+    def test_json_schema_v4_keys(self, full_report):
+        assert SCHEMA_VERSION == 4
+        data = json.loads(json.dumps(report_to_dict(full_report)))
+        assert data["schema_version"] == 4
+        assert set(data["profile"]["stages"]) == ENGINE_STAGES
+        assert data["profile"]["total_s"] > 0
+        assert data["heatmap"]["lines"]
+        assert "trace_path" not in data  # only set when --trace ran
+
+
+class TestCLI:
+    def test_trace_and_profile_flags(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        out = tmp_path / "r.json"
+        rc = main(["analyze", "--kernel", "sgemm:naive", "--size", "64",
+                   "--max-blocks", "2", "--trace", str(trace),
+                   "--profile", "--json", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[prof]" in captured.out
+        assert "perfetto" in captured.err.lower()
+        from repro.obs import validate_chrome_trace
+
+        data = json.loads(trace.read_text())
+        assert validate_chrome_trace(data) == []
+        # per-warp stall slices and >= 2 counter tracks (acceptance)
+        cats = {ev.get("cat") for ev in data["traceEvents"]}
+        assert "stall" in cats and "issue" in cats
+        tracks = {ev["name"] for ev in data["traceEvents"]
+                  if ev["ph"] == "C"}
+        assert len(tracks) >= 2
+        report = json.loads(out.read_text())
+        assert report["trace_path"] == str(trace)
+
+    def test_trace_with_dry_run_warns_and_writes_nothing(
+            self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        rc = main(["analyze", "--kernel", "sgemm:naive", "--size", "64",
+                   "--dry-run", "--trace", str(trace)])
+        assert rc == 0
+        assert not trace.exists()
+        assert "--trace needs a simulated launch" in capsys.readouterr().err
+
+
+class TestBitIdentityThroughEngine:
+    def test_analyze_trace_on_off_same_results(self):
+        """Acceptance: the full engine path (not just the simulator)
+        yields identical cycles/counters with and without --trace."""
+        reports = []
+        for cap in (None, TimelineCapture()):
+            ck, config, args, textures = resolve_kernel(
+                "histogram:global", 256, 4)
+            reports.append(
+                GPUscout().analyze(ck, config, args, textures=textures,
+                                   max_blocks=2, trace=cap)
+            )
+        bare, traced = reports
+        assert bare.launch.cycles == traced.launch.cycles
+        assert bare.launch.counters == traced.launch.counters
+        assert bare.heatmap.to_dict() == traced.heatmap.to_dict()

@@ -1,0 +1,134 @@
+"""Unit tests for the span tracer (``repro.obs.spans``)."""
+
+import pytest
+
+from repro.obs.spans import NULL_PROFILER, Profiler
+
+
+class TestSpanNesting:
+    def test_depths_follow_the_stack(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("outer:inner"):
+                with prof.span("outer:deeper"):
+                    pass
+        depths = {s.name: s.depth for s in prof.spans}
+        assert depths == {"outer": 0, "outer:inner": 1, "outer:deeper": 2}
+
+    def test_spans_close_in_order(self):
+        prof = Profiler()
+        with prof.span("a"):
+            assert prof.current().name == "a"
+            with prof.span("a:b"):
+                assert prof.current().name == "a:b"
+            assert prof.current().name == "a"
+        assert prof.current() is None
+        assert all(s.end_ns is not None for s in prof.spans)
+
+    def test_elapsed_is_positive_and_nested_fits_in_parent(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("outer:inner"):
+                sum(range(1000))
+        outer, inner = prof.spans
+        assert inner.elapsed_ns > 0
+        assert outer.elapsed_ns >= inner.elapsed_ns
+
+    def test_span_closes_on_exception(self):
+        prof = Profiler()
+        with pytest.raises(ValueError):
+            with prof.span("doomed"):
+                raise ValueError("boom")
+        (span,) = prof.spans
+        assert span.end_ns is not None
+        assert prof.current() is None
+
+
+class TestStageAggregation:
+    def test_stage_totals_group_by_prefix(self):
+        prof = Profiler()
+        with prof.span("static"):
+            with prof.span("static:vectorize"):
+                pass
+            with prof.span("static:affine"):
+                pass
+        with prof.span("launch"):
+            pass
+        totals = prof.stage_totals()
+        # depth-0 only: the nested static:* spans are not double-counted
+        assert set(totals) == {"static", "launch"}
+        static_span = prof.spans[0]
+        assert totals["static"] == pytest.approx(static_span.elapsed_s)
+
+    def test_repeated_stage_sums(self):
+        prof = Profiler()
+        with prof.span("launch"):
+            pass
+        with prof.span("launch"):
+            pass
+        assert set(prof.stage_totals()) == {"launch"}
+        assert prof.total_seconds() == pytest.approx(
+            sum(s.elapsed_s for s in prof.spans)
+        )
+
+    def test_top_spans_ranked_by_elapsed(self):
+        prof = Profiler()
+        with prof.span("fast"):
+            pass
+        with prof.span("slow"):
+            sum(range(50_000))
+        names = [s.name for s in prof.top_spans(2)]
+        assert names[0] == "slow"
+
+    def test_stage_property(self):
+        prof = Profiler()
+        with prof.span("launch:timed-trace"):
+            pass
+        assert prof.spans[0].stage == "launch"
+
+
+class TestCounters:
+    def test_count_attaches_to_innermost_span(self):
+        prof = Profiler()
+        with prof.span("launch"):
+            with prof.span("launch:timed-trace"):
+                prof.count("rung", "timed-trace")
+        assert prof.spans[1].counters == {"rung": "timed-trace"}
+        assert prof.spans[0].counters == {}
+
+    def test_count_without_open_span_is_dropped(self):
+        prof = Profiler()
+        prof.count("orphan", 1)
+        assert prof.spans == []
+
+
+class TestDisabled:
+    def test_disabled_profiler_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.span("ignored"):
+            prof.count("also", "ignored")
+        assert prof.spans == []
+        assert prof.current() is None
+        assert prof.stage_totals() == {}
+
+    def test_null_profiler_shares_one_context(self):
+        ctx1 = NULL_PROFILER.span("a")
+        ctx2 = NULL_PROFILER.span("b")
+        assert ctx1 is ctx2
+
+
+class TestSerialization:
+    def test_to_dict_shape(self):
+        prof = Profiler()
+        with prof.span("static"):
+            prof.count("findings", 3)
+        d = prof.to_dict()
+        assert set(d) == {"stages", "total_s", "spans"}
+        (span,) = d["spans"]
+        assert span["name"] == "static"
+        assert span["depth"] == 0
+        assert span["counters"] == {"findings": 3}
+        assert span["elapsed_ns"] >= 0
+        import json
+
+        json.dumps(d)  # JSON-clean

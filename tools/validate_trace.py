@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Structural validator for exported Chrome Trace Event JSON files.
+
+Checks the invariants Perfetto / chrome://tracing rely on (and a few
+this repo's exporter guarantees): declared pids/tids, per-thread
+timestamp monotonicity, non-negative slice durations, balanced B/E
+stacks.  Usable straight from a checkout:
+
+    PYTHONPATH=src python tools/validate_trace.py trace.json [...]
+
+Exits 0 when every file passes, 1 with one line per violation
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: validate_trace.py TRACE.json [TRACE.json ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_chrome_trace(data)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            n = len(data.get("traceEvents", []))
+            print(f"{path}: ok ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
