@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+import numpy as np
+
 from repro.cudalite import ast as A
 from repro.cudalite.builder import Kernel, TextureParam
 from repro.cudalite.regalloc import (
@@ -1166,8 +1168,16 @@ def _fold(expr: A.Expr) -> A.Expr:
             and isinstance(rhs, A.Const)
             and expr.op in _FOLD_OPS
         ):
-            value = _FOLD_OPS[expr.op](lhs.value, rhs.value)
             dtype = common_type(lhs.dtype, rhs.dtype)
+            if dtype.is_float and dtype.bits == 32:
+                # fold in float32: the emitted instruction would round
+                # after *this* operation, so folding must too — a single
+                # float64 rounding at the end can be off by one ulp
+                # (double rounding) from the stepwise hardware result
+                value = float(_FOLD_OPS[expr.op](np.float32(lhs.value),
+                                                 np.float32(rhs.value)))
+            else:
+                value = _FOLD_OPS[expr.op](lhs.value, rhs.value)
             return A.Const(value, dtype)
         # x*1, x*0, x+0 simplifications keep unrolled index math tidy
         if expr.op == "*":
@@ -1193,7 +1203,12 @@ def _fold(expr: A.Expr) -> A.Expr:
     if isinstance(expr, A.Cast):
         inner = _fold(expr.operand)
         if isinstance(inner, A.Const):
-            value = float(inner.value) if expr.dtype.is_float else int(inner.value)
+            if expr.dtype.is_float:
+                value = float(inner.value)
+                if expr.dtype.bits == 32:
+                    value = float(np.float32(value))  # F2F/I2F rounds
+            else:
+                value = int(inner.value)
             return A.Const(value, expr.dtype)
         return A.Cast(inner, expr.dtype) if inner is not expr.operand else expr
     return expr

@@ -174,8 +174,12 @@ class BatchEngine:
         self.textures = executor.textures
         #: optional TraceEmitter (set by the timed-trace subclass); when
         #: present the lockstep driver records the executed row stream
-        #: and per-warp death rows for the trace-driven scheduler
+        #: and per-warp row segments for the trace-driven scheduler
         self.emit = None
+        #: parked subgroups from warp-uniform branch splits: (mask, pc)
+        #: entries resumed when the current subgroup runs dry.  Only
+        #: populated when an emitter is attached (see :meth:`_branch`).
+        self._worklist: list[tuple[np.ndarray, int]] = []
         self._handlers: list[Optional[Callable]] = [
             getattr(self, "_b_" + d.hname, None) if d.hname else None
             for d in self.decoded.table
@@ -591,8 +595,15 @@ class BatchEngine:
             len({w.block_id for w in pack.warps}), 1)
         insts = 0
         live = pack.live
+        self._worklist = []
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            while live.any():
+            while live.any() or self._worklist:
+                if not live.any():
+                    # current subgroup ran dry: resume a parked one
+                    mask, resume_pc = self._worklist.pop()
+                    live[:] = mask
+                    pack.pc = resume_pc
+                    self.emit.resume(mask)
                 pc = pack.pc
                 if pc >= nprog:
                     raise SimulationError("PC ran off the end of the program")
@@ -650,9 +661,18 @@ class BatchEngine:
     def _branch(self, pack: WarpPack, dec, guard: np.ndarray) -> bool:
         """Execute a warp-uniform BRA across the pack.
 
-        Returns False when live warps disagree on the next PC or any
-        warp has a divergent lane split — the caller dissolves and the
-        legacy path re-executes the branch per warp.
+        Returns False when any warp has a divergent lane split — the
+        caller dissolves and the legacy path re-executes the branch per
+        warp.  When live warps merely *disagree* on the next PC (every
+        warp still uniform) and a trace emitter is attached, the pack
+        **splits**: the fall-through warps are parked on the worklist
+        with their resume PC and the taken warps continue — per-warp
+        trace segments keep each warp's row stream exact.  Splitting is
+        refused (dissolve) when the program has a barrier and a block
+        would end up with live warps on both sides: the lockstep
+        pass-through barrier is only sound when a block's warps arrive
+        together.  Without an emitter the consumer cannot express
+        per-warp streams, so disagreement still dissolves.
         """
         live = pack.live
         na = pack.active.sum(axis=1)
@@ -663,7 +683,15 @@ class BatchEngine:
         taken = live & (na > 0) & (nt == na)
         fall = live & (na > 0) & (nt == 0)
         if taken.any() and fall.any():
-            return False
+            if self.emit is None:
+                return False
+            if self.decoded.has_barrier:
+                blocks = np.array([w.block_id for w in pack.warps])
+                if np.intersect1d(blocks[taken], blocks[fall]).size:
+                    return False
+            self._worklist.append((fall.copy(), pack.pc + 1))
+            self.emit.suspend(fall)
+            live &= ~fall
         # warps with no active lanes finish at a branch (legacy rule)
         live &= na > 0
         if taken.any():

@@ -14,7 +14,31 @@ from typing import Iterable
 
 from repro.testing.faultinject import fail_point
 
-__all__ = ["SectorCache", "CacheStats", "HierarchyResult", "MemoryHierarchy"]
+__all__ = ["SectorCache", "CacheStats", "HierarchyResult", "MemoryHierarchy",
+           "line_groups"]
+
+
+def line_groups(sectors, line_bytes: int, sector_bytes: int,
+                sectors_per_line: int) -> tuple:
+    """Precompute the line-group structure of one ascending sector pool.
+
+    Returns ``((line_addr, sector_mask, count, i, j), ...)`` where the
+    group covers ``sectors[i:j]`` — the shape
+    :meth:`SectorCache.probe_pool_grouped` consumes.  Pools are static
+    per trace row, so the trace build computes this once and every
+    replay (cached or not) skips the per-sector address arithmetic."""
+    out = []
+    i, n = 0, len(sectors)
+    while i < n:
+        line_addr = sectors[i] // line_bytes
+        j = i + 1
+        mask = 1 << ((sectors[i] // sector_bytes) % sectors_per_line)
+        while j < n and sectors[j] // line_bytes == line_addr:
+            mask |= 1 << ((sectors[j] // sector_bytes) % sectors_per_line)
+            j += 1
+        out.append((line_addr, mask, j - i, i, j))
+        i = j
+    return tuple(out)
 
 
 @dataclass(slots=True)
@@ -64,6 +88,11 @@ class SectorCache:
         self.num_sets = max(1, size_bytes // (line_bytes * assoc))
         # per set: dict line_tag -> [sector_valid_mask, lru_stamp]
         self._sets: list[dict[int, list[int]]] = [dict() for _ in range(self.num_sets)]
+        # flat mirror of every resident entry (same list objects as the
+        # per-set dicts) — resolves a tag probe in one dict get, without
+        # the set-index arithmetic; the per-set dicts stay authoritative
+        # for associativity/eviction
+        self._lines: dict[int, list[int]] = {}
         self._clock = 0
         self.stats = CacheStats()
 
@@ -71,6 +100,7 @@ class SectorCache:
         """Invalidate all contents and zero the statistics."""
         for s in self._sets:
             s.clear()
+        self._lines.clear()
         self._clock = 0
         self.stats = CacheStats()
 
@@ -78,10 +108,8 @@ class SectorCache:
         """Probe one sector; returns True on hit.  Misses fill."""
         line_addr = sector_addr // self.line_bytes
         sector_idx = (sector_addr // self.sector_bytes) % self.sectors_per_line
-        set_idx = line_addr % self.num_sets
-        ways = self._sets[set_idx]
         self._clock += 1
-        entry = ways.get(line_addr)
+        entry = self._lines.get(line_addr)
         if entry is not None:
             entry[1] = self._clock
             if entry[0] & (1 << sector_idx):
@@ -93,11 +121,141 @@ class SectorCache:
             return False
         self.stats.misses += 1
         if fill:
+            ways = self._sets[line_addr % self.num_sets]
             if len(ways) >= self.assoc:
                 victim = min(ways.items(), key=lambda kv: kv[1][1])[0]
                 del ways[victim]
-            ways[line_addr] = [1 << sector_idx, self._clock]
+                del self._lines[victim]
+            ways[line_addr] = self._lines[line_addr] = \
+                [1 << sector_idx, self._clock]
         return False
+
+    def probe_pool(self, sectors: list) -> tuple[int, int, list]:
+        """Probe an ascending run of **unique** sector addresses (one
+        coalesced warp pool) with filling, in one grouped walk.
+
+        Bit-identical to calling :meth:`lookup` per sector: sectors of
+        the same line are adjacent in an ascending pool, so the group
+        touches one tag entry — the eviction decision happens at group
+        start (no other entry's stamp can change mid-group) and the
+        entry's final LRU stamp equals the clock after the whole group,
+        exactly the state the per-sector walk leaves behind.
+
+        Returns ``(hits, misses, missed)`` where ``missed`` preserves
+        probe order (ascending) for forwarding to the next level.
+        """
+        line_bytes = self.line_bytes
+        sector_bytes = self.sector_bytes
+        spl = self.sectors_per_line
+        sets = self._sets
+        lines = self._lines
+        num_sets = self.num_sets
+        assoc = self.assoc
+        clock = self._clock
+        hits = 0
+        missed: list = []
+        i, n = 0, len(sectors)
+        while i < n:
+            sector = sectors[i]
+            line_addr = sector // line_bytes
+            j = i + 1
+            while j < n and sectors[j] // line_bytes == line_addr:
+                j += 1
+            clock += j - i
+            entry = lines.get(line_addr)
+            if entry is not None:
+                entry[1] = clock
+                valid = entry[0]
+                if j == i + 1:  # common case: one sector on this line
+                    bit = 1 << ((sector // sector_bytes) % spl)
+                    if valid & bit:
+                        hits += 1
+                    else:
+                        entry[0] = valid | bit
+                        missed.append(sector)
+                else:
+                    for k in range(i, j):
+                        s = sectors[k]
+                        bit = 1 << ((s // sector_bytes) % spl)
+                        if valid & bit:
+                            hits += 1
+                        else:
+                            valid |= bit
+                            missed.append(s)
+                    entry[0] = valid
+            else:
+                ways = sets[line_addr % num_sets]
+                if len(ways) >= assoc:
+                    victim = min(ways.items(), key=lambda kv: kv[1][1])[0]
+                    del ways[victim]
+                    del lines[victim]
+                mask = 0
+                for k in range(i, j):
+                    s = sectors[k]
+                    mask |= 1 << ((s // sector_bytes) % spl)
+                    missed.append(s)
+                ways[line_addr] = lines[line_addr] = [mask, clock]
+            i = j
+        self._clock = clock
+        misses = len(missed)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return hits, misses, missed
+
+    def probe_pool_grouped(self, groups: tuple,
+                           pool: list) -> tuple[int, int, list]:
+        """:meth:`probe_pool` driven by a precomputed group structure
+        (:func:`line_groups` over ``pool``; the group's ``i:j`` indexes
+        into ``pool``, which may be shared by many warps' slices).
+
+        The steady-state pool — every line resident, every sector
+        valid — resolves in one dict lookup and one mask compare per
+        *line*, with no per-sector work and no address arithmetic.
+        Partial groups fall back to the per-sector walk of
+        :meth:`probe_pool`, preserving its exact fill/evict/LRU
+        behavior.  Valid only when the caller's group geometry matches
+        this cache's ``line_bytes``/``sector_bytes``."""
+        sector_bytes = self.sector_bytes
+        spl = self.sectors_per_line
+        sets = self._sets
+        lines_get = self._lines.get
+        lines = self._lines
+        num_sets = self.num_sets
+        assoc = self.assoc
+        clock = self._clock
+        hits = 0
+        missed: list = []
+        for line_addr, mask, count, i, j in groups:
+            clock += count
+            entry = lines_get(line_addr)
+            if entry is not None:
+                valid = entry[0]
+                entry[1] = clock
+                if valid & mask == mask:
+                    hits += count
+                else:
+                    for k in range(i, j):
+                        s = pool[k]
+                        bit = 1 << ((s // sector_bytes) % spl)
+                        if valid & bit:
+                            hits += 1
+                        else:
+                            valid |= bit
+                            missed.append(s)
+                    entry[0] = valid
+            else:
+                ways = sets[line_addr % num_sets]
+                if len(ways) >= assoc:
+                    victim = min(ways.items(), key=lambda kv: kv[1][1])[0]
+                    del ways[victim]
+                    del lines[victim]
+                missed.extend(pool[i:j])
+                ways[line_addr] = lines[line_addr] = [mask, clock]
+        self._clock = clock
+        misses = len(missed)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return hits, misses, missed
 
 
 @dataclass(slots=True)
@@ -212,3 +370,35 @@ class MemoryHierarchy:
             l2_hits=l2_hits, l2_misses=l2_misses, deepest=deepest,
             fill_sectors=fills,
         )
+
+    def access_pool(
+        self,
+        sectors: list,
+        space: str,
+        write: bool = False,
+    ) -> tuple[int, int, int, int, int]:
+        """Pool-batched :meth:`access` for the trace-driven replay.
+
+        ``sectors`` must be unique and ascending — the shape of a
+        coalesced per-warp pool — so each cache level resolves the whole
+        pool in one grouped tag walk (:meth:`SectorCache.probe_pool`)
+        instead of one ``lookup`` per sector.  L1 and L2 are disjoint
+        structures, so probing all of L1 before forwarding the misses
+        (in order) to L2 observes the exact per-level probe sequences of
+        the interleaved legacy walk.  Not valid for the ``texture``
+        space: whole-line fills interleave sibling probes between the
+        levels, so texture keeps the classic :meth:`access`.
+
+        Returns ``(sectors_total, l1_hits, l1_misses, l2_hits,
+        l2_misses)`` — avoids a :class:`HierarchyResult` allocation on
+        the replay hot path.
+        """
+        fail_point("caches.l2_lookup")
+        total = len(sectors)
+        if write or self._first_level[space] is None:
+            # write-through / L1-bypass: every sector is an L2 access
+            l1_hits, l1_misses, forwarded = 0, total, sectors
+        else:
+            l1_hits, l1_misses, forwarded = self.l1.probe_pool(sectors)
+        l2_hits, l2_misses, _ = self.l2.probe_pool(forwarded)
+        return total, l1_hits, l1_misses, l2_hits, l2_misses

@@ -32,7 +32,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.testing.faultinject import fail_point
 from repro.gpu.budget import SimBudget
-from repro.gpu.caches import MemoryHierarchy
+from repro.gpu.caches import MemoryHierarchy, line_groups
 from repro.gpu.config import GPUSpec
 from repro.gpu.counters import Counters
 from repro.gpu.executor import Effect, Executor, WarpState, static_effect_table
@@ -115,7 +115,8 @@ class _PCMeta:
 
     __slots__ = ("code", "kind", "opname", "dests", "srcs", "pipe",
                  "issue_cost", "access_space", "write", "sub", "conv",
-                 "static_sectors", "static_len", "hit_lat")
+                 "static_sectors", "static_len", "static_groups",
+                 "hit_lat")
 
     def __init__(self):
         self.code = 0
@@ -131,6 +132,7 @@ class _PCMeta:
         self.conv = False
         self.static_sectors = None
         self.static_len = -1
+        self.static_groups = ()
         self.hit_lat = 0.0
 
 
@@ -140,18 +142,31 @@ class _TraceRT:
     The per-warp scoreboard mirrors :class:`_WarpRT` but uses plain
     Python lists (faster scalar indexing than NumPy in the hot loop —
     the arithmetic is identical IEEE-double math either way).
+
+    ``row`` walks this warp's trace-row *segments* (``segs_s[k]`` to
+    ``segs_e[k] - 1``; a single ``[0, n_rows)`` segment for lockstep
+    kernels, several after pack splits); ``row < 0`` marks a finished
+    warp.  ``dep``/``dep_reason`` cache the dependency half of the
+    ready computation at push time — a warp has at most one pending
+    heap entry and nothing can touch its scoreboard while it waits, so
+    only the structural-pipe half needs recomputing at pop.
     """
 
     __slots__ = (
-        "row", "end_row", "index", "block_id", "subpartition", "earliest",
-        "reg_ready", "reg_kind", "forced_wait", "forced_reason",
-        "start_time", "finish_time", "at_barrier",
+        "row", "seg_end", "seg_k", "segs_s", "segs_e", "index", "block_id",
+        "subpartition", "earliest", "reg_ready", "reg_kind", "forced_wait",
+        "forced_reason", "start_time", "finish_time", "at_barrier",
+        "dep", "dep_reason",
     )
 
     def __init__(self, index: int, subpartition: int, nregs: int,
-                 start_time: float, end_row: int, block_id: int):
-        self.row = 0
-        self.end_row = end_row
+                 start_time: float, segs_s: list, segs_e: list,
+                 block_id: int):
+        self.segs_s = segs_s
+        self.segs_e = segs_e
+        self.seg_k = 0
+        self.row = segs_s[0]
+        self.seg_end = segs_e[0]
         self.index = index
         self.block_id = block_id
         self.subpartition = subpartition
@@ -163,6 +178,8 @@ class _TraceRT:
         self.start_time = start_time
         self.finish_time = start_time
         self.at_barrier = False
+        self.dep = start_time
+        self.dep_reason: Optional[StallReason] = None
 
 
 class SMScheduler:
@@ -390,6 +407,10 @@ class SMScheduler:
                     # plain ints: the cache walk is faster on them
                     m.static_sectors = se.sectors.tolist()
                     m.static_len = len(m.static_sectors)
+                    m.static_groups = line_groups(
+                        m.static_sectors, spec.l1_line_bytes,
+                        spec.sector_bytes,
+                        spec.l1_line_bytes // spec.sector_bytes)
             elif kind in ("shared_load", "shared_store"):
                 m.code = 4
                 m.sub = 0 if kind == "shared_load" else 1
@@ -420,7 +441,28 @@ class SMScheduler:
         bit-identical to stepping the executor live — the equivalence
         suite in ``tests/gpu/test_timed_equivalence.py`` enforces this.
         Cache-hierarchy lookups run here, at issue time, in heap order —
-        exactly where the legacy path performs them.
+        exactly where the legacy path performs them — through the
+        pool-batched :meth:`~repro.gpu.caches.MemoryHierarchy.access_pool`
+        walk (one grouped tag probe per coalesced pool).
+
+        Consumption is **column-sweep**: contiguous runs of a warp's
+        trace rows issue back-to-back while the warp's next ready time
+        strictly precedes every pending heap entry, entering the heap
+        only at genuine synchronization points (scoreboard waits, pipe
+        backlogs, barriers, arbitration ties).  The sweep is exact, not
+        approximate: the heap pops it elides are precisely those whose
+        outcome is already decided — a freshly pushed minimum entry pops
+        immediately and a re-pushed stale entry recomputes the same
+        ready time (nothing else issued in between), so the issue
+        sequence is the legacy pop sequence.  Two invariants make the
+        cached dependency half of the ready computation sound: a warp
+        has at most one pending heap entry, so its scoreboard cannot
+        change while pending; and pipe ``next_free`` times only grow, so
+        the structural half is the only part that can go stale.
+
+        Order-tagged float atomics (deferred by the build because float
+        addition is not associative) commit here at their warp's issue —
+        the legacy commit order.
         """
         fail_point("scheduler.run_wave_trace")
         budget = self.budget
@@ -434,8 +476,8 @@ class SMScheduler:
         nregs = ttrace.nregs
         nsub = spec.subpartitions
         rts = [
-            _TraceRT(i, i % nsub, nregs, start, ttrace.end_row[i],
-                     ttrace.block_ids[i])
+            _TraceRT(i, i % nsub, nregs, start, ttrace.seg_starts[i],
+                     ttrace.seg_ends[i], ttrace.block_ids[i])
             for i in range(ttrace.n_warps)
         ]
         # hot locals
@@ -446,7 +488,29 @@ class SMScheduler:
         by_class = counters.inst_by_class
         by_pc = counters.inst_by_pc
         access = self.hierarchy.access
+        # manually inlined access_pool (caches.py): one fail_point per
+        # memory instruction, L1 probe then forwarded L2 probe — same
+        # sequence, minus two Python call layers on the hot path
+        l1_probe = self.hierarchy.l1.probe_pool
+        l2_probe = self.hierarchy.l2.probe_pool
+        # grouped tag probes resolve a steady-state all-valid line in
+        # one dict lookup; the group structure is precomputed per trace
+        # against spec.l1_line_bytes/sector_bytes, so it is only valid
+        # when both cache levels share that geometry (always true for
+        # the modelled parts; fall back to per-sector walks otherwise)
+        use_groups = (
+            self.hierarchy.l1.line_bytes == spec.l1_line_bytes
+            and self.hierarchy.l2.line_bytes == spec.l1_line_bytes
+            and self.hierarchy.l1.sector_bytes == spec.sector_bytes
+            and self.hierarchy.l2.sector_bytes == spec.sector_bytes
+        )
+        l1_grouped = self.hierarchy.l1.probe_pool_grouped
+        l2_grouped = self.hierarchy.l2.probe_pool_grouped
+        fp = fail_point
         trace_rec = self.trace
+        memory = self.executor.memory
+        red_f32 = memory.atomic_add_f32
+        red_f64 = memory.atomic_add_f64
         lg_depth = spec.lg_queue_depth
         mio_depth = spec.mio_queue_depth
         tex_depth = spec.tex_queue_depth
@@ -465,332 +529,475 @@ class SMScheduler:
         R_BAR = StallReason.BARRIER
         kind_reason = (StallReason.WAIT, StallReason.LONG_SCOREBOARD,
                        StallReason.SHORT_SCOREBOARD)
+        #: binding reason when the pipe overlay wins, by pipe kind
+        pk_reason = (None, R_LG, R_MIO, R_TEX, R_MATH, R_LG)
         heappush = heapq.heappush
         heappop = heapq.heappop
 
-        def next_ready(rt):
-            # mirrors _next_ready with the trace row in place of the
-            # warp state and Timeline.ready_after_backlog inlined
+        plan = ttrace.plan
+        if plan is None:
+            # per-row issue plan: everything the hot loop reads per
+            # issue as one flat tuple — (code, pipe-kind, issue cost,
+            # src regs, dest regs, pc, meta, dyn payload).  Pipe kind 5
+            # marks the global-atomic case (LSU *and* ATOM backlog).
+            # Built once per trace and kept on it, so warm replays via
+            # the trace cache skip the metas/pcs/dyn indirections
+            # entirely; contents are deterministic functions of the
+            # compiled program and spec, both part of the cache key.
+            plan = []
+            for r, pc in enumerate(pcs):
+                m = metas[pc]
+                plan.append((m.code, 5 if m.code == 5 else m.pipe,
+                             m.issue_cost, m.srcs, m.dests, pc, m,
+                             dyn.get(r)))
+            ttrace.plan = plan
+
+        def compute_dep(rt):
+            # dependency half of _next_ready: earliest slot, forced
+            # (barrier) wait and source-register scoreboard — functions
+            # of the warp's own state only, cached on the rt at push
             ready = rt.earliest
             reason = None
             if rt.forced_wait > ready:
                 ready = rt.forced_wait
                 reason = rt.forced_reason
             row = rt.row
-            if row >= rt.end_row:
-                return ready, reason
-            m = metas[pcs[row]]
-            reg_ready = rt.reg_ready
-            reg_kind = rt.reg_kind
-            for idx in m.srcs:
-                t = reg_ready[idx]
-                if t > ready:
-                    ready = t
-                    reason = kind_reason[reg_kind[idx]]
-            pipe = m.pipe
-            if pipe == 1:
-                t = lsu.next_free - lg_depth
-                if t > ready:
-                    ready = t
-                    reason = R_LG
-                if m.code == 5:
-                    t = atom.next_free - lg_depth
+            if row >= 0:
+                reg_ready = rt.reg_ready
+                reg_kind = rt.reg_kind
+                for idx in plan[row][3]:
+                    t = reg_ready[idx]
                     if t > ready:
                         ready = t
-                        reason = R_LG
-            elif pipe == 2:
-                t = mio.next_free - mio_depth
-                if t > ready:
-                    ready = t
-                    reason = R_MIO
-            elif pipe == 3:
-                t = tex.next_free - tex_depth
-                if t > ready:
-                    ready = t
-                    reason = R_TEX
-            elif pipe == 4:
-                t = mufu.next_free - 8.0
-                if t > ready:
-                    ready = t
-                    reason = R_MATH
-            return ready, reason
+                        reason = kind_reason[reg_kind[idx]]
+            rt.dep = ready
+            rt.dep_reason = reason
+            return ready
+
+        def entry_key(rt):
+            # full ready estimate at push time == the legacy push key
+            # (dep half cached, structural half read live)
+            ready = compute_dep(rt)
+            row = rt.row
+            if row >= 0:
+                pk = plan[row][1]
+                if pk:
+                    if pk == 1:
+                        t = lsu.next_free - lg_depth
+                    elif pk == 5:
+                        t = lsu.next_free - lg_depth
+                        t2 = atom.next_free - lg_depth
+                        if t2 > t:
+                            t = t2
+                    elif pk == 2:
+                        t = mio.next_free - mio_depth
+                    elif pk == 3:
+                        t = tex.next_free - tex_depth
+                    else:
+                        t = mufu.next_free - 8.0
+                    if t > ready:
+                        ready = t
+            return ready
 
         barrier_arrivals: dict[int, list[_TraceRT]] = {}
         heap: list[tuple[float, int, int]] = []
         seq = 0
         for rt in rts:
-            ready, _ = next_ready(rt)
-            heappush(heap, (ready, seq, rt.index))
+            heappush(heap, (entry_key(rt), seq, rt.index))
             seq += 1
 
-        # Exact-integer accounting (inst_issued, inst_by_class/pc, the
-        # per-kind instruction counts, SELECTED samples == one 1.0 per
-        # issue) is batched per PC and merged after the loop: integer
-        # sums are associative, so the merged totals are bit-identical
-        # to legacy per-issue increments while saving three dict
-        # operations per issue.  Fractional stall cycles are NOT
+        # Exact-integer accounting (inst_issued, inst_by_class/pc,
+        # per-kind instruction counts, SELECTED samples, sector/
+        # transaction sums and cache hit/miss tallies) is batched per
+        # PC and merged after the loop: integer sums are associative,
+        # so the merged totals are bit-identical to legacy per-issue
+        # increments while keeping dict/attribute traffic off the hot
+        # loop.  Fractional stall cycles and warp-active cycles are NOT
         # batchable (float addition is order-sensitive) and stay inline.
-        pc_counts = [0] * len(metas)
+        n_pc = len(metas)
+        pc_counts = [0] * n_pc
+        pc_sectors = [0] * n_pc
+        pc_tx = [0] * n_pc
+        pc_l1h = [0] * n_pc
+        pc_l1m = [0] * n_pc
+        pc_l2h = [0] * n_pc
+        pc_l2m = [0] * n_pc
 
         wave_end = start
         while heap:
-            popped_ready, _, wi = heappop(heap)
+            popped_key, _, wi = heappop(heap)
             rt = rts[wi]
             row = rt.row
-            if row >= rt.end_row:
+            if row < 0:
                 continue
-            ready, reason = next_ready(rt)
-            if ready > popped_ready + 1e-9:
+            code, pk, cost, srcs, dests, pc, m, pay = plan[row]
+            # recomputed ready: cached dep half + live structural half
+            ready = rt.dep
+            reason = rt.dep_reason
+            if pk:
+                if pk == 1:
+                    t = lsu.next_free - lg_depth
+                elif pk == 5:
+                    t = lsu.next_free - lg_depth
+                    t2 = atom.next_free - lg_depth
+                    if t2 > t:
+                        t = t2
+                elif pk == 2:
+                    t = mio.next_free - mio_depth
+                elif pk == 3:
+                    t = tex.next_free - tex_depth
+                else:
+                    t = mufu.next_free - 8.0
+                if t > ready:
+                    ready = t
+                    reason = pk_reason[pk]
+            if ready > popped_key + 1e-9 and heap and ready >= heap[0][0]:
+                # stale, and another entry now precedes (or ties) this
+                # warp: back on the heap with the fresh key.  When the
+                # fresh key still strictly precedes every pending entry
+                # the re-push/re-pop pair is elided — the next pop would
+                # be this warp with this exact key (pipes cannot move
+                # while nothing issues), so issue directly.
                 heappush(heap, (ready, seq, wi))
                 seq += 1
                 continue
+            # -- issue sweep --------------------------------------------
             sp = rt.subpartition
-            t_issue = sp_next[sp]
-            if ready > t_issue:
-                t_issue = ready
-            pc = pcs[row]
-            m = metas[pc]
-            dep_stall = ready - rt.earliest
-            if dep_stall > 0 and reason is not None:
-                stall[(pc, reason)] += dep_stall
-            arb = t_issue - ready
-            if arb > 0:
-                stall[(pc, R_NOTSEL)] += arb
-            pc_counts[pc] += 1
-            if budget is not None:
-                budget_pending += 1
-                if budget_pending >= _BUDGET_STRIDE:
-                    budget.spend(budget_pending, t_issue)
-                    budget_pending = 0
-            if trace_rec is not None:
-                trace_rec.record(
-                    t_issue, wi, rt.block_id, pc, m.opname,
-                    dep_stall + arb, reason if dep_stall > 0 else None,
-                )
-            rt.row = row + 1
-            t_next = t_issue + m.issue_cost
-            sp_next[sp] = t_next
-            rt.earliest = t_next
-            rt.forced_wait = 0.0
-            rt.forced_reason = None
-            code = m.code
             reg_ready = rt.reg_ready
             reg_kind = rt.reg_kind
+            earliest = rt.earliest
+            while True:
+                t_issue = sp_next[sp]
+                if ready > t_issue:
+                    t_issue = ready
+                dep_stall = ready - earliest
+                if dep_stall > 0 and reason is not None:
+                    stall[(pc, reason)] += dep_stall
+                arb = t_issue - ready
+                if arb > 0:
+                    stall[(pc, R_NOTSEL)] += arb
+                pc_counts[pc] += 1
+                if budget is not None:
+                    budget_pending += 1
+                    if budget_pending >= _BUDGET_STRIDE:
+                        budget.spend(budget_pending, t_issue)
+                        budget_pending = 0
+                if trace_rec is not None:
+                    trace_rec.record(
+                        t_issue, wi, rt.block_id, pc, m.opname,
+                        dep_stall + arb, reason if dep_stall > 0 else None,
+                    )
+                # advance to the next row (segment-aware)
+                row2 = row + 1
+                if row2 >= rt.seg_end:
+                    k = rt.seg_k + 1
+                    if k < len(rt.segs_s):
+                        rt.seg_k = k
+                        row2 = rt.segs_s[k]
+                        rt.seg_end = rt.segs_e[k]
+                    else:
+                        row2 = -1
+                rt.row = row2
+                t_next = t_issue + cost
+                sp_next[sp] = t_next
+                earliest = t_next
+                # NOTE: forced_wait is deliberately NOT cleared here —
+                # a stale barrier-release time is always strictly below
+                # the post-release ``earliest`` (release <= issue time
+                # of the row after the barrier < its t_next), so the
+                # strict ``>`` in compute_dep can never pick it up;
+                # ``earliest`` itself lives in a local during the sweep
+                # and is flushed to the rt at every sweep exit
 
-            if code == 0:  # alu / convert / branch / exit / nop
-                t_ready = t_issue + lat_alu
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 0
-            elif code == 1:  # fp64
-                t_ready = t_issue + lat_fp64
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 0
-            elif code == 2:  # mufu
-                t = t_issue + 1
-                nf = mufu.next_free
-                if nf > t:
-                    t = nf
-                finish = t + 1.0 / mufu.rate
-                mufu.next_free = finish
-                t_ready = finish + lat_mufu
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 0
-            elif code == 3:  # global/local load/store
-                slen = m.static_len
-                if slen >= 0:
-                    sectors = m.static_sectors
-                else:
-                    offs, pool = dyn[row]
-                    o0 = offs[wi]
-                    o1 = offs[wi + 1]
-                    sectors = pool[o0:o1]
-                    slen = o1 - o0
-                counters.mem_sectors_by_pc[pc] += int(slen)
-                res = access(sectors, m.access_space, write=m.write)
-                t = t_issue + 1
-                nf = lsu.next_free
-                if nf > t:
-                    t = nf
-                finish = t + (slen if slen > 0 else 1) / lsu.rate
-                lsu.next_free = finish
-                units = res.l2_accesses
-                if units:
-                    nf = l2bw.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / l2bw.rate
-                    l2bw.next_free = finish
-                units = res.dram_sectors
-                if units:
-                    nf = drambw.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / drambw.rate
-                    drambw.next_free = finish
-                deepest = res.deepest
-                if deepest == "dram":
-                    t_ready = finish + lat_dram
-                elif deepest == "l2":
-                    t_ready = finish + lat_l2
-                else:
-                    t_ready = finish + m.hit_lat
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 1
-                sub = m.sub
-                if sub == 0:
-                    counters.global_load_sectors += slen
-                elif sub == 1:
-                    counters.global_store_sectors += slen
-                elif sub == 2:
-                    counters.local_load_sectors += slen
-                else:
-                    counters.local_store_sectors += slen
-                self._account_hierarchy(m.access_space, res, write=m.write)
-            elif code == 4:  # shared load/store
-                tx = dyn[row][wi]
-                counters.shared_tx_by_pc[pc] += int(tx)
-                t = t_issue + 1
-                nf = mio.next_free
-                if nf > t:
-                    t = nf
-                finish = t + (tx if tx > 0 else 1) / mio.rate
-                mio.next_free = finish
-                t_ready = finish + lat_shared
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 2
-                if m.sub == 0:
-                    counters.shared_load_transactions += tx
-                else:
-                    counters.shared_store_transactions += tx
-            elif code == 5:  # atomic_global (no destinations)
-                offs, pool, uniqs, serials = dyn[row]
-                o0 = offs[wi]
-                o1 = offs[wi + 1]
-                slen = o1 - o0
-                counters.mem_sectors_by_pc[pc] += int(slen)
-                if slen:
-                    res = access(pool[o0:o1], "atomic")
+                if code == 0:  # alu / convert / branch / exit / nop
+                    t_ready = t_issue + lat_alu
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 0
+                elif code == 1:  # fp64
+                    t_ready = t_issue + lat_fp64
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 0
+                elif code == 2:  # mufu
+                    t = t_issue + 1
+                    nf = mufu.next_free
+                    if nf > t:
+                        t = nf
+                    finish = t + 1.0 / mufu.rate
+                    mufu.next_free = finish
+                    t_ready = finish + lat_mufu
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 0
+                elif code == 3:  # global/local load/store
+                    slen = m.static_len
+                    if slen >= 0:
+                        pool = m.static_sectors
+                        grps = m.static_groups
+                        sectors = pool
+                    else:
+                        offs = pay[0]
+                        pool = pay[1]
+                        b = pay[2] + wi
+                        o0 = offs[b]
+                        o1 = offs[b + 1]
+                        slen = o1 - o0
+                        grps = pay[3][b]
+                        sectors = None
+                    pc_sectors[pc] += slen
+                    fp("caches.l2_lookup")
+                    if use_groups:
+                        if m.write:
+                            # write-through/no-allocate: all sectors to L2
+                            l1h, l1m = 0, slen
+                            l2h, l2m, _ = l2_grouped(grps, pool)
+                        else:
+                            l1h, l1m, fwd = l1_grouped(grps, pool)
+                            if l1m == 0:
+                                # nothing forwarded: an empty L2 probe
+                                # touches no state or stats
+                                l2h = l2m = 0
+                            elif l1m == slen:
+                                # everything forwarded, in pool order:
+                                # the L2 probe walks the same groups
+                                l2h, l2m, _ = l2_grouped(grps, pool)
+                            else:
+                                l2h, l2m, _ = l2_probe(fwd)
+                    else:
+                        if sectors is None:
+                            sectors = pool[o0:o1]
+                        if m.write:
+                            # write-through/no-allocate: all sectors to L2
+                            l1h, l1m = 0, slen
+                            l2h, l2m, _ = l2_probe(sectors)
+                        else:
+                            l1h, l1m, fwd = l1_probe(sectors)
+                            l2h, l2m, _ = l2_probe(fwd)
                     t = t_issue + 1
                     nf = lsu.next_free
                     if nf > t:
                         t = nf
-                    finish = t + slen / lsu.rate
+                    finish = t + (slen if slen > 0 else 1) / lsu.rate
                     lsu.next_free = finish
-                    units = res.l2_accesses
-                    if units < 1:
-                        units = 1
-                    nf = l2bw.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / l2bw.rate
-                    l2bw.next_free = finish
-                    units = serials[wi]
-                    u2 = uniqs[wi] / 4.0
-                    if u2 > units:
-                        units = u2
-                    if units < 1.0:
-                        units = 1.0
-                    nf = atom.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / atom.rate
-                    atom.next_free = finish
+                    if l1m:  # == l2 accesses
+                        nf = l2bw.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + l1m / l2bw.rate
+                        l2bw.next_free = finish
+                    if l2m:  # == dram sectors
+                        nf = drambw.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + l2m / drambw.rate
+                        drambw.next_free = finish
+                    if l2m:
+                        t_ready = finish + lat_dram
+                    elif l1m:
+                        t_ready = finish + lat_l2
+                    else:
+                        t_ready = finish + m.hit_lat
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 1
+                    pc_l1h[pc] += l1h
+                    pc_l1m[pc] += l1m
+                    pc_l2h[pc] += l2h
+                    pc_l2m[pc] += l2m
+                elif code == 4:  # shared load/store
+                    tx = pay[0][pay[1] + wi]
+                    pc_tx[pc] += tx
+                    t = t_issue + 1
+                    nf = mio.next_free
+                    if nf > t:
+                        t = nf
+                    finish = t + (tx if tx > 0 else 1) / mio.rate
+                    mio.next_free = finish
+                    t_ready = finish + lat_shared
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 2
+                elif code == 5:  # atomic_global (no destinations)
+                    offs, pool, base, uniqs, serials, apply, grps = pay
+                    b = base + wi
+                    o0 = offs[b]
+                    o1 = offs[b + 1]
+                    slen = o1 - o0
+                    pc_sectors[pc] += slen
+                    if apply is not None:
+                        # order-tagged float RED deferred by the build:
+                        # commit this warp's lanes now, at its issue —
+                        # the legacy commit order (codes: 1=f32, 2=f64)
+                        entry = apply[1][wi]
+                        if entry is not None:
+                            if apply[0] == 1:
+                                red_f32(entry[0], entry[1])
+                            else:
+                                red_f64(entry[0], entry[1])
+                    if slen:
+                        fp("caches.l2_lookup")
+                        # atomics bypass L1: every sector is an L2 access
+                        l1m = slen
+                        if use_groups:
+                            l2h, l2m, _ = l2_grouped(grps[b], pool)
+                        else:
+                            l2h, l2m, _ = l2_probe(pool[o0:o1])
+                        t = t_issue + 1
+                        nf = lsu.next_free
+                        if nf > t:
+                            t = nf
+                        finish = t + slen / lsu.rate
+                        lsu.next_free = finish
+                        units = l1m  # == l2 accesses
+                        if units < 1:
+                            units = 1
+                        nf = l2bw.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + units / l2bw.rate
+                        l2bw.next_free = finish
+                        units = serials[b]
+                        u2 = uniqs[b] / 4.0
+                        if u2 > units:
+                            units = u2
+                        if units < 1.0:
+                            units = 1.0
+                        nf = atom.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + units / atom.rate
+                        atom.next_free = finish
+                        if l2m:  # == dram sectors
+                            nf = drambw.next_free
+                            t = finish if finish > nf else nf
+                            finish = t + l2m / drambw.rate
+                            drambw.next_free = finish
+                        pc_l2h[pc] += l2h
+                        pc_l2m[pc] += l2m
+                elif code == 6:  # atomic_shared (no destinations)
+                    txs, uniqs, serials, base = pay
+                    b = base + wi
+                    tx = txs[b]
+                    pc_tx[pc] += tx
+                    units = serials[b]
+                    if units:
+                        if tx > units:
+                            units = tx
+                        if units < 1:
+                            units = 1
+                        t = t_issue + 1
+                        nf = mio.next_free
+                        if nf > t:
+                            t = nf
+                        mio.next_free = t + units / mio.rate
+                elif code == 7:  # texture
+                    offs, pool, base = pay[0], pay[1], pay[2]
+                    b = base + wi
+                    o0 = offs[b]
+                    o1 = offs[b + 1]
+                    res = access(pool[o0:o1], "texture")
+                    t = t_issue + 1
+                    nf = tex.next_free
+                    if nf > t:
+                        t = nf
+                    finish = t + 1.0 / tex.rate
+                    tex.next_free = finish
+                    units = res.l2_hits + res.l2_misses  # incl. fills
+                    if units:
+                        nf = l2bw.next_free
+                        t = finish if finish > nf else nf
+                        finish = t + units / l2bw.rate
+                        l2bw.next_free = finish
                     units = res.dram_sectors
                     if units:
                         nf = drambw.next_free
                         t = finish if finish > nf else nf
                         finish = t + units / drambw.rate
                         drambw.next_free = finish
-                    self._account_hierarchy("atomic", res)
-                    counters.atomic_sectors += slen
-                    counters.atomic_l2_hits += res.l2_hits
-                    counters.atomic_l2_misses += res.l2_misses
-            elif code == 6:  # atomic_shared (no destinations)
-                txs, uniqs, serials = dyn[row]
-                counters.shared_tx_by_pc[pc] += int(txs[wi])
-                units = serials[wi]
-                if units:
-                    tx = txs[wi]
-                    if tx > units:
-                        units = tx
-                    if units < 1:
-                        units = 1
-                    t = t_issue + 1
-                    nf = mio.next_free
-                    if nf > t:
-                        t = nf
-                    mio.next_free = t + units / mio.rate
-            elif code == 7:  # texture
-                offs, pool = dyn[row]
-                o0 = offs[wi]
-                o1 = offs[wi + 1]
-                res = access(pool[o0:o1], "texture")
-                t = t_issue + 1
-                nf = tex.next_free
-                if nf > t:
-                    t = nf
-                finish = t + 1.0 / tex.rate
-                tex.next_free = finish
-                units = res.l2_hits + res.l2_misses  # incl. line fills
-                if units:
-                    nf = l2bw.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / l2bw.rate
-                    l2bw.next_free = finish
-                units = res.dram_sectors
-                if units:
-                    nf = drambw.next_free
-                    t = finish if finish > nf else nf
-                    finish = t + units / drambw.rate
-                    drambw.next_free = finish
-                deepest = res.deepest
-                if deepest == "dram":
-                    t_ready = finish + lat_dram
-                elif deepest == "l2":
-                    t_ready = finish + lat_l2
-                else:
-                    t_ready = finish + m.hit_lat
-                for reg in m.dests:
-                    reg_ready[reg] = t_ready
-                    reg_kind[reg] = 1
-                counters.texture_sectors += o1 - o0
-                counters.mem_sectors_by_pc[pc] += int(o1 - o0)
-                counters.texture_hits += res.l1_hits
-                counters.texture_misses += res.l1_misses
-                counters.record_l2("texture", res.l2_hits, res.l2_misses)
-            else:  # code == 8: barrier
-                block = rt.block_id
-                arrived = barrier_arrivals.get(block)
-                if arrived is None:
-                    arrived = barrier_arrivals[block] = []
-                arrived.append(rt)
-                rt.at_barrier = True
-                if len(arrived) == block_warp_counts[block]:
-                    release = t_issue + 1
-                    for other in arrived:
-                        other.at_barrier = False
-                        if other is not rt:
-                            other.forced_wait = release
-                            other.forced_reason = R_BAR
-                        r2, _ = next_ready(other)
-                        heappush(heap, (r2 if r2 > release else release,
-                                        seq, other.index))
-                        seq += 1
-                    barrier_arrivals[block] = []
-                continue  # barrier warps re-enter via release
+                    deepest = res.deepest
+                    if deepest == "dram":
+                        t_ready = finish + lat_dram
+                    elif deepest == "l2":
+                        t_ready = finish + lat_l2
+                    else:
+                        t_ready = finish + m.hit_lat
+                    for reg in dests:
+                        reg_ready[reg] = t_ready
+                        reg_kind[reg] = 1
+                    pc_sectors[pc] += o1 - o0
+                    pc_l1h[pc] += res.l1_hits
+                    pc_l1m[pc] += res.l1_misses
+                    pc_l2h[pc] += res.l2_hits
+                    pc_l2m[pc] += res.l2_misses
+                else:  # code == 8: barrier
+                    rt.earliest = earliest
+                    block = rt.block_id
+                    arrived = barrier_arrivals.get(block)
+                    if arrived is None:
+                        arrived = barrier_arrivals[block] = []
+                    arrived.append(rt)
+                    rt.at_barrier = True
+                    if len(arrived) == block_warp_counts[block]:
+                        release = t_issue + 1
+                        for other in arrived:
+                            other.at_barrier = False
+                            if other is not rt:
+                                other.forced_wait = release
+                                other.forced_reason = R_BAR
+                            r2 = entry_key(other)
+                            heappush(heap, (r2 if r2 > release else release,
+                                            seq, other.index))
+                            seq += 1
+                        barrier_arrivals[block] = []
+                    break  # barrier warps re-enter via release
 
-            if rt.row >= rt.end_row:
-                rt.finish_time = t_next
                 if t_next > wave_end:
                     wave_end = t_next
-                counters.warp_cycles_active += t_next - rt.start_time
-                continue
-            r2, _ = next_ready(rt)
-            heappush(heap, (r2, seq, wi))
-            seq += 1
-            if t_next > wave_end:
-                wave_end = t_next
+                if row2 < 0:
+                    rt.earliest = t_next
+                    rt.finish_time = t_next
+                    counters.warp_cycles_active += t_next - rt.start_time
+                    break
+                # next row: dep half inline (a stale forced_wait is
+                # strictly below t_next, so only the slot and the
+                # scoreboard matter), then the live pipe overlay
+                nxt = plan[row2]
+                ready = t_next
+                reason = None
+                for idx in nxt[3]:
+                    t = reg_ready[idx]
+                    if t > ready:
+                        ready = t
+                        reason = kind_reason[reg_kind[idx]]
+                dep_r = ready
+                dep_reason = reason
+                pk = nxt[1]
+                if pk:
+                    if pk == 1:
+                        t = lsu.next_free - lg_depth
+                    elif pk == 5:
+                        t = lsu.next_free - lg_depth
+                        t2 = atom.next_free - lg_depth
+                        if t2 > t:
+                            t = t2
+                    elif pk == 2:
+                        t = mio.next_free - mio_depth
+                    elif pk == 3:
+                        t = tex.next_free - tex_depth
+                    else:
+                        t = mufu.next_free - 8.0
+                    if t > ready:
+                        ready = t
+                        reason = pk_reason[pk]
+                if heap and ready >= heap[0][0]:
+                    # another entry pops first (ties break toward the
+                    # earlier seq already in the heap): park this warp
+                    # with the dep half cached for its eventual pop
+                    rt.earliest = earliest
+                    rt.dep = dep_r
+                    rt.dep_reason = dep_reason
+                    heappush(heap, (ready, seq, wi))
+                    seq += 1
+                    break
+                row = row2  # strictly first: keep sweeping
+                code, pk, cost, srcs, dests, pc, m, pay = nxt
 
         if budget is not None and budget_pending:
             budget.spend(budget_pending, wave_end)
@@ -810,29 +1017,63 @@ class SMScheduler:
                 if m.conv:
                     counters.conversion_instructions += n
             elif code == 3:
+                sec = int(pc_sectors[pc])
+                counters.mem_sectors_by_pc[pc] += sec
                 sub = m.sub
                 if sub == 0:
                     counters.global_load_instructions += n
+                    counters.global_load_sectors += sec
                 elif sub == 1:
                     counters.global_store_instructions += n
+                    counters.global_store_sectors += sec
                 elif sub == 2:
                     counters.local_load_instructions += n
+                    counters.local_load_sectors += sec
                 else:
                     counters.local_store_instructions += n
+                    counters.local_store_sectors += sec
+                space = m.access_space
+                if space == "local":
+                    if not m.write:
+                        counters.local_l1_hits += pc_l1h[pc]
+                        counters.local_l1_misses += pc_l1m[pc]
+                    counters.record_l2("local", pc_l2h[pc], pc_l2m[pc])
+                else:  # global / readonly
+                    if not m.write:
+                        counters.global_load_l1_hits += pc_l1h[pc]
+                        counters.global_load_l1_misses += pc_l1m[pc]
+                    counters.record_l2("global", pc_l2h[pc], pc_l2m[pc])
             elif code == 4:
+                tx = int(pc_tx[pc])
+                counters.shared_tx_by_pc[pc] += tx
                 if m.sub == 0:
                     counters.shared_load_instructions += n
+                    counters.shared_load_transactions += tx
                 else:
                     counters.shared_store_instructions += n
+                    counters.shared_store_transactions += tx
             elif code == 5:
+                sec = int(pc_sectors[pc])
                 counters.global_atomic_instructions += n
+                counters.mem_sectors_by_pc[pc] += sec
+                counters.atomic_sectors += sec
+                counters.atomic_l2_hits += pc_l2h[pc]
+                counters.atomic_l2_misses += pc_l2m[pc]
+                counters.record_l2("atomic", pc_l2h[pc], pc_l2m[pc])
             elif code == 6:
                 counters.shared_atomic_instructions += n
+                counters.shared_tx_by_pc[pc] += int(pc_tx[pc])
             elif code == 7:
+                sec = int(pc_sectors[pc])
                 counters.texture_instructions += n
+                counters.texture_sectors += sec
+                counters.mem_sectors_by_pc[pc] += sec
+                counters.texture_hits += pc_l1h[pc]
+                counters.texture_misses += pc_l1m[pc]
+                counters.record_l2("texture", pc_l2h[pc], pc_l2m[pc])
 
         for rt in rts:
-            if rt.row < rt.end_row:
+            if rt.row >= 0:
                 raise SimulationError(
                     f"warp {rt.index} never finished (barrier deadlock? "
                     f"pc={pcs[rt.row]})"

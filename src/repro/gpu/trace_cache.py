@@ -1,0 +1,130 @@
+"""Content-addressed per-wave trace cache.
+
+The timed fast path splits a wave into a *build* (batched functional
+execution that records the effect trace, :mod:`repro.gpu.timed_trace`)
+and a *replay* (:meth:`~repro.gpu.scheduler.SMScheduler.run_wave_trace`).
+The build is a pure function of the program, the launch geometry, the
+parameter block and the device-memory contents at wave start — none of
+the stateful timing machinery (heap, Timeline, caches) feeds back into
+it.  Workloads that re-run the same launch — benchmark repeats, what-if
+sensitivity reruns, perturbation sweeps — therefore rebuild an
+identical trace every time.
+
+This cache keys each wave by a launch fingerprint (program identity,
+grid/block, parameter values, texture bindings, a CRC of the full
+device-memory image at launch, and the spec fields the packers read)
+plus the wave's ordinal and block range.  Determinism makes the
+per-launch fingerprint sufficient for *every* wave of the launch: the
+memory image at wave N is a pure function of the image at launch plus
+the (cached, deterministic) effects of waves 0..N-1, which the hit path
+reproduces by applying the trace's recorded ``post_writes`` before
+replay.  Deferred float atomics are not part of ``post_writes`` — the
+replay commits them itself, in legacy heap order, on hit and miss
+alike.
+
+Program identity is ``id(compiled)`` and each entry keeps a strong
+reference to its compiled kernel, so an id can never be recycled while
+an entry depends on it: a hit requires the *same object*, which is the
+only case where skipping the build is provably sound without hashing
+the program text.  The stateful cache hierarchy is never cached — a
+warm L1/L2 changes replay *timing* legitimately and the replay probes
+it live.
+
+Disable with ``REPRO_TRACE_CACHE=0`` (the supervised/budgeted path
+disables itself: skipping build work would change degradation
+decisions between cold and warm runs).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["TraceCache", "trace_cache"]
+
+
+class _Entry:
+    __slots__ = ("trace", "warp_counts", "n_warps", "compiled")
+
+    def __init__(self, trace, warp_counts, n_warps, compiled):
+        self.trace = trace
+        self.warp_counts = warp_counts
+        self.n_warps = n_warps
+        self.compiled = compiled  # strong ref pins id(compiled)
+
+
+class TraceCache:
+    """LRU map from wave keys to built :class:`TimedTrace` objects."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+    def launch_key(self, compiled, config, param_values: dict,
+                   tex_layouts: dict, mem, spec, sm_id: int) -> tuple:
+        """Fingerprint everything the trace build can observe.
+
+        Computed once per launch; the CRC over the device image is the
+        only non-trivial cost (a few hundred µs/MB) and is what makes
+        the key *content*-addressed — a session launch against mutated
+        buffers misses instead of replaying a stale trace.
+        """
+        buf = mem.buf
+        return (
+            id(compiled),
+            config.grid, config.block,
+            tuple(sorted(param_values.items())),
+            tuple(sorted(
+                (slot, repr(layout)) for slot, layout in tex_layouts.items()
+            )),
+            len(buf), zlib.crc32(buf),
+            spec.name, spec.sector_bytes, spec.l1_line_bytes,
+            spec.l2_line_bytes, spec.smem_banks, spec.smem_bank_bytes,
+            sm_id,
+        )
+
+    @staticmethod
+    def wave_key(launch_key: tuple, ordinal: int, wave: range) -> tuple:
+        return (launch_key, ordinal, wave.start, wave.stop, wave.step)
+
+    # -- LRU -------------------------------------------------------------
+    def get(self, wave_key: tuple) -> Optional[_Entry]:
+        ent = self._entries.get(wave_key)
+        if ent is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(wave_key)
+        self.hits += 1
+        return ent
+
+    def put(self, wave_key: tuple, trace, warp_counts: dict,
+            compiled) -> None:
+        self._entries[wave_key] = _Entry(
+            trace, dict(warp_counts), trace.n_warps, compiled
+        )
+        self._entries.move_to_end(wave_key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: process-wide instance (the build is deterministic, so sharing across
+#: Simulator objects is exactly the point — benchmark repeats construct
+#: a fresh Simulator per run but reuse the compiled kernel and inputs)
+_CACHE = TraceCache()
+
+
+def trace_cache() -> Optional[TraceCache]:
+    """The shared cache, or ``None`` when disabled via environment."""
+    if os.environ.get("REPRO_TRACE_CACHE", "1") == "0":
+        return None
+    return _CACHE

@@ -5,9 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.gpu.caches import SectorCache
+from repro.gpu.caches import SectorCache, line_groups
 from repro.gpu.coalesce import coalesce_sectors, shared_transactions
 from repro.gpu.scheduler import Timeline
+from repro.gpu.timed_trace import (
+    _pack_coalesce,
+    _pack_shared_tx,
+    _pack_unique_counts,
+)
 
 
 addresses = hnp.arrays(
@@ -16,6 +21,98 @@ addresses = hnp.arrays(
     elements=st.integers(0, 2**20).map(lambda v: v * 4),
 )
 masks = hnp.arrays(dtype=np.bool_, shape=32)
+
+#: (rows, 32) packs — the stacked warp-major shape the trace build
+#: feeds to the vectorized per-warp packers
+pack_addresses = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 4), st.just(32)),
+    elements=st.integers(0, 2**14).map(lambda v: v * 4),
+)
+pack_masks = hnp.arrays(dtype=np.bool_,
+                        shape=st.tuples(st.integers(1, 4), st.just(32)))
+
+
+@given(pack_addresses, st.sampled_from([4, 8, 16, 64]), pack_masks)
+@settings(max_examples=100, deadline=None)
+def test_pack_coalesce_matches_scalar(addrs, nbytes, guard):
+    """The vectorized pack produces, row by row, exactly the scalar
+    ``coalesce_sectors`` pools and exactly the ``line_groups`` structure
+    over each pool (with absolute pool indices).  nbytes=64 forces the
+    wider-than-a-sector fallback path."""
+    rows = min(addrs.shape[0], guard.shape[0])
+    addrs, guard = addrs[:rows], guard[:rows]
+    offs, pool, groups = _pack_coalesce(addrs, nbytes, guard, 32, 128)
+    assert len(offs) == rows + 1 and len(groups) == rows
+    assert all(type(s) is int for s in pool)
+    for w in range(rows):
+        o0, o1 = offs[w], offs[w + 1]
+        ref = coalesce_sectors(addrs[w], nbytes, guard[w], 32).tolist()
+        assert pool[o0:o1] == ref
+        ref_groups = line_groups(ref, 128, 32, 4)
+        rebased = tuple((ln, mk, c, i - o0, j - o0)
+                        for ln, mk, c, i, j in groups[w])
+        assert rebased == ref_groups
+
+
+@given(pack_addresses, st.sampled_from([4, 8]), pack_masks)
+@settings(max_examples=100, deadline=None)
+def test_pack_shared_tx_matches_scalar(addrs, nbytes, guard):
+    rows = min(addrs.shape[0], guard.shape[0])
+    addrs, guard = addrs[:rows] % 4096, guard[:rows]
+    tx = _pack_shared_tx(addrs, nbytes, guard, 32, 4)
+    assert tx == [shared_transactions(addrs[w], nbytes, guard[w], 32, 4)
+                  for w in range(rows)]
+
+
+@given(pack_addresses, pack_masks)
+@settings(max_examples=100, deadline=None)
+def test_pack_unique_counts_matches_numpy(addrs, guard):
+    rows = min(addrs.shape[0], guard.shape[0])
+    addrs, guard = addrs[:rows], guard[:rows]
+    uniq, serial = _pack_unique_counts(addrs.copy(), guard)
+    for w in range(rows):
+        act = addrs[w][guard[w]]
+        if len(act) == 0:
+            assert uniq[w] == 0 and serial[w] == 0
+            continue
+        vals, counts = np.unique(act, return_counts=True)
+        assert uniq[w] == len(vals)
+        assert serial[w] == counts.max()
+
+
+pool_streams = st.lists(
+    st.lists(st.integers(0, 255).map(lambda v: v * 32),
+             min_size=0, max_size=48),
+    min_size=1, max_size=10,
+)
+
+
+@given(pool_streams, st.sampled_from([512, 1024]))
+@settings(max_examples=80, deadline=None)
+def test_probe_pool_variants_match_lookup(streams, size):
+    """``probe_pool`` and ``probe_pool_grouped`` are bit-identical to a
+    per-sector ``lookup`` walk: same hit/miss totals, same forwarded
+    miss order, same resident lines, masks and LRU stamps — across a
+    stream of pools long enough to force evictions."""
+    ref = SectorCache("ref", size, assoc=2)
+    via_pool = SectorCache("p", size, assoc=2)
+    via_groups = SectorCache("g", size, assoc=2)
+    for raw in streams:
+        pool = sorted(set(raw))
+        expect_missed = [s for s in pool if not ref.lookup(s)]
+        h1, m1, missed1 = via_pool.probe_pool(pool)
+        groups = line_groups(pool, 128, 32, 4)
+        h2, m2, missed2 = via_groups.probe_pool_grouped(groups, pool)
+        assert missed1 == expect_missed and missed2 == expect_missed
+        assert h1 == h2 == len(pool) - len(expect_missed)
+        assert m1 == m2 == len(expect_missed)
+    for c in (via_pool, via_groups):
+        assert c.stats.hits == ref.stats.hits
+        assert c.stats.misses == ref.stats.misses
+        assert c._clock == ref._clock
+        assert c._lines == ref._lines
+        assert c._sets == ref._sets
 
 
 @given(addresses, st.sampled_from([4, 8, 16]), masks)

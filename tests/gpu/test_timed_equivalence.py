@@ -25,7 +25,7 @@ from repro.gpu.timed_trace import timed_batchable
 from repro.sampling.pcsampler import PCSampler
 
 # every case-study family from the paper; reduction:* exercises the
-# float-atomic fallback (trace-ineligible, must still be bit-identical)
+# order-tagged float-atomic replay (deferred commit in legacy heap order)
 CASES = [
     ("sgemm:naive", 64), ("sgemm:naive", 96),
     ("sgemm:shared", 64),
@@ -100,11 +100,34 @@ def _build_varloop_rmw():
     return compile_kernel(kb.build())
 
 
-class TestDivergenceDissolve:
-    def test_divergent_wave_dissolves_and_rolls_back(self):
+def _build_varloop_barrier():
+    """Loop trip counts diverge *between warps of one block* upstream of
+    ``__syncthreads()``: per-warp segments cannot reorder warps across a
+    barrier they must re-meet at, so this is the one divergence shape
+    that still dissolves to the legacy interleaved path."""
+    kb = KernelBuilder("varloop_barrier")
+    dst = kb.param("dst", ptr(f32))
+    tid = kb.let("tid", kb.thread_idx.y * 32 + kb.thread_idx.x, dtype=i32)
+    g = kb.let("g", kb.block_idx.x * 64 + tid, dtype=i32)
+    buf = kb.shared_array("buf", f32, 64)
+    acc = kb.let("acc", 0.0, dtype=f32)
+    with kb.for_range("i", 0, kb.thread_idx.y + 1):
+        kb.assign(acc, acc + 1.5)
+    buf[tid] = acc
+    kb.sync_threads()
+    # read the partner lane in the *other* warp: wrong unless both
+    # warps genuinely met at the barrier
+    kb.store(dst, g, buf[tid ^ 32])
+    return compile_kernel(kb.build())
+
+
+class TestDivergenceSegments:
+    def test_divergent_wave_runs_trace_timed(self):
         """grid=(81,) on an 80-SM part puts blocks 0 and 80 in SM0's
         first timed wave; their trip counts (1 vs 81) diverge after the
-        RMW+atomic prefix has executed in the batched build."""
+        RMW+atomic prefix has executed in the batched build.  Per-warp
+        trace segments keep the build valid across the pack split, so
+        the wave replays trace-timed — bit-identical to legacy."""
         ck = _build_varloop_rmw()
         config = LaunchConfig(grid=(81, 1), block=(64, 1))
         n = 81 * 64
@@ -116,21 +139,67 @@ class TestDivergenceDissolve:
             results[fast] = sim.launch(ck, config, args,
                                        max_blocks=2, functional_all=True)
         legacy, fast = results[False], results[True]
-        # eligible for the trace build (batchable, u32 atomic only)...
         assert timed_batchable(predecode(ck.program))
-        # ...but the wave diverges, so the run dissolves to legacy
-        assert not fast.timed_fast_path
+        # divergence no longer dissolves: segments carry the split
+        assert fast.timed_fast_path
         assert legacy.cycles == fast.cycles
         assert legacy.counters == fast.counters
         assert np.array_equal(legacy.memory.buf, fast.memory.buf)
-        # rollback exactness: each thread bumped cnt exactly once and
-        # observed the original dst value in its final store
+        sampler = PCSampler(period_cycles=128)
+        assert (sampler.sample(legacy).samples
+                == sampler.sample(fast).samples)
+        # functional exactness through the split: each thread bumped
+        # cnt exactly once and saw the original dst in its final store
         got_cnt = fast.read_buffer("cnt")
         assert got_cnt[0] == n, "atomic applied a wrong number of times"
         got = fast.read_buffer("dst").reshape(81, 64)
         expected = 1.5 * (np.arange(81, dtype=np.float32) + 1) + 0.25
         assert np.array_equal(got, np.broadcast_to(expected[:, None],
                                                    (81, 64)))
+
+    def test_divergent_warps_at_barrier_still_dissolve(self):
+        """Intra-block divergence upstream of a barrier cannot be
+        segmented (the block's warps must re-meet at the BAR), so the
+        build dissolves and replays legacy — still bit-identical."""
+        ck = _build_varloop_barrier()
+        config = LaunchConfig(grid=(2, 1), block=(32, 2))
+        n = 2 * 64
+        results = {}
+        for fast in (False, True):
+            sim = Simulator(fast=fast)
+            args = {"dst": np.zeros(n, dtype=np.float32)}
+            results[fast] = sim.launch(ck, config, args,
+                                       max_blocks=2, functional_all=True)
+        legacy, fast = results[False], results[True]
+        assert timed_batchable(predecode(ck.program))
+        assert not fast.timed_fast_path
+        assert legacy.cycles == fast.cycles
+        assert legacy.counters == fast.counters
+        assert np.array_equal(legacy.memory.buf, fast.memory.buf)
+        # each lane reads its partner warp's accumulator: warp 0 lanes
+        # see 3.0 (y=1 ran 2 trips), warp 1 lanes see 1.5
+        got = fast.read_buffer("dst").reshape(2, 2, 32)
+        assert np.array_equal(got[:, 0, :], np.full((2, 32), 3.0,
+                                                    dtype=np.float32))
+        assert np.array_equal(got[:, 1, :], np.full((2, 32), 1.5,
+                                                    dtype=np.float32))
+
+
+def test_zero_dissolves_across_suite():
+    """Every in-tree case-study kernel is trace-eligible *and* every
+    timed wave actually replays trace-driven — zero legacy dissolves.
+    ``reduction:*`` (order-tagged float atomics) and the variable-trip
+    kernels (per-warp segments) used to be the two dissolve cases."""
+    seen = set()
+    for spec, size in CASES:
+        if spec in seen:
+            continue
+        seen.add(spec)
+        ck, res = _run(spec, size, fast=True)
+        assert timed_batchable(predecode(ck.program)), (
+            f"{spec}: not trace-eligible"
+        )
+        assert res.timed_fast_path, f"{spec}: a wave dissolved to legacy"
 
 
 class TestDeterminism:

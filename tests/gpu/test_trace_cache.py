@@ -1,0 +1,114 @@
+"""Content-addressed trace cache: warm replays must be hits, bit-equal,
+and skippable via the environment."""
+
+import numpy as np
+import pytest
+
+from repro.cli import resolve_kernel
+from repro.gpu.simulator import Simulator
+from repro.gpu.trace_cache import TraceCache, trace_cache
+
+
+@pytest.fixture
+def cache():
+    c = trace_cache()
+    assert c is not None
+    c.clear()
+    yield c
+    c.clear()
+
+
+def _resolve(spec="sgemm:naive", size=64):
+    # the cache keys program identity by object (``id(compiled)`` plus a
+    # strong ref), so warm-replay tests must reuse one resolved kernel —
+    # exactly how benchmark repeats and what-if reruns behave
+    return resolve_kernel(spec, size, 4)
+
+
+def _launch(resolved, **kw):
+    ck, config, args, textures = resolved
+    sim = Simulator(fast=True)
+    return sim.launch(ck, config, args, textures=textures,
+                      max_blocks=2, functional_all=True, **kw)
+
+
+class TestWarmReplay:
+    def test_repeat_launch_hits_cache(self, cache):
+        rk = _resolve()
+        first = _launch(rk)
+        assert cache.hits == 0 and cache.misses > 0
+        second = _launch(rk)
+        assert cache.hits > 0, "warm repeat rebuilt every trace"
+        assert first.timed_fast_path and second.timed_fast_path
+
+    def test_warm_replay_bit_identical(self, cache):
+        rk = _resolve()
+        first = _launch(rk)
+        second = _launch(rk)
+        assert cache.hits > 0
+        assert first.cycles == second.cycles
+        assert first.counters == second.counters
+        assert np.array_equal(first.memory.buf, second.memory.buf)
+
+    def test_deferred_atomics_hit_cache_and_commit(self, cache):
+        """reduction:atomic defers float atomics to replay; the cached
+        trace must re-commit them on every warm replay, not carry the
+        first replay's values in ``post_writes``."""
+        rk = _resolve("reduction:atomic", 512)
+        first = _launch(rk)
+        second = _launch(rk)
+        assert cache.hits > 0
+        assert first.cycles == second.cycles
+        assert first.counters == second.counters
+        assert np.array_equal(first.memory.buf, second.memory.buf)
+
+    def test_mutated_input_misses(self, cache):
+        ck, config, args, textures = resolve_kernel("sgemm:naive", 64, 4)
+        Simulator(fast=True).launch(ck, config, args, textures=textures,
+                                    max_blocks=2, functional_all=True)
+        hits_before = cache.hits
+        args2 = {k: (v + 1 if isinstance(v, np.ndarray) else v)
+                 for k, v in args.items()}
+        Simulator(fast=True).launch(ck, config, args2, textures=textures,
+                                    max_blocks=2, functional_all=True)
+        assert cache.hits == hits_before, (
+            "launch against mutated buffers replayed a stale trace"
+        )
+
+
+class TestDisable:
+    def test_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert trace_cache() is None
+
+    def test_disabled_launch_still_trace_timed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        rk = _resolve()
+        reference = _launch(rk)
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        res = _launch(rk)
+        assert res.timed_fast_path
+        assert res.cycles == reference.cycles
+        assert res.counters == reference.counters
+
+    def test_budgeted_launch_bypasses_cache(self, cache):
+        """Supervised/budgeted launches must not populate or consume the
+        cache: skipping build work would change degradation decisions."""
+        from repro.gpu.budget import SimBudget
+
+        _launch(_resolve(), budget=SimBudget(max_cycles=10**9))
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestLRU:
+    def test_capacity_evicts_oldest(self):
+        c = TraceCache(capacity=2)
+        for i in range(3):
+            c.put((("k", i), 0, 0, 1, 1), _FakeTrace(), {}, object())
+        assert len(c._entries) == 2
+        assert c.get((("k", 0), 0, 0, 1, 1)) is None
+        assert c.get((("k", 2), 0, 0, 1, 1)) is not None
+
+
+class _FakeTrace:
+    n_warps = 0
