@@ -1,0 +1,250 @@
+"""Serving-stack latency: warm cache hits and worker-pool batches.
+
+Two measurements against a live ``ScoutServer`` on loopback:
+
+* **warm** — one kernel submitted cold, then repeatedly warm: the
+  repeat is answered from the content-addressed L3 report cache
+  without touching the engine.  Target: the warm hit is >=20x faster
+  than the cold analysis, end to end over HTTP.
+* **batch** — a realistic 8-submission batch (6 unique programs plus
+  2 exact repeats, the shape of a sweep with duplicated baselines) on
+  a 4-worker pool, versus the same 8 submissions as serial one-shot
+  ``gpuscout analyze`` processes — the workflow the service replaces,
+  startup and recompilation included.  Worker parallelism covers the
+  unique members; single-flight coalescing makes the duplicates ride
+  along for free.  Target: >=2x.
+
+Writes ``BENCH_serve_latency.json`` at the repository root with both
+mode sections (full and smoke) so CI can gate like against like.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py           # record
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --check   # gate
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py \
+        --smoke --against-recorded   # CI regression gate vs. recorded JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ScoutServer  # noqa: E402
+
+JSON_PATH = REPO_ROOT / "BENCH_serve_latency.json"
+
+TARGET_WARM_SPEEDUP = 20.0
+TARGET_BATCH_SPEEDUP = 2.0
+
+#: --against-recorded tolerance: measured speedups are ratios, so they
+#: transfer across machines, but the serial subprocess baseline is
+#: noisy — the margin absorbs scheduler and CI-core-count variation
+#: while still catching a broken cache or pool (both collapse to ~1x)
+REGRESSION_MARGIN = 0.4
+
+#: the warm workload is cheap (one cold run + warm repeats), so smoke
+#: and full measure the same thing and stay comparable
+WARM_KERNEL = {"kernel": "sgemm:naive", "size": 96}
+
+#: 8 submissions, 6 unique: members 7/8 repeat members 1/3 exactly
+BATCH = [
+    {"kernel": "sgemm:naive", "size": 96},
+    {"kernel": "sgemm:shared", "size": 96},
+    {"kernel": "histogram:global", "size": 4096},
+    {"kernel": "histogram:shared", "size": 4096},
+    {"kernel": "reduction:warp", "size": 512},
+    {"kernel": "heat:naive", "size": 96},
+    {"kernel": "sgemm:naive", "size": 96},
+    {"kernel": "histogram:global", "size": 4096},
+]
+BATCH_SMOKE = [
+    {"kernel": "sgemm:naive", "size": 48},
+    {"kernel": "sgemm:shared", "size": 48},
+    {"kernel": "histogram:global", "size": 1024},
+    {"kernel": "histogram:shared", "size": 1024},
+    {"kernel": "reduction:warp", "size": 256},
+    {"kernel": "heat:naive", "size": 64},
+    {"kernel": "sgemm:naive", "size": 48},
+    {"kernel": "histogram:global", "size": 1024},
+]
+BATCH_WORKERS = 4
+
+
+def _post(url: str, path: str, body: dict, timeout: float = 600.0) -> dict:
+    req = urllib.request.Request(url + path,
+                                 data=json.dumps(body).encode())
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def measure_warm(warm_repeats: int = 10) -> dict:
+    """Cold submission vs. best-of-N warm L3 hit, end to end over HTTP."""
+    cache_dir = tempfile.mkdtemp(prefix="gpuscout-bench-warm-")
+    try:
+        with ScoutServer(workers=0, cache_dir=cache_dir).start() as srv:
+            t0 = time.perf_counter()
+            cold_env = _post(srv.url, "/v1/analyze", WARM_KERNEL)
+            cold_s = time.perf_counter() - t0
+            assert cold_env["cache"] == "cold", cold_env.get("cache")
+            warm_s = None
+            for _ in range(warm_repeats):
+                t0 = time.perf_counter()
+                env = _post(srv.url, "/v1/analyze", WARM_KERNEL)
+                dt = time.perf_counter() - t0
+                assert env["cache"] == "l3", env.get("cache")
+                warm_s = dt if warm_s is None else min(warm_s, dt)
+            assert env["report"] == cold_env["report"]
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "kernel": WARM_KERNEL,
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2),
+    }
+
+
+def _one_shot(payload: dict) -> None:
+    """One serial baseline analysis: a fresh ``gpuscout analyze``
+    process, exactly the workflow the service replaces (interpreter
+    startup, imports, compilation, cold caches)."""
+    import os
+    import subprocess
+
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze",
+         "--kernel", payload["kernel"], "--size", str(payload["size"]),
+         "--json", "-"],
+        check=True, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL, env=env,
+    )
+
+
+def measure_batch(smoke: bool) -> dict:
+    """Cold 8-submission batch on 4 workers vs. 8 serial one-shots.
+
+    The pooled server is started (workers forked) *before* the serial
+    leg runs, so the workers inherit none of the serial leg's warm
+    in-process state; each leg gets its own cache directory."""
+    batch = BATCH_SMOKE if smoke else BATCH
+    cache_dir = tempfile.mkdtemp(prefix="gpuscout-bench-batch-")
+    try:
+        with ScoutServer(workers=BATCH_WORKERS,
+                         cache_dir=cache_dir).start() as srv:
+            t0 = time.perf_counter()
+            for payload in batch:
+                _one_shot(payload)
+            serial_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            body = _post(srv.url, "/v1/batch", {"requests": batch})
+            pooled_s = time.perf_counter() - t0
+            assert body["ok"], body
+            workers = {r.get("worker") for r in body["responses"]
+                       if "worker" in r}
+            stats = _stats(srv.url)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "submissions": len(batch),
+        "unique": len({json.dumps(b, sort_keys=True) for b in batch}),
+        "workers": BATCH_WORKERS,
+        "workers_used": len(workers),
+        "coalesced": stats["coalesced"],
+        "serial_seconds": round(serial_s, 4),
+        "pooled_seconds": round(pooled_s, 4),
+        "speedup": round(serial_s / pooled_s, 2),
+    }
+
+
+def _stats(url: str) -> dict:
+    with urllib.request.urlopen(url + "/v1/stats", timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def run(smoke: bool) -> dict:
+    warm = measure_warm(warm_repeats=5 if smoke else 10)
+    print(f"warm  cold {warm['cold_seconds'] * 1e3:8.1f} ms | "
+          f"l3 hit {warm['warm_seconds'] * 1e3:6.1f} ms | "
+          f"{warm['speedup']:6.1f}x")
+    batch = measure_batch(smoke)
+    print(f"batch serial {batch['serial_seconds']:6.2f} s | "
+          f"{batch['workers']} workers {batch['pooled_seconds']:6.2f} s | "
+          f"{batch['speedup']:5.1f}x "
+          f"(coalesced {batch['coalesced']})")
+    return {"warm": warm, "batch": batch}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small batch sizes (CI runtime check)")
+    ap.add_argument("--check", action="store_true",
+                    help=f"exit non-zero unless warm >= "
+                         f"{TARGET_WARM_SPEEDUP:.0f}x and batch >= "
+                         f"{TARGET_BATCH_SPEEDUP:.0f}x")
+    ap.add_argument("--against-recorded", action="store_true",
+                    help="regression gate: exit non-zero if a measured "
+                         "speedup drops below "
+                         f"{REGRESSION_MARGIN:.0%} of the same-mode one "
+                         "recorded in BENCH_serve_latency.json")
+    args = ap.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+
+    t0 = time.time()
+    results = run(args.smoke)
+    results["wall_seconds"] = round(time.time() - t0, 2)
+
+    if not args.smoke and not args.against_recorded:
+        # recording a full run refreshes the smoke section too, so the
+        # CI gate always has a same-mode baseline
+        print("\nrecording smoke section...")
+        smoke_results = run(True)
+        payload = {
+            "benchmark": "serve_latency",
+            "targets": {"warm": TARGET_WARM_SPEEDUP,
+                        "batch": TARGET_BATCH_SPEEDUP},
+            "full": results,
+            "smoke": smoke_results,
+        }
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {JSON_PATH}")
+
+    ok = True
+    if args.check:
+        if results["warm"]["speedup"] < TARGET_WARM_SPEEDUP:
+            print("FAIL: warm hit below target", file=sys.stderr)
+            ok = False
+        if results["batch"]["speedup"] < TARGET_BATCH_SPEEDUP:
+            print("FAIL: batch below target", file=sys.stderr)
+            ok = False
+    if args.against_recorded:
+        recorded = json.loads(JSON_PATH.read_text())[mode]
+        for name in ("warm", "batch"):
+            floor = recorded[name]["speedup"] * REGRESSION_MARGIN
+            got = results[name]["speedup"]
+            status = "ok" if got >= floor else "REGRESSED"
+            print(f"regression gate {name:<5s} measured {got:6.1f}x vs "
+                  f"floor {floor:6.1f}x "
+                  f"(recorded {recorded[name]['speedup']:.1f}x): {status}")
+            ok &= got >= floor
+        if not ok:
+            print("FAIL: below recorded speedup", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Optional
 
@@ -245,6 +246,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "kernels past the deadline are skipped and "
                             "the partial results exit cleanly")
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="long-lived analysis service: HTTP/JSON submissions, "
+             "worker-pool sharding, content-addressed result caches",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral port, "
+                            "printed on startup)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="analysis worker processes (0 runs inline "
+                            "in the server process)")
+    p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="directory for the disk cache tiers "
+                            "(traces + reports); omit for memory-only")
+    p_srv.add_argument("--cache-mb", type=int, default=256,
+                       help="size cap per disk cache tier")
+    p_srv.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request wall-clock budget "
+                            "(requests may override)")
+    p_srv.add_argument("--fast", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="fast simulation mode for served analyses "
+                            "(default on; REPRO_FAST=0 also disables)")
+
     sub.add_parser("list-kernels", help="list built-in kernel specs")
     return parser
 
@@ -300,6 +327,8 @@ def _main(argv: Optional[list[str]] = None) -> int:
         return _run_explain(args.name)
     if args.command == "validate":
         return _run_validate(args)
+    if args.command == "serve":
+        return _run_serve(args)
     # analyze
     from repro.core import all_analyses
 
@@ -434,6 +463,39 @@ def _run_validate(args) -> int:
         print(f"gpuscout: deadline hit — {len(skipped)} kernel(s) "
               "skipped (partial results)", file=sys.stderr)
     return 0 if all(r.ok for r in results) else 1
+
+
+def _run_serve(args) -> int:
+    """``gpuscout serve``: run the analysis service until interrupted."""
+    from repro.serve import ScoutServer
+
+    server = ScoutServer(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=args.cache_dir, deadline=args.deadline,
+        fast=args.fast, cache_mb=args.cache_mb,
+    )
+    host, port = server.address
+    mode = f"{args.workers} worker(s)" if args.workers else "inline"
+    print(f"gpuscout serve: listening on http://{host}:{port} ({mode})",
+          file=sys.stderr)
+    sys.stderr.flush()
+    try:
+        # service managers stop with SIGTERM; treat it like Ctrl-C so
+        # the pool and HTTP listener shut down cleanly
+        signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except (ValueError, OSError):
+        pass  # not the main thread / unsupported platform
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _sigterm_to_interrupt(signum, frame):
+    raise KeyboardInterrupt
 
 
 def _run_compare(args) -> int:

@@ -78,6 +78,26 @@ class DeviceSession:
         self._textures: dict[str, TextureLayout] = {}
         self._counter = 0
 
+    def cache_stats(self) -> dict:
+        """Warm-state accounting for this session: hit/miss counters of
+        the persistent memory hierarchy plus the process-wide
+        effect-trace cache (the serving stack's L2 tier), which is what
+        turns repeat launches into replay-only work.  Long-lived
+        workloads — iterative solvers, service workers — read this to
+        see whether their launches actually reuse warm state."""
+        from repro.gpu.trace_cache import trace_cache
+
+        out: dict = {}
+        for level in ("l1", "tex", "l2"):
+            cache = getattr(self.hierarchy, level)
+            out[level] = {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+            }
+        tc = trace_cache()
+        out["traces"] = tc.stats() if tc is not None else None
+        return out
+
     # -- allocation ------------------------------------------------------
     def alloc(self, shape, dtype, name: Optional[str] = None) -> DeviceBuffer:
         """Allocate a zero-initialised device buffer."""

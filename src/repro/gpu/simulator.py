@@ -297,7 +297,7 @@ class Simulator:
             wave = timed_blocks[i : i + resident]
             if cache is not None:
                 wkey = cache.wave_key(launch_key, i, wave)
-                ent = cache.get(wkey)
+                ent = cache.get(wkey, compiled=compiled)
                 if ent is not None:
                     # same observable sequence as a fresh build: the
                     # build fail point fires, the build's functional

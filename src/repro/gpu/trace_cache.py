@@ -1,4 +1,4 @@
-"""Content-addressed per-wave trace cache.
+"""Content-addressed per-wave trace cache (L2 of the serving stack).
 
 The timed fast path splits a wave into a *build* (batched functional
 execution that records the effect trace, :mod:`repro.gpu.timed_trace`)
@@ -7,8 +7,8 @@ The build is a pure function of the program, the launch geometry, the
 parameter block and the device-memory contents at wave start — none of
 the stateful timing machinery (heap, Timeline, caches) feeds back into
 it.  Workloads that re-run the same launch — benchmark repeats, what-if
-sensitivity reruns, perturbation sweeps — therefore rebuild an
-identical trace every time.
+sensitivity reruns, perturbation sweeps, repeat *service* submissions —
+therefore rebuild an identical trace every time.
 
 This cache keys each wave by a launch fingerprint (program identity,
 grid/block, parameter values, texture bindings, a CRC of the full
@@ -22,47 +22,226 @@ replay.  Deferred float atomics are not part of ``post_writes`` — the
 replay commits them itself, in legacy heap order, on hit and miss
 alike.
 
-Program identity is ``id(compiled)`` and each entry keeps a strong
-reference to its compiled kernel, so an id can never be recycled while
-an entry depends on it: a hit requires the *same object*, which is the
-only case where skipping the build is provably sound without hashing
-the program text.  The stateful cache hierarchy is never cached — a
-warm L1/L2 changes replay *timing* legitimately and the replay probes
-it live.
+In-memory program identity is ``id(compiled)`` and each entry keeps a
+strong reference to its compiled kernel, so an id can never be recycled
+while an entry depends on it.  The fingerprint *also* carries a SHA-256
+of the SASS text: dropping the id component yields a pure
+content-address, which is what the optional **disk backend** keys by —
+two processes (service workers) analysing byte-identical SASS against
+identical launch state share traces through the store.  Replay only
+reads the trace rows plus the (deterministically re-decoded) program,
+so a content hit is as sound across processes as an id hit is within
+one.
 
-Disable with ``REPRO_TRACE_CACHE=0`` (the supervised/budgeted path
-disables itself: skipping build work would change degradation
-decisions between cold and warm runs).
+Both tiers are size-capped LRU: the in-memory map evicts by entry
+count *and* by estimated payload bytes, the disk store by total file
+bytes with atomic-rename writes and CRC-checked reads (a corrupted
+file is deleted and treated as a miss, never replayed).
+
+Disable with ``REPRO_TRACE_CACHE=0``; point the disk tier at a
+directory with ``REPRO_TRACE_CACHE_DIR`` (or
+:func:`configure_trace_cache`), cap it with ``REPRO_TRACE_CACHE_MB``.
+The supervised/budgeted path disables itself: skipping build work
+would change degradation decisions between cold and warm runs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
+import struct
+import threading
 import zlib
 from collections import OrderedDict
+from pathlib import Path
 from typing import Optional
 
-__all__ = ["TraceCache", "trace_cache"]
+from repro.testing.faultinject import fail_point
+
+__all__ = [
+    "FileStore",
+    "TraceCache",
+    "configure_trace_cache",
+    "trace_cache",
+]
+
+_MB = 1024 * 1024
+
+#: default in-memory payload cap; one wave trace of the benchmark
+#: kernels is a few hundred KiB, so this holds the working set of a
+#: busy service worker without letting a long session grow unbounded
+DEFAULT_MAX_BYTES = 256 * _MB
+DEFAULT_STORE_BYTES = 512 * _MB
+
+
+def _nbytes(obj, _depth: int = 0) -> int:
+    """Estimated payload size of a trace entry: every numpy array
+    reachable through the usual containers, plus a small per-object
+    floor so entries of empty traces still cost something."""
+    if _depth > 6:
+        return 0
+    n = getattr(obj, "nbytes", None)
+    if n is not None and isinstance(n, (int,)):
+        return int(n)
+    if isinstance(obj, dict):
+        return 64 + sum(_nbytes(v, _depth + 1) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return 64 + sum(_nbytes(v, _depth + 1) for v in obj)
+    slots = getattr(type(obj), "__slots__", None)
+    if slots:
+        return 64 + sum(
+            _nbytes(getattr(obj, s, None), _depth + 1) for s in slots
+        )
+    return 64
+
+
+class FileStore:
+    """Content-addressed bytes on disk with atomic writes.
+
+    Writes go to a temp file in the same directory followed by
+    :func:`os.replace`, so readers (other service workers included)
+    only ever see complete entries.  Every entry carries a CRC32
+    header; a failed check — truncation, bit rot, or an injected
+    ``serve.cache_read`` fault — deletes the entry and reports it as
+    *corrupt* rather than returning bad bytes.  Total size is capped:
+    eviction removes least-recently-*used* files (reads touch mtime).
+    """
+
+    MAGIC = b"GSC1"
+
+    def __init__(self, root, max_bytes: int = DEFAULT_STORE_BYTES):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.bin"
+
+    # -- read ------------------------------------------------------------
+    def get(self, key: str) -> tuple[Optional[bytes], bool]:
+        """Return ``(payload, corrupted)``.
+
+        ``payload`` is ``None`` on a miss *or* a corrupt entry; the
+        flag distinguishes the two so callers can attach a diagnostic
+        to a recompute forced by corruption."""
+        path = self._path(key)
+        try:
+            fail_point("serve.cache_read")
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None, False
+        except Exception:
+            # injected fault or unreadable file: same contract as a
+            # failed checksum — discard and recompute
+            return None, self._discard(path)
+        if (
+            len(raw) < 8
+            or raw[:4] != self.MAGIC
+            or struct.unpack("<I", raw[4:8])[0] != zlib.crc32(raw[8:])
+        ):
+            return None, self._discard(path)
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return raw[8:], False
+
+    def _discard(self, path: Path) -> bool:
+        self.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return True
+
+    # -- write -----------------------------------------------------------
+    def put(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        blob = self.MAGIC + struct.pack("<I", zlib.crc32(payload)) + payload
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self._evict()
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        """Drop least-recently-used files until under the byte cap."""
+        with self._lock:
+            try:
+                files = [
+                    (p.stat().st_mtime, p.stat().st_size, p)
+                    for p in self.root.glob("*.bin")
+                ]
+            except OSError:
+                return
+            total = sum(size for _, size, _ in files)
+            if total <= self.max_bytes:
+                return
+            for _, size, p in sorted(files):
+                try:
+                    p.unlink()
+                except OSError:
+                    continue
+                total -= size
+                if total <= self.max_bytes:
+                    break
+
+    def stats(self) -> dict:
+        files = list(self.root.glob("*.bin"))
+        return {
+            "entries": len(files),
+            "bytes": sum(p.stat().st_size for p in files if p.exists()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
 
 
 class _Entry:
-    __slots__ = ("trace", "warp_counts", "n_warps", "compiled")
+    __slots__ = ("trace", "warp_counts", "n_warps", "compiled", "nbytes")
 
     def __init__(self, trace, warp_counts, n_warps, compiled):
         self.trace = trace
         self.warp_counts = warp_counts
         self.n_warps = n_warps
         self.compiled = compiled  # strong ref pins id(compiled)
+        self.nbytes = _nbytes(trace)
 
 
 class TraceCache:
-    """LRU map from wave keys to built :class:`TimedTrace` objects."""
+    """Size-capped LRU map from wave keys to built ``TimedTrace``
+    objects, optionally backed by a shared on-disk :class:`FileStore`."""
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 store: Optional[FileStore] = None):
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.store = store
         self._entries: OrderedDict = OrderedDict()
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     # -- keys ------------------------------------------------------------
     def launch_key(self, compiled, config, param_values: dict,
@@ -72,11 +251,15 @@ class TraceCache:
         Computed once per launch; the CRC over the device image is the
         only non-trivial cost (a few hundred µs/MB) and is what makes
         the key *content*-addressed — a session launch against mutated
-        buffers misses instead of replaying a stale trace.
+        buffers misses instead of replaying a stale trace.  Element 0
+        is the in-process program identity (``id(compiled)``); the
+        rest — starting with the SASS SHA-256 — is process-independent
+        and keys the disk tier.
         """
         buf = mem.buf
         return (
             id(compiled),
+            hashlib.sha256(compiled.sass_text.encode()).hexdigest(),
             config.grid, config.block,
             tuple(sorted(param_values.items())),
             tuple(sorted(
@@ -92,29 +275,106 @@ class TraceCache:
     def wave_key(launch_key: tuple, ordinal: int, wave: range) -> tuple:
         return (launch_key, ordinal, wave.start, wave.stop, wave.step)
 
+    @staticmethod
+    def disk_key(wave_key: tuple) -> str:
+        """Process-independent content address of a wave: the launch
+        fingerprint minus the ``id(compiled)`` component."""
+        launch_key, ordinal, start, stop, step = wave_key
+        text = repr((launch_key[1:], ordinal, start, stop, step))
+        return hashlib.sha256(text.encode()).hexdigest()
+
     # -- LRU -------------------------------------------------------------
-    def get(self, wave_key: tuple) -> Optional[_Entry]:
+    def get(self, wave_key: tuple, compiled=None) -> Optional[_Entry]:
         ent = self._entries.get(wave_key)
-        if ent is None:
-            self.misses += 1
+        if ent is not None:
+            self._entries.move_to_end(wave_key)
+            self.hits += 1
+            return ent
+        if self.store is not None and compiled is not None:
+            ent = self._disk_get(wave_key, compiled)
+            if ent is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                return ent
+        self.misses += 1
+        return None
+
+    def _disk_get(self, wave_key: tuple, compiled) -> Optional[_Entry]:
+        key = self.disk_key(wave_key)
+        payload, _corrupt = self.store.get(key)
+        if payload is None:
             return None
-        self._entries.move_to_end(wave_key)
-        self.hits += 1
-        return ent
+        try:
+            trace, warp_counts = pickle.loads(payload)
+        except Exception:
+            # undecodable despite a clean CRC (e.g. version skew):
+            # discard, treat as miss
+            self.store.delete(key)
+            self.store.corrupt += 1
+            return None
+        self._insert(wave_key, trace, warp_counts, compiled)
+        return self._entries[wave_key]
 
     def put(self, wave_key: tuple, trace, warp_counts: dict,
             compiled) -> None:
-        self._entries[wave_key] = _Entry(
-            trace, dict(warp_counts), trace.n_warps, compiled
-        )
-        self._entries.move_to_end(wave_key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self._insert(wave_key, trace, warp_counts, compiled)
+        if self.store is not None:
+            try:
+                payload = pickle.dumps(
+                    (_strip_plan(trace), dict(warp_counts)),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception:
+                return  # unpicklable payload: memory tier only
+            self.store.put(self.disk_key(wave_key), payload)
+
+    def _insert(self, wave_key, trace, warp_counts, compiled) -> None:
+        old = self._entries.pop(wave_key, None)
+        if old is not None:
+            self.bytes -= old.nbytes
+        ent = _Entry(trace, dict(warp_counts), trace.n_warps, compiled)
+        self._entries[wave_key] = ent
+        self.bytes += ent.nbytes
+        while self._entries and (
+            len(self._entries) > self.capacity or self.bytes > self.max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes -= evicted.nbytes
+
+    def keys(self) -> list:
+        """Current keys, least- to most-recently used (for tests)."""
+        return list(self._entries)
 
     def clear(self) -> None:
         self._entries.clear()
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+
+    def stats(self) -> dict:
+        out = {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+
+def _strip_plan(trace):
+    """A copy of ``trace`` without the lazily-built issue plan (it
+    holds decoded-program references that must not cross processes;
+    the first replay rebuilds it)."""
+    from repro.gpu.timed_trace import TimedTrace
+
+    out = TimedTrace(trace.pcs, trace.seg_starts, trace.seg_ends,
+                     trace.dyn, trace.n_warps, trace.nregs,
+                     trace.block_ids, post_writes=trace.post_writes)
+    return out
 
 
 #: process-wide instance (the build is deterministic, so sharing across
@@ -123,8 +383,40 @@ class TraceCache:
 _CACHE = TraceCache()
 
 
+def configure_trace_cache(directory=None,
+                          max_store_bytes: Optional[int] = None,
+                          max_bytes: Optional[int] = None) -> TraceCache:
+    """(Re)configure the shared cache: attach/detach the disk tier and
+    adjust the byte caps.  Service workers call this at startup with
+    the server's cache directory."""
+    if directory is not None:
+        _CACHE.store = FileStore(
+            directory,
+            max_bytes=(max_store_bytes if max_store_bytes is not None
+                       else DEFAULT_STORE_BYTES),
+        )
+    else:
+        _CACHE.store = None
+    if max_bytes is not None:
+        _CACHE.max_bytes = max_bytes
+    return _CACHE
+
+
+_ENV_STORE_CONFIGURED = False
+
+
 def trace_cache() -> Optional[TraceCache]:
     """The shared cache, or ``None`` when disabled via environment."""
+    global _ENV_STORE_CONFIGURED
     if os.environ.get("REPRO_TRACE_CACHE", "1") == "0":
         return None
+    if not _ENV_STORE_CONFIGURED:
+        _ENV_STORE_CONFIGURED = True
+        env_dir = os.environ.get("REPRO_TRACE_CACHE_DIR")
+        if env_dir and _CACHE.store is None:
+            mb = os.environ.get("REPRO_TRACE_CACHE_MB")
+            configure_trace_cache(
+                env_dir,
+                max_store_bytes=int(mb) * _MB if mb else None,
+            )
     return _CACHE

@@ -1,0 +1,146 @@
+"""L1 and L3 tiers of the multi-level result cache.
+
+Every tier is keyed by content (see :mod:`repro.serve.protocol`), so
+invalidation is structural — a changed input derives a different key
+and simply misses; stale entries age out of the size-capped LRUs.
+
+* **L1 — static artifacts** (:class:`StaticCache`): per (SASS hash,
+  geometry, analysis set), the parsed program, CFG/affine context and
+  pristine findings from :meth:`~repro.core.engine.GPUscout.analyze_static`.
+  In-memory only (the artifacts hold live ``Program``/CFG objects) and
+  per-process: each service worker warms its own.
+* **L2 — effect traces** lives in :mod:`repro.gpu.trace_cache` (shared
+  disk tier across workers).
+* **L3 — full reports** (:class:`ReportCache`): the schema-v4 report
+  JSON per full content address, memory-first with a disk tier behind
+  it (atomic-rename writes, CRC-checked reads via
+  :class:`~repro.gpu.trace_cache.FileStore`).  A warm L3 hit is one
+  dict lookup or one file read — no engine involvement at all.
+
+A corrupted disk entry (failed CRC, or an injected ``serve.cache_read``
+fault) is deleted and reported so the service can attach a
+:class:`~repro.errors.Diagnostic` to the recomputed response.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.gpu.trace_cache import FileStore
+
+__all__ = ["ReportCache", "StaticCache"]
+
+_MB = 1024 * 1024
+
+
+class StaticCache:
+    """Entry-capped LRU of :class:`~repro.core.engine.StaticArtifacts`."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        with self._lock:
+            art = self._entries.get(key)
+            if art is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return art
+
+    def put(self, key: str, artifacts) -> None:
+        with self._lock:
+            self._entries[key] = artifacts
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class ReportCache:
+    """Memory + disk LRU of full report JSON, keyed by content address.
+
+    ``get`` returns ``(report_dict | None, corrupted)`` — the flag is
+    ``True`` when a disk entry existed but failed its integrity check
+    and was discarded, so the caller can diagnose the forced recompute.
+    """
+
+    def __init__(self, directory=None, capacity: int = 256,
+                 max_disk_bytes: int = 256 * _MB):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.store: Optional[FileStore] = (
+            FileStore(directory, max_bytes=max_disk_bytes)
+            if directory is not None else None
+        )
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> tuple[Optional[dict], bool]:
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                # deep copy: callers must not mutate the cached body
+                return json.loads(cached), False
+        if self.store is not None:
+            payload, corrupted = self.store.get(key)
+            if payload is not None:
+                try:
+                    report = json.loads(payload.decode())
+                except Exception:
+                    self.store.delete(key)
+                    self.store.corrupt += 1
+                    self.misses += 1
+                    return None, True
+                with self._lock:
+                    self._remember(key, payload.decode())
+                self.hits += 1
+                self.disk_hits += 1
+                return report, False
+            if corrupted:
+                self.misses += 1
+                return None, True
+        self.misses += 1
+        return None, False
+
+    def put(self, key: str, report: dict) -> None:
+        blob = json.dumps(report, sort_keys=True)
+        with self._lock:
+            self._remember(key, blob)
+        if self.store is not None:
+            self.store.put(key, blob.encode())
+
+    def _remember(self, key: str, blob: str) -> None:
+        self._entries[key] = blob
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        out = {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out

@@ -1,0 +1,279 @@
+"""Multiprocessing worker pool with arch-config shard affinity.
+
+Each worker is a separate process running a
+:class:`~repro.serve.service.KernelRunner` loop: it owns a warm
+process-local L1 (static artifacts) and in-memory L2 (effect traces),
+and shares the disk L2/L3 tiers with its siblings through the cache
+directory.  Submissions are dispatched to the *shard ring* of their
+arch config: the ring is every worker, rotated by a stable hash of the
+arch fingerprint, walked least-loaded-first — so with one arch in
+flight the whole pool parallelises a batch, while distinct archs
+anchor at distinct primary workers and keep their warm state apart.
+
+**Fault tolerance.**  A worker that dies mid-request (or is killed by
+the ``serve.worker_death`` fail point at dispatch time) is respawned,
+and the request is retried on the next shard member; the response
+carries a ``retries`` count plus a diagnostic so the client can see
+the bumpy road.  Requests are pure functions of their content address,
+so retrying is always safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import zlib
+from typing import Optional
+
+from repro.errors import Diagnostic
+from repro.testing.faultinject import fail_point
+
+__all__ = ["WorkerPool"]
+
+#: dispatch attempts per request (first try + retries on other workers)
+MAX_ATTEMPTS = 3
+_POLL_S = 0.05
+
+
+def _worker_main(worker_id: int, task_q, result_q, cache_dir,
+                 fast, deadline) -> None:
+    """Worker-process entry point: serve requests until the ``None``
+    sentinel arrives."""
+    from repro.serve.service import KernelRunner, error_envelope
+
+    runner = KernelRunner(cache_dir=cache_dir, fast=fast,
+                          deadline=deadline, worker_id=worker_id)
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        req_id, payload = item
+        try:
+            env = runner.run(payload)
+        except BaseException as exc:  # noqa: BLE001 — keep serving
+            env = error_envelope(exc)
+            env["worker"] = worker_id
+        result_q.put((req_id, env))
+
+
+class _Worker:
+    __slots__ = ("id", "process", "queue", "inflight", "generation")
+
+    def __init__(self, wid, process, queue):
+        self.id = wid
+        self.process = process
+        self.queue = queue
+        self.inflight = 0
+        #: bumped on every respawn; a dispatcher that sees the bump
+        #: knows its queued item went down with the old queue
+        self.generation = 0
+
+
+class _Pending:
+    __slots__ = ("event", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload = None
+
+
+class WorkerPool:
+    """N analysis workers fed through per-worker queues."""
+
+    def __init__(self, n_workers: int, cache_dir: Optional[str] = None,
+                 fast: Optional[bool] = None,
+                 deadline: Optional[float] = None,
+                 mp_context: Optional[str] = None):
+        import multiprocessing as mp
+
+        if n_workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        if mp_context is None:
+            # fork is dramatically cheaper to warm up (the parent's
+            # imported modules come along); fall back where unsupported
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() \
+                else None
+        self._ctx = mp.get_context(mp_context)
+        self.cache_dir = cache_dir
+        self.fast = fast
+        self.deadline = deadline
+        self._result_q = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._seq = itertools.count(1)
+        self.retries = 0
+        self.respawns = 0
+        self._closed = False
+        self._workers = [self._spawn(i) for i in range(n_workers)]
+        self._collector = threading.Thread(
+            target=self._collect, name="serve-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    def _spawn(self, wid: int) -> _Worker:
+        queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, queue, self._result_q, self.cache_dir,
+                  self.fast, self.deadline),
+            daemon=True,
+            name=f"gpuscout-worker-{wid}",
+        )
+        proc.start()
+        return _Worker(wid, proc, queue)
+
+    def _collect(self) -> None:
+        while True:
+            item = self._result_q.get()
+            if item is None:
+                return
+            req_id, env = item
+            with self._lock:
+                pending = self._pending.pop(req_id, None)
+            if pending is not None:
+                pending.payload = env
+                pending.event.set()
+            # else: a retried request's late duplicate — drop it
+
+    # ------------------------------------------------------------------
+    def ring(self, arch_key: str) -> list[_Worker]:
+        """The shard ring for an arch config: all workers, rotated by
+        a stable hash so distinct archs anchor at distinct primaries."""
+        n = len(self._workers)
+        off = zlib.crc32(arch_key.encode()) % n
+        return [self._workers[(off + i) % n] for i in range(n)]
+
+    def _pick(self, ring: list[_Worker], exclude: set[int]) -> \
+            Optional[_Worker]:
+        candidates = [w for w in ring if w.id not in exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: w.inflight)
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict, arch_key: str = "",
+               timeout: float = 600.0) -> dict:
+        """Dispatch one submission to its shard; returns the worker's
+        envelope.  Dead workers are respawned and the request retried
+        on another shard member (``MAX_ATTEMPTS`` total)."""
+        from repro.serve.service import error_envelope
+
+        ring = self.ring(arch_key)
+        tried: set[int] = set()
+        retries = 0
+        for _ in range(MAX_ATTEMPTS):
+            worker = self._pick(ring, tried)
+            if worker is None:
+                break
+            tried.add(worker.id)
+            try:
+                fail_point("serve.worker_death")
+            except Exception:
+                # injected chaos: the chosen worker dies right as the
+                # request is dispatched — exercises the real retry path
+                worker.process.terminate()
+            env = self._dispatch(worker, payload, timeout)
+            if env is not None:
+                if retries:
+                    self.retries += retries
+                    env["retries"] = retries
+                    report = env.get("report")
+                    if isinstance(report, dict):
+                        report.setdefault("diagnostics", []).append(
+                            Diagnostic(
+                                stage="serve",
+                                site="serve.worker_death",
+                                error="",
+                                message=f"worker died; request retried "
+                                        f"{retries}x on another shard "
+                                        "member",
+                                severity="warning",
+                            ).to_dict())
+                return env
+            retries += 1
+        err = error_envelope(RuntimeError(
+            f"request failed on {len(tried)} worker(s)"))
+        err["retries"] = retries
+        return err
+
+    def _dispatch(self, worker: _Worker, payload: dict,
+                  timeout: float) -> Optional[dict]:
+        """One attempt on one worker; ``None`` means the worker died
+        (it has been respawned) and the caller should retry."""
+        req_id = next(self._seq)
+        pending = _Pending()
+        with self._lock:
+            self._pending[req_id] = pending
+            worker.inflight += 1
+            gen = worker.generation
+        try:
+            worker.queue.put((req_id, payload))
+            deadline = timeout
+            waited = 0.0
+            while waited < deadline:
+                if pending.event.wait(_POLL_S):
+                    return pending.payload
+                waited += _POLL_S
+                if worker.generation != gen:
+                    # another dispatcher respawned the worker: our item
+                    # went down with the old queue
+                    return None
+                if not worker.process.is_alive():
+                    # grace window: the result may already be in flight
+                    if pending.event.wait(5 * _POLL_S):
+                        return pending.payload
+                    self._respawn(worker, gen)
+                    return None
+            return pending.payload if pending.event.is_set() else None
+        finally:
+            with self._lock:
+                self._pending.pop(req_id, None)
+                worker.inflight -= 1
+
+    def _respawn(self, worker: _Worker, gen: int) -> None:
+        with self._lock:
+            if worker.generation != gen or self._closed:
+                return  # someone else already replaced it
+            if not worker.process.is_alive():
+                # a terminated process may die holding its queue's
+                # internal lock, so the queue is abandoned with it; a
+                # fresh one replaces both.  In-flight dispatches to the
+                # old queue observe the generation bump and retry;
+                # results already sent arrive via the shared result
+                # queue as usual (or are dropped as late duplicates).
+                fresh = self._spawn(worker.id)
+                worker.process = fresh.process
+                worker.queue = fresh.queue
+                worker.generation += 1
+                self.respawns += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "workers": len(self._workers),
+            "alive": sum(w.process.is_alive() for w in self._workers),
+            "inflight": sum(w.inflight for w in self._workers),
+            "retries": self.retries,
+            "respawns": self.respawns,
+        }
+
+    def close(self, timeout: float = 5.0) -> None:
+        self._closed = True
+        for w in self._workers:
+            try:
+                w.queue.put(None)
+            except Exception:
+                pass
+        for w in self._workers:
+            w.process.join(timeout=timeout)
+            if w.process.is_alive():
+                w.process.terminate()
+        self._result_q.put(None)
+        self._collector.join(timeout=timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,254 @@
+"""Wire protocol of the analysis service.
+
+A *submission* is a JSON object naming a kernel (a built-in spec like
+``sgemm:naive``, or raw SASS text) plus its launch parameters and the
+arch config to analyse under.  The response wraps the one-shot CLI's
+schema-v4 report JSON in a small envelope::
+
+    {"ok": true, "code": 0, "cache": "l3", "report": {...}}
+
+so a served analysis is byte-comparable to ``gpuscout analyze --json``
+output (modulo the volatile timing/profile fields, see
+:func:`strip_volatile`).
+
+**Content addressing.**  :func:`content_address` derives the cache key
+every tier hangs off: a SHA-256 over the SASS text, the launch
+fingerprint (geometry + parameter values), the *full* arch-config
+field set, and the report schema version.  Any change to any of those
+must change the address — a Hypothesis property test pins this.
+
+**Error mapping.**  Per-request failures carry the same stage codes
+the CLI exits with (parse=2, compile=3, launch=4, simulation=5,
+analysis=6, internal=70, plus usage=64 for malformed submissions);
+:func:`http_status_for` maps them onto HTTP statuses (4xx for inputs
+the client can fix, 5xx for server-side failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.gpu.config import GPUSpec
+
+__all__ = [
+    "ARCHS",
+    "AnalyzeRequest",
+    "EXIT_USAGE",
+    "ProtocolError",
+    "arch_spec",
+    "content_address",
+    "http_status_for",
+    "launch_fingerprint",
+    "spec_fingerprint",
+    "static_key",
+    "strip_volatile",
+]
+
+#: EX_USAGE — a malformed submission (bad JSON, unknown field, unknown
+#: kernel spec/arch).  Extends the CLI's parse=2 … internal=70 ladder.
+EXIT_USAGE = 64
+
+#: named arch configs a submission may select; the *fingerprint* of the
+#: resolved spec (every field, not the name) enters the content address,
+#: so redefining an arch invalidates its cached results
+ARCHS = {
+    "v100": GPUSpec.v100,
+    "small": lambda: GPUSpec.small(1),
+    "small4": lambda: GPUSpec.small(4),
+}
+
+
+class ProtocolError(ReproError):
+    """A submission the service cannot act on (usage error)."""
+
+
+def arch_spec(name: str) -> GPUSpec:
+    try:
+        return ARCHS[name]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown arch {name!r}; known: {sorted(ARCHS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One kernel-analysis submission (already validated)."""
+
+    kernel: Optional[str] = None  # built-in spec, e.g. "sgemm:naive"
+    sass: Optional[str] = None    # raw SASS text (static analysis only)
+    size: int = 256
+    compute_iterations: int = 8
+    max_blocks: int = 8
+    dry_run: bool = False
+    extended: bool = False
+    arch: str = "v100"
+    #: wall-clock budget (seconds) for this request's simulation; on
+    #: expiry the run degrades down the usual ladder instead of failing
+    deadline: Optional[float] = None
+
+    _TYPES = {
+        "kernel": (str, type(None)),
+        "sass": (str, type(None)),
+        "size": (int,),
+        "compute_iterations": (int,),
+        "max_blocks": (int,),
+        "dry_run": (bool,),
+        "extended": (bool,),
+        "arch": (str,),
+        "deadline": (int, float, type(None)),
+    }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "AnalyzeRequest":
+        if not isinstance(data, dict):
+            raise ProtocolError("submission must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown submission fields: {sorted(unknown)}"
+            )
+        for name, types in cls._TYPES.items():
+            if name not in data:
+                continue
+            value = data[name]
+            # bool is an int subclass: reject it where int is meant
+            bad = (isinstance(value, bool) and bool not in types) \
+                or not isinstance(value, types)
+            if bad:
+                raise ProtocolError(
+                    f"field {name!r} has wrong type "
+                    f"{type(value).__name__}"
+                )
+        req = cls(**data)
+        if (req.kernel is None) == (req.sass is None):
+            raise ProtocolError(
+                "submission needs exactly one of 'kernel' or 'sass'"
+            )
+        if req.sass is not None and not req.dry_run:
+            raise ProtocolError(
+                "raw SASS supports static analysis only; set dry_run"
+            )
+        if req.size <= 0 or req.max_blocks <= 0:
+            raise ProtocolError("size and max_blocks must be positive")
+        if req.arch not in ARCHS:
+            raise ProtocolError(
+                f"unknown arch {req.arch!r}; known: {sorted(ARCHS)}"
+            )
+        return req
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+# ---------------------------------------------------------------------------
+# content addressing
+# ---------------------------------------------------------------------------
+
+def _canon(value):
+    """Canonical JSON-able form of a fingerprint component (numpy
+    arrays and scalars hash by content)."""
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(
+            value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if hasattr(value, "tobytes") and hasattr(value, "dtype"):  # ndarray
+        return ["ndarray", str(value.dtype), list(value.shape),
+                hashlib.sha256(value.tobytes()).hexdigest()]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def spec_fingerprint(spec: GPUSpec) -> dict:
+    """Every field of the arch config — a renamed *or* retuned spec
+    yields a different fingerprint."""
+    return _canon(asdict(spec))
+
+
+def launch_fingerprint(config, params: Optional[dict] = None) -> dict:
+    """Geometry plus the parameter values the kernel will see.
+    ``config`` is ``None`` for raw-SASS (static-only) submissions."""
+    return {
+        "grid": list(config.grid) if config is not None else None,
+        "block": list(config.block) if config is not None else None,
+        "params": _canon(params or {}),
+    }
+
+
+def content_address(sass_text: str, config, params: Optional[dict],
+                    spec: GPUSpec, extras: Optional[dict] = None) -> str:
+    """The full (L3) content address of one analysis result.
+
+    Keyed by everything that can influence the report body: SASS text,
+    launch fingerprint (geometry + params), the complete arch config,
+    request options that change what is computed (``extras``), and the
+    report schema version — bumping the schema invalidates every
+    cached report at once.
+    """
+    from repro.core.jsonout import SCHEMA_VERSION
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "sass": hashlib.sha256(sass_text.encode()).hexdigest(),
+        "launch": launch_fingerprint(config, params),
+        "arch": spec_fingerprint(spec),
+        "extras": _canon(extras or {}),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def static_key(sass_text: str, config, extended: bool) -> str:
+    """The L1 address of one program's static artifacts: SASS text,
+    launch geometry (analyses may fold it into their static results)
+    and the analysis set."""
+    payload = {
+        "sass": hashlib.sha256(sass_text.encode()).hexdigest(),
+        "grid": list(config.grid) if config is not None else None,
+        "block": list(config.block) if config is not None else None,
+        "extended": bool(extended),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# byte-identity helpers
+# ---------------------------------------------------------------------------
+
+#: report keys that legitimately differ between runs of identical work
+_VOLATILE_TOP = ("profile", "overhead", "trace_path")
+
+
+def strip_volatile(report: dict) -> dict:
+    """A deep copy of a schema-v4 report dict with the timing/profile
+    fields removed, leaving only the deterministic analysis content —
+    the served-vs-CLI byte-identity contract compares these."""
+    out = json.loads(json.dumps(report))  # deep copy, JSON-normalised
+    for key in _VOLATILE_TOP:
+        out.pop(key, None)
+    if isinstance(out.get("launch"), dict):
+        out["launch"].pop("duration_s", None)
+    for d in out.get("diagnostics", []):
+        detail = d.get("detail")
+        if isinstance(detail, dict):
+            detail.pop("elapsed_s", None)
+            detail.pop("span", None)
+    return out
+
+
+def http_status_for(code: int) -> int:
+    """HTTP status for a per-request stage code: inputs the client can
+    fix are 4xx, server-side failures 5xx."""
+    if code == 0:
+        return 200
+    if code in (2, 3, 4, EXIT_USAGE):
+        return 400
+    return 500

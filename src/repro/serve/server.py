@@ -1,0 +1,299 @@
+"""The stdlib HTTP/JSON front end: ``gpuscout serve``.
+
+Endpoints (all JSON):
+
+* ``POST /v1/analyze`` — one submission (see
+  :class:`~repro.serve.protocol.AnalyzeRequest`); responds with the
+  envelope ``{"ok", "code", "cache", "report", ...}``.  Failures map
+  the CLI stage codes onto HTTP statuses
+  (:func:`~repro.serve.protocol.http_status_for`).
+* ``POST /v1/batch`` — ``{"requests": [...]}``; members are fanned out
+  across the worker pool (or served sequentially inline) and the
+  responses returned in submission order.
+* ``GET /v1/stats`` — cache hit/miss counters per tier, pool health.
+* ``GET /healthz`` — liveness.
+
+The server process keeps the **L3 front cache**: a memo from request
+fingerprints to content addresses plus the report store, so a repeat
+submission is answered with one dict lookup (or one CRC-checked file
+read) without waking any worker.  Batch members that miss are
+dispatched concurrently; identical concurrent submissions coalesce
+onto one computation (single-flight), and members sharing a program
+land in the same worker's warm L1 via shard-ring affinity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.serve.protocol import (
+    AnalyzeRequest,
+    ProtocolError,
+    arch_spec,
+    http_status_for,
+    spec_fingerprint,
+)
+from repro.serve.service import (
+    KernelRunner,
+    corruption_diagnostic,
+    error_envelope,
+)
+
+__all__ = ["ScoutServer"]
+
+#: cap on concurrently-dispatched batch members per request
+BATCH_FANOUT = 16
+#: largest accepted request body (a raw-SASS listing fits comfortably)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ScoutServer:
+    """A long-lived analysis service around one cache directory."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0, cache_dir: Optional[str] = None,
+                 deadline: Optional[float] = None,
+                 fast: Optional[bool] = None,
+                 cache_mb: int = 256):
+        self.deadline = deadline
+        self.fast = fast
+        self.pool = None
+        if workers > 0:
+            from repro.serve.pool import WorkerPool
+
+            self.pool = WorkerPool(workers, cache_dir=cache_dir,
+                                   fast=fast, deadline=deadline)
+        #: the inline runner doubles as the server-side L3 front cache
+        #: (its ReportCache shares the disk tier with the workers)
+        self.runner = KernelRunner(cache_dir=cache_dir, fast=fast,
+                                   deadline=deadline, cache_mb=cache_mb)
+        #: request-fingerprint -> content-address memo: lets the server
+        #: answer repeats from L3 without resolving (= compiling) the
+        #: kernel itself
+        self._address_memo: OrderedDict = OrderedDict()
+        self._memo_lock = threading.Lock()
+        #: single-flight table: request fingerprints currently being
+        #: computed; identical concurrent submissions (batch duplicates,
+        #: racing clients) wait for the leader instead of recomputing
+        self._inflight: dict = {}
+        self.requests = 0
+        self.l3_front_hits = 0
+        self.coalesced = 0
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.scout = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ScoutServer":
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="gpuscout-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -- request handling ------------------------------------------------
+    def _request_key(self, req: AnalyzeRequest) -> str:
+        """Fingerprint of the submission as written: the proxy key the
+        address memo maps onto real content addresses."""
+        from repro.core.jsonout import SCHEMA_VERSION
+        from repro.gpu.simulator import resolve_fast_mode
+
+        payload = {
+            "req": req.to_dict(),
+            "arch": spec_fingerprint(arch_spec(req.arch)),
+            "schema": SCHEMA_VERSION,
+            "fast": resolve_fast_mode(self.fast),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _front_hit(self, rkey: str) -> tuple[Optional[dict], bool]:
+        """L3 front lookup: ``(envelope | None, corrupted)``."""
+        with self._memo_lock:
+            address = self._address_memo.get(rkey)
+        if address is None or self.runner.reports is None:
+            return None, False
+        cached, corrupted = self.runner.reports.get(address)
+        if cached is None:
+            return None, corrupted
+        return {"ok": True, "code": 0, "cache": "l3", "address": address,
+                "kernel": cached.get("kernel"), "cacheable": True,
+                "report": cached}, False
+
+    def handle_submission(self, payload) -> tuple[int, dict]:
+        """Serve one submission; returns (HTTP status, envelope)."""
+        self.requests += 1
+        try:
+            req = AnalyzeRequest.from_dict(payload)
+        except ProtocolError as exc:
+            env = error_envelope(exc)
+            return http_status_for(env["code"]), env
+
+        rkey = self._request_key(req)
+        env, corrupted = self._front_hit(rkey)
+        if env is not None:
+            self.l3_front_hits += 1
+            return 200, env
+
+        # single-flight: if an identical submission is already being
+        # computed, wait for its result instead of computing it again
+        while True:
+            with self._memo_lock:
+                leader_done = self._inflight.get(rkey)
+                if leader_done is None:
+                    self._inflight[rkey] = threading.Event()
+                    break
+            leader_done.wait(timeout=600.0)
+            env, corrupted = self._front_hit(rkey)
+            if env is not None:
+                self.coalesced += 1
+                return 200, env
+            # leader failed or its result was uncacheable: loop to
+            # either become the new leader or wait on one
+
+        try:
+            if self.pool is not None:
+                env = self.pool.submit(payload, arch_key=req.arch)
+            else:
+                env = self.runner.run(payload)
+            if env.get("ok") and env.get("cacheable"):
+                with self._memo_lock:
+                    self._address_memo[rkey] = env["address"]
+                    while len(self._address_memo) > 4096:
+                        self._address_memo.popitem(last=False)
+                # pooled responses flow through the server's report
+                # cache too, so the memory tier answers repeats
+                # without disk I/O
+                if self.pool is not None and \
+                        self.runner.reports is not None:
+                    self.runner.reports.put(env["address"], env["report"])
+        finally:
+            with self._memo_lock:
+                done = self._inflight.pop(rkey, None)
+            if done is not None:
+                done.set()
+        if corrupted and env.get("ok"):
+            env["report"].setdefault("diagnostics", []).append(
+                corruption_diagnostic("report"))
+        return http_status_for(env.get("code", 70)), env
+
+    def handle_batch(self, payload) -> tuple[int, dict]:
+        """Serve a batch: ``{"requests": [...]}`` in order."""
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("requests"), list):
+            env = error_envelope(ProtocolError(
+                "batch body must be {'requests': [...]}"))
+            return http_status_for(env["code"]), env
+        items = payload["requests"]
+        if not items:
+            return 200, {"ok": True, "responses": []}
+        fanout = min(BATCH_FANOUT, len(items))
+        with ThreadPoolExecutor(max_workers=fanout) as pool:
+            results = list(pool.map(
+                lambda item: self.handle_submission(item)[1], items))
+        return 200, {
+            "ok": all(r.get("ok") for r in results),
+            "responses": results,
+        }
+
+    def stats(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "l3_front_hits": self.l3_front_hits,
+            "coalesced": self.coalesced,
+            "runner": self.runner.stats(),
+        }
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
+        return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the owning :class:`ScoutServer`."""
+
+    server_version = "gpuscout-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def scout(self) -> ScoutServer:
+        return self.server.scout
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        pass  # request logging stays out of the analysis output streams
+
+    def _send(self, status: int, body: dict) -> None:
+        blob = json.dumps(body, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError("missing or oversized request body")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode())
+        except Exception:
+            raise ProtocolError("request body is not valid JSON") from None
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        if self.path == "/healthz":
+            self._send(200, {"ok": True})
+        elif self.path == "/v1/stats":
+            self._send(200, self.scout.stats())
+        else:
+            self._send(404, {"ok": False, "error": "NotFound",
+                             "message": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        try:
+            payload = self._read_json()
+        except ProtocolError as exc:
+            env = error_envelope(exc)
+            self._send(http_status_for(env["code"]), env)
+            return
+        if self.path == "/v1/analyze":
+            status, env = self.scout.handle_submission(payload)
+        elif self.path == "/v1/batch":
+            status, env = self.scout.handle_batch(payload)
+        else:
+            status, env = 404, {"ok": False, "error": "NotFound",
+                                "message": self.path}
+        self._send(status, env)

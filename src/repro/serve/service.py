@@ -1,0 +1,265 @@
+"""The per-process compute side of the analysis service.
+
+A :class:`KernelRunner` lives in every service worker (and in the
+server process itself when running inline, ``--workers 0``).  It owns
+the process-local cache tiers and walks a submission down them:
+
+1. resolve the kernel (built-in specs are compiled once per process and
+   memoised — compilation is part of the static cost);
+2. derive the content address; a shared-disk **L3** hit returns the
+   stored report JSON without touching the engine;
+3. an **L1** hit (static artifacts per SASS hash + geometry) skips
+   parse/analyses/affine and goes straight to the dynamic stages;
+4. the dynamic stages themselves hit **L2** (the content-addressed
+   effect-trace cache, :mod:`repro.gpu.trace_cache`) so repeat
+   simulations are replay-only;
+5. a full miss runs the one-shot pipeline and populates every tier.
+
+Per-request failures never escape as exceptions: :func:`error_envelope`
+maps them to the CLI's stage codes (parse=2 … internal=70, usage=64)
+inside a JSON body, and the engine's own fault boundaries mean a
+poisoned submission degrades *that response* while the process lives
+on.  A per-request ``deadline`` becomes a
+:class:`~repro.gpu.budget.SimBudget` wall-clock guard, degrading the
+run down the usual ladder on expiry — exactly the CLI's ``--deadline``
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import Diagnostic, ReproError
+from repro.serve.cache import ReportCache, StaticCache
+from repro.serve.protocol import (
+    EXIT_USAGE,
+    AnalyzeRequest,
+    ProtocolError,
+    arch_spec,
+    content_address,
+    static_key,
+)
+
+__all__ = ["KernelRunner", "corruption_diagnostic", "error_envelope"]
+
+_MB = 1024 * 1024
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """The JSON error body for a failed submission: the CLI's stage
+    code, the exception class, and the message."""
+    from repro.cli import exit_code_for
+
+    if isinstance(exc, ProtocolError):
+        code = EXIT_USAGE
+    elif isinstance(exc, SystemExit):
+        # resolve_kernel raises SystemExit for unknown specs — in
+        # server mode that is a usage error, not a shutdown
+        exc = ProtocolError(str(exc))
+        code = EXIT_USAGE
+    else:
+        code = exit_code_for(exc)
+    return {
+        "ok": False,
+        "code": code,
+        "error": type(exc).__name__,
+        "message": str(exc) or type(exc).__name__,
+    }
+
+
+def corruption_diagnostic(tier: str) -> dict:
+    """The diagnostic attached to a response that was recomputed
+    because a cached entry failed its integrity check."""
+    return Diagnostic(
+        stage="serve",
+        site="serve.cache_read",
+        error="",
+        message=f"corrupted {tier} cache entry discarded; "
+                "result recomputed",
+        severity="warning",
+    ).to_dict()
+
+
+class KernelRunner:
+    """Process-local analysis engine with warm L1/L2/L3 tiers."""
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 fast: Optional[bool] = None,
+                 deadline: Optional[float] = None,
+                 worker_id: Optional[int] = None,
+                 static_capacity: int = 128,
+                 cache_mb: int = 256):
+        self.fast = fast
+        self.deadline = deadline
+        self.worker_id = worker_id
+        self.static = StaticCache(capacity=static_capacity)
+        #: resolved built-in kernels: (spec, size, iters) -> tuple;
+        #: reuse keeps ``id(compiled)`` stable, which is what makes the
+        #: in-memory L2 tier hit across repeat submissions
+        self._resolved: OrderedDict = OrderedDict()
+        self._resolved_capacity = 64
+        self._scouts: dict = {}
+        self._lock = threading.Lock()
+        self.reports: Optional[ReportCache] = None
+        if cache_dir is not None:
+            from repro.gpu.trace_cache import configure_trace_cache
+
+            configure_trace_cache(
+                os.path.join(cache_dir, "traces"),
+                max_store_bytes=cache_mb * _MB,
+            )
+            self.reports = ReportCache(
+                os.path.join(cache_dir, "reports"),
+                max_disk_bytes=cache_mb * _MB,
+            )
+        self.cold = 0
+        self.l1_hits = 0
+        self.l3_hits = 0
+
+    # ------------------------------------------------------------------
+    def run(self, payload: dict) -> dict:
+        """Serve one submission dict; always returns an envelope."""
+        t0 = time.perf_counter()
+        try:
+            req = AnalyzeRequest.from_dict(payload)
+            env = self._run(req)
+        except BaseException as exc:  # noqa: BLE001 — boundary
+            env = error_envelope(exc)
+        env["elapsed_s"] = round(time.perf_counter() - t0, 6)
+        if self.worker_id is not None:
+            env["worker"] = self.worker_id
+        return env
+
+    # ------------------------------------------------------------------
+    def _resolve(self, req: AnalyzeRequest):
+        """(kernel-or-sass, config, args, textures, sass_text) for a
+        validated request; built-in kernels are compiled once per
+        process."""
+        if req.sass is not None:
+            return req.sass, None, None, {}, req.sass
+        from repro.cli import resolve_kernel
+
+        key = (req.kernel, req.size, req.compute_iterations)
+        with self._lock:
+            hit = self._resolved.get(key)
+            if hit is not None:
+                self._resolved.move_to_end(key)
+        if hit is None:
+            hit = resolve_kernel(req.kernel, req.size,
+                                 req.compute_iterations)
+            with self._lock:
+                self._resolved[key] = hit
+                while len(self._resolved) > self._resolved_capacity:
+                    self._resolved.popitem(last=False)
+        ck, config, args, textures = hit
+        return ck, config, args, textures, ck.sass_text
+
+    def _scout(self, req: AnalyzeRequest):
+        key = (req.arch, req.extended)
+        scout = self._scouts.get(key)
+        if scout is None:
+            from repro.core import GPUscout, all_analyses
+
+            scout = GPUscout(
+                analyses=all_analyses() if req.extended else None,
+                spec=arch_spec(req.arch),
+                fast=self.fast,
+            )
+            self._scouts[key] = scout
+        return scout
+
+    # ------------------------------------------------------------------
+    def _run(self, req: AnalyzeRequest) -> dict:
+        from repro.core.jsonout import report_to_dict
+        from repro.gpu.budget import SimBudget
+        from repro.gpu.simulator import resolve_fast_mode
+
+        kernel, config, args, textures, sass_text = self._resolve(req)
+        spec = arch_spec(req.arch)
+        address = content_address(
+            sass_text, config,
+            params={
+                "spec": req.kernel, "size": req.size,
+                "iters": req.compute_iterations,
+                "max_blocks": req.max_blocks,
+            },
+            spec=spec,
+            extras={
+                "dry_run": req.dry_run, "extended": req.extended,
+                "fast": resolve_fast_mode(self.fast),
+            },
+        )
+
+        corrupted = False
+        if self.reports is not None:
+            cached, corrupted = self.reports.get(address)
+            if cached is not None:
+                self.l3_hits += 1
+                return {"ok": True, "code": 0, "cache": "l3",
+                        "address": address, "kernel": cached.get("kernel"),
+                        "cacheable": True, "report": cached}
+
+        scout = self._scout(req)
+        skey = static_key(sass_text, config, req.extended)
+        art = self.static.get(skey)
+        cache_tier = "l1" if art is not None else "cold"
+        deadline = req.deadline if req.deadline is not None \
+            else self.deadline
+        budget = SimBudget(max_wall_seconds=deadline) \
+            if deadline is not None else None
+
+        # one request computes at a time per process: the engine and
+        # the global trace cache are not re-entrant (workers provide
+        # the parallelism; inline mode serialises here)
+        with self._lock:
+            if art is None:
+                art = scout.analyze_static(kernel, config)
+                self.static.put(skey, art)
+            if req.sass is not None or req.dry_run:
+                report = scout.analyze(kernel, config=config,
+                                       dry_run=True, static=art)
+            else:
+                report = scout.analyze(
+                    kernel, config, args, textures=textures,
+                    max_blocks=req.max_blocks, budget=budget,
+                    static=art,
+                )
+        if cache_tier == "l1":
+            self.l1_hits += 1
+        else:
+            self.cold += 1
+
+        body = report_to_dict(report)
+        if corrupted:
+            body.setdefault("diagnostics", []).append(
+                corruption_diagnostic("report"))
+        # partial (degraded) results are served but never cached: a
+        # transient fault or an expired deadline must not become the
+        # canonical answer for this content address
+        cacheable = not report.degraded and not corrupted
+        if cacheable and self.reports is not None:
+            self.reports.put(address, body)
+        return {"ok": True, "code": 0, "cache": cache_tier,
+                "address": address, "kernel": report.kernel,
+                "cacheable": cacheable, "report": body}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        from repro.gpu.trace_cache import trace_cache
+
+        out = {
+            "cold": self.cold,
+            "l1_hits": self.l1_hits,
+            "l3_hits": self.l3_hits,
+            "static": self.static.stats(),
+        }
+        if self.reports is not None:
+            out["reports"] = self.reports.stats()
+        tc = trace_cache()
+        if tc is not None:
+            out["traces"] = tc.stats()
+        return out

@@ -23,7 +23,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional, Type, Union
 
-__all__ = ["REGISTRY", "FailPoint", "fail_at", "fail_point", "fail_points"]
+__all__ = ["REGISTRY", "SERVE_SITES", "FailPoint", "fail_at", "fail_point",
+           "fail_points"]
 
 #: every instrumented site: name -> where it lives / what failing there
 #: simulates.  Keep in sync with the ``fail_point`` calls in the named
@@ -47,7 +48,22 @@ REGISTRY: dict[str, str] = {
                        "metric collection",
     "engine.analysis": "core.engine — one registered SASS analysis",
     "engine.predictions": "core.engine — affine predicted/measured attach",
+    "serve.cache_read": "gpu.trace_cache.FileStore.get — one disk cache "
+                        "read (trace L2 or report L3); firing simulates "
+                        "a corrupted entry, which is discarded and "
+                        "recomputed",
+    "serve.worker_death": "serve.pool.WorkerPool dispatch — the chosen "
+                          "worker process dies before servicing the "
+                          "request, which must be retried on another "
+                          "shard member",
 }
+
+#: sites exercised by the serving-layer chaos tests
+#: (``tests/serve/``) rather than the engine chaos suite
+#: (``tests/test_chaos.py``) — they live outside the analyze() pipeline
+SERVE_SITES = frozenset(
+    {"serve.cache_read", "serve.worker_death"}
+)
 
 _lock = threading.Lock()
 #: armed sites; empty on the happy path (the only state fail_point reads)

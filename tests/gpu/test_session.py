@@ -112,6 +112,21 @@ class TestLaunch:
             cold.counters.global_load_l1_hits
         assert warm.cycles <= cold.cycles
 
+    def test_cache_stats_reflects_warm_reuse(self):
+        session = DeviceSession(GPUSpec.small(1))
+        saxpy = build_saxpy()
+        n = 512
+        x = session.upload(np.zeros(n, np.float32))
+        y = session.upload(np.zeros(n, np.float32))
+        cfg = LaunchConfig(grid=(2, 1), block=(256, 1))
+        args = {"x": x, "y": y, "a": 1.0, "n": n}
+        before = session.cache_stats()
+        assert set(before) == {"l1", "tex", "l2", "traces"}
+        session.launch(saxpy, cfg, args=args, functional_all=False)
+        after = session.cache_stats()
+        assert after["l1"]["hits"] + after["l1"]["misses"] > \
+            before["l1"]["hits"] + before["l1"]["misses"]
+
 
 class TestTextures:
     def test_bind_texture_and_launch(self, session):

@@ -1,0 +1,99 @@
+"""Chaos scenarios for the serving layer's two fail-points (the engine
+sites live in ``tests/test_chaos.py``):
+
+* ``serve.cache_read`` — a disk cache read comes back corrupted: the
+  entry is discarded, the result recomputed, and the response carries a
+  diagnostic naming the site.
+* ``serve.worker_death`` — the dispatched-to worker dies: the request
+  is retried on another shard member, the worker respawned, and the
+  response annotated with the retry.
+"""
+
+import pytest
+
+from repro.gpu.trace_cache import FileStore, configure_trace_cache
+from repro.serve.service import KernelRunner
+from repro.testing import fail_at
+
+KERNEL = "reduction:warp"
+
+
+@pytest.fixture(autouse=True)
+def _detach_disk_tier():
+    yield
+    configure_trace_cache(None)
+
+
+class TestCacheReadCorruption:
+    def test_filestore_reports_injected_corruption(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.put("k", b"payload")
+        with fail_at("serve.cache_read", OSError) as fp:
+            payload, corrupted = store.get("k")
+        assert fp.triggered == 1
+        assert payload is None and corrupted
+        assert not (tmp_path / "k.bin").exists(), \
+            "corrupt entry must be discarded"
+        # recompute-and-reput round trip works afterwards
+        store.put("k", b"payload")
+        assert store.get("k") == (b"payload", False)
+
+    def test_corrupt_l3_recomputed_with_diagnostic(self, tmp_path):
+        KernelRunner(cache_dir=str(tmp_path)).run(
+            {"kernel": KERNEL, "size": 128})
+        # a fresh runner (fresh memory tier) must read L3 from disk —
+        # where the injected corruption strikes
+        fresh = KernelRunner(cache_dir=str(tmp_path))
+        with fail_at("serve.cache_read", OSError) as fp:
+            env = fresh.run({"kernel": KERNEL, "size": 128})
+        assert fp.triggered == 1
+        assert env["ok"], "corruption degrades the response, not the run"
+        assert env["cache"] == "cold", "discarded entry forces recompute"
+        sites = [d.get("site")
+                 for d in env["report"].get("diagnostics", [])]
+        assert "serve.cache_read" in sites
+        assert env["cacheable"] is False
+        # the poisoned address was dropped; the next run repopulates it
+        repeat = fresh.run({"kernel": KERNEL, "size": 128})
+        assert repeat["cacheable"] is True
+
+
+class TestWorkerDeath:
+    def test_dead_worker_respawned_and_request_retried(self, tmp_path):
+        from repro.serve.pool import WorkerPool
+
+        with WorkerPool(2, cache_dir=str(tmp_path)) as pool:
+            with fail_at("serve.worker_death", RuntimeError) as fp:
+                env = pool.submit(
+                    {"kernel": KERNEL, "size": 128, "dry_run": True},
+                    arch_key="v100", timeout=300,
+                )
+            assert fp.triggered == 1
+            assert env["ok"], "death must be retried, not surfaced"
+            assert env["retries"] == 1
+            sites = [d.get("site")
+                     for d in env["report"].get("diagnostics", [])]
+            assert "serve.worker_death" in sites
+            stats = pool.stats()
+            assert stats["respawns"] == 1
+            assert stats["alive"] == 2, "replacement worker running"
+            # the pool keeps serving afterwards
+            again = pool.submit(
+                {"kernel": KERNEL, "size": 128, "dry_run": True},
+                arch_key="v100", timeout=300,
+            )
+            assert again["ok"] and "retries" not in again
+
+    def test_persistent_death_exhausts_attempts_cleanly(self, tmp_path):
+        from repro.serve.pool import MAX_ATTEMPTS, WorkerPool
+
+        with WorkerPool(2, cache_dir=str(tmp_path)) as pool:
+            with fail_at("serve.worker_death", RuntimeError,
+                         times=None) as fp:
+                env = pool.submit(
+                    {"kernel": KERNEL, "size": 128, "dry_run": True},
+                    arch_key="v100", timeout=60,
+                )
+            assert fp.triggered >= 2
+            assert env["ok"] is False and env["code"] == 70
+            assert env["retries"] <= MAX_ATTEMPTS

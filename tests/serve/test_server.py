@@ -1,0 +1,162 @@
+"""HTTP end-to-end: submissions, batches, cache hits, error statuses,
+and the stats endpoint — against a live ``ScoutServer`` on a loopback
+ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.gpu.trace_cache import configure_trace_cache
+from repro.serve import ScoutServer
+from repro.serve.protocol import EXIT_USAGE, strip_volatile
+
+KERNEL = "reduction:warp"
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ScoutServer(workers=0, cache_dir=str(tmp_path)).start()
+    yield srv
+    srv.stop()
+    configure_trace_cache(None)
+
+
+def post(srv, path, body, timeout=120):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    req = urllib.request.Request(srv.url + path, data=data)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def get(srv, path):
+    try:
+        with urllib.request.urlopen(srv.url + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        assert get(server, "/healthz") == (200, {"ok": True})
+
+    def test_unknown_path_404(self, server):
+        status, body = get(server, "/nope")
+        assert status == 404 and body["ok"] is False
+        status, _ = post(server, "/v1/nope", {"kernel": KERNEL})
+        assert status == 404
+
+    def test_analyze_cold_then_warm(self, server):
+        status, cold = post(server, "/v1/analyze",
+                            {"kernel": KERNEL, "size": 128})
+        assert status == 200 and cold["cache"] == "cold"
+        status, warm = post(server, "/v1/analyze",
+                            {"kernel": KERNEL, "size": 128})
+        assert status == 200 and warm["cache"] == "l3"
+        assert warm["report"] == cold["report"]
+
+    def test_front_memo_answers_without_engine(self, server):
+        post(server, "/v1/analyze", {"kernel": KERNEL, "size": 128})
+        cold_runs = server.runner.cold
+        post(server, "/v1/analyze", {"kernel": KERNEL, "size": 128})
+        assert server.l3_front_hits == 1
+        assert server.runner.cold == cold_runs, \
+            "warm repeat must not reach the engine"
+
+    def test_batch_preserves_order_and_reports_partial_failure(
+            self, server):
+        status, body = post(server, "/v1/batch", {"requests": [
+            {"kernel": KERNEL, "size": 128},
+            {"kernel": "bogus:kernel"},
+            {"kernel": KERNEL, "size": 128, "dry_run": True},
+        ]})
+        assert status == 200
+        assert body["ok"] is False, "one failed member flips batch ok"
+        ok0, bad, ok2 = body["responses"]
+        assert ok0["ok"] and ok2["ok"]
+        assert bad["code"] == EXIT_USAGE
+        assert ok2["report"]["mode"] == "dry-run"
+
+    def test_batch_malformed_body(self, server):
+        status, body = post(server, "/v1/batch", {"nope": []})
+        assert status == 400 and body["code"] == EXIT_USAGE
+
+    def test_invalid_json_body(self, server):
+        status, body = post(server, "/v1/analyze", b"{not json")
+        assert status == 400 and body["code"] == EXIT_USAGE
+
+    def test_usage_errors_are_400(self, server):
+        for payload in ({"kernel": KERNEL, "bogus": 1},
+                        {"kernel": KERNEL, "size": "big"},
+                        {"kernel": KERNEL, "arch": "h100"}):
+            status, body = post(server, "/v1/analyze", payload)
+            assert status == 400 and body["code"] == EXIT_USAGE
+
+    def test_per_request_deadline(self, server):
+        status, env = post(server, "/v1/analyze",
+                           {"kernel": KERNEL, "size": 512,
+                            "deadline": 1e-9})
+        assert status == 200 and env["ok"]
+        assert env["report"]["mode"] in ("functional", "static")
+        assert env["cacheable"] is False
+
+    def test_stats_shape(self, server):
+        post(server, "/v1/analyze", {"kernel": KERNEL, "size": 128})
+        status, stats = get(server, "/v1/stats")
+        assert status == 200
+        assert stats["requests"] >= 1
+        assert "runner" in stats and "static" in stats["runner"]
+
+    def test_identical_concurrent_requests_coalesce(self, server):
+        from concurrent.futures import ThreadPoolExecutor
+
+        body = {"kernel": KERNEL, "size": 128}
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda _: post(server, "/v1/analyze", body), range(4)))
+        assert all(status == 200 and env["ok"]
+                   for status, env in results)
+        reports = [env["report"] for _, env in results]
+        assert all(r == reports[0] for r in reports)
+        assert server.runner.cold == 1, \
+            "identical concurrent submissions must compute once"
+        assert server.coalesced >= 1
+
+    def test_served_matches_cli(self, server):
+        import contextlib
+        import io
+
+        from repro.cli import main as cli_main
+
+        status, env = post(server, "/v1/analyze",
+                           {"kernel": KERNEL, "size": 128})
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            assert cli_main(["analyze", "--kernel", KERNEL, "--size",
+                             "128", "--json", "-"]) == 0
+        assert strip_volatile(env["report"]) == \
+            strip_volatile(json.loads(out.getvalue()))
+
+
+class TestPooledServer:
+    def test_batch_fans_out_and_second_pass_hits(self, tmp_path):
+        with ScoutServer(workers=2, cache_dir=str(tmp_path)).start() \
+                as srv:
+            reqs = {"requests": [
+                {"kernel": KERNEL, "size": 128},
+                {"kernel": "histogram:shared", "size": 256},
+                {"kernel": KERNEL, "size": 128, "dry_run": True},
+            ]}
+            status, first = post(srv, "/v1/batch", reqs, timeout=300)
+            assert status == 200 and first["ok"]
+            workers = {r.get("worker") for r in first["responses"]}
+            assert workers <= {0, 1} and None not in workers
+            status, second = post(srv, "/v1/batch", reqs, timeout=300)
+            assert status == 200
+            assert all(r["cache"] == "l3" for r in second["responses"])
+        configure_trace_cache(None)

@@ -1,0 +1,163 @@
+"""KernelRunner contracts: served reports are byte-identical to the
+one-shot CLI's ``--json`` output (modulo volatile timing fields) on the
+cold, warm-L1 and warm-L3 paths; per-request deadlines degrade instead
+of failing; failures map onto the CLI's stage codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    AnalysisError,
+    CompileError,
+    LaunchError,
+    SassSyntaxError,
+    SimulationError,
+)
+from repro.gpu.trace_cache import configure_trace_cache
+from repro.serve.protocol import EXIT_USAGE, ProtocolError, strip_volatile
+from repro.serve.service import KernelRunner, error_envelope
+
+KERNEL = "reduction:warp"
+SIZE = 512
+
+
+@pytest.fixture(autouse=True)
+def _detach_disk_tier():
+    # KernelRunner(cache_dir=...) attaches a disk tier to the process-
+    # wide trace cache; leave no trace for the rest of the suite
+    yield
+    configure_trace_cache(None)
+
+
+def cli_report(*argv) -> dict:
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(list(argv) + ["--json", "-"])
+    assert code == 0
+    return json.loads(out.getvalue())
+
+
+class TestByteIdentity:
+    def test_cold_matches_cli(self):
+        runner = KernelRunner()
+        env = runner.run({"kernel": KERNEL, "size": SIZE})
+        assert env["ok"] and env["cache"] == "cold"
+        via_cli = cli_report("analyze", "--kernel", KERNEL,
+                             "--size", str(SIZE))
+        assert strip_volatile(env["report"]) == strip_volatile(via_cli)
+
+    def test_warm_l1_matches_cli(self):
+        # no cache_dir -> no L3 report store, so the repeat exercises
+        # the static-artifact reuse path (L1) end to end
+        runner = KernelRunner()
+        cold = runner.run({"kernel": KERNEL, "size": SIZE})
+        warm = runner.run({"kernel": KERNEL, "size": SIZE})
+        assert cold["cache"] == "cold" and warm["cache"] == "l1"
+        assert strip_volatile(warm["report"]) == \
+            strip_volatile(cold["report"])
+        via_cli = cli_report("analyze", "--kernel", KERNEL,
+                             "--size", str(SIZE))
+        assert strip_volatile(warm["report"]) == strip_volatile(via_cli)
+
+    def test_warm_l3_byte_identical(self, tmp_path):
+        runner = KernelRunner(cache_dir=str(tmp_path))
+        cold = runner.run({"kernel": KERNEL, "size": SIZE})
+        warm = runner.run({"kernel": KERNEL, "size": SIZE})
+        assert cold["cache"] == "cold" and warm["cache"] == "l3"
+        assert warm["address"] == cold["address"]
+        # L3 serves the stored body verbatim — identical even before
+        # stripping volatile fields
+        assert warm["report"] == cold["report"]
+        via_cli = cli_report("analyze", "--kernel", KERNEL,
+                             "--size", str(SIZE))
+        assert strip_volatile(warm["report"]) == strip_volatile(via_cli)
+
+    def test_l3_survives_process_restart(self, tmp_path):
+        KernelRunner(cache_dir=str(tmp_path)).run(
+            {"kernel": KERNEL, "size": SIZE})
+        fresh = KernelRunner(cache_dir=str(tmp_path))
+        env = fresh.run({"kernel": KERNEL, "size": SIZE})
+        assert env["cache"] == "l3"
+        assert fresh.reports.disk_hits == 1
+
+    def test_dry_run_matches_cli(self):
+        runner = KernelRunner()
+        env = runner.run({"kernel": KERNEL, "size": SIZE,
+                          "dry_run": True})
+        assert env["ok"]
+        via_cli = cli_report("analyze", "--kernel", KERNEL,
+                             "--size", str(SIZE), "--dry-run")
+        assert strip_volatile(env["report"]) == strip_volatile(via_cli)
+
+
+class TestRequestOptions:
+    def test_max_blocks_changes_address_but_shares_l1(self, tmp_path):
+        runner = KernelRunner(cache_dir=str(tmp_path))
+        a = runner.run({"kernel": KERNEL, "size": SIZE, "max_blocks": 2})
+        b = runner.run({"kernel": KERNEL, "size": SIZE, "max_blocks": 4})
+        assert a["address"] != b["address"]
+        assert b["cache"] == "l1", "same program+geometry must reuse L1"
+
+    def test_deadline_degrades_and_is_not_cached(self, tmp_path):
+        runner = KernelRunner(cache_dir=str(tmp_path))
+        env = runner.run({"kernel": KERNEL, "size": SIZE,
+                          "deadline": 1e-9})
+        assert env["ok"], "an expired deadline degrades, never fails"
+        assert env["report"]["mode"] in ("functional", "static")
+        assert not env["cacheable"]
+        # the degraded body must not become the canonical answer
+        repeat = runner.run({"kernel": KERNEL, "size": SIZE})
+        assert repeat["cache"] != "l3"
+        assert repeat["report"]["mode"] == "full"
+
+    def test_sass_submission_is_static_only(self):
+        sass = cli_sass()
+        runner = KernelRunner()
+        env = runner.run({"sass": sass, "dry_run": True})
+        assert env["ok"]
+        assert env["report"]["mode"] == "dry-run"
+
+
+def cli_sass() -> str:
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        assert cli_main(["disasm", "--kernel", KERNEL]) == 0
+    return out.getvalue()
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize("exc,code", [
+        (SassSyntaxError("x"), 2),
+        (CompileError("x"), 3),
+        (LaunchError("x"), 4),
+        (SimulationError("x"), 5),
+        (AnalysisError("x"), 6),
+        (ProtocolError("x"), EXIT_USAGE),
+        (SystemExit("unknown kernel family"), EXIT_USAGE),
+        (RuntimeError("x"), 70),
+    ])
+    def test_stage_codes(self, exc, code):
+        env = error_envelope(exc)
+        assert env["ok"] is False and env["code"] == code
+        assert env["message"]
+
+    def test_unknown_kernel_family_is_usage(self):
+        env = KernelRunner().run({"kernel": "bogus:thing"})
+        assert env["ok"] is False and env["code"] == EXIT_USAGE
+
+    def test_malformed_submission_is_usage(self):
+        env = KernelRunner().run({"kernel": KERNEL, "sass": "both"})
+        assert env["code"] == EXIT_USAGE
+
+    def test_envelope_always_returned(self):
+        env = KernelRunner().run(None)
+        assert env["ok"] is False and env["code"] == EXIT_USAGE
+        assert "elapsed_s" in env

@@ -1,0 +1,96 @@
+"""CI smoke for the serving stack: start ``gpuscout serve`` with a
+pooled engine, submit the same 3-kernel batch twice over HTTP, and
+assert the second pass is answered entirely from the content-addressed
+L3 report cache (no member recomputed).
+
+Exits non-zero on any protocol error, batch failure, cache miss on the
+second pass, or served/recomputed report divergence.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ScoutServer  # noqa: E402
+
+BATCH = {"requests": [
+    {"kernel": "sgemm:naive", "size": 48},
+    {"kernel": "histogram:shared", "size": 1024},
+    {"kernel": "reduction:warp", "size": 256},
+]}
+
+
+def _post(url: str, path: str, body: dict) -> dict:
+    req = urllib.request.Request(url + path,
+                                 data=json.dumps(body).encode())
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    failures = []
+    cache_dir = tempfile.mkdtemp(prefix="gpuscout-serve-smoke-")
+    try:
+        with ScoutServer(workers=2, cache_dir=cache_dir).start() as srv:
+            with urllib.request.urlopen(srv.url + "/healthz",
+                                        timeout=30) as resp:
+                if json.loads(resp.read()) != {"ok": True}:
+                    failures.append("healthz did not report ok")
+
+            first = _post(srv.url, "/v1/batch", BATCH)
+            if not first.get("ok"):
+                failures.append(f"cold batch failed: {first}")
+            for i, env in enumerate(first.get("responses", [])):
+                if env.get("cache") != "cold":
+                    failures.append(
+                        f"cold member {i}: cache={env.get('cache')!r}")
+
+            second = _post(srv.url, "/v1/batch", BATCH)
+            if not second.get("ok"):
+                failures.append(f"warm batch failed: {second}")
+            for i, env in enumerate(second.get("responses", [])):
+                if env.get("cache") != "l3":
+                    failures.append(
+                        f"warm member {i} missed the report cache: "
+                        f"cache={env.get('cache')!r}")
+            firsts = [e.get("report") for e in first.get("responses", [])]
+            seconds = [e.get("report")
+                       for e in second.get("responses", [])]
+            if firsts != seconds:
+                failures.append("warm batch reports differ from cold")
+
+            stats = json.loads(urllib.request.urlopen(
+                srv.url + "/v1/stats", timeout=30).read())
+            hits = stats.get("l3_front_hits", 0) + \
+                stats.get("runner", {}).get("reports", {}).get("hits", 0)
+            if hits < len(BATCH["requests"]):
+                failures.append(
+                    f"expected >= {len(BATCH['requests'])} L3 hits, "
+                    f"saw {hits} (stats: {stats})")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    n = len(BATCH["requests"])
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"serve smoke OK: {n}-kernel batch cold then warm, "
+          f"second pass all L3 hits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
