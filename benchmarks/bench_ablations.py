@@ -18,8 +18,6 @@ removes or sweeps one and shows the effect:
    the full simulation.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.common import emit, fmt_row
 from repro.gpu import LaunchConfig, Simulator

@@ -7,7 +7,6 @@ directly (it is real host work here) and compares it with the modelled
 cost of a full three-pillar run.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import emit, fmt_row

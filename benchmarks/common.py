@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import functools
 import pathlib
-from typing import Optional
 
 from repro.gpu import LaunchConfig, Simulator
 from repro.gpu.simulator import LaunchResult

@@ -192,6 +192,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--profile", action="store_true",
                       help="append the [prof] footer: per-stage pipeline "
                            "wall time and the hottest source lines")
+    p_an.add_argument("--latency-table", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="time instruction issue with the per-opcode "
+                           "latency table instead of the uniform spec "
+                           "defaults (default off; REPRO_LATENCY_TABLE=1 "
+                           "also enables)")
+
+    p_ov = sub.add_parser(
+        "overlay",
+        help="annotated SASS listing: control codes (stall counts, "
+             "yield, scoreboard barriers), per-opcode latencies and "
+             "blame arrows to variable-latency producers",
+    )
+    p_ov.add_argument("sass", nargs="?", default=None,
+                      help="path to an nvdisasm-style SASS listing")
+    p_ov.add_argument("--kernel", default=None,
+                      help="built-in kernel spec instead of a SASS file")
+    p_ov.add_argument("--size", type=int, default=256,
+                      help="problem size (with --sampled)")
+    p_ov.add_argument("--sampled", action="store_true",
+                      help="also simulate the kernel and mark sampled "
+                           "stall PCs with their blame slices "
+                           "(built-in kernels only)")
 
     p_dis = sub.add_parser("disasm", help="print a kernel's SASS")
     p_dis.add_argument("--kernel", required=True)
@@ -240,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(use '-' for stdout instead of the table)")
     p_val.add_argument("--verbose", action="store_true",
                        help="show every access, not only mismatches")
+    p_val.add_argument("--blame", action="store_true",
+                       help="also cross-validate stall blame: slice "
+                            "every sampled dependency stall and check "
+                            "the blamed producer's per-PC counters show "
+                            "the matching memory/pipe activity")
     p_val.add_argument("--deadline", type=float, default=None,
                        metavar="SECONDS",
                        help="wall-clock budget for the whole suite; "
@@ -327,6 +355,8 @@ def _main(argv: Optional[list[str]] = None) -> int:
         return _run_explain(args.name)
     if args.command == "validate":
         return _run_validate(args)
+    if args.command == "overlay":
+        return _run_overlay(args)
     if args.command == "serve":
         return _run_serve(args)
     # analyze
@@ -338,6 +368,7 @@ def _main(argv: Optional[list[str]] = None) -> int:
         fast=args.fast,
         budget=(SimBudget(max_wall_seconds=args.deadline)
                 if args.deadline is not None else None),
+        latency_table=args.latency_table,
     )
     capture = None
     if args.trace and not args.dry_run and not args.sass:
@@ -443,7 +474,7 @@ def _run_validate(args) -> int:
     if args.smoke:
         kernels = SMOKE_KERNELS
     results = validate_suite(kernels, size=args.size,
-                             deadline=args.deadline)
+                             deadline=args.deadline, blame=args.blame)
     payload = [r.to_dict() for r in results]
     if args.json == "-":
         import json
@@ -463,6 +494,38 @@ def _run_validate(args) -> int:
         print(f"gpuscout: deadline hit — {len(skipped)} kernel(s) "
               "skipped (partial results)", file=sys.stderr)
     return 0 if all(r.ok for r in results) else 1
+
+
+def _run_overlay(args) -> int:
+    """``gpuscout overlay``: the annotated SASS listing."""
+    from repro.sass.writer import format_overlay
+
+    if (args.sass is None) == (args.kernel is None):
+        print("gpuscout overlay: give exactly one of a SASS path or "
+              "--kernel SPEC", file=sys.stderr)
+        return 2
+    blame = None
+    if args.kernel:
+        ck, config, kargs, textures = resolve_kernel(
+            args.kernel, args.size
+        )
+        program = ck.program
+        if args.sampled:
+            scout = GPUscout(spec=GPUSpec.v100())
+            report = scout.analyze(ck, config, kargs, textures=textures,
+                                   max_blocks=8)
+            blame = report.blame
+    else:
+        if args.sampled:
+            print("note: --sampled needs a built-in kernel (a raw "
+                  "listing cannot be simulated); emitting the static "
+                  "overlay", file=sys.stderr)
+        from repro.sass.parser import parse_sass
+
+        with open(args.sass) as fh:
+            program = parse_sass(fh.read())
+    print(format_overlay(program, blame=blame), end="")
+    return 0
 
 
 def _run_serve(args) -> int:

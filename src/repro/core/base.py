@@ -8,12 +8,12 @@ subclass :class:`Analysis` and register with :func:`register_analysis`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional, Type
+from typing import Type
 
 from repro.sass.cfg import ControlFlowGraph, build_cfg
-from repro.sass.isa import Instruction, MemRef, Program, Register
+from repro.sass.isa import Program, Register
 from repro.sass.liveness import (
     DefUse,
     LivenessInfo,

@@ -30,7 +30,6 @@ import copy
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-import numpy as np
 
 from repro.core.base import Analysis, AnalysisContext, default_analyses
 from repro.core.findings import Finding
@@ -137,6 +136,10 @@ class ScoutReport:
     profile: Optional[Profiler] = None
     #: per-source-line stall heatmap (dynamic runs only)
     heatmap: Optional[Heatmap] = None
+    #: stall root-cause slices keyed by sampled PC (dynamic runs only):
+    #: backward def-use blame chains from each dependency-stalled PC to
+    #: the producer it waits on (:class:`repro.sass.slicing.StallBlame`)
+    blame: dict[int, "StallBlame"] = field(default_factory=dict)
     #: where the CLI wrote the Chrome trace, when ``--trace`` was given
     trace_path: Optional[str] = None
 
@@ -181,6 +184,7 @@ class GPUscout:
         ncu: Optional[NsightComputeCLI] = None,
         fast: Optional[bool] = None,
         budget: Optional[SimBudget] = None,
+        latency_table: Optional[bool] = None,
     ):
         self.analyses = list(analyses) if analyses is not None else default_analyses()
         self.spec = spec or GPUSpec.v100()
@@ -189,6 +193,9 @@ class GPUscout:
         #: fast-path toggle (None = REPRO_FAST/default): batched
         #: functional execution *and* the trace-driven timed scheduler
         self.fast = fast
+        #: per-opcode latency-table issue model
+        #: (None = REPRO_LATENCY_TABLE/default-off)
+        self.latency_table = latency_table
         #: default resource budget applied to every :meth:`analyze`
         #: (a per-call ``budget`` argument overrides it)
         self.budget = budget
@@ -327,6 +334,7 @@ class GPUscout:
 
         # -- stage 4: evaluation ------------------------------------------
         heatmap = None
+        blame: dict = {}
         with prof.span("evaluate"):
             for finding in findings:
                 if sampling is not None:
@@ -348,9 +356,31 @@ class GPUscout:
                     except Exception as exc:
                         note("evaluate", "engine.predictions", exc,
                              program=program)
+                with prof.span("evaluate:blame"):
+                    # stall root-cause slicing (reuses ctx's cached
+                    # CFG/reaching-defs/affine passes)
+                    if sampling is not None:
+                        try:
+                            from repro.sass.slicing import BlameSlicer
+
+                            slicer = BlameSlicer.from_context(ctx)
+                            blame = slicer.slice_sampling(sampling)
+                        except Exception as exc:
+                            blame = {}
+                            note("evaluate", "engine.blame", exc,
+                                 program=program)
+                    for finding in findings:
+                        pcs = set(finding.pcs)
+                        finding.blame = [
+                            b for pc, b in sorted(blame.items())
+                            if pc in pcs or
+                            (b.producer is not None and
+                             b.producer.pc in pcs)
+                        ]
                 with prof.span("evaluate:heatmap"):
                     try:
-                        heatmap = build_heatmap(program, launch.counters)
+                        heatmap = build_heatmap(program, launch.counters,
+                                                blame=blame)
                     except Exception as exc:
                         heatmap = None
                         note("evaluate", "engine.heatmap", exc,
@@ -383,6 +413,7 @@ class GPUscout:
             diagnostics=diags,
             profile=prof,
             heatmap=heatmap,
+            blame=blame,
         )
 
     # ------------------------------------------------------------------
@@ -571,7 +602,8 @@ class GPUscout:
         rungs.append(("functional-only", fast, False))
         for i, (rung, rung_fast, timed) in enumerate(rungs):
             fallback = rungs[i + 1][0] if i + 1 < len(rungs) else "static-only"
-            sim = Simulator(self.spec, fast=rung_fast)
+            sim = Simulator(self.spec, fast=rung_fast,
+                            latency_table=self.latency_table)
             capture_mark = trace.mark() if trace is not None and \
                 hasattr(trace, "mark") else None
             with prof.span(f"launch:{rung}") as span:

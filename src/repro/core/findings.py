@@ -70,6 +70,11 @@ class Finding:
     #: measured counterparts of ``predicted`` from the simulator's
     #: per-PC counters (empty on dry runs)
     measured: dict = field(default_factory=dict)
+    #: stall root-cause slices for the finding's PCs: the backward
+    #: def-use chain from each sampled dependency stall to the producer
+    #: instruction it waits on (:class:`repro.sass.slicing.StallBlame`;
+    #: filled by the engine's evaluate stage, empty on dry runs)
+    blame: list = field(default_factory=list)
 
     @property
     def lines(self) -> list[int]:

@@ -198,6 +198,11 @@ def _findings_section(report: ScoutReport) -> str:
 
         pm = _fmt_predicted_measured(f)
         pm_row = f"<p class='kv'>{html.escape(pm)}</p>" if pm else ""
+        blame_rows = "".join(
+            f"<p class='kv'>blame: {html.escape(b.stall_op)} "
+            f"(line {b.stall_line}) {html.escape(b.describe())}</p>"
+            for b in f.blame[:4]
+        )
         locs = ", ".join(sorted({str(l) for l in f.locations}))
         cards.append(
             f"<div class='finding {cls}'><h3>{html.escape(f.title)}</h3>"
@@ -206,7 +211,7 @@ def _findings_section(report: ScoutReport) -> str:
             + (f" | registers: {', '.join(f.registers)}" if f.registers else "")
             + "</p>"
             f"<p>{html.escape(f.recommendation)}</p>"
-            f"{pm_row}{stall_rows}{metric_rows}</div>"
+            f"{pm_row}{stall_rows}{blame_rows}{metric_rows}</div>"
         )
     return "\n".join(cards)
 
@@ -292,12 +297,18 @@ def _heatmap_section(report: ScoutReport) -> str:
             f"{r.cupti_name} {100 * v / lh.stall_cycles:.0f}%"
             for r, v in sorted(lh.by_reason.items(), key=lambda kv: -kv[1])
         )[:120]
+        waits = ", ".join(
+            f"{w['op']} (line {w['line']})" if w["line"] is not None
+            else f"{w['op']} (pc {w['pc']})"
+            for w in lh.waits_on[:3]
+        ) or "-"
         rows.append(
             f"<tr><td>{lh.line}</td>"
             f"<td>{lh.stall_cycles:,.0f}</td>"
             f"<td>{100 * lh.share:.1f}%</td>"
             f"<td>{lh.issues}</td>"
             f"<td>{html.escape(dom_name)}</td>"
+            f"<td class='kv'>{html.escape(waits)}</td>"
             f"<td class='kv'>{html.escape(breakdown)}</td></tr>"
         )
     unattr = ""
@@ -307,7 +318,8 @@ def _heatmap_section(report: ScoutReport) -> str:
     return (
         "<h2>Source-line heatmap (simulated stall cycles)</h2>"
         "<table><tr><th>line</th><th>stall cycles</th><th>share</th>"
-        "<th>issues</th><th>dominant stall</th><th>breakdown</th></tr>"
+        "<th>issues</th><th>dominant stall</th><th>waits on</th>"
+        "<th>breakdown</th></tr>"
         f"{''.join(rows)}</table>{unattr}"
     )
 

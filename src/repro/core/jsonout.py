@@ -23,7 +23,10 @@ __all__ = ["report_to_dict", "report_to_json", "SCHEMA_VERSION"]
 #: stall attribution, present when a launch produced counters) and
 #: ``trace_path`` (the exported Chrome trace, present when tracing was
 #: requested).
-SCHEMA_VERSION = 4
+#: v5 added ``blame`` (stall root-cause slices keyed by sampled PC,
+#: present when sampling ran), a per-finding ``blame`` list, and the
+#: heatmap lines' ``waits_on`` producer summaries.
+SCHEMA_VERSION = 5
 
 
 def _finding_dict(f) -> dict[str, Any]:
@@ -46,6 +49,7 @@ def _finding_dict(f) -> dict[str, Any]:
         "metrics": {k: float(v) for k, v in f.metrics.items()},
         "predicted": _jsonable(f.predicted),
         "measured": _jsonable(f.measured),
+        "blame": [b.to_dict() for b in f.blame],
     }
 
 
@@ -109,6 +113,10 @@ def report_to_dict(report: ScoutReport) -> dict[str, Any]:
         out["heatmap"] = report.heatmap.to_dict()
     if report.trace_path is not None:
         out["trace_path"] = report.trace_path
+    if report.blame:
+        out["blame"] = {
+            str(pc): b.to_dict() for pc, b in sorted(report.blame.items())
+        }
     return out
 
 

@@ -118,6 +118,13 @@ def render_finding(finding: Finding, color: bool = False) -> str:
             dom = finding.dominant_stall()
             if dom is not None and dom in STALL_EXPLANATIONS:
                 lines.append(f"      -> {STALL_EXPLANATIONS[dom]}")
+    if finding.blame:
+        lines.append("    Stall root cause (backward slice):")
+        for b in finding.blame[:4]:
+            where = f"pc {b.stall_pc}"
+            if b.stall_line is not None:
+                where = f"line {b.stall_line}"
+            lines.append(f"      {b.stall_op} at {where} {b.describe()}")
     if finding.metrics:
         lines.append("    Metrics to pay attention to:")
         for name, value in finding.metrics.items():
@@ -224,9 +231,15 @@ def render_profile(report) -> list[str]:
         for lh in heatmap.top(5):
             dom = lh.dominant()
             dom_name = dom.cupti_name if dom is not None else "-"
+            waits = ""
+            if lh.waits_on:
+                w = lh.waits_on[0]
+                target = (f"line {w['line']}" if w["line"] is not None
+                          else f"pc {w['pc']}")
+                waits = f"  waits on: {w['op']} ({target})"
             lines.append(
                 f"  line {lh.line:<5d} {lh.stall_cycles:10.0f} cycles "
-                f"{100.0 * lh.share:5.1f} %  dominant: {dom_name}"
+                f"{100.0 * lh.share:5.1f} %  dominant: {dom_name}{waits}"
             )
     return lines
 

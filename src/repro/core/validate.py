@@ -30,6 +30,7 @@ from repro.gpu.config import GPUSpec
 
 __all__ = [
     "AccessCheck",
+    "BlameCheck",
     "KernelValidation",
     "ALL_KERNELS",
     "SMOKE_KERNELS",
@@ -93,12 +94,52 @@ class AccessCheck:
         return abs(d) <= TOLERANCE
 
 
+@dataclass(frozen=True)
+class BlameCheck:
+    """Slice-vs-counters verdict for one sampled dependency stall.
+
+    The slicer claims the stall at ``stall_pc`` waits on the producer
+    at ``producer_pc``; the check confirms the producer's per-PC
+    counters show the activity that stall reason implies (memory
+    sectors for L1TEX blame, shared transactions for MIO blame, issues
+    for fixed-latency blame).
+    """
+
+    stall_pc: int
+    stall_op: str
+    reason: str  # cupti stall name
+    #: None when the slicer produced no chain at all
+    producer_pc: Optional[int]
+    producer_op: str = ""
+    #: which counter was consulted and its value
+    activity: str = ""
+    #: "confirmed" | "MISMATCH" | "unblamed"
+    verdict: str = "unblamed"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "confirmed"
+
+    def to_dict(self) -> dict:
+        return {
+            "stall_pc": self.stall_pc,
+            "stall_op": self.stall_op,
+            "reason": self.reason,
+            "producer_pc": self.producer_pc,
+            "producer_op": self.producer_op,
+            "activity": self.activity,
+            "verdict": self.verdict,
+        }
+
+
 @dataclass
 class KernelValidation:
     """All access checks of one kernel launch."""
 
     kernel: str
     checks: list[AccessCheck] = field(default_factory=list)
+    #: slice-vs-counters stall blame checks (``validate --blame`` only)
+    blame_checks: list[BlameCheck] = field(default_factory=list)
     #: non-empty when the kernel never validated (deadline/budget hit);
     #: such entries stay ``ok`` — partial suites exit cleanly
     error: str = ""
@@ -116,11 +157,24 @@ class KernelValidation:
         return [c for c in self.checks if c.matches is False]
 
     @property
+    def blame_mismatches(self) -> list[BlameCheck]:
+        return [b for b in self.blame_checks if b.verdict == "MISMATCH"]
+
+    @property
+    def blame_coverage(self) -> Optional[float]:
+        """Fraction of sampled dependency stalls that got a confirmed
+        blame chain (None without ``--blame``)."""
+        if not self.blame_checks:
+            return None
+        ok = sum(1 for b in self.blame_checks if b.ok)
+        return ok / len(self.blame_checks)
+
+    @property
     def ok(self) -> bool:
-        return not self.mismatches
+        return not self.mismatches and not self.blame_mismatches
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "kernel": self.kernel,
             "ok": self.ok,
             "error": self.error,
@@ -144,6 +198,13 @@ class KernelValidation:
                 for c in self.checks
             ],
         }
+        if self.blame_checks:
+            d["blame"] = {
+                "coverage": self.blame_coverage,
+                "mismatches": len(self.blame_mismatches),
+                "checks": [b.to_dict() for b in self.blame_checks],
+            }
+        return d
 
 
 def measured_per_request(counters, program) -> dict[int, tuple[str, float, int]]:
@@ -173,9 +234,16 @@ def validate_kernel(
     gpu: Optional[GPUSpec] = None,
     compute_iterations: int = 8,
     budget: Optional[SimBudget] = None,
+    blame: bool = False,
 ) -> KernelValidation:
     """Run ``spec_name`` in the simulator and cross-check every memory
     access's static prediction against the measured counters.
+
+    With ``blame`` the harness additionally samples the launch's stall
+    cycles, slices every dependency-stalled PC backward
+    (:class:`~repro.sass.slicing.BlameSlicer`) and confirms each blamed
+    producer's per-PC counters show the activity the stall reason
+    implies — the slicer's claims checked against the machine.
 
     A :class:`~repro.gpu.budget.SimBudget` bounds the launch; when it
     trips, the kernel is reported with ``error`` set instead of
@@ -247,6 +315,60 @@ def validate_kernel(
         else:
             checked.append(c)
     out.checks = checked
+    if blame:
+        out.blame_checks = _check_blame(program, launch)
+    return out
+
+
+def _check_blame(program, launch) -> list[BlameCheck]:
+    """Slice every sampled dependency stall and confirm each blamed
+    producer against the launch's per-PC counters."""
+    from repro.gpu.stalls import StallReason
+    from repro.sampling.pcsampler import PCSampler
+    from repro.sass.isa import OpClass
+    from repro.sass.slicing import BlameSlicer
+
+    sampling = PCSampler().sample(launch)
+    slicer = BlameSlicer(program)
+    blames = slicer.slice_sampling(sampling)
+    counters = launch.counters
+    dep_reasons = (StallReason.LONG_SCOREBOARD,
+                   StallReason.SHORT_SCOREBOARD, StallReason.WAIT)
+    out: list[BlameCheck] = []
+    for pc in sorted({s.pc for s in sampling.samples}):
+        reason = sampling.dominant_reason_at(pc)
+        if reason not in dep_reasons:
+            continue
+        stall_op = program[pc].opcode.name
+        b = blames.get(pc)
+        head = b.producer if b is not None else None
+        if head is None or not b.consistent:
+            out.append(BlameCheck(
+                stall_pc=pc, stall_op=stall_op,
+                reason=reason.cupti_name, producer_pc=None,
+                verdict="unblamed",
+            ))
+            continue
+        # which counter must show activity for this producer class
+        oc = program[head.pc].opcode.op_class
+        if oc in (OpClass.GLOBAL_LOAD, OpClass.LOCAL_LOAD,
+                  OpClass.TEXTURE, OpClass.ATOMIC_GLOBAL):
+            value = counters.mem_sectors_by_pc.get(head.pc, 0)
+            activity = f"mem_sectors_by_pc={value}"
+        elif oc in (OpClass.SHARED_LOAD, OpClass.ATOMIC_SHARED):
+            value = counters.shared_tx_by_pc.get(head.pc, 0)
+            activity = f"shared_tx_by_pc={value}"
+        else:
+            # fixed-latency / special pipes: the producer must at
+            # least have issued
+            value = counters.inst_by_pc.get(head.pc, 0)
+            activity = f"inst_by_pc={value}"
+        out.append(BlameCheck(
+            stall_pc=pc, stall_op=stall_op, reason=reason.cupti_name,
+            producer_pc=head.pc, producer_op=head.op,
+            activity=activity,
+            verdict="confirmed" if value > 0 else "MISMATCH",
+        ))
     return out
 
 
@@ -255,6 +377,7 @@ def validate_suite(
     size: int = 128,
     gpu: Optional[GPUSpec] = None,
     deadline: Optional[float] = None,
+    blame: bool = False,
 ) -> list[KernelValidation]:
     """Validate several kernels (default: the full built-in suite).
 
@@ -265,7 +388,8 @@ def validate_suite(
     budget = (SimBudget(max_wall_seconds=deadline)
               if deadline is not None else None)
     return [
-        validate_kernel(name, size=size, gpu=gpu, budget=budget)
+        validate_kernel(name, size=size, gpu=gpu, budget=budget,
+                        blame=blame)
         for name in (kernels if kernels is not None else ALL_KERNELS)
     ]
 
@@ -299,9 +423,36 @@ def render_validations(results: Sequence[KernelValidation],
                 f"    [{c.pc:3d}] {c.opcode:<16s} {c.space:<6s} "
                 f"pred={pred:<8s} meas={meas:<8s} {mark}{extra}"
             )
+        if r.blame_checks:
+            cov = r.blame_coverage or 0.0
+            nbm = len(r.blame_mismatches)
+            lines.append(
+                f"    blame: {len(r.blame_checks)} dependency stall(s), "
+                f"coverage={100.0 * cov:.0f}%, mismatches={nbm}"
+            )
+            for b in r.blame_checks:
+                if b.verdict == "confirmed" and not verbose:
+                    continue
+                prod = (f"-> [{b.producer_pc}] {b.producer_op}"
+                        if b.producer_pc is not None else "-> (no chain)")
+                lines.append(
+                    f"      [{b.stall_pc:3d}] {b.stall_op:<16s} "
+                    f"{b.reason:<26s} {prod:<28s} {b.activity} "
+                    f"{b.verdict}"
+                )
+    total_blame = sum(len(r.blame_checks) for r in results)
+    blame_note = ""
+    if total_blame:
+        blame_ok = sum(
+            1 for r in results for b in r.blame_checks if b.ok
+        )
+        blame_bad = sum(len(r.blame_mismatches) for r in results)
+        blame_note = (f" blame={blame_ok}/{total_blame} "
+                      f"blame-mismatches={blame_bad}")
+    total_ok = not total_mismatch and all(r.ok for r in results)
     lines.append(
-        f"{'TOTAL':<22s} {'ok' if not total_mismatch else 'FAIL':<5s} "
+        f"{'TOTAL':<22s} {'ok' if total_ok else 'FAIL':<5s} "
         f"proven={total_proven:<3d} unproven={total_unproven:<3d} "
-        f"mismatches={total_mismatch}"
+        f"mismatches={total_mismatch}{blame_note}"
     )
     return "\n".join(lines)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.cudalite.types import DType, PointerType
+from repro.cudalite.types import DType
 
 __all__ = [
     "Expr",

@@ -22,11 +22,11 @@ GPUscout's findings point at these lines exactly like they point at
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
 
 from repro.cudalite import ast as A
-from repro.cudalite.types import DType, PointerType, f32, f64, i32, u32
+from repro.cudalite.types import DType, PointerType, f32, i32
 from repro.errors import CompileError
 
 __all__ = ["E", "KernelBuilder", "Kernel", "TextureParam"]

@@ -27,7 +27,7 @@ Code-generation strategy notes (what makes the SASS look like nvcc's):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
@@ -43,7 +43,15 @@ from repro.cudalite.regalloc import (
     VReg,
     allocate,
 )
-from repro.cudalite.types import DType, PointerType, common_type, f32, f64, i32, u32, u64
+from repro.cudalite.types import (
+    DType,
+    PointerType,
+    common_type,
+    f32,
+    i32,
+    u32,
+    u64,
+)
 from repro.errors import CompileError
 from repro.sass.isa import Label, Opcode, Program
 

@@ -26,7 +26,6 @@ from repro.sass.isa import (
     Program,
     Register,
     PT,
-    RZ,
 )
 
 __all__ = ["VReg", "VPred", "VOperand", "VInstr", "VProgram", "allocate", "AllocationResult"]

@@ -9,7 +9,7 @@ what makes ncu's ``sectors`` metrics meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.testing.faultinject import fail_point

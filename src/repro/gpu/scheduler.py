@@ -24,7 +24,7 @@ register spills (§4.2) and ``tex_throttle`` after texture adoption
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -116,7 +116,7 @@ class _PCMeta:
     __slots__ = ("code", "kind", "opname", "dests", "srcs", "pipe",
                  "issue_cost", "access_space", "write", "sub", "conv",
                  "static_sectors", "static_len", "static_groups",
-                 "hit_lat")
+                 "hit_lat", "fix_lat")
 
     def __init__(self):
         self.code = 0
@@ -134,6 +134,10 @@ class _PCMeta:
         self.static_len = -1
         self.static_groups = ()
         self.hit_lat = 0.0
+        #: result latency for the fixed-latency dispatch codes (0/1/2);
+        #: the uniform spec default, or the per-opcode table when a
+        #: :class:`~repro.sass.latency.LatencyModel` is threaded in
+        self.fix_lat = 0.0
 
 
 class _TraceRT:
@@ -193,6 +197,7 @@ class SMScheduler:
         counters: Counters,
         trace=None,
         budget: Optional[SimBudget] = None,
+        latency_model=None,
     ):
         self.spec = spec
         self.executor = executor
@@ -212,6 +217,17 @@ class SMScheduler:
         #: optional :class:`~repro.gpu.budget.SimBudget` checked every
         #: ``_BUDGET_STRIDE`` issues (None on the unguarded happy path)
         self.budget = budget
+        #: optional :class:`~repro.sass.latency.LatencyModel` replacing
+        #: the uniform spec issue costs / fixed latencies with per-PC
+        #: values.  ``None`` (the default) keeps the spec defaults on
+        #: the exact code paths the equivalence suites pin.
+        self.latency_model = latency_model
+        self._lat_issue = (latency_model.issue_costs
+                           if latency_model is not None else None)
+        self._lat_dep = (latency_model.dep_latencies
+                         if latency_model is not None else None)
+        self._lat_sig = (latency_model.signature()
+                         if latency_model is not None else None)
         self.program: Program = executor.program
         # SM-lifetime resources (persist across waves)
         self.lsu = Timeline(spec.lsu_sectors_per_cycle)
@@ -309,13 +325,13 @@ class SMScheduler:
                     reason if dep_stall > 0 else None,
                 )
             effect = self.executor.step(rt.state)
-            issue_cost = self._issue_cost(effect)
+            issue_cost = self._issue_cost(effect, pc)
             self.sp_next[sp] = t_issue + issue_cost
             rt.earliest = t_issue + issue_cost
             rt.forced_wait = 0.0
             rt.forced_reason = None
             self._account(pc, ins, effect)
-            self._apply_timing(rt, t_issue, effect)
+            self._apply_timing(rt, t_issue, effect, pc)
             if budget is not None:
                 budget_pending += 1
                 if budget_pending >= _BUDGET_STRIDE:
@@ -369,6 +385,8 @@ class SMScheduler:
         if self._trace_meta is not None:
             return self._trace_meta
         spec = self.spec
+        lat_issue = self._lat_issue
+        lat_dep = self._lat_dep
         metas: list = []
         for pc, se in enumerate(
                 static_effect_table(self.executor.decoded, spec)):
@@ -386,12 +404,15 @@ class SMScheduler:
             if kind in ("alu", "convert", "branch", "exit", "nop"):
                 m.code = 0
                 m.conv = kind == "convert"
+                m.fix_lat = float(spec.lat_alu)
             elif kind == "fp64":
                 m.code = 1
                 m.issue_cost = float(spec.issue_fp64)
+                m.fix_lat = float(spec.lat_fp64)
             elif kind == "mufu":
                 m.code = 2
                 m.issue_cost = float(spec.issue_mufu)
+                m.fix_lat = float(spec.lat_mufu)
             elif kind in ("global_load", "global_store",
                           "local_load", "local_store"):
                 m.code = 3
@@ -423,6 +444,10 @@ class SMScheduler:
                 m.hit_lat = float(spec.lat_tex_hit)
             else:  # barrier
                 m.code = 8
+            if lat_issue is not None:
+                m.issue_cost = lat_issue[pc]
+                if m.code in (0, 1, 2):
+                    m.fix_lat = lat_dep[pc]
             metas.append(m)
         self._trace_meta = metas
         return metas
@@ -514,9 +539,6 @@ class SMScheduler:
         lg_depth = spec.lg_queue_depth
         mio_depth = spec.mio_queue_depth
         tex_depth = spec.tex_queue_depth
-        lat_alu = float(spec.lat_alu)
-        lat_fp64 = float(spec.lat_fp64)
-        lat_mufu = float(spec.lat_mufu)
         lat_shared = float(spec.lat_shared)
         lat_dram = float(spec.lat_dram)
         lat_l2 = float(spec.lat_l2_hit)
@@ -535,6 +557,10 @@ class SMScheduler:
         heappop = heapq.heappop
 
         plan = ttrace.plan
+        if plan is not None and getattr(ttrace, "plan_sig", None) != self._lat_sig:
+            # the cached plan embeds issue costs / fixed latencies from
+            # a different latency model: rebuild under this one
+            plan = None
         if plan is None:
             # per-row issue plan: everything the hot loop reads per
             # issue as one flat tuple — (code, pipe-kind, issue cost,
@@ -551,6 +577,7 @@ class SMScheduler:
                              m.issue_cost, m.srcs, m.dests, pc, m,
                              dyn.get(r)))
             ttrace.plan = plan
+            ttrace.plan_sig = self._lat_sig
 
         def compute_dep(rt):
             # dependency half of _next_ready: earliest slot, forced
@@ -710,12 +737,12 @@ class SMScheduler:
                 # and is flushed to the rt at every sweep exit
 
                 if code == 0:  # alu / convert / branch / exit / nop
-                    t_ready = t_issue + lat_alu
+                    t_ready = t_issue + m.fix_lat
                     for reg in dests:
                         reg_ready[reg] = t_ready
                         reg_kind[reg] = 0
                 elif code == 1:  # fp64
-                    t_ready = t_issue + lat_fp64
+                    t_ready = t_issue + m.fix_lat
                     for reg in dests:
                         reg_ready[reg] = t_ready
                         reg_kind[reg] = 0
@@ -726,7 +753,7 @@ class SMScheduler:
                         t = nf
                     finish = t + 1.0 / mufu.rate
                     mufu.next_free = finish
-                    t_ready = finish + lat_mufu
+                    t_ready = finish + m.fix_lat
                     for reg in dests:
                         reg_ready[reg] = t_ready
                         reg_kind[reg] = 0
@@ -1082,7 +1109,9 @@ class SMScheduler:
         return wave_end
 
     # ------------------------------------------------------------------
-    def _issue_cost(self, effect: Effect) -> float:
+    def _issue_cost(self, effect: Effect, pc: int) -> float:
+        if self._lat_issue is not None:
+            return self._lat_issue[pc]
         if effect.kind == "fp64":
             return float(self.spec.issue_fp64)
         if effect.kind == "mufu":
@@ -1140,20 +1169,29 @@ class SMScheduler:
         return ready, reason
 
     # ------------------------------------------------------------------
-    def _apply_timing(self, rt: _WarpRT, t_issue: float, effect: Effect) -> None:
+    def _apply_timing(self, rt: _WarpRT, t_issue: float, effect: Effect,
+                      pc: int) -> None:
         """Book pipeline resources and set destination-register ready
-        times for ``effect``."""
+        times for ``effect``.
+
+        The fixed-latency classes (ALU/FP64/MUFU results) read the
+        per-PC latency model when one is threaded in; memory results
+        stay cache-level dependent in either mode."""
         spec = self.spec
         kind = effect.kind
+        dep = self._lat_dep
         if kind in ("alu", "convert", "branch", "exit", "nop", "barrier"):
-            self._set_dests(rt, effect, t_issue + spec.lat_alu, _KIND_WAIT)
+            lat = spec.lat_alu if dep is None else dep[pc]
+            self._set_dests(rt, effect, t_issue + lat, _KIND_WAIT)
             return
         if kind == "fp64":
-            self._set_dests(rt, effect, t_issue + spec.lat_fp64, _KIND_WAIT)
+            lat = spec.lat_fp64 if dep is None else dep[pc]
+            self._set_dests(rt, effect, t_issue + lat, _KIND_WAIT)
             return
         if kind == "mufu":
             finish = self.mufu.book(t_issue + 1, 1.0)
-            self._set_dests(rt, effect, finish + spec.lat_mufu, _KIND_WAIT)
+            lat = spec.lat_mufu if dep is None else dep[pc]
+            self._set_dests(rt, effect, finish + lat, _KIND_WAIT)
             return
         if kind in ("global_load", "global_store", "local_load", "local_store"):
             n_sectors = len(effect.sectors)

@@ -67,9 +67,10 @@ class DeviceSession:
 
     def __init__(self, spec: Optional[GPUSpec] = None,
                  capacity_bytes: int = 64 * 1024 * 1024,
-                 fast: Optional[bool] = None):
+                 fast: Optional[bool] = None,
+                 latency_table: Optional[bool] = None):
         self.spec = spec or GPUSpec.v100()
-        self.sim = Simulator(self.spec, fast=fast)
+        self.sim = Simulator(self.spec, fast=fast, latency_table=latency_table)
         self.memory = DeviceMemory(capacity_bytes)
         #: caches persist across launches (warm-cache semantics)
         self.hierarchy = MemoryHierarchy(self.spec)

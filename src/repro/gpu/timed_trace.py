@@ -263,7 +263,7 @@ class TimedTrace:
     """
 
     __slots__ = ("pcs", "seg_starts", "seg_ends", "dyn", "n_warps",
-                 "nregs", "block_ids", "post_writes", "plan")
+                 "nregs", "block_ids", "post_writes", "plan", "plan_sig")
 
     def __init__(self, pcs: list, seg_starts: list, seg_ends: list,
                  dyn: dict, n_warps: int, nregs: int, block_ids: list,
@@ -278,8 +278,11 @@ class TimedTrace:
         self.post_writes = post_writes
         #: per-row issue-plan tuples, filled lazily by the consumer
         #: (:meth:`SMScheduler.run_wave_trace`) on first replay and
-        #: reused by every later replay of this trace
+        #: reused by every later replay of this trace; ``plan_sig``
+        #: records the latency-model signature the plan was built
+        #: under, so replays under a different model rebuild it
         self.plan = None
+        self.plan_sig = None
 
 
 class TraceEmitter:

@@ -27,7 +27,6 @@ events.
 from __future__ import annotations
 
 import json
-from typing import Optional
 
 __all__ = ["to_chrome_trace", "validate_chrome_trace",
            "write_chrome_trace"]

@@ -40,6 +40,12 @@ class LineHeat:
     pcs: list[int] = field(default_factory=list)
     #: fraction of all attributed stall cycles (filled by build_heatmap)
     share: float = 0.0
+    #: stall root-cause blame for this line's dependency stalls: the
+    #: producer lines/instructions its sampled PCs wait on, e.g.
+    #: ``[{"line": 9, "op": "LDG.E.SYS", "pc": 8, "reg": "R4",
+    #: "reason": "stalled_long_scoreboard"}]`` (deduplicated, ordered
+    #: by producer line; empty without blame info)
+    waits_on: list[dict] = field(default_factory=list)
 
     def dominant(self) -> Optional[StallReason]:
         if not self.by_reason:
@@ -47,7 +53,7 @@ class LineHeat:
         return max(self.by_reason, key=lambda k: self.by_reason[k])
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "line": self.line,
             "stall_cycles": self.stall_cycles,
             "share": self.share,
@@ -59,6 +65,9 @@ class LineHeat:
                 )
             },
         }
+        if self.waits_on:
+            d["waits_on"] = [dict(w) for w in self.waits_on]
+        return d
 
 
 @dataclass
@@ -90,9 +99,15 @@ class Heatmap:
         }
 
 
-def build_heatmap(program, counters) -> Heatmap:
+def build_heatmap(program, counters, blame=None) -> Heatmap:
     """Aggregate ``counters.stall_cycles`` (and per-PC issue counts)
-    through ``program``'s line table into a :class:`Heatmap`."""
+    through ``program``'s line table into a :class:`Heatmap`.
+
+    ``blame`` optionally maps sampled PCs to
+    :class:`~repro.sass.slicing.StallBlame` slices; each blamed line
+    then carries a ``waits_on`` summary naming the producer line(s) its
+    stalls actually wait for.
+    """
     hm = Heatmap()
     n = len(program)
     lines = hm.lines
@@ -127,4 +142,26 @@ def build_heatmap(program, counters) -> Heatmap:
             lh.share = lh.stall_cycles / total
     for lh in lines.values():
         lh.pcs.sort()
+    if blame:
+        for pc, b in blame.items():
+            head = b.producer
+            if head is None:
+                continue
+            line = program[pc].line if pc < n else None
+            if line is None or line not in lines:
+                continue
+            entry = {
+                "line": head.line,
+                "op": head.op,
+                "pc": head.pc,
+                "reg": head.reg,
+                "reason": b.reason.cupti_name if b.reason else None,
+            }
+            lh = lines[line]
+            if entry not in lh.waits_on:
+                lh.waits_on.append(entry)
+        for lh in lines.values():
+            lh.waits_on.sort(
+                key=lambda w: (w["line"] is None, w["line"] or 0, w["pc"])
+            )
     return hm

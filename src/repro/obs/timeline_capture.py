@@ -22,7 +22,7 @@ Export with :func:`repro.obs.chrometrace.to_chrome_trace`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.gpu.stalls import StallReason

@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -306,6 +305,23 @@ class ReachingDefinitions:
         key = (reg.index, reg.predicate)
         last = None
         for i in range(blk.start, min(index, blk.end - 1) + 1):
+            for dreg in self.program[i].dest_registers():
+                if (dreg.index, dreg.predicate) == key:
+                    last = i
+        if last is not None:
+            return (last,)
+        return tuple(sorted(self._in[blk.bid].get(key, _LIVE_IN)))
+
+    def defs_before(self, reg: Register, index: int) -> tuple[int, ...]:
+        """Definitions of ``reg`` reaching the *input* of instruction
+        ``index``: a definition at ``index`` itself does not count (the
+        value read there is the one produced earlier in the block, on
+        another path, or — for loop-carried dependences — on a previous
+        iteration, where the defining index compares ``>= index``)."""
+        blk = self.cfg.block_of_instruction(index)
+        key = (reg.index, reg.predicate)
+        last = None
+        for i in range(blk.start, index):
             for dreg in self.program[i].dest_registers():
                 if (dreg.index, dreg.predicate) == key:
                     last = i

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
 __all__ = [
     "Register",

@@ -1,0 +1,378 @@
+"""Backward def-use blame slicing: from a stalled PC to its producer.
+
+The paper's heatmaps locate *where* warps stall; this pass explains
+*why*.  Following LEO's static approach (PAPERS.md), a sampled stall PC
+is traced backward through register (and predicate) dependencies to the
+instruction whose in-flight result the warp was actually waiting for:
+the ``long_scoreboard`` stall on line 12 becomes "waits on the LDG on
+line 9".
+
+The walk is built on the existing static passes:
+
+* :class:`~repro.sass.cfg.ControlFlowGraph` — block structure, loops;
+* :class:`~repro.sass.affine.ReachingDefinitions` — CFG-aware defs with
+  union-over-paths meet at joins (so a producer on *either* arm of a
+  branch is found, and the chain forks rather than picking one path);
+* :class:`~repro.sass.affine.AffineAnalysis` — induction variables, so
+  a loop-carried dependence on ``IADD3 R4, R4, 4`` is labelled as the
+  index update rather than presented as the root cause of a memory
+  stall.
+
+A slice starts at the stalled instruction's source registers (guard
+predicate and memory-address bases included) and follows reaching
+definitions backward.  Producers whose opcode class matches the stall
+reason (``long_scoreboard`` -> L1TEX ops, ``short_scoreboard`` -> MIO
+ops, ``wait`` -> fixed-latency ALU) terminate the walk; transparent
+producers (register copies, address arithmetic) are walked through up
+to ``max_depth`` steps.  The search is breadth-first, so the reported
+chain is a *shortest* dependency path, and candidate definitions are
+visited closest-first for deterministic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.gpu.stalls import StallReason
+from repro.sass.isa import Instruction, OpClass, Program
+
+__all__ = [
+    "BlameStep",
+    "StallBlame",
+    "BlameSlicer",
+    "REASON_PRODUCERS",
+    "producer_matches",
+]
+
+
+#: Opcode classes that can satisfy a given stall reason.  A blame chain
+#: is "consistent" when its head producer falls in the stalled reason's
+#: class set — the cross-check ``gpuscout validate --blame`` enforces.
+REASON_PRODUCERS: dict[StallReason, frozenset[OpClass]] = {
+    # L1TEX scoreboard: local/global/texture/surface returns
+    StallReason.LONG_SCOREBOARD: frozenset({
+        OpClass.GLOBAL_LOAD,
+        OpClass.LOCAL_LOAD,
+        OpClass.TEXTURE,
+        OpClass.ATOMIC_GLOBAL,
+        OpClass.CONST_LOAD,
+    }),
+    # MIO scoreboard: shared memory and the S2R special-register pipe
+    StallReason.SHORT_SCOREBOARD: frozenset({
+        OpClass.SHARED_LOAD,
+        OpClass.ATOMIC_SHARED,
+        OpClass.SPECIAL,
+    }),
+    # fixed-latency execution dependency
+    StallReason.WAIT: frozenset({
+        OpClass.INT_ALU,
+        OpClass.FP32,
+        OpClass.FP64,
+        OpClass.CONVERT,
+    }),
+}
+
+#: Producer classes walked *through* when they do not themselves match
+#: the stall reason — copies and address arithmetic, not root causes.
+_TRANSPARENT = frozenset({
+    OpClass.INT_ALU,
+    OpClass.FP32,
+    OpClass.FP64,
+    OpClass.CONVERT,
+    OpClass.SPECIAL,
+})
+
+
+def producer_matches(reason: Optional[StallReason], ins: Instruction) -> bool:
+    """True when ``ins`` can be the root cause of a ``reason`` stall."""
+    if reason is None:
+        return True
+    targets = REASON_PRODUCERS.get(reason)
+    if targets is None:
+        return True
+    return ins.opcode.op_class in targets
+
+
+@dataclass(frozen=True)
+class BlameStep:
+    """One hop of a blame chain: instruction ``pc`` defined ``reg``,
+    which the previous hop (or the stalled instruction) read.
+
+    ``pc`` is the instruction's stream index — the same coordinate the
+    sampler, the per-PC counters, and the heatmap use; ``offset`` is its
+    16-byte-aligned byte offset for SASS-listing display.
+    """
+
+    pc: int  # stream index of the defining instruction
+    offset: int  # its byte offset in the listing
+    op: str  # full opcode text, e.g. "LDG.E.SYS"
+    reg: str  # the register traced through, e.g. "R4" / "P0"
+    line: Optional[int]  # CUDA source line, if attributed
+    loop_carried: bool = False  # reached via a CFG back edge
+    induction: bool = False  # the register is a loop induction variable
+
+    def to_dict(self) -> dict:
+        d = {
+            "pc": self.pc,
+            "offset": self.offset,
+            "op": self.op,
+            "reg": self.reg,
+            "line": self.line,
+        }
+        if self.loop_carried:
+            d["loop_carried"] = True
+        if self.induction:
+            d["induction"] = True
+        return d
+
+
+@dataclass(frozen=True)
+class StallBlame:
+    """Why a sampled PC stalled: the backward slice to its producer.
+
+    ``chain`` is ordered from the stalled instruction outward; the last
+    step is the head producer the warp was waiting on.  ``consistent``
+    records whether that producer's opcode class can actually satisfy
+    the stall reason (a ``long_scoreboard`` blame chain should end at an
+    L1TEX operation).
+    """
+
+    stall_pc: int
+    stall_offset: int
+    stall_op: str
+    stall_line: Optional[int]
+    reason: Optional[StallReason]
+    chain: tuple[BlameStep, ...] = field(default_factory=tuple)
+    consistent: bool = False
+
+    @property
+    def producer(self) -> Optional[BlameStep]:
+        """The head of the chain: the instruction being waited on."""
+        return self.chain[-1] if self.chain else None
+
+    @property
+    def loop_carried(self) -> bool:
+        return any(s.loop_carried for s in self.chain)
+
+    def describe(self) -> str:
+        """One-line rendering for terminal reports: ``waits on LDG.E
+        @0x0090 (line 9) via R4``."""
+        head = self.producer
+        if head is None:
+            return "no producer found"
+        where = f"@{head.offset:#06x}"
+        if head.line is not None:
+            where += f" (line {head.line})"
+        note = " [loop-carried]" if self.loop_carried else ""
+        return f"waits on {head.op} {where} via {head.reg}{note}"
+
+    def to_dict(self) -> dict:
+        return {
+            "stall_pc": self.stall_pc,
+            "stall_offset": self.stall_offset,
+            "stall_op": self.stall_op,
+            "stall_line": self.stall_line,
+            "reason": self.reason.cupti_name if self.reason else None,
+            "consistent": self.consistent,
+            "loop_carried": self.loop_carried,
+            "chain": [s.to_dict() for s in self.chain],
+        }
+
+
+class BlameSlicer:
+    """Backward def-use slicer over a parsed SASS program.
+
+    Reuses already-computed passes when handed an
+    :class:`~repro.core.base.AnalysisContext` (via
+    :meth:`from_context`); builds its own CFG/reaching-defs/affine
+    passes otherwise.
+    """
+
+    def __init__(self, program: Program, cfg=None, reaching=None,
+                 affine=None):
+        from repro.sass.cfg import build_cfg
+
+        self.program = program
+        self.cfg = cfg if cfg is not None else build_cfg(program)
+        if reaching is None:
+            from repro.sass.affine import ReachingDefinitions
+
+            reaching = ReachingDefinitions(program, self.cfg)
+        self.reaching = reaching
+        self._affine = affine
+        self._iv_cache: dict[int, dict[int, int]] = {}
+
+    @classmethod
+    def from_context(cls, ctx) -> "BlameSlicer":
+        return cls(ctx.program, cfg=ctx.cfg, reaching=ctx.reaching,
+                   affine=ctx.affine)
+
+    # ------------------------------------------------------------------
+    @property
+    def affine(self):
+        if self._affine is None:
+            from repro.sass.affine import AffineAnalysis
+
+            self._affine = AffineAnalysis(self.program, self.cfg)
+        return self._affine
+
+    def _induction_regs(self, index: int) -> frozenset[int]:
+        """GPR indices acting as induction variables of the innermost
+        loop containing ``index`` (empty when not in a loop)."""
+        bid = self.cfg.block_of_instruction(index).bid
+        innermost = None
+        for loop in self.cfg.loops:
+            if loop.contains_block(bid):
+                if innermost is None or \
+                        len(loop.blocks) < len(innermost.blocks):
+                    innermost = loop
+        if innermost is None:
+            return frozenset()
+        header = innermost.header
+        if header not in self._iv_cache:
+            try:
+                self._iv_cache[header] = self.affine.iv_steps(header)
+            except Exception:
+                self._iv_cache[header] = {}
+        return frozenset(self._iv_cache[header])
+
+    # ------------------------------------------------------------------
+    def slice_pc(self, pc: int, reason: Optional[StallReason] = None,
+                 max_depth: int = 8) -> Optional[StallBlame]:
+        """Slice backward from the instruction at ``pc``.
+
+        ``pc`` is a sampled program counter in the simulator's
+        coordinate system: the instruction's stream index (what
+        :class:`~repro.sampling.pcsampler.PCSample` and the per-PC
+        counters record).  Returns ``None`` for an out-of-range PC;
+        otherwise a :class:`StallBlame` whose chain is empty only when
+        the stalled instruction reads no traceable register at all.
+        """
+        if not 0 <= pc < len(self.program):
+            return None
+        return self.slice_index(pc, reason=reason, max_depth=max_depth)
+
+    def slice_index(self, index: int,
+                    reason: Optional[StallReason] = None,
+                    max_depth: int = 8) -> StallBlame:
+        program = self.program
+        stalled = program[index]
+        # breadth-first over (def index, chain) so the reported chain is
+        # a shortest dependency path to a reason-consistent producer
+        frontier: list[tuple[int, tuple[BlameStep, ...]]] = [(index, ())]
+        visited: set[tuple[int, int, bool]] = set()
+        fallback: Optional[tuple[BlameStep, ...]] = None
+        for _ in range(max_depth):
+            next_frontier: list[tuple[int, tuple[BlameStep, ...]]] = []
+            for at, chain in frontier:
+                for step in self._dep_steps(at):
+                    key = (at, step.pc, step.reg)
+                    if key in visited:
+                        continue
+                    visited.add(key)
+                    new_chain = chain + (step,)
+                    producer = program[step.pc]
+                    # class matching already rejects induction updates
+                    # for scoreboard reasons (IADD3 is not an L1TEX/MIO
+                    # op); for WAIT the index update genuinely is the
+                    # fixed-latency dependency, so accept it
+                    if producer_matches(reason, producer):
+                        return StallBlame(
+                            stall_pc=index,
+                            stall_offset=stalled.offset,
+                            stall_op=str(stalled.opcode),
+                            stall_line=stalled.line,
+                            reason=reason,
+                            chain=new_chain,
+                            consistent=reason is not None,
+                        )
+                    # keep the first (shortest) chain as the fallback,
+                    # but trade an induction-headed one for a real
+                    # data dependence when a later path offers it
+                    if fallback is None or (
+                            fallback[-1].induction and not step.induction):
+                        fallback = new_chain
+                    if producer.opcode.op_class in _TRANSPARENT:
+                        next_frontier.append((step.pc, new_chain))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return StallBlame(
+            stall_pc=index,
+            stall_offset=stalled.offset,
+            stall_op=str(stalled.opcode),
+            stall_line=stalled.line,
+            reason=reason,
+            chain=fallback or (),
+            consistent=False,
+        )
+
+    def direct_deps(self, index: int) -> list[BlameStep]:
+        """One-hop dependencies of instruction ``index``: the reaching
+        definition(s) of each of its source registers, closest first.
+        The overlay renderer uses this to draw blame arrows without
+        sampling data."""
+        return list(self._dep_steps(index))
+
+    def _dep_steps(self, index: int) -> Iterable[BlameStep]:
+        """Candidate defining instructions for every source register of
+        instruction ``index``, closest definition first."""
+        program = self.program
+        ins = program[index]
+        iv_regs = None  # computed lazily: affine pass is the slow one
+        steps: list[tuple[int, BlameStep]] = []
+        seen_regs: set[tuple[int, bool]] = set()
+        for reg in ins.source_registers():
+            rkey = (reg.index, reg.predicate)
+            if rkey in seen_regs or reg.is_zero:
+                continue
+            seen_regs.add(rkey)
+            for d in self.reaching.defs_before(reg, index):
+                if d < 0:  # live-in: kernel parameter / unwritten
+                    continue
+                loop_carried = d >= index
+                induction = False
+                if not reg.predicate:
+                    if iv_regs is None:
+                        iv_regs = self._induction_regs(index)
+                    induction = reg.index in iv_regs
+                producer = program[d]
+                # sort key: forward distance from the def to the use —
+                # closest preceding def first, loop-carried defs last
+                dist = (index - d) if d < index else \
+                    (len(program) + (d - index))
+                steps.append((dist, BlameStep(
+                    pc=d,
+                    offset=producer.offset,
+                    op=str(producer.opcode),
+                    reg=str(reg),
+                    line=producer.line,
+                    loop_carried=loop_carried,
+                    induction=induction,
+                )))
+        steps.sort(key=lambda t: (t[0], t[1].reg))
+        return [s for _, s in steps]
+
+    # ------------------------------------------------------------------
+    def slice_sampling(self, sampling,
+                       reasons: Sequence[StallReason] = (
+                           StallReason.LONG_SCOREBOARD,
+                           StallReason.SHORT_SCOREBOARD,
+                           StallReason.WAIT,
+                       ),
+                       max_depth: int = 8) -> dict[int, StallBlame]:
+        """Blame every sampled stall PC whose dominant reason is a
+        dependency stall.  ``sampling`` is a
+        :class:`~repro.sampling.pcsampler.PCSamplingResult`; returns
+        ``{pc: StallBlame}`` for the PCs that got a non-empty chain."""
+        wanted = frozenset(reasons)
+        out: dict[int, StallBlame] = {}
+        for pc in sorted({s.pc for s in sampling.samples}):
+            reason = sampling.dominant_reason_at(pc)
+            if reason not in wanted:
+                continue
+            blame = self.slice_pc(pc, reason=reason, max_depth=max_depth)
+            if blame is not None and blame.chain:
+                out[pc] = blame
+        return out

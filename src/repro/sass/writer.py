@@ -9,9 +9,11 @@ one instruction per line with its ``/*offset*/`` comment.  The parser in
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.sass.isa import Instruction, Program
 
-__all__ = ["format_instruction", "format_program"]
+__all__ = ["format_instruction", "format_program", "format_overlay"]
 
 
 def format_instruction(ins: Instruction, with_offset: bool = True) -> str:
@@ -66,4 +68,70 @@ def format_program(program: Program) -> str:
     for name in sorted(labels_by_offset.get(end_offset, ())):
         out.append(f".{name}:")
     out.append(f"        //-------------------- end .text.{program.name} ----------")
+    return "\n".join(out) + "\n"
+
+
+def format_overlay(program: Program, blame: Optional[dict] = None) -> str:
+    """Annotated listing: control codes, pipe/latency, blame arrows.
+
+    The SASSOverlay-style companion to :func:`format_program` — each
+    instruction line carries its derived scheduling word (stall count,
+    yield, scoreboard barriers, wait mask; see
+    :func:`repro.sass.latency.assign_control_codes`), its execution
+    pipe and fixed result latency (``var`` = scoreboard-guarded), and a
+    trailing ``// <- Rn from OP /*offset*/`` arrow naming the
+    variable-latency producer(s) whose results the instruction consumes
+    — the static form of the stall blame slice.
+
+    ``blame`` optionally maps sampled PCs (instruction indices) to
+    :class:`~repro.sass.slicing.StallBlame`; blamed instructions gain a
+    ``// !! sampled <reason>: waits on ...`` line above them.  Output
+    is deterministic: no timestamps, stable ordering.
+    """
+    from repro.sass.latency import assign_control_codes, op_latency
+    from repro.sass.slicing import BlameSlicer
+
+    codes = assign_control_codes(program)
+    slicer = BlameSlicer(program)
+    out: list[str] = []
+    out.append(f"//-------------------- .text.{program.name} "
+               "(overlay) --------------------")
+    out.append("// [ stall Y barriers | wait-mask ]  pipe lat   "
+               "sass ;  // <- producer arrows")
+    labels_by_offset: dict[int, list[str]] = {}
+    for name, off in program.labels.items():
+        labels_by_offset.setdefault(off, []).append(name)
+    last_line: tuple[str | None, int] | None = None
+    for i, ins in enumerate(program.instructions):
+        for name in sorted(labels_by_offset.get(ins.offset, ())):
+            out.append(f".{name}:")
+        if ins.line is not None:
+            key = (ins.file, ins.line)
+            if key != last_line:
+                fname = ins.file or "kernel.cu"
+                out.append(f'        //## File "{fname}", line {ins.line}')
+                last_line = key
+        if blame and i in blame:
+            b = blame[i]
+            reason = b.reason.cupti_name if b.reason else "stall"
+            out.append(f"        // !! sampled {reason}: {b.describe()}")
+        info = op_latency(ins.opcode)
+        lat = "var" if info.variable else f"{info.latency:d}"
+        arrows = ", ".join(
+            f"{s.reg} from {s.op} /*{s.offset:04x}*/"
+            + (" (loop)" if s.loop_carried else "")
+            for s in slicer.direct_deps(i)
+            if op_latency(program[s.pc].opcode).variable
+        )
+        text = format_instruction(ins, with_offset=False)
+        line = (f"        /*{ins.offset:04x}*/ {codes[i].render()} "
+                f"{info.pipe:<4s} {lat:>3s}   {text:<44s}")
+        if arrows:
+            line = f"{line} // <- {arrows}"
+        out.append(line.rstrip())
+    end_offset = len(program.instructions) * Program.INSTR_BYTES
+    for name in sorted(labels_by_offset.get(end_offset, ())):
+        out.append(f".{name}:")
+    out.append(f"        //-------------------- end .text.{program.name} "
+               "(overlay) ----------")
     return "\n".join(out) + "\n"

@@ -33,7 +33,7 @@ import time
 from collections import OrderedDict
 from typing import Optional
 
-from repro.errors import Diagnostic, ReproError
+from repro.errors import Diagnostic
 from repro.serve.cache import ReportCache, StaticCache
 from repro.serve.protocol import (
     EXIT_USAGE,

@@ -3,11 +3,10 @@ watch must actually be observable in the dynamic data for the
 case-study kernels (the paper's premise that the three pillars agree).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import GPUscout
-from repro.gpu import LaunchConfig, Simulator
+from repro.gpu import LaunchConfig
 from repro.gpu.stalls import StallReason
 from repro.kernels.calibration import heat_spec, mixbench_spec, sgemm_spec
 from repro.kernels.heat import build_heat, heat_args

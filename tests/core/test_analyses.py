@@ -5,7 +5,6 @@ GPUscout "operates directly on the disassembled SASS code without
 assuming the availability of the source CUDA program".
 """
 
-import pytest
 
 from repro.core.base import AnalysisContext
 from repro.core.atomics import SharedAtomicsAnalysis

@@ -1,11 +1,10 @@
 """Tests for the Figure-7 extensions: metrics comparison + HTML report."""
 
-import numpy as np
 import pytest
 
 from repro.core import GPUscout, compare_reports, render_html
 from repro.core.compare import MetricDelta
-from repro.gpu import GPUSpec, LaunchConfig
+from repro.gpu import LaunchConfig
 from repro.kernels.calibration import heat_spec
 from repro.kernels.heat import build_heat, heat_args
 

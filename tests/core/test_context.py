@@ -1,7 +1,6 @@
 """AnalysisContext static-fact helpers: reaching definitions, address
 groups, value-range use counting, read-only classification."""
 
-import pytest
 
 from repro.core.base import AnalysisContext
 from repro.sass import parse_sass

@@ -10,7 +10,6 @@ from repro.core.findings import Finding
 from repro.errors import AnalysisError
 from repro.gpu import GPUSpec, LaunchConfig
 from repro.gpu.stalls import StallReason
-from tests.conftest import build_saxpy
 
 
 @pytest.fixture(scope="module")

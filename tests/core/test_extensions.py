@@ -1,7 +1,6 @@
 """Extension analyses (§7-style additions): uncoalesced access and
 predication efficiency."""
 
-import pytest
 
 from repro.core import (
     GPUscout,

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core import GPUscout, report_to_dict, report_to_json

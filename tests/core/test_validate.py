@@ -98,3 +98,48 @@ class TestHarnessMechanics:
         assert once
         for c in once:
             assert c.predicted_requests == c.requests
+
+
+class TestBlameCrossCheck:
+    """``validate --blame``: every sampled dependency stall's blamed
+    producer must have actually executed per the hardware counters."""
+
+    @pytest.fixture(scope="class", params=["sgemm:shared", "heat:naive"])
+    def result(self, request):
+        return validate_kernel(request.param, size=64, blame=True)
+
+    def test_no_blame_mismatches(self, result):
+        assert result.blame_mismatches == []
+        assert result.ok
+
+    def test_coverage_meets_the_bar(self, result):
+        assert result.blame_checks, "no dependency stalls sampled"
+        assert result.blame_coverage is not None
+        assert result.blame_coverage >= 0.9
+
+    def test_confirmed_producers_name_real_instructions(self, result):
+        confirmed = [c for c in result.blame_checks
+                     if c.verdict == "confirmed"]
+        assert confirmed
+        for c in confirmed:
+            assert c.producer_pc is not None
+            assert c.producer_op
+            assert c.activity
+
+    def test_blame_fields_serialise(self, result):
+        import json
+
+        d = result.to_dict()
+        json.dumps(d)
+        assert d["blame"]["mismatches"] == 0
+        assert len(d["blame"]["checks"]) == len(result.blame_checks)
+
+    def test_blame_off_by_default(self):
+        r = validate_kernel("mixbench:sp:naive", size=64)
+        assert r.blame_checks == []
+        assert r.blame_coverage is None
+
+    def test_render_includes_blame_summary(self, result):
+        text = render_validations([result])
+        assert "blame:" in text
+        assert "blame-mismatches=0" in text

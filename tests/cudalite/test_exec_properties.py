@@ -11,7 +11,6 @@ executor — with one oracle.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cudalite.types import (
-    PointerType,
     common_type,
     double2,
     f32,

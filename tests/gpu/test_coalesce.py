@@ -1,7 +1,6 @@
 """Coalescing and shared-memory bank-conflict model tests."""
 
 import numpy as np
-import pytest
 
 from repro.gpu.coalesce import coalesce_sectors, shared_transactions
 

@@ -12,7 +12,6 @@ from repro.cudalite import (
     float4,
     i32,
     ptr,
-    u32,
 )
 from repro.cudalite.intrinsics import fmaxf, fminf, mad, rcpf, rsqrtf, sqrtf
 from repro.errors import SimulationError

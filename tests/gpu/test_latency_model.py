@@ -1,0 +1,157 @@
+"""The per-opcode latency table behind the ``latency_table`` toggle.
+
+Two equivalence contracts guard the threading of
+:class:`repro.sass.latency.LatencyModel` through the issue path:
+
+* toggle **off** (the default) the scheduler must not change at all —
+  the existing timed-equivalence suites pin that; here we additionally
+  prove the threaded model itself is a no-op by forcing ``mode="spec"``
+  with the toggle *on* and demanding bit-identity with toggle-off;
+* toggle **on** (``mode="table"``) the model is its own baseline: the
+  trace consumer and the legacy per-issue path must stay bit-identical
+  to *each other*, and warm trace-cache replays must rebuild their
+  issue plans when the latency model changes (``plan_sig`` staleness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import resolve_kernel
+from repro.gpu.simulator import Simulator, resolve_latency_table
+from repro.gpu.trace_cache import trace_cache
+from repro.sampling.pcsampler import PCSampler
+
+CASES = [
+    ("sgemm:shared", 64),
+    ("heat:naive", 64),
+    ("mixbench:dp:naive", 512),
+    ("reduction:shared", 512),
+]
+
+
+def _launch(resolved, *, fast, latency_table):
+    ck, config, args, textures = resolved
+    sim = Simulator(fast=fast, latency_table=latency_table)
+    return sim.launch(ck, config, args, textures=textures,
+                      max_blocks=2, functional_all=True)
+
+
+def _surfaces(res):
+    sampler = PCSampler(period_cycles=128)
+    return (res.cycles, res.counters, res.memory.buf.copy(),
+            sampler.sample(res).samples)
+
+
+def _assert_identical(a, b, what):
+    assert a.cycles == b.cycles, f"{what}: cycle counts differ"
+    assert a.counters == b.counters, f"{what}: counters differ"
+    assert np.array_equal(a.memory.buf, b.memory.buf), (
+        f"{what}: device memory differs"
+    )
+    sampler = PCSampler(period_cycles=128)
+    assert sampler.sample(a).samples == sampler.sample(b).samples, (
+        f"{what}: PC-sample streams differ"
+    )
+
+
+class TestResolveToggle:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LATENCY_TABLE", raising=False)
+        assert resolve_latency_table() is False
+        assert Simulator().latency_table is False
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LATENCY_TABLE", "1")
+        assert resolve_latency_table(False) is False
+        monkeypatch.delenv("REPRO_LATENCY_TABLE")
+        assert resolve_latency_table(True) is True
+
+    @pytest.mark.parametrize("val,expect", [
+        ("1", True), ("true", True), ("on", True), ("yes", True),
+        ("0", False), ("false", False), ("off", False), ("", False),
+    ])
+    def test_environment_variable(self, monkeypatch, val, expect):
+        monkeypatch.setenv("REPRO_LATENCY_TABLE", val)
+        assert resolve_latency_table() is expect
+
+
+class TestSpecModeIsNoOp:
+    """Toggle on + ``mode="spec"`` must equal toggle off bit-for-bit:
+    the model resolves exactly the scheduler's inline defaults, so any
+    difference would mean the threading itself perturbs timing."""
+
+    @pytest.mark.parametrize("spec,size", CASES,
+                             ids=[f"{s}-{n}" for s, n in CASES])
+    @pytest.mark.parametrize("fast", [False, True], ids=["legacy", "trace"])
+    def test_spec_mode_bit_identical_to_off(self, monkeypatch, spec,
+                                            size, fast):
+        import repro.sass.latency as latmod
+
+        real = latmod.LatencyModel
+
+        def spec_mode(program, gspec, mode="table"):
+            return real(program, gspec, mode="spec")
+
+        rk = resolve_kernel(spec, size, 4)
+        off = _launch(rk, fast=fast, latency_table=False)
+        monkeypatch.setattr(latmod, "LatencyModel", spec_mode)
+        on = _launch(rk, fast=fast, latency_table=True)
+        _assert_identical(off, on, f"{spec} size={size} fast={fast}")
+
+
+class TestTableModeEquivalence:
+    """Table mode changes timing by design; its own contract is that
+    the trace consumer and the legacy path agree with each other."""
+
+    @pytest.mark.parametrize("spec,size", CASES,
+                             ids=[f"{s}-{n}" for s, n in CASES])
+    def test_paths_agree_under_table(self, spec, size):
+        rk = resolve_kernel(spec, size, 4)
+        legacy = _launch(rk, fast=False, latency_table=True)
+        fast = _launch(rk, fast=True, latency_table=True)
+        _assert_identical(legacy, fast, f"{spec} size={size} table")
+
+    def test_table_mode_actually_differs(self):
+        """Sanity: on an FP64 kernel the per-opcode numbers must move
+        the clock — otherwise the toggle tests prove nothing."""
+        rk = resolve_kernel("mixbench:dp:naive", 512, 4)
+        off = _launch(rk, fast=True, latency_table=False)
+        on = _launch(rk, fast=True, latency_table=True)
+        assert off.cycles != on.cycles
+
+    def test_deterministic_under_table(self):
+        rk = resolve_kernel("sgemm:shared", 64, 4)
+        a = _launch(rk, fast=True, latency_table=True)
+        b = _launch(rk, fast=True, latency_table=True)
+        _assert_identical(a, b, "repeat table-mode launch")
+
+
+class TestPlanSigStaleness:
+    """Cached timed traces embed an issue plan built under one latency
+    model; replaying the same trace under another model must rebuild
+    the plan, not reuse stale issue costs."""
+
+    @pytest.fixture
+    def cache(self):
+        c = trace_cache()
+        assert c is not None
+        c.clear()
+        yield c
+        c.clear()
+
+    def test_warm_replay_rebuilds_plan_across_models(self, cache):
+        rk = resolve_kernel("sgemm:shared", 64, 4)
+        # cold run (spec defaults) builds and caches the traces + plans
+        base_off = _launch(rk, fast=True, latency_table=False)
+        # warm replay under the table model: trace hits, plan must not
+        base_on = _launch(rk, fast=True, latency_table=True)
+        assert cache.hits > 0, "expected warm trace-cache replay"
+        assert base_off.cycles != base_on.cycles
+        # and back again: bit-identical to the original spec-mode run
+        again_off = _launch(rk, fast=True, latency_table=False)
+        _assert_identical(base_off, again_off,
+                          "warm replay after model switch")
+        # table-mode warm replay also reproduces itself
+        again_on = _launch(rk, fast=True, latency_table=True)
+        _assert_identical(base_on, again_on,
+                          "second table-mode warm replay")

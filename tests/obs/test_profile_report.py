@@ -1,5 +1,5 @@
 """The self-profile through the renderers: [prof] footer, HTML
-sections, schema-v4 JSON keys, CLI flags."""
+sections, schema JSON keys, CLI flags."""
 
 import json
 
@@ -52,10 +52,10 @@ class TestRenderers:
         html = full_report.render_html()
         assert "Pipeline self-profile" in html
 
-    def test_json_schema_v4_keys(self, full_report):
-        assert SCHEMA_VERSION == 4
+    def test_json_schema_keys(self, full_report):
+        assert SCHEMA_VERSION == 5  # v5 added per-finding stall blame
         data = json.loads(json.dumps(report_to_dict(full_report)))
-        assert data["schema_version"] == 4
+        assert data["schema_version"] == 5
         assert set(data["profile"]["stages"]) == ENGINE_STAGES
         assert data["profile"]["total_s"] > 0
         assert data["heatmap"]["lines"]

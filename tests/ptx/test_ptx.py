@@ -1,6 +1,5 @@
 """PTX stage tests: writer, parser, and the §4.4 PTX atomics scan."""
 
-import pytest
 
 from repro.cudalite import (
     KernelBuilder,

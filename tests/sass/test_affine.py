@@ -1,7 +1,5 @@
 """The affine address abstract interpreter (repro.sass.affine)."""
 
-import numpy as np
-import pytest
 
 from repro.gpu.config import GPUSpec
 from repro.gpu.simulator import LaunchConfig

@@ -4,7 +4,6 @@ instruction def/use)."""
 import pytest
 
 from repro.sass.isa import (
-    Instruction,
     MemRef,
     Opcode,
     OpClass,

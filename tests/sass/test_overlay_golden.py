@@ -1,0 +1,66 @@
+"""Golden-file tests for the overlaid SASS listing.
+
+``format_overlay`` feeds the ``gpuscout overlay`` CLI; its output must
+be deterministic (no timestamps, stable label/arrow ordering) so that
+diffs against these checked-in listings only appear when the control
+codes, the latency table, or the slicer change on purpose.  Regenerate
+with::
+
+    PYTHONPATH=src python -c "
+    from repro.cli import resolve_kernel
+    from repro.sass.writer import format_overlay
+    ck, *_ = resolve_kernel('sgemm:shared', 64, 4)
+    print(format_overlay(ck.program), end='')" \
+        > tests/sass/golden/sgemm_shared.overlay.sass
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import resolve_kernel
+from repro.sass.writer import format_overlay
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+CASES = [
+    ("sgemm:shared", "sgemm_shared.overlay.sass"),
+    ("reduction:warp", "reduction_warp.overlay.sass"),
+]
+
+
+def _overlay(spec: str) -> str:
+    ck, _config, _args, _textures = resolve_kernel(spec, 64, 4)
+    return format_overlay(ck.program)
+
+
+@pytest.mark.parametrize("spec,fname", CASES,
+                         ids=[s for s, _ in CASES])
+def test_overlay_matches_golden(spec, fname):
+    got = _overlay(spec)
+    want = (GOLDEN / fname).read_text()
+    assert got == want, (
+        f"{spec}: overlay drifted from tests/sass/golden/{fname}; "
+        "if the change is intentional, regenerate the golden file"
+    )
+
+
+@pytest.mark.parametrize("spec,fname", CASES,
+                         ids=[s for s, _ in CASES])
+def test_overlay_is_deterministic(spec, fname):
+    assert _overlay(spec) == _overlay(spec)
+
+
+def test_overlay_structure():
+    text = _overlay("sgemm:shared")
+    lines = text.splitlines()
+    assert lines[0].startswith("//-------------------- .text.")
+    assert "(overlay)" in lines[0]
+    assert lines[-1].lstrip().startswith("//-------------------- end .text.")
+    # every instruction line carries a control-code word and a pipe tag
+    body = [ln for ln in lines if ln.lstrip().startswith("/*")]
+    assert body
+    for ln in body:
+        assert "[ " in ln and " ]" in ln
+    # blame arrows reference variable-latency producers by offset
+    assert any("// <- " in ln and " from " in ln for ln in body)

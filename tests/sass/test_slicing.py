@@ -1,0 +1,194 @@
+"""Backward def-use blame slicing (``repro.sass.slicing``)."""
+
+
+from repro.gpu.stalls import StallReason
+from repro.sampling.pcsampler import PCSampler
+from repro.sass import parse_sass
+from repro.sass.isa import OpClass
+from repro.sass.slicing import (
+    REASON_PRODUCERS,
+    BlameSlicer,
+    producer_matches,
+)
+
+LONG = StallReason.LONG_SCOREBOARD
+SHORT = StallReason.SHORT_SCOREBOARD
+WAIT = StallReason.WAIT
+
+
+def _slicer(text: str) -> BlameSlicer:
+    return BlameSlicer(parse_sass(text))
+
+
+class TestProducerMatches:
+    def test_reason_classes_are_disjoint_enough(self):
+        assert OpClass.GLOBAL_LOAD in REASON_PRODUCERS[LONG]
+        assert OpClass.SHARED_LOAD in REASON_PRODUCERS[SHORT]
+        assert OpClass.GLOBAL_LOAD not in REASON_PRODUCERS[SHORT]
+        assert OpClass.INT_ALU in REASON_PRODUCERS[WAIT]
+
+    def test_none_reason_matches_anything(self):
+        p = parse_sass("LDG.E.SYS R4, [R2] ;\nEXIT ;\n")
+        assert producer_matches(None, p[0])
+
+
+class TestDirectProducer:
+    def test_consumer_blames_the_load(self, loop_program):
+        s = BlameSlicer(loop_program)
+        b = s.slice_index(4, reason=LONG)  # FFMA R4, R4, R4, R4
+        assert b.consistent
+        assert b.producer.pc == 3  # the LDG
+        assert b.producer.op.startswith("LDG")
+        assert b.producer.reg == "R4"
+        assert not b.loop_carried
+        assert len(b.chain) == 1
+
+    def test_describe_names_producer_and_register(self, loop_program):
+        b = BlameSlicer(loop_program).slice_index(4, reason=LONG)
+        assert b.describe() == "waits on LDG.E.SYS @0x0030 via R4"
+
+    def test_to_dict_round_trip_fields(self, loop_program):
+        b = BlameSlicer(loop_program).slice_index(4, reason=LONG)
+        d = b.to_dict()
+        assert d["reason"] == LONG.cupti_name
+        assert d["consistent"] is True
+        assert d["chain"][-1]["pc"] == 3
+        assert d["chain"][-1]["offset"] == 0x30
+        # false flags are omitted from the compact form
+        assert "loop_carried" not in d["chain"][-1]
+
+
+class TestTransparentWalk:
+    TEXT = (
+        "LDG.E.SYS R4, [R2] ;\n"
+        "MOV R5, R4 ;\n"
+        "FADD R6, R5, R5 ;\n"
+        "EXIT ;\n"
+    )
+
+    def test_walks_through_register_copy(self):
+        b = _slicer(self.TEXT).slice_index(2, reason=LONG)
+        assert b.consistent
+        assert [s.pc for s in b.chain] == [1, 0]  # MOV, then the LDG
+        assert b.chain[0].reg == "R5"
+        assert b.chain[1].reg == "R4"
+
+    def test_inconsistent_reason_keeps_shortest_fallback(self):
+        # no MIO op anywhere: the slice cannot satisfy short_scoreboard
+        b = _slicer(self.TEXT).slice_index(2, reason=SHORT)
+        assert not b.consistent
+        assert b.chain  # still explains *something*: the nearest def
+        assert b.chain[0].pc == 1
+
+    def test_max_depth_bounds_the_walk(self):
+        text = "LDG.E.SYS R4, [R2] ;\n"
+        for i in range(5, 10):
+            text += f"MOV R{i}, R{i - 1} ;\n"
+        text += "FADD R12, R9, R9 ;\nEXIT ;\n"
+        s = _slicer(text)
+        deep = s.slice_index(6, reason=LONG, max_depth=8)
+        assert deep.consistent and deep.producer.pc == 0
+        shallow = s.slice_index(6, reason=LONG, max_depth=2)
+        assert not shallow.consistent
+
+
+class TestBranchJoin:
+    TEXT = (
+        "ISETP.LT.AND P0, PT, R0, 0x10, PT ;\n"
+        "@P0 BRA `(ELSE) ;\n"
+        "LDG.E.SYS R4, [R2] ;\n"
+        "BRA `(JOIN) ;\n"
+        ".ELSE:\n"
+        "LDS R4, [R3] ;\n"
+        ".JOIN:\n"
+        "FADD R5, R4, R4 ;\n"
+        "EXIT ;\n"
+    )
+
+    def test_long_scoreboard_finds_the_global_arm(self):
+        b = _slicer(self.TEXT).slice_index(5, reason=LONG)
+        assert b.consistent
+        assert b.producer.op.startswith("LDG")
+
+    def test_short_scoreboard_finds_the_shared_arm(self):
+        b = _slicer(self.TEXT).slice_index(5, reason=SHORT)
+        assert b.consistent
+        assert b.producer.op.startswith("LDS")
+
+    def test_closest_definition_visited_first(self):
+        deps = _slicer(self.TEXT).direct_deps(5)
+        assert [d.pc for d in deps] == [4, 2]  # LDS (closer), then LDG
+
+
+class TestLoops:
+    def test_loop_carried_self_dependence(self, loop_program):
+        s = BlameSlicer(loop_program)
+        b = s.slice_index(5, reason=WAIT)  # IADD3 R0, R0, 0x1, RZ
+        assert b.consistent
+        assert b.producer.pc == 5  # its own previous iteration
+        assert b.producer.loop_carried
+        assert b.loop_carried
+        assert "[loop-carried]" in b.describe()
+
+    def test_induction_variable_is_flagged(self, loop_program):
+        b = BlameSlicer(loop_program).slice_index(5, reason=WAIT)
+        assert b.producer.induction
+        d = b.to_dict()
+        assert d["chain"][-1]["induction"] is True
+
+    def test_predicate_guard_traced_to_setp(self, loop_program):
+        s = BlameSlicer(loop_program)
+        b = s.slice_index(7, reason=WAIT)  # @P0 BRA `(LOOP)
+        assert b.consistent
+        assert b.producer.pc == 6  # the ISETP
+        assert b.producer.reg == "P0"
+
+    def test_address_register_not_induction_here(self, loop_program):
+        # R2 is loop-invariant (set up before the loop): the LDG's
+        # address dep must not be mislabelled as an induction update
+        deps = BlameSlicer(loop_program).direct_deps(3)
+        (dep,) = deps
+        assert dep.pc == 2 and dep.reg == "R2"
+        assert not dep.induction and not dep.loop_carried
+
+
+class TestSlicePc:
+    def test_out_of_range_returns_none(self, loop_program):
+        s = BlameSlicer(loop_program)
+        assert s.slice_pc(-1) is None
+        assert s.slice_pc(len(loop_program)) is None
+
+    def test_matches_slice_index_for_valid_pc(self, loop_program):
+        s = BlameSlicer(loop_program)
+        assert s.slice_pc(4, reason=LONG) == s.slice_index(4, reason=LONG)
+
+    def test_no_sources_gives_empty_chain(self):
+        b = _slicer("S2R R0, SR_TID.X ;\nEXIT ;\n").slice_index(0,
+                                                                reason=LONG)
+        assert b.chain == ()
+        assert not b.consistent
+        assert b.describe() == "no producer found"
+
+
+class TestSliceSampling:
+    def test_blames_sampled_dependency_stalls(self, saxpy, saxpy_launch):
+        sampling = PCSampler(period_cycles=64).sample(saxpy_launch)
+        slicer = BlameSlicer(saxpy.program)
+        blames = slicer.slice_sampling(sampling)
+        assert blames, "saxpy samples no dependency stall at all?"
+        sampled = {s.pc for s in sampling.samples}
+        for pc, b in blames.items():
+            assert pc in sampled
+            assert b.stall_pc == pc
+            assert b.chain
+            assert b.reason in (LONG, SHORT, WAIT)
+
+    def test_long_scoreboard_blames_are_consistent(self, saxpy,
+                                                   saxpy_launch):
+        sampling = PCSampler(period_cycles=64).sample(saxpy_launch)
+        blames = BlameSlicer(saxpy.program).slice_sampling(sampling)
+        long_blames = [b for b in blames.values() if b.reason is LONG]
+        assert long_blames
+        for b in long_blames:
+            assert b.consistent
+            assert b.producer.op.startswith(("LDG", "LDC", "TEX", "LDL"))

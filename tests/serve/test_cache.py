@@ -7,7 +7,6 @@ import pickle
 import time
 
 import numpy as np
-import pytest
 
 from repro.gpu.trace_cache import FileStore, TraceCache
 from repro.serve.cache import ReportCache, StaticCache

@@ -154,3 +154,39 @@ class TestStripVolatile:
     def test_output_is_json_clean(self):
         out = strip_volatile({"launch": {"grid": (4, 1)}})
         assert json.loads(json.dumps(out)) == out
+
+
+class TestSchemaBumpInvalidation:
+    """The v5 schema (stall blame) must orphan every L3 report cached
+    under v4: same request, different content address, guaranteed miss."""
+
+    def test_v4_addressed_entry_misses_under_v5(self, monkeypatch,
+                                                tmp_path):
+        from repro.serve.cache import ReportCache
+        import repro.core.jsonout as jo
+
+        assert jo.SCHEMA_VERSION >= 5  # blame landed in v5
+
+        monkeypatch.setattr(jo, "SCHEMA_VERSION", 4)
+        old_key = addr()
+        cache = ReportCache(directory=tmp_path)
+        cache.put(old_key, {"kernel": "k", "schema_version": 4})
+        got, _ = cache.get(old_key)
+        assert got is not None  # the v4 entry itself is retrievable
+
+        monkeypatch.undo()
+        new_key = addr()
+        assert new_key != old_key
+        got, corrupted = cache.get(new_key)
+        assert got is None and not corrupted
+        assert cache.misses > 0
+
+    def test_v5_reports_carry_blame(self):
+        """The field the bump paid for actually exists on the wire."""
+        from repro.core.findings import Finding, Severity
+        from repro.core.jsonout import _finding_dict
+
+        d = _finding_dict(Finding(analysis="x", title="t",
+                                  severity=Severity.INFO,
+                                  message="m", recommendation="r"))
+        assert d["blame"] == []

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import GPUscout
-from repro.gpu import GPUSpec, LaunchConfig, Simulator
+from repro.gpu import LaunchConfig, Simulator
 from repro.gpu.stalls import StallReason
 from repro.kernels.heat import build_heat, heat_args
 from repro.kernels.mixbench import build_mixbench, mixbench_args
