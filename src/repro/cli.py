@@ -299,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="fast simulation mode for served analyses "
                             "(default on; REPRO_FAST=0 also disables)")
+    p_srv.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="arm the telemetry registry behind "
+                            "GET /metrics (default on; REPRO_METRICS=0 "
+                            "also disables)")
+    p_srv.add_argument("--access-log", action="store_true",
+                       help="log one structured line per HTTP request "
+                            "on stderr (REPRO_LOG=json switches the "
+                            "format)")
+    p_srv.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="dump one Chrome trace per request "
+                            "(server + worker spans stitched under one "
+                            "request ID; open in Perfetto)")
 
     sub.add_parser("list-kernels", help="list built-in kernel specs")
     return parser
@@ -362,6 +375,12 @@ def _main(argv: Optional[list[str]] = None) -> int:
     # analyze
     from repro.core import all_analyses
 
+    if args.profile:
+        # the [metrics] footer rides on --profile: arm the registry so
+        # the engine's stage/cache/throughput series have data
+        from repro.obs.metrics import arm
+
+        arm(True)
     scout = GPUscout(
         analyses=all_analyses() if args.extended else None,
         spec=GPUSpec.v100(),
@@ -536,6 +555,8 @@ def _run_serve(args) -> int:
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=args.cache_dir, deadline=args.deadline,
         fast=args.fast, cache_mb=args.cache_mb,
+        metrics=args.metrics, access_log=args.access_log,
+        trace_dir=args.trace_dir,
     )
     host, port = server.address
     mode = f"{args.workers} worker(s)" if args.workers else "inline"

@@ -36,6 +36,9 @@ from repro.core.findings import Finding
 from repro.core.overhead import OverheadBreakdown
 from repro.core.reproducer import write_reproducer_bundle
 from repro.obs.heatmap import Heatmap, build_heatmap
+from repro.obs.metrics import RATE_BUCKETS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.metrics import armed as _metrics_armed
 from repro.obs.spans import NULL_PROFILER, Profiler
 from repro.cudalite.compiler import CompiledKernel
 from repro.errors import (
@@ -63,6 +66,46 @@ from repro.sass.parser import parse_sass
 from repro.testing.faultinject import fail_point
 
 __all__ = ["GPUscout", "ScoutReport", "StaticArtifacts"]
+
+
+def _record_run_telemetry(prof: "Profiler", mode: str,
+                          launch=None) -> None:
+    """Feed one completed analysis into the metrics registry: stage
+    wall-clock histograms, the run's report mode, and scheduler
+    throughput (warp-instructions per host second, timed and
+    functional paths).  No-op while telemetry is disarmed."""
+    if not _metrics_armed():
+        return
+    _METRICS.counter(
+        "gpuscout_engine_runs_total",
+        "Analyses completed, by report mode", mode=mode).inc()
+    for stage, seconds in prof.stage_totals().items():
+        _METRICS.histogram(
+            "gpuscout_engine_stage_seconds",
+            "Wall seconds per engine stage", stage=stage,
+        ).observe(seconds)
+    if launch is None:
+        return
+    timed = launch.timed_inst_per_sec
+    if timed:
+        _METRICS.histogram(
+            "gpuscout_sim_inst_per_sec",
+            "Scheduler throughput in warp-instructions per host second",
+            buckets=RATE_BUCKETS, path="timed").observe(timed)
+        _METRICS.counter(
+            "gpuscout_sim_instructions_total",
+            "Warp-instructions executed by the simulator",
+            kind="timed").inc(launch.timed_instructions)
+    functional = launch.functional_inst_per_sec
+    if functional:
+        _METRICS.histogram(
+            "gpuscout_sim_inst_per_sec",
+            "Scheduler throughput in warp-instructions per host second",
+            buckets=RATE_BUCKETS, path="functional").observe(functional)
+        _METRICS.counter(
+            "gpuscout_sim_instructions_total",
+            "Warp-instructions executed by the simulator",
+            kind="functional").inc(launch.counters.inst_functional)
 
 
 @dataclass
@@ -275,6 +318,7 @@ class GPUscout:
         affine_summary = art.affine_summary
 
         if dry_run:
+            _record_run_telemetry(prof, "dry-run")
             return ScoutReport(
                 kernel=program.name,
                 findings=findings,
@@ -397,6 +441,7 @@ class GPUscout:
                 metrics.collection_seconds if metrics is not None else 0.0
             ),
         )
+        _record_run_telemetry(prof, mode, launch)
         return ScoutReport(
             kernel=program.name,
             findings=findings,
@@ -624,6 +669,10 @@ class GPUscout:
                         span.counters["rung"] = rung
                     if capture_mark is not None:
                         trace.reset_to(capture_mark)
+                    _METRICS.counter(
+                        "gpuscout_engine_rung_demotions_total",
+                        "Degradation-ladder rungs abandoned mid-run",
+                        rung=rung).inc()
                     d = note("launch", "simulator.launch", exc,
                              program=program)
                     d.detail["rung"] = rung

@@ -207,6 +207,11 @@ def render_report(report, color: bool = False,
     lines.extend(render_health(report))
     if profile:
         lines.extend(render_profile(report))
+        from repro.obs.metrics import render_footer
+
+        # [metrics] footer: whatever the armed telemetry registry
+        # accumulated this process (empty when disarmed)
+        lines.extend(render_footer())
     return "\n".join(lines) + "\n"
 
 

@@ -57,6 +57,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.testing.faultinject import fail_point
 
 __all__ = [
@@ -67,6 +68,19 @@ __all__ = [
 ]
 
 _MB = 1024 * 1024
+
+# telemetry series for the L2 (effect-trace) tier; no-ops while the
+# registry is disarmed
+_L2_HITS = _METRICS.counter(
+    "gpuscout_cache_hits_total", "Cache hits by tier", tier="l2")
+_L2_MISSES = _METRICS.counter(
+    "gpuscout_cache_misses_total", "Cache misses by tier", tier="l2")
+_L2_DISK_HITS = _METRICS.counter(
+    "gpuscout_cache_disk_hits_total",
+    "Cache hits served from the shared disk tier", tier="l2")
+_L2_EVICTIONS = _METRICS.counter(
+    "gpuscout_cache_evictions_total",
+    "Cache entries evicted by size caps", tier="l2")
 
 #: default in-memory payload cap; one wave trace of the benchmark
 #: kernels is a few hundred KiB, so this holds the working set of a
@@ -110,14 +124,29 @@ class FileStore:
 
     MAGIC = b"GSC1"
 
-    def __init__(self, root, max_bytes: int = DEFAULT_STORE_BYTES):
+    def __init__(self, root, max_bytes: int = DEFAULT_STORE_BYTES,
+                 name: str = "traces"):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.name = name
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.evictions = 0
         self._lock = threading.Lock()
+        self._m_corrupt = _METRICS.counter(
+            "gpuscout_store_corrupt_total",
+            "Store entries discarded by integrity checks", store=name)
+        self._m_evictions = _METRICS.counter(
+            "gpuscout_store_evictions_total",
+            "Store files removed by the byte-cap LRU", store=name)
+
+    def note_corrupt(self) -> None:
+        """Record one integrity-check discard (callers that decode the
+        payload themselves report undecodable entries through this)."""
+        self.corrupt += 1
+        self._m_corrupt.inc()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.bin"
@@ -154,7 +183,7 @@ class FileStore:
         return raw[8:], False
 
     def _discard(self, path: Path) -> bool:
-        self.corrupt += 1
+        self.note_corrupt()
         try:
             path.unlink()
         except OSError:
@@ -201,9 +230,22 @@ class FileStore:
                     p.unlink()
                 except OSError:
                     continue
+                self.evictions += 1
+                self._m_evictions.inc()
                 total -= size
                 if total <= self.max_bytes:
                     break
+
+    def bytes_used(self) -> int:
+        """Current on-disk payload bytes (never negative: recomputed
+        from the directory, not tracked incrementally)."""
+        try:
+            return sum(
+                p.stat().st_size
+                for p in self.root.glob("*.bin") if p.exists()
+            )
+        except OSError:
+            return 0
 
     def stats(self) -> dict:
         files = list(self.root.glob("*.bin"))
@@ -213,6 +255,7 @@ class FileStore:
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
         }
 
 
@@ -289,14 +332,18 @@ class TraceCache:
         if ent is not None:
             self._entries.move_to_end(wave_key)
             self.hits += 1
+            _L2_HITS.inc()
             return ent
         if self.store is not None and compiled is not None:
             ent = self._disk_get(wave_key, compiled)
             if ent is not None:
                 self.hits += 1
                 self.disk_hits += 1
+                _L2_HITS.inc()
+                _L2_DISK_HITS.inc()
                 return ent
         self.misses += 1
+        _L2_MISSES.inc()
         return None
 
     def _disk_get(self, wave_key: tuple, compiled) -> Optional[_Entry]:
@@ -310,7 +357,7 @@ class TraceCache:
             # undecodable despite a clean CRC (e.g. version skew):
             # discard, treat as miss
             self.store.delete(key)
-            self.store.corrupt += 1
+            self.store.note_corrupt()
             return None
         self._insert(wave_key, trace, warp_counts, compiled)
         return self._entries[wave_key]
@@ -340,6 +387,7 @@ class TraceCache:
         ):
             _, evicted = self._entries.popitem(last=False)
             self.bytes -= evicted.nbytes
+            _L2_EVICTIONS.inc()
 
     def keys(self) -> list:
         """Current keys, least- to most-recently used (for tests)."""

@@ -1,9 +1,9 @@
 """Observability layer: self-profiling spans, simulated-GPU timeline
-capture, and source-line heatmaps.
+capture, source-line heatmaps, and production telemetry.
 
 GPUscout's value proposition is attributing *where time goes* — warp
 stalls to PCs, PCs to source lines (paper §3, §5).  This package turns
-the data the pipeline already produces internally into three exportable
+the data the pipeline already produces internally into exportable
 views:
 
 * :mod:`repro.obs.spans` — a nestable span/counter API the engine
@@ -16,7 +16,15 @@ views:
   JSON export of a capture (one "process" per SM, one "thread" per
   warp) plus a structural validator;
 * :mod:`repro.obs.heatmap` — per-PC stall cycles aggregated up the
-  line table into an annotated source listing.
+  line table into an annotated source listing;
+* :mod:`repro.obs.metrics` — the process-local metrics registry
+  (counters / gauges / histograms, mergeable across the worker pool)
+  behind ``GET /metrics``, the ``/v1/stats`` digest, and the
+  ``[metrics]`` footer;
+* :mod:`repro.obs.slog` — structured JSON logging (one object per
+  line, ``REPRO_LOG=json|text|off``);
+* :mod:`repro.obs.request_trace` — per-request Chrome traces that
+  stitch server-side and worker-side spans across the fork boundary.
 """
 
 from repro.obs.chrometrace import (
@@ -25,18 +33,41 @@ from repro.obs.chrometrace import (
     write_chrome_trace,
 )
 from repro.obs.heatmap import Heatmap, LineHeat, build_heatmap
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    arm,
+    armed,
+    merge_snapshots,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.request_trace import build_request_trace, write_request_trace
+from repro.obs.slog import configure as configure_logging
+from repro.obs.slog import get_logger
 from repro.obs.spans import NULL_PROFILER, Profiler, Span
 from repro.obs.timeline_capture import TimelineCapture
 
 __all__ = [
     "Heatmap",
     "LineHeat",
+    "MetricsRegistry",
     "NULL_PROFILER",
     "Profiler",
+    "REGISTRY",
     "Span",
     "TimelineCapture",
+    "arm",
+    "armed",
     "build_heatmap",
+    "build_request_trace",
+    "configure_logging",
+    "get_logger",
+    "merge_snapshots",
+    "render_prometheus",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_exposition",
     "write_chrome_trace",
+    "write_request_trace",
 ]

@@ -1,0 +1,112 @@
+"""Per-request Chrome traces across the server/worker fork boundary.
+
+``gpuscout serve --trace-dir DIR`` arms this: the server mints a
+request ID, times its own side of a submission (validate, cache probe,
+queue wait, dispatch), the worker's engine runs under its usual
+:class:`~repro.obs.spans.Profiler`, and the worker ships its span list
+back inside the result envelope.  :func:`build_request_trace` stitches
+the two into one Chrome Trace Event object — the server as one trace
+*process*, the worker as another — so a slow request opens in Perfetto
+as a single timeline: queue wait on the server track, parse/launch/
+sampling/metrics on the worker track, all under one request ID.
+
+The stitch is sound because the pool forks its workers: parent and
+child share ``CLOCK_MONOTONIC``, so ``perf_counter_ns`` timestamps
+taken on either side live in one time domain and need no offset
+correction.  Timestamps are rendered as microseconds relative to the
+earliest span in the request (Chrome's ``ts`` unit is µs).
+
+Output passes :func:`~repro.obs.chrometrace.validate_chrome_trace`."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+__all__ = ["build_request_trace", "write_request_trace"]
+
+
+def _norm(span) -> dict:
+    """A plain span dict from either a :class:`~repro.obs.spans.Span`
+    or the JSON form the worker ships (name/start_ns/elapsed_ns)."""
+    if isinstance(span, dict):
+        return {
+            "name": span["name"],
+            "start_ns": span["start_ns"],
+            "elapsed_ns": span.get("elapsed_ns", 0),
+            "depth": span.get("depth", 0),
+        }
+    return {
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "elapsed_ns": span.elapsed_ns,
+        "depth": span.depth,
+    }
+
+
+def build_request_trace(request_id: str, server_spans,
+                        worker_spans=(), worker_id: Optional[int] = None,
+                        endpoint: str = "", kernel: str = "") -> dict:
+    """One Chrome Trace Event object for one request.
+
+    ``server_spans`` are the HTTP-side spans (Span objects or dicts);
+    ``worker_spans`` the engine spans shipped back over the result
+    channel (empty for inline mode, where the engine ran in-process —
+    pass its spans as a second server group is not needed: inline
+    engine spans also arrive via ``worker_spans`` with
+    ``worker_id=None`` and render as the "engine" process)."""
+    groups = [("server", 0, [_norm(s) for s in server_spans])]
+    wspans = [_norm(s) for s in worker_spans]
+    if wspans:
+        wpid = 1 + (worker_id if worker_id is not None else 0)
+        wname = (f"worker {worker_id}" if worker_id is not None
+                 else "engine (inline)")
+        groups.append((wname, wpid, wspans))
+
+    starts = [s["start_ns"] for _, _, spans in groups for s in spans]
+    t0 = min(starts) if starts else 0
+
+    events: list[dict] = []
+    for pname, pid, spans in groups:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": pname},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": "request" if pid == 0
+                              else "engine"},
+        })
+        for s in sorted(spans, key=lambda s: s["start_ns"]):
+            events.append({
+                "name": s["name"],
+                "cat": "server" if pid == 0 else "engine",
+                "ph": "X",
+                "ts": (s["start_ns"] - t0) / 1e3,
+                "dur": max(s["elapsed_ns"], 0) / 1e3,
+                "pid": pid, "tid": 0,
+                "args": {"request_id": request_id,
+                         "depth": s["depth"]},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "request_id": request_id,
+            "endpoint": endpoint,
+            "kernel": kernel,
+            "ts_unit": "us since first span of the request",
+        },
+    }
+
+
+def write_request_trace(trace_dir: str, request_id: str,
+                        data: dict) -> str:
+    """Serialize one request trace to ``trace_dir/<request_id>.json``
+    (creating the directory); returns the path written."""
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, f"{request_id}.json")
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    return path

@@ -30,10 +30,31 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.gpu.trace_cache import FileStore
+from repro.obs.metrics import REGISTRY as _METRICS
 
 __all__ = ["ReportCache", "StaticCache"]
 
 _MB = 1024 * 1024
+
+# telemetry series for the L1 (static artifacts) and L3 (full report)
+# tiers; no-ops while the registry is disarmed
+_L1_HITS = _METRICS.counter(
+    "gpuscout_cache_hits_total", "Cache hits by tier", tier="l1")
+_L1_MISSES = _METRICS.counter(
+    "gpuscout_cache_misses_total", "Cache misses by tier", tier="l1")
+_L1_EVICTIONS = _METRICS.counter(
+    "gpuscout_cache_evictions_total",
+    "Cache entries evicted by size caps", tier="l1")
+_L3_HITS = _METRICS.counter(
+    "gpuscout_cache_hits_total", "Cache hits by tier", tier="l3")
+_L3_MISSES = _METRICS.counter(
+    "gpuscout_cache_misses_total", "Cache misses by tier", tier="l3")
+_L3_DISK_HITS = _METRICS.counter(
+    "gpuscout_cache_disk_hits_total",
+    "Cache hits served from the shared disk tier", tier="l3")
+_L3_EVICTIONS = _METRICS.counter(
+    "gpuscout_cache_evictions_total",
+    "Cache entries evicted by size caps", tier="l3")
 
 
 class StaticCache:
@@ -45,15 +66,18 @@ class StaticCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str):
         with self._lock:
             art = self._entries.get(key)
             if art is None:
                 self.misses += 1
+                _L1_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            _L1_HITS.inc()
             return art
 
     def put(self, key: str, artifacts) -> None:
@@ -62,12 +86,15 @@ class StaticCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                _L1_EVICTIONS.inc()
 
     def stats(self) -> dict:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
@@ -85,12 +112,16 @@ class ReportCache:
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.store: Optional[FileStore] = (
-            FileStore(directory, max_bytes=max_disk_bytes)
+            FileStore(directory, max_bytes=max_disk_bytes,
+                      name="reports")
             if directory is not None else None
         )
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: bytes held by the in-memory tier (sum of blob lengths)
+        self.bytes = 0
 
     def get(self, key: str) -> tuple[Optional[dict], bool]:
         with self._lock:
@@ -98,6 +129,7 @@ class ReportCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                _L3_HITS.inc()
                 # deep copy: callers must not mutate the cached body
                 return json.loads(cached), False
         if self.store is not None:
@@ -107,18 +139,23 @@ class ReportCache:
                     report = json.loads(payload.decode())
                 except Exception:
                     self.store.delete(key)
-                    self.store.corrupt += 1
+                    self.store.note_corrupt()
                     self.misses += 1
+                    _L3_MISSES.inc()
                     return None, True
                 with self._lock:
                     self._remember(key, payload.decode())
                 self.hits += 1
                 self.disk_hits += 1
+                _L3_HITS.inc()
+                _L3_DISK_HITS.inc()
                 return report, False
             if corrupted:
                 self.misses += 1
+                _L3_MISSES.inc()
                 return None, True
         self.misses += 1
+        _L3_MISSES.inc()
         return None, False
 
     def put(self, key: str, report: dict) -> None:
@@ -129,17 +166,25 @@ class ReportCache:
             self.store.put(key, blob.encode())
 
     def _remember(self, key: str, blob: str) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= len(old)
         self._entries[key] = blob
-        self._entries.move_to_end(key)
+        self.bytes += len(blob)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes -= len(evicted)
+            self.evictions += 1
+            _L3_EVICTIONS.inc()
 
     def stats(self) -> dict:
         out = {
             "entries": len(self._entries),
+            "bytes": self.bytes,
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
         if self.store is not None:
             out["store"] = self.store.stats()

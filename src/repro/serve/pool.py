@@ -16,6 +16,17 @@ and the request is retried on the next shard member; the response
 carries a ``retries`` count plus a diagnostic so the client can see
 the bumpy road.  Requests are pure functions of their content address,
 so retrying is always safe.
+
+**Telemetry.**  When the parent's metrics registry is armed (the
+worker inherits the flag through fork), each worker zeroes its
+inherited counter values at startup — fork copies the parent's live
+registry, and re-reporting those values would double-count — then
+attaches a cumulative registry snapshot stamped ``(worker,
+generation)`` to every result envelope.  The pool keeps only the
+*latest* snapshot per stamp, so resends replace (idempotent) and a
+respawned worker's fresh zeroes land under a new generation instead of
+erasing its predecessor's final counts.  :meth:`WorkerPool.telemetry`
+merges the lot for ``/metrics``.
 """
 
 from __future__ import annotations
@@ -23,9 +34,13 @@ from __future__ import annotations
 import itertools
 import threading
 import zlib
+from time import perf_counter_ns
 from typing import Optional
 
 from repro.errors import Diagnostic
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.metrics import merge_snapshots
+from repro.obs.slog import get_logger
 from repro.testing.faultinject import fail_point
 
 __all__ = ["WorkerPool"]
@@ -34,25 +49,55 @@ __all__ = ["WorkerPool"]
 MAX_ATTEMPTS = 3
 _POLL_S = 0.05
 
+_log = get_logger("serve.pool")
 
-def _worker_main(worker_id: int, task_q, result_q, cache_dir,
-                 fast, deadline) -> None:
+_POOL_INFLIGHT = _METRICS.gauge(
+    "gpuscout_pool_inflight", "Requests currently dispatched to workers")
+_POOL_RETRIES = _METRICS.counter(
+    "gpuscout_pool_retries_total",
+    "Requests re-dispatched after a worker death")
+_POOL_RESPAWNS = _METRICS.counter(
+    "gpuscout_pool_respawns_total", "Workers respawned after dying",
+    reason="worker-death")
+
+
+def _worker_main(worker_id: int, generation: int, task_q, result_q,
+                 cache_dir, fast, deadline) -> None:
     """Worker-process entry point: serve requests until the ``None``
     sentinel arrives."""
+    from repro.obs.metrics import REGISTRY, armed, set_exemplar
     from repro.serve.service import KernelRunner, error_envelope
 
+    # fork copied the parent's live registry values; zero them in
+    # place so this worker's snapshots report only its own work
+    REGISTRY.reset()
     runner = KernelRunner(cache_dir=cache_dir, fast=fast,
                           deadline=deadline, worker_id=worker_id)
     while True:
         item = task_q.get()
         if item is None:
             break
-        req_id, payload = item
+        req_id, payload, meta = item
+        meta = meta or {}
+        dequeued_ns = perf_counter_ns()
+        set_exemplar(meta.get("request_id"))
         try:
             env = runner.run(payload)
         except BaseException as exc:  # noqa: BLE001 — keep serving
             env = error_envelope(exc)
             env["worker"] = worker_id
+        finally:
+            set_exemplar(None)
+        if "enqueued_ns" in meta:
+            # parent and child share CLOCK_MONOTONIC (fork), so the
+            # server can turn this into a queue-wait span directly
+            env["_queue_ns"] = (meta["enqueued_ns"], dequeued_ns)
+        if armed():
+            env["_telemetry"] = {
+                "worker": worker_id,
+                "generation": generation,
+                "snapshot": REGISTRY.snapshot(),
+            }
         result_q.put((req_id, env))
 
 
@@ -103,6 +148,13 @@ class WorkerPool:
         self._seq = itertools.count(1)
         self.retries = 0
         self.respawns = 0
+        #: latest registry snapshot per (worker id, generation) stamp —
+        #: replace semantics make resends idempotent, and keeping dead
+        #: generations preserves their final counts across respawns
+        self._telemetry: dict[tuple, dict] = {}
+        #: who respawned last and why ("healthy" vs "respawn-looping"
+        #: is /healthz material)
+        self.last_respawn: Optional[dict] = None
         self._closed = False
         self._workers = [self._spawn(i) for i in range(n_workers)]
         self._collector = threading.Thread(
@@ -111,17 +163,19 @@ class WorkerPool:
         self._collector.start()
 
     # ------------------------------------------------------------------
-    def _spawn(self, wid: int) -> _Worker:
+    def _spawn(self, wid: int, generation: int = 0) -> _Worker:
         queue = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(wid, queue, self._result_q, self.cache_dir,
-                  self.fast, self.deadline),
+            args=(wid, generation, queue, self._result_q,
+                  self.cache_dir, self.fast, self.deadline),
             daemon=True,
             name=f"gpuscout-worker-{wid}",
         )
         proc.start()
-        return _Worker(wid, proc, queue)
+        worker = _Worker(wid, proc, queue)
+        worker.generation = generation
+        return worker
 
     def _collect(self) -> None:
         while True:
@@ -129,6 +183,14 @@ class WorkerPool:
             if item is None:
                 return
             req_id, env = item
+            telemetry = env.pop("_telemetry", None) \
+                if isinstance(env, dict) else None
+            if telemetry is not None:
+                stamp = (telemetry.get("worker"),
+                         telemetry.get("generation"))
+                with self._lock:
+                    self._telemetry[stamp] = telemetry.get("snapshot",
+                                                           {})
             with self._lock:
                 pending = self._pending.pop(req_id, None)
             if pending is not None:
@@ -153,10 +215,13 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def submit(self, payload: dict, arch_key: str = "",
-               timeout: float = 600.0) -> dict:
+               timeout: float = 600.0,
+               meta: Optional[dict] = None) -> dict:
         """Dispatch one submission to its shard; returns the worker's
         envelope.  Dead workers are respawned and the request retried
-        on another shard member (``MAX_ATTEMPTS`` total)."""
+        on another shard member (``MAX_ATTEMPTS`` total).  ``meta``
+        rides along to the worker (request ID for exemplars and
+        tracing); the enqueue timestamp is stamped per attempt."""
         from repro.serve.service import error_envelope
 
         ring = self.ring(arch_key)
@@ -173,10 +238,11 @@ class WorkerPool:
                 # injected chaos: the chosen worker dies right as the
                 # request is dispatched — exercises the real retry path
                 worker.process.terminate()
-            env = self._dispatch(worker, payload, timeout)
+            env = self._dispatch(worker, payload, timeout, meta)
             if env is not None:
                 if retries:
                     self.retries += retries
+                    _POOL_RETRIES.inc(retries)
                     env["retries"] = retries
                     report = env.get("report")
                     if isinstance(report, dict):
@@ -198,7 +264,8 @@ class WorkerPool:
         return err
 
     def _dispatch(self, worker: _Worker, payload: dict,
-                  timeout: float) -> Optional[dict]:
+                  timeout: float,
+                  meta: Optional[dict] = None) -> Optional[dict]:
         """One attempt on one worker; ``None`` means the worker died
         (it has been respawned) and the caller should retry."""
         req_id = next(self._seq)
@@ -207,8 +274,11 @@ class WorkerPool:
             self._pending[req_id] = pending
             worker.inflight += 1
             gen = worker.generation
+        _POOL_INFLIGHT.inc()
         try:
-            worker.queue.put((req_id, payload))
+            meta = dict(meta) if meta else {}
+            meta["enqueued_ns"] = perf_counter_ns()
+            worker.queue.put((req_id, payload, meta))
             deadline = timeout
             waited = 0.0
             while waited < deadline:
@@ -230,6 +300,7 @@ class WorkerPool:
             with self._lock:
                 self._pending.pop(req_id, None)
                 worker.inflight -= 1
+            _POOL_INFLIGHT.dec()
 
     def _respawn(self, worker: _Worker, gen: int) -> None:
         with self._lock:
@@ -242,13 +313,34 @@ class WorkerPool:
                 # old queue observe the generation bump and retry;
                 # results already sent arrive via the shared result
                 # queue as usual (or are dropped as late duplicates).
-                fresh = self._spawn(worker.id)
+                exitcode = worker.process.exitcode
+                reason = ("terminated" if exitcode is not None
+                          and exitcode < 0
+                          else f"exit code {exitcode}")
+                fresh = self._spawn(worker.id, worker.generation + 1)
                 worker.process = fresh.process
                 worker.queue = fresh.queue
                 worker.generation += 1
                 self.respawns += 1
+                self.last_respawn = {
+                    "worker": worker.id,
+                    "generation": worker.generation,
+                    "reason": reason,
+                }
+                _POOL_RESPAWNS.inc()
+                _log.warning("pool.respawn", worker=worker.id,
+                             generation=worker.generation,
+                             reason=reason)
 
     # ------------------------------------------------------------------
+    def telemetry(self) -> dict:
+        """The merged registry snapshot across every worker generation
+        that ever reported (the serving process's own registry is NOT
+        included — the server merges itself in at scrape time)."""
+        with self._lock:
+            snaps = list(self._telemetry.values())
+        return merge_snapshots(snaps)
+
     def stats(self) -> dict:
         return {
             "workers": len(self._workers),
@@ -256,6 +348,8 @@ class WorkerPool:
             "inflight": sum(w.inflight for w in self._workers),
             "retries": self.retries,
             "respawns": self.respawns,
+            "generations": {w.id: w.generation for w in self._workers},
+            "last_respawn": self.last_respawn,
         }
 
     def close(self, timeout: float = 5.0) -> None:

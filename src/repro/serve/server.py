@@ -1,17 +1,23 @@
 """The stdlib HTTP/JSON front end: ``gpuscout serve``.
 
-Endpoints (all JSON):
+Endpoints (JSON unless noted):
 
 * ``POST /v1/analyze`` — one submission (see
   :class:`~repro.serve.protocol.AnalyzeRequest`); responds with the
-  envelope ``{"ok", "code", "cache", "report", ...}``.  Failures map
-  the CLI stage codes onto HTTP statuses
+  envelope ``{"ok", "code", "cache", "report", "request_id", ...}``.
+  Failures map the CLI stage codes onto HTTP statuses
   (:func:`~repro.serve.protocol.http_status_for`).
 * ``POST /v1/batch`` — ``{"requests": [...]}``; members are fanned out
   across the worker pool (or served sequentially inline) and the
   responses returned in submission order.
-* ``GET /v1/stats`` — cache hit/miss counters per tier, pool health.
-* ``GET /healthz`` — liveness.
+* ``GET /v1/stats`` — cache hit/miss counters per tier, pool health,
+  and (when telemetry is armed) histogram quantiles plus per-tier byte
+  occupancy.
+* ``GET /metrics`` — the merged metrics registry (server process plus
+  every worker generation) in Prometheus text exposition format.
+* ``GET /healthz`` — liveness plus pool health: worker generation
+  counters and the last respawn reason, so orchestration can tell
+  "healthy" from "respawn-looping".
 
 The server process keeps the **L3 front cache**: a memo from request
 fingerprints to content addresses plus the report store, so a repeat
@@ -20,18 +26,43 @@ read) without waking any worker.  Batch members that miss are
 dispatched concurrently; identical concurrent submissions coalesce
 onto one computation (single-flight), and members sharing a program
 land in the same worker's warm L1 via shard-ring affinity.
+
+**Request tracing.**  Every request gets an ID (``X-Request-Id``
+header, or minted) that is echoed in the response envelope and header,
+attached to latency-histogram buckets as an exemplar, and propagated
+through the fork boundary into the worker.  With ``--trace-dir`` the
+server additionally times its own side (validate, cache probe, queue
+wait, dispatch), stitches the worker's engine spans back in, and drops
+one Chrome trace per request — open it in Perfetto to see where a slow
+request spent its time.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import secrets
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Optional
 
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.metrics import (
+    arm,
+    armed,
+    merge_snapshots,
+    render_prometheus,
+    set_exemplar,
+    summarize,
+)
+from repro.obs.request_trace import build_request_trace, write_request_trace
+from repro.obs.slog import configure as configure_logging
+from repro.obs.slog import get_logger
+from repro.obs.slog import mode as log_mode
+from repro.obs.spans import NULL_PROFILER, Profiler, Span
 from repro.serve.protocol import (
     AnalyzeRequest,
     ProtocolError,
@@ -45,12 +76,25 @@ from repro.serve.service import (
     error_envelope,
 )
 
-__all__ = ["ScoutServer"]
+__all__ = ["ScoutServer", "new_request_id"]
 
 #: cap on concurrently-dispatched batch members per request
 BATCH_FANOUT = 16
 #: largest accepted request body (a raw-SASS listing fits comfortably)
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: endpoint label values are bounded to the known routes — anything
+#: else (scanners, typos) collapses into "other" so label cardinality
+#: cannot be driven by request paths
+_KNOWN_ENDPOINTS = frozenset(
+    {"/healthz", "/metrics", "/v1/stats", "/v1/analyze", "/v1/batch"})
+
+_log = get_logger("serve.http")
+
+
+def new_request_id() -> str:
+    """A fresh request ID (16 hex chars)."""
+    return secrets.token_hex(8)
 
 
 class ScoutServer:
@@ -60,9 +104,19 @@ class ScoutServer:
                  workers: int = 0, cache_dir: Optional[str] = None,
                  deadline: Optional[float] = None,
                  fast: Optional[bool] = None,
-                 cache_mb: int = 256):
+                 cache_mb: int = 256,
+                 metrics: bool = True,
+                 access_log: bool = False,
+                 trace_dir: Optional[str] = None):
         self.deadline = deadline
         self.fast = fast
+        self.trace_dir = trace_dir
+        if metrics:
+            # arm BEFORE forking the pool so workers inherit the flag
+            arm(True)
+        if access_log and log_mode() == "off":
+            configure_logging(mode="text", level="debug")
+        self.access_log = access_log
         self.pool = None
         if workers > 0:
             from repro.serve.pool import WorkerPool
@@ -106,6 +160,9 @@ class ScoutServer:
             daemon=True,
         )
         self._thread.start()
+        _log.info("server.start", url=self.url,
+                  workers=0 if self.pool is None
+                  else len(self.pool._workers))
         return self
 
     def serve_forever(self) -> None:
@@ -118,6 +175,7 @@ class ScoutServer:
             self._thread.join(timeout=5.0)
         if self.pool is not None:
             self.pool.close()
+        _log.info("server.stop", requests=self.requests)
 
     def __enter__(self):
         return self
@@ -154,17 +212,38 @@ class ScoutServer:
                 "kernel": cached.get("kernel"), "cacheable": True,
                 "report": cached}, False
 
-    def handle_submission(self, payload) -> tuple[int, dict]:
-        """Serve one submission; returns (HTTP status, envelope)."""
+    def handle_submission(self, payload,
+                          request_id: Optional[str] = None
+                          ) -> tuple[int, dict]:
+        """Serve one submission; returns (HTTP status, envelope).  The
+        envelope always carries ``request_id``."""
         self.requests += 1
+        request_id = request_id or new_request_id()
+        prof = Profiler() if self.trace_dir else NULL_PROFILER
+        set_exemplar(request_id)
         try:
-            req = AnalyzeRequest.from_dict(payload)
-        except ProtocolError as exc:
-            env = error_envelope(exc)
-            return http_status_for(env["code"]), env
+            status, env = self._handle(payload, request_id, prof)
+        finally:
+            set_exemplar(None)
+        # worker-side plumbing that must not leak to clients
+        queue_ns = env.pop("_queue_ns", None)
+        env["request_id"] = request_id
+        if prof.enabled:
+            self._write_trace(request_id, prof, env, queue_ns)
+        return status, env
 
-        rkey = self._request_key(req)
-        env, corrupted = self._front_hit(rkey)
+    def _handle(self, payload, request_id: str,
+                prof: Profiler) -> tuple[int, dict]:
+        with prof.span("validate"):
+            try:
+                req = AnalyzeRequest.from_dict(payload)
+            except ProtocolError as exc:
+                env = error_envelope(exc)
+                return http_status_for(env["code"]), env
+            rkey = self._request_key(req)
+
+        with prof.span("cache:probe"):
+            env, corrupted = self._front_hit(rkey)
         if env is not None:
             self.l3_front_hits += 1
             return 200, env
@@ -177,7 +256,8 @@ class ScoutServer:
                 if leader_done is None:
                     self._inflight[rkey] = threading.Event()
                     break
-            leader_done.wait(timeout=600.0)
+            with prof.span("coalesce:wait"):
+                leader_done.wait(timeout=600.0)
             env, corrupted = self._front_hit(rkey)
             if env is not None:
                 self.coalesced += 1
@@ -187,9 +267,13 @@ class ScoutServer:
 
         try:
             if self.pool is not None:
-                env = self.pool.submit(payload, arch_key=req.arch)
+                with prof.span("dispatch"):
+                    env = self.pool.submit(
+                        payload, arch_key=req.arch,
+                        meta={"request_id": request_id})
             else:
-                env = self.runner.run(payload)
+                with prof.span("compute"):
+                    env = self.runner.run(payload)
             if env.get("ok") and env.get("cacheable"):
                 with self._memo_lock:
                     self._address_memo[rkey] = env["address"]
@@ -211,8 +295,37 @@ class ScoutServer:
                 corruption_diagnostic("report"))
         return http_status_for(env.get("code", 70)), env
 
-    def handle_batch(self, payload) -> tuple[int, dict]:
-        """Serve a batch: ``{"requests": [...]}`` in order."""
+    def _write_trace(self, request_id: str, prof: Profiler, env: dict,
+                     queue_ns) -> None:
+        """Dump one per-request Chrome trace (server-side spans plus
+        the worker's engine spans when this request computed fresh).
+        Tracing failures never break serving."""
+        try:
+            spans = list(prof.spans)
+            if queue_ns is not None:
+                # fork shares CLOCK_MONOTONIC, so the worker's dequeue
+                # stamp pairs directly with our enqueue stamp
+                spans.append(Span(name="queue", start_ns=queue_ns[0],
+                                  end_ns=queue_ns[1], depth=1))
+            wspans = []
+            if env.get("cache") in ("cold", "l1"):
+                report = env.get("report") or {}
+                wspans = (report.get("profile") or {}).get("spans", [])
+            data = build_request_trace(
+                request_id, spans, wspans,
+                worker_id=env.get("worker"),
+                endpoint="/v1/analyze",
+                kernel=env.get("kernel") or "")
+            write_request_trace(self.trace_dir, request_id, data)
+        except Exception:
+            _log.warning("trace.write_failed", request_id=request_id)
+
+    def handle_batch(self, payload,
+                     request_id: Optional[str] = None
+                     ) -> tuple[int, dict]:
+        """Serve a batch: ``{"requests": [...]}`` in order.  Member
+        envelopes carry derived request IDs (``<batch id>-<index>``)."""
+        request_id = request_id or new_request_id()
         if not isinstance(payload, dict) or \
                 not isinstance(payload.get("requests"), list):
             env = error_envelope(ProtocolError(
@@ -220,15 +333,114 @@ class ScoutServer:
             return http_status_for(env["code"]), env
         items = payload["requests"]
         if not items:
-            return 200, {"ok": True, "responses": []}
+            return 200, {"ok": True, "responses": [],
+                         "request_id": request_id}
         fanout = min(BATCH_FANOUT, len(items))
         with ThreadPoolExecutor(max_workers=fanout) as pool:
             results = list(pool.map(
-                lambda item: self.handle_submission(item)[1], items))
+                lambda pair: self.handle_submission(
+                    pair[1], request_id=f"{request_id}-{pair[0]}")[1],
+                enumerate(items)))
         return 200, {
             "ok": all(r.get("ok") for r in results),
             "responses": results,
+            "request_id": request_id,
         }
+
+    # -- telemetry -------------------------------------------------------
+    def observe_request(self, endpoint: str, status: int,
+                        seconds: float,
+                        request_id: Optional[str] = None) -> None:
+        """Record one served HTTP request into the registry."""
+        if not armed():
+            return
+        ep = endpoint if endpoint in _KNOWN_ENDPOINTS else "other"
+        _METRICS.counter(
+            "gpuscout_http_requests_total", "HTTP requests served",
+            endpoint=ep, status=str(status)).inc()
+        _METRICS.histogram(
+            "gpuscout_http_request_seconds",
+            "HTTP request latency in seconds", endpoint=ep,
+        ).observe(seconds, exemplar=request_id)
+
+    def occupancy(self) -> dict:
+        """Per-tier entry/byte occupancy, computed at call time."""
+        from repro.gpu.trace_cache import trace_cache
+
+        out: dict = {
+            "l1": {"entries": len(self.runner.static._entries)},
+        }
+        tc = trace_cache()
+        if tc is not None:
+            l2 = {"entries": len(tc._entries), "bytes": tc.bytes}
+            if tc.store is not None:
+                l2["store_bytes"] = tc.store.bytes_used()
+            out["l2"] = l2
+        if self.runner.reports is not None:
+            reports = self.runner.reports
+            l3 = {"entries": len(reports._entries),
+                  "bytes": reports.bytes}
+            if reports.store is not None:
+                l3["store_bytes"] = reports.store.bytes_used()
+            out["l3"] = l3
+        return out
+
+    def _set_occupancy_gauges(self) -> None:
+        """Refresh the scrape-time occupancy gauges.  Only the serving
+        process sets these (workers never create the series), so the
+        shared disk tiers are counted exactly once after the merge."""
+        occ = self.occupancy()
+        for tier, vals in occ.items():
+            _METRICS.gauge(
+                "gpuscout_cache_entries",
+                "Entries held by the in-memory cache tier",
+                tier=tier).set(vals.get("entries", 0))
+            if "bytes" in vals:
+                _METRICS.gauge(
+                    "gpuscout_cache_bytes",
+                    "Bytes held by the in-memory cache tier",
+                    tier=tier).set(vals["bytes"])
+        store_names = {"l2": "traces", "l3": "reports"}
+        for tier, store in store_names.items():
+            vals = occ.get(tier) or {}
+            if "store_bytes" in vals:
+                _METRICS.gauge(
+                    "gpuscout_store_bytes",
+                    "Bytes held by the shared on-disk store",
+                    store=store).set(vals["store_bytes"])
+
+    def merged_snapshot(self) -> dict:
+        """The registry snapshot for this process merged with the
+        latest snapshot of every worker generation."""
+        self._set_occupancy_gauges()
+        snaps = [_METRICS.snapshot()]
+        if self.pool is not None:
+            snaps.append(self.pool.telemetry())
+        return merge_snapshots(snaps)
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        return render_prometheus(self.merged_snapshot())
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` body: liveness plus pool generation
+        counters and the last respawn reason."""
+        out: dict = {"ok": True}
+        if self.pool is None:
+            out["mode"] = "inline"
+        else:
+            out["mode"] = "pooled"
+            ps = self.pool.stats()
+            out["pool"] = {
+                "workers": ps["workers"],
+                "alive": ps["alive"],
+                "inflight": ps["inflight"],
+                "retries": ps["retries"],
+                "respawns": ps["respawns"],
+                "generations": ps["generations"],
+                "last_respawn": ps["last_respawn"],
+            }
+        return out
 
     def stats(self) -> dict:
         out = {
@@ -236,9 +448,12 @@ class ScoutServer:
             "l3_front_hits": self.l3_front_hits,
             "coalesced": self.coalesced,
             "runner": self.runner.stats(),
+            "occupancy": self.occupancy(),
         }
         if self.pool is not None:
             out["pool"] = self.pool.stats()
+        if armed():
+            out["telemetry"] = summarize(self.merged_snapshot())
         return out
 
 
@@ -253,12 +468,33 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.scout
 
     def log_message(self, format, *args):  # noqa: A002 — stdlib name
-        pass  # request logging stays out of the analysis output streams
+        # http.server's own notices (404 paths, bad methods, protocol
+        # errors) flow to the structured logger at DEBUG instead of
+        # being discarded — `--access-log` / REPRO_LOG make them
+        # visible, analysis output streams stay clean
+        _log.debug("http.server", message=format % args,
+                   client=self.address_string())
 
-    def _send(self, status: int, body: dict) -> None:
+    def _request_id(self) -> str:
+        return self.headers.get("X-Request-Id") or new_request_id()
+
+    def _send(self, status: int, body: dict,
+              request_id: Optional[str] = None) -> None:
         blob = json.dumps(body, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4; "
+                                       "charset=utf-8") -> None:
+        blob = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)
@@ -273,27 +509,53 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception:
             raise ProtocolError("request body is not valid JSON") from None
 
+    def _access(self, method: str, status: int, elapsed: float,
+                request_id: str, **fields) -> None:
+        self.scout.observe_request(self.path, status, elapsed,
+                                   request_id)
+        _log.info("http.access", method=method, path=self.path,
+                  status=status, elapsed_ms=round(elapsed * 1e3, 3),
+                  request_id=request_id, client=self.address_string(),
+                  **fields)
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        t0 = perf_counter()
+        rid = self._request_id()
         if self.path == "/healthz":
-            self._send(200, {"ok": True})
+            status = 200
+            self._send(status, self.scout.health(), request_id=rid)
         elif self.path == "/v1/stats":
-            self._send(200, self.scout.stats())
+            status = 200
+            self._send(status, self.scout.stats(), request_id=rid)
+        elif self.path == "/metrics":
+            status = 200
+            self._send_text(status, self.scout.metrics_text())
         else:
-            self._send(404, {"ok": False, "error": "NotFound",
-                             "message": self.path})
+            status = 404
+            self._send(status, {"ok": False, "error": "NotFound",
+                                "message": self.path}, request_id=rid)
+        self._access("GET", status, perf_counter() - t0, rid)
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        t0 = perf_counter()
+        rid = self._request_id()
         try:
             payload = self._read_json()
         except ProtocolError as exc:
             env = error_envelope(exc)
-            self._send(http_status_for(env["code"]), env)
+            status = http_status_for(env["code"])
+            self._send(status, env, request_id=rid)
+            self._access("POST", status, perf_counter() - t0, rid)
             return
         if self.path == "/v1/analyze":
-            status, env = self.scout.handle_submission(payload)
+            status, env = self.scout.handle_submission(
+                payload, request_id=rid)
         elif self.path == "/v1/batch":
-            status, env = self.scout.handle_batch(payload)
+            status, env = self.scout.handle_batch(payload,
+                                                  request_id=rid)
         else:
             status, env = 404, {"ok": False, "error": "NotFound",
                                 "message": self.path}
-        self._send(status, env)
+        self._send(status, env, request_id=rid)
+        self._access("POST", status, perf_counter() - t0, rid,
+                     cache=env.get("cache"))

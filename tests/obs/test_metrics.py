@@ -1,0 +1,280 @@
+"""Unit tests for the metrics registry (``repro.obs.metrics``):
+instruments, arm/disarm gating, snapshot/merge, quantiles, Prometheus
+rendering (golden), and the exposition validator."""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.obs import metrics as m
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / \
+    "metrics_exposition.txt"
+
+
+@pytest.fixture
+def armed():
+    m.arm(True)
+    yield
+    m.arm(False)
+
+
+def build_registry() -> m.MetricsRegistry:
+    """A deterministic registry used by several tests (and the
+    golden exposition)."""
+    reg = m.MetricsRegistry()
+    hits = reg.counter("demo_cache_hits_total", "Cache hits by tier",
+                       tier="l1")
+    hits.inc()
+    hits.inc(4)
+    reg.counter("demo_cache_hits_total", "Cache hits by tier",
+                tier="l3").inc(2)
+    reg.gauge("demo_inflight", "Requests in flight").set(3)
+    h = reg.histogram("demo_latency_seconds", "Request latency",
+                      buckets=(0.01, 0.1, 1.0), endpoint="/v1/analyze")
+    h.observe(0.005, exemplar="req-a")
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(2.0, exemplar="req-b")
+    return reg
+
+
+class TestInstruments:
+    def test_counter_monotonic(self, armed):
+        reg = m.MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_requires_total_suffix(self):
+        reg = m.MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad_name")
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = m.MetricsRegistry()
+        assert reg.counter("x_total", tier="l1") is \
+            reg.counter("x_total", tier="l1")
+        assert reg.counter("x_total", tier="l1") is not \
+            reg.counter("x_total", tier="l2")
+
+    def test_kind_conflict_rejected(self):
+        reg = m.MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_histogram_buckets_and_sum(self, armed):
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.9):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.sum == pytest.approx(56.4)
+        assert h.count == 4
+
+    def test_histogram_boundary_lands_in_its_bucket(self, armed):
+        # le is inclusive: an observation exactly on a bound counts
+        # in that bound's bucket
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_exemplar_attaches_to_bucket(self, armed):
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5, exemplar="rid-1")
+        h.observe(5.0, exemplar="rid-2")
+        assert h.exemplars == {0: "rid-1", 1: "rid-2"}
+
+    def test_thread_local_exemplar_context(self, armed):
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        m.set_exemplar("ctx-rid")
+        try:
+            h.observe(0.5)
+        finally:
+            m.set_exemplar(None)
+        h.observe(0.6)
+        assert h.exemplars == {0: "ctx-rid"}
+
+
+class TestArming:
+    def test_disarmed_records_nothing(self):
+        m.arm(False)
+        reg = m.MetricsRegistry()
+        c = reg.counter("x_total")
+        g = reg.gauge("g")
+        h = reg.histogram("h", buckets=(1.0,))
+        c.inc()
+        g.set(5)
+        h.observe(0.5)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+
+    def test_reset_zeroes_in_place(self, armed):
+        reg = m.MetricsRegistry()
+        c = reg.counter("x_total")
+        h = reg.histogram("h", buckets=(1.0,))
+        c.inc(7)
+        h.observe(0.5, exemplar="e")
+        reg.reset()
+        # the same instrument objects keep working after reset
+        assert c.value == 0
+        assert h.counts == [0, 0] and h.sum == 0 and not h.exemplars
+        c.inc()
+        assert c.value == 1
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_plain_and_picklable(self, armed):
+        snap = build_registry().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_sums_counters_and_buckets(self, armed):
+        a = build_registry().snapshot()
+        b = build_registry().snapshot()
+        merged = m.merge_snapshots([a, b])
+        hits = merged["demo_cache_hits_total"]["series"]
+        assert hits['tier="l1"'] == 10
+        hist = merged["demo_latency_seconds"]["series"][
+            'endpoint="/v1/analyze"']
+        assert hist["counts"] == [2, 2, 2, 2]
+        assert hist["sum"] == pytest.approx(2 * 2.555)
+        # gauges add: per-process levels aggregate to the fleet level
+        assert merged["demo_inflight"]["series"][""] == 6
+
+    def test_merge_empty(self):
+        assert m.merge_snapshots([]) == {}
+
+    def test_merge_disjoint_series(self, armed):
+        r1, r2 = m.MetricsRegistry(), m.MetricsRegistry()
+        r1.counter("x_total", tier="a").inc()
+        r2.counter("x_total", tier="b").inc(2)
+        merged = m.merge_snapshots([r1.snapshot(), r2.snapshot()])
+        assert merged["x_total"]["series"] == {
+            'tier="a"': 1, 'tier="b"': 2}
+
+
+class TestQuantiles:
+    def test_quantile_interpolates(self, armed):
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(15.0)
+        snap = reg.snapshot()["h"]["series"][""]
+        # all mass in (10, 20]: median interpolates inside the bucket
+        assert m.quantile(snap, 0.5) == pytest.approx(15.0)
+        assert m.quantile(snap, 1.0) == pytest.approx(20.0)
+
+    def test_quantile_empty_is_none(self, armed):
+        reg = m.MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,))
+        snap = reg.snapshot()["h"]["series"][""]
+        assert m.quantile(snap, 0.5) is None
+
+    def test_quantile_inf_bucket_clamps(self, armed):
+        reg = m.MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(100.0)
+        snap = reg.snapshot()["h"]["series"][""]
+        assert m.quantile(snap, 0.99) == pytest.approx(1.0)
+
+    def test_summarize_shape(self, armed):
+        digest = m.summarize(build_registry().snapshot())
+        hist = digest["histograms"][
+            'demo_latency_seconds{endpoint="/v1/analyze"}']
+        assert hist["count"] == 4
+        assert hist["p50"] is not None and hist["p99"] is not None
+        assert hist["exemplars"]
+        assert digest["counters"][
+            'demo_cache_hits_total{tier="l1"}'] == 5
+
+
+class TestExposition:
+    def test_golden(self, armed):
+        text = m.render_prometheus(build_registry().snapshot())
+        assert text == GOLDEN.read_text()
+
+    def test_render_validates(self, armed):
+        text = m.render_prometheus(build_registry().snapshot())
+        assert m.validate_exposition(text) == []
+
+    def test_live_registry_render_validates(self, armed):
+        # the real process registry (with whatever the suite recorded)
+        assert m.validate_exposition(
+            m.render_prometheus(m.REGISTRY.snapshot())) == []
+
+    def test_label_escaping(self, armed):
+        reg = m.MetricsRegistry()
+        reg.counter("x_total", label='quo"te\nnl').inc()
+        text = m.render_prometheus(reg.snapshot())
+        assert '\\"' in text and "\\n" in text
+        assert m.validate_exposition(text) == []
+
+
+class TestValidator:
+    def test_rejects_garbage_sample(self):
+        assert m.validate_exposition("not a metric line at all{\n")
+
+    def test_rejects_sample_before_type(self):
+        text = "x_total 1\n# TYPE x_total counter\n"
+        assert any("before its TYPE" in p
+                   for p in m.validate_exposition(text))
+
+    def test_rejects_counter_without_total(self):
+        text = "# TYPE x counter\nx 1\n"
+        assert any("_total" in p for p in m.validate_exposition(text))
+
+    def test_rejects_negative_counter(self):
+        text = "# TYPE x_total counter\nx_total -1\n"
+        assert any("negative" in p for p in m.validate_exposition(text))
+
+    def test_rejects_unordered_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="5"} 1\n'
+                'h_bucket{le="1"} 2\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 3\nh_count 2\n")
+        assert any("out of order" in p
+                   for p in m.validate_exposition(text))
+
+    def test_rejects_dropping_cumulative_counts(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\n'
+                'h_bucket{le="5"} 1\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 3\nh_count 2\n")
+        assert any("drops" in p for p in m.validate_exposition(text))
+
+    def test_rejects_missing_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_sum 1\nh_count 1\n")
+        assert any("+Inf" in p for p in m.validate_exposition(text))
+
+    def test_rejects_inf_count_mismatch(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1\nh_count 3\n")
+        assert any("!= count" in p for p in m.validate_exposition(text))
+
+    def test_rejects_interleaved_families(self):
+        text = ("# TYPE a_total counter\n# TYPE b_total counter\n"
+                "a_total 1\nb_total 1\na_total{x=\"y\"} 1\n")
+        assert any("contiguous" in p
+                   for p in m.validate_exposition(text))
+
+    def test_footer_renders_active_series(self, armed):
+        reg = build_registry()
+        lines = m.render_footer(reg.snapshot())
+        assert lines[1].startswith("[metrics]")
+        assert any("demo_cache_hits_total" in line for line in lines)
+
+    def test_footer_empty_when_disarmed(self):
+        m.arm(False)
+        assert m.render_footer() == []

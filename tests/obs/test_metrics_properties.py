@@ -1,0 +1,138 @@
+"""Property tests for the snapshot/merge protocol (Hypothesis).
+
+The worker pool merges per-worker registry snapshots in whatever order
+results arrive, possibly after pickling across the fork boundary — so
+merge must be associative and commutative, and a merged histogram must
+equal the one serial observation would have produced."""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics as m
+
+BUCKETS = (0.01, 0.1, 1.0, 10.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=30)
+
+# a "workload" = per-worker lists of (tier counter incs, observations)
+workloads = st.lists(
+    st.tuples(st.lists(st.sampled_from(["l1", "l2", "l3"]), max_size=10),
+              observations),
+    min_size=1, max_size=4)
+
+
+def snapshot_for(work):
+    """Build one worker's registry snapshot from its workload."""
+    tiers, obs = work
+    reg = m.MetricsRegistry()
+    for tier in tiers:
+        reg.counter("cache_hits_total", tier=tier).inc()
+    h = reg.histogram("latency_seconds", buckets=BUCKETS)
+    for v in obs:
+        h.observe(v)
+    return reg.snapshot()
+
+
+def canon(snap):
+    """Merged snapshots compare by value; exemplar dicts may differ in
+    insertion order across merge orders, so normalise via pickle-free
+    deep sort."""
+    return repr(sorted(
+        (name, fam["type"],
+         sorted((k, v if not isinstance(v, dict)
+                 else (tuple(v["buckets"]), tuple(v["counts"]),
+                       round(v["sum"], 9),
+                       tuple(sorted(v["exemplars"].items()))))
+                for k, v in fam["series"].items()))
+        for name, fam in snap.items()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads)
+def test_merge_commutative(works):
+    m.arm(True)
+    try:
+        snaps = [snapshot_for(w) for w in works]
+        forward = m.merge_snapshots(snaps)
+        backward = m.merge_snapshots(list(reversed(snaps)))
+        assert canon(forward) == canon(backward)
+    finally:
+        m.arm(False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads, st.integers(min_value=0, max_value=10))
+def test_merge_associative(works, split_seed):
+    m.arm(True)
+    try:
+        snaps = [snapshot_for(w) for w in works]
+        split = split_seed % (len(snaps) + 1)
+        flat = m.merge_snapshots(snaps)
+        staged = m.merge_snapshots(
+            [m.merge_snapshots(snaps[:split]),
+             m.merge_snapshots(snaps[split:])])
+        assert canon(flat) == canon(staged)
+    finally:
+        m.arm(False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(workloads)
+def test_merged_equals_serial_observation(works):
+    """Per-worker snapshots merged == one registry observing the whole
+    stream serially: bucket counts, total count, and sum all match."""
+    m.arm(True)
+    try:
+        merged = m.merge_snapshots([snapshot_for(w) for w in works])
+
+        serial = m.MetricsRegistry()
+        h = serial.histogram("latency_seconds", buckets=BUCKETS)
+        for tiers, obs in works:
+            for tier in tiers:
+                serial.counter("cache_hits_total", tier=tier).inc()
+            for v in obs:
+                h.observe(v)
+        expect = serial.snapshot()
+
+        got_h = merged["latency_seconds"]["series"][""]
+        want_h = expect["latency_seconds"]["series"][""]
+        assert got_h["counts"] == want_h["counts"]
+        assert abs(got_h["sum"] - want_h["sum"]) < 1e-6
+        absent = {"series": {}}
+        assert merged.get("cache_hits_total", absent)["series"] == \
+            expect.get("cache_hits_total", absent)["series"]
+    finally:
+        m.arm(False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_merge_survives_pickle_round_trip(works):
+    """Snapshots cross the fork result channel pickled; merging the
+    round-tripped copies must equal merging the originals."""
+    m.arm(True)
+    try:
+        snaps = [snapshot_for(w) for w in works]
+        wired = [pickle.loads(pickle.dumps(s)) for s in snaps]
+        assert canon(m.merge_snapshots(wired)) == \
+            canon(m.merge_snapshots(snaps))
+    finally:
+        m.arm(False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_merged_exposition_stays_valid(works):
+    """Whatever the merge produces must still render to a structurally
+    valid Prometheus exposition."""
+    m.arm(True)
+    try:
+        merged = m.merge_snapshots([snapshot_for(w) for w in works])
+        assert m.validate_exposition(m.render_prometheus(merged)) == []
+    finally:
+        m.arm(False)

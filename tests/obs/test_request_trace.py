@@ -1,0 +1,97 @@
+"""Request-trace stitching (``repro.obs.request_trace``): server spans
+plus worker engine spans become one Chrome trace that passes
+``validate_chrome_trace``."""
+
+import json
+
+import pytest
+
+from repro.obs.chrometrace import validate_chrome_trace
+from repro.obs.request_trace import (build_request_trace,
+                                     write_request_trace)
+from repro.obs.spans import Span
+
+RID = "deadbeefcafe0123"
+
+
+def server_spans():
+    return [
+        Span(name="validate", start_ns=1_000, end_ns=2_000, depth=0),
+        Span(name="cache:probe", start_ns=2_000, end_ns=3_000, depth=0),
+        Span(name="queue", start_ns=3_000, end_ns=5_000, depth=1),
+        Span(name="dispatch", start_ns=3_000, end_ns=9_000, depth=0),
+    ]
+
+
+def worker_spans():
+    # the wire form: plain dicts out of report["profile"]["spans"]
+    return [
+        {"name": "parse", "start_ns": 5_000, "elapsed_ns": 1_000,
+         "depth": 0},
+        {"name": "launch", "start_ns": 6_000, "elapsed_ns": 2_500,
+         "depth": 0},
+    ]
+
+
+class TestBuild:
+    def test_two_process_groups(self):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=1,
+                                   endpoint="/v1/analyze",
+                                   kernel="reduction:warp")
+        names = {e["args"]["name"] for e in data["traceEvents"]
+                 if e["name"] == "process_name"}
+        assert names == {"server", "worker 1"}
+        assert data["metadata"]["request_id"] == RID
+        assert data["metadata"]["endpoint"] == "/v1/analyze"
+        assert data["metadata"]["kernel"] == "reduction:warp"
+
+    def test_every_slice_carries_the_request_id(self):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=0)
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 6
+        assert all(e["args"]["request_id"] == RID for e in slices)
+
+    def test_shared_clock_relative_timestamps(self):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=0)
+        slices = {(e["pid"], e["name"]): e
+                  for e in data["traceEvents"] if e["ph"] == "X"}
+        # t0 = earliest span (validate @ 1000 ns); worker parse @ 5000
+        # ns renders 4 µs in, on the same timeline — no offset applied
+        assert slices[(0, "validate")]["ts"] == 0.0
+        assert slices[(1, "parse")]["ts"] == pytest.approx(4.0)
+        assert slices[(1, "launch")]["dur"] == pytest.approx(2.5)
+
+    def test_inline_engine_group(self):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=None)
+        names = {e["args"]["name"] for e in data["traceEvents"]
+                 if e["name"] == "process_name"}
+        assert names == {"server", "engine (inline)"}
+
+    def test_server_only(self):
+        data = build_request_trace(RID, server_spans())
+        pids = {e["pid"] for e in data["traceEvents"]}
+        assert pids == {0}
+
+    def test_empty_request(self):
+        data = build_request_trace(RID, [])
+        assert validate_chrome_trace(data) == []
+
+
+class TestValidation:
+    def test_passes_chrome_trace_validator(self):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=1)
+        assert validate_chrome_trace(data) == []
+
+    def test_round_trips_through_json(self, tmp_path):
+        data = build_request_trace(RID, server_spans(), worker_spans(),
+                                   worker_id=0)
+        path = write_request_trace(str(tmp_path / "traces"), RID, data)
+        assert path.endswith(f"{RID}.json")
+        loaded = json.loads(open(path).read())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded == json.loads(json.dumps(data))

@@ -1,0 +1,87 @@
+"""Structured logger (``repro.obs.slog``): mode gating, JSON/text
+record shapes, level filtering, and resilience to dead streams."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import slog
+
+
+@pytest.fixture(autouse=True)
+def restore():
+    yield
+    slog.configure(mode="off", level="info", stream=io.StringIO())
+
+
+def capture(mode="json", level="debug"):
+    buf = io.StringIO()
+    slog.configure(mode=mode, level=level, stream=buf)
+    return buf
+
+
+class TestModes:
+    def test_off_emits_nothing(self):
+        buf = capture(mode="off")
+        slog.get_logger("t").error("boom", detail="x")
+        assert buf.getvalue() == ""
+
+    def test_json_one_object_per_line(self):
+        buf = capture()
+        log = slog.get_logger("serve.http")
+        log.info("http.access", method="POST", status=200)
+        log.warning("pool.respawn", worker=1)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["level"] == "info"
+        assert first["logger"] == "serve.http"
+        assert first["event"] == "http.access"
+        assert first["method"] == "POST" and first["status"] == 200
+        assert isinstance(first["ts"], float)
+        assert json.loads(lines[1])["worker"] == 1
+
+    def test_json_serializes_arbitrary_values(self):
+        buf = capture()
+        slog.get_logger("t").info("evt", obj=object())
+        assert json.loads(buf.getvalue())  # default=str keeps it valid
+
+    def test_text_mode_renders_kv(self):
+        buf = capture(mode="text")
+        slog.get_logger("t").warning("pool.respawn", worker=1,
+                                     reason="exit code 1")
+        line = buf.getvalue()
+        assert line.startswith("WARNING")
+        assert "pool.respawn" in line and "worker=1" in line
+
+
+class TestLevels:
+    def test_below_threshold_dropped(self):
+        buf = capture(level="warning")
+        log = slog.get_logger("t")
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("yes")
+        assert len(buf.getvalue().splitlines()) == 2
+
+    def test_bad_mode_and_level_rejected(self):
+        with pytest.raises(ValueError):
+            slog.configure(mode="verbose")
+        with pytest.raises(ValueError):
+            slog.configure(level="trace")
+
+    def test_mode_accessor(self):
+        capture(mode="text")
+        assert slog.mode() == "text"
+
+
+class TestRobustness:
+    def test_closed_stream_is_swallowed(self):
+        buf = capture()
+        buf.close()
+        slog.get_logger("t").info("evt")  # must not raise
+
+    def test_get_logger_cached(self):
+        assert slog.get_logger("a.b") is slog.get_logger("a.b")

@@ -1,0 +1,183 @@
+"""FileStore under contention: two writer threads racing the byte-cap
+LRU eviction while a reader keeps tripping over a corrupted entry.
+
+The invariants the telemetry work leans on:
+
+* **occupancy never goes negative** — ``bytes_used()`` recomputes from
+  the directory, so concurrent unlink (evictor) + unlink (corrupt
+  discard) of the same file must not drive any accounting below zero;
+* **eviction order is mtime-consistent** — the survivor set after a
+  byte-cap squeeze is the most-recently-touched files;
+* corrupt discards and evictions land in their *own* counters (a
+  corrupt entry deleted by the reader is not an eviction)."""
+
+import os
+import struct
+import threading
+import time
+import zlib
+
+import pytest
+
+from repro.gpu.trace_cache import FileStore
+from repro.obs import metrics as obs_metrics
+
+PAYLOAD = b"x" * 1024
+
+
+@pytest.fixture(autouse=True)
+def disarm_after():
+    yield
+    obs_metrics.arm(False)
+
+
+def corrupt_entry(store, key):
+    """Flip payload bytes in place, keeping the stored CRC stale."""
+    path = store._path(key)
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestCorruption:
+    def test_corrupt_entry_discarded_and_counted(self, tmp_path):
+        store = FileStore(tmp_path, max_bytes=1 << 20)
+        store.put("k", PAYLOAD)
+        corrupt_entry(store, "k")
+        payload, corrupted = store.get("k")
+        assert payload is None and corrupted is True
+        assert store.corrupt == 1
+        assert not store._path("k").exists()
+        # the discard is not an eviction
+        assert store.evictions == 0
+        payload, corrupted = store.get("k")
+        assert payload is None and corrupted is False  # plain miss now
+
+    def test_truncated_and_bad_magic_rejected(self, tmp_path):
+        store = FileStore(tmp_path, max_bytes=1 << 20)
+        store._path("short").write_bytes(b"GS")
+        assert store.get("short") == (None, True)
+        blob = b"NOPE" + struct.pack("<I", zlib.crc32(PAYLOAD)) + PAYLOAD
+        store._path("magic").write_bytes(blob)
+        assert store.get("magic") == (None, True)
+        assert store.corrupt == 2
+
+
+class TestEvictionOrder:
+    def test_lru_eviction_is_mtime_consistent(self, tmp_path):
+        # cap fits ~3 entries (header is 8 bytes per entry)
+        store = FileStore(tmp_path, max_bytes=3 * 1040)
+        for i in range(3):
+            store.put(f"k{i}", PAYLOAD)
+            then = time.time() - 100 + i
+            os.utime(store._path(f"k{i}"), (then, then))
+        # touch k0 so k1 becomes the LRU victim
+        now = time.time()
+        os.utime(store._path("k0"), (now, now))
+        store.put("k3", PAYLOAD)
+        survivors = {p.stem for p in tmp_path.glob("*.bin")}
+        assert "k1" not in survivors, \
+            "oldest-mtime entry must be evicted first"
+        assert "k0" in survivors and "k3" in survivors
+        assert store.evictions >= 1
+        assert store.bytes_used() <= store.max_bytes
+
+    def test_occupancy_tracks_disk(self, tmp_path):
+        store = FileStore(tmp_path, max_bytes=1 << 20)
+        assert store.bytes_used() == 0
+        store.put("a", PAYLOAD)
+        assert store.bytes_used() == len(PAYLOAD) + 8
+        store.delete("a")
+        assert store.bytes_used() == 0
+        store.delete("a")  # double delete is harmless
+        assert store.bytes_used() == 0
+
+
+class TestWriterRace:
+    def test_two_writers_racing_eviction_and_corrupt_discard(
+            self, tmp_path):
+        """Two writers hammer a store capped at ~8 entries while a
+        reader loop keeps hitting (and thereby discarding) entries a
+        saboteur corrupts; after the dust settles every invariant
+        holds."""
+        obs_metrics.arm(True)
+        store = FileStore(tmp_path, max_bytes=8 * 1040)
+        stop = threading.Event()
+        errors = []
+
+        def writer(tag):
+            try:
+                i = 0
+                while not stop.is_set():
+                    store.put(f"{tag}{i % 24}", PAYLOAD)
+                    i += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def saboteur():
+            try:
+                while not stop.is_set():
+                    for path in list(tmp_path.glob("w0*.bin")):
+                        try:
+                            raw = bytearray(path.read_bytes())
+                            raw[-1] ^= 0xFF
+                            path.write_bytes(bytes(raw))
+                        except OSError:
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for i in range(24):
+                        used = store.bytes_used()
+                        assert used >= 0, used
+                        store.get(f"w0{i}")
+                        store.get(f"w1{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=("w0",)),
+                   threading.Thread(target=writer, args=("w1",)),
+                   threading.Thread(target=saboteur),
+                   threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        time.sleep(1.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+
+        assert store.bytes_used() >= 0
+        assert store.corrupt >= 1, "saboteur must have been caught"
+        assert store.evictions >= 1, "byte cap must have squeezed"
+        # on-disk state is still coherent: every surviving entry reads
+        # back clean or is discarded as corrupt — never garbage
+        for path in list(tmp_path.glob("*.bin")):
+            payload, _ = store.get(path.stem)
+            assert payload in (None, PAYLOAD)
+        # counters exported to the registry match the attrs
+        snap = obs_metrics.REGISTRY.snapshot()
+        assert snap["gpuscout_store_corrupt_total"]["series"][
+            'store="traces"'] >= store.corrupt - 1
+
+    def test_eviction_under_race_converges_under_cap(self, tmp_path):
+        store = FileStore(tmp_path, max_bytes=4 * 1040)
+
+        def blast(tag):
+            for i in range(40):
+                store.put(f"{tag}{i}", PAYLOAD)
+
+        threads = [threading.Thread(target=blast, args=(t,))
+                   for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        # a final put triggers one more sweep with no concurrent
+        # writers: the store must settle at or under its cap
+        store.put("final", PAYLOAD)
+        assert store.bytes_used() <= store.max_bytes
+        assert store.evictions > 0

@@ -43,7 +43,10 @@ def get(srv, path):
 
 class TestEndpoints:
     def test_healthz(self, server):
-        assert get(server, "/healthz") == (200, {"ok": True})
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["mode"] == "inline"
 
     def test_unknown_path_404(self, server):
         status, body = get(server, "/nope")

@@ -1,0 +1,125 @@
+"""CI smoke for the telemetry stack: start a pooled ``gpuscout
+serve``, run a 3-kernel batch twice, scrape ``GET /metrics`` between
+passes, and assert
+
+* the exposition parses (structural validator, same one
+  ``tools/validate_metrics.py`` wraps),
+* the scrape covers every required family: request latency
+  histograms, all three cache tiers, pool health, engine stage
+  durations,
+* cache-hit counters MOVED between the first and second scrape (the
+  warm pass hits L3), proving worker-side counts actually merge
+  through the snapshot protocol into the served exposition.
+
+Usage::
+
+    PYTHONPATH=src python tools/metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.metrics import validate_exposition  # noqa: E402
+from repro.serve import ScoutServer  # noqa: E402
+
+BATCH = {"requests": [
+    {"kernel": "sgemm:naive", "size": 48},
+    {"kernel": "histogram:shared", "size": 1024},
+    {"kernel": "reduction:warp", "size": 256},
+]}
+
+#: every family the ISSUE's acceptance criteria require on /metrics
+REQUIRED_FAMILIES = (
+    "gpuscout_http_requests_total",
+    "gpuscout_http_request_seconds",
+    "gpuscout_cache_hits_total",
+    "gpuscout_cache_misses_total",
+    "gpuscout_pool_inflight",
+    "gpuscout_pool_respawns_total",
+    "gpuscout_engine_stage_seconds",
+)
+
+
+def _post(url: str, path: str, body: dict) -> dict:
+    req = urllib.request.Request(url + path,
+                                 data=json.dumps(body).encode())
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        return json.loads(resp.read())
+
+
+def _scrape(url: str) -> str:
+    with urllib.request.urlopen(url + "/metrics", timeout=30) as resp:
+        return resp.read().decode()
+
+
+def _counter_total(text: str, family: str) -> float:
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(family + "{") or \
+                line.startswith(family + " "):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def main() -> int:
+    failures = []
+    cache_dir = tempfile.mkdtemp(prefix="gpuscout-metrics-smoke-")
+    try:
+        with ScoutServer(workers=2, cache_dir=cache_dir).start() as srv:
+            first = _post(srv.url, "/v1/batch", BATCH)
+            if not first.get("ok"):
+                failures.append(f"cold batch failed: {first}")
+            scrape1 = _scrape(srv.url)
+            problems = validate_exposition(scrape1)
+            for p in problems:
+                failures.append(f"scrape 1 invalid: {p}")
+            for family in REQUIRED_FAMILIES:
+                if f"# TYPE {family} " not in scrape1:
+                    failures.append(
+                        f"scrape 1 missing family {family}")
+            tiers = [t for t in ("l1", "l2", "l3")
+                     if f'gpuscout_cache_hits_total{{tier="{t}"}}'
+                     in scrape1]
+            if len(tiers) != 3:
+                failures.append(
+                    f"scrape 1 covers cache tiers {tiers}, want all 3")
+
+            second = _post(srv.url, "/v1/batch", BATCH)
+            if not second.get("ok"):
+                failures.append(f"warm batch failed: {second}")
+            scrape2 = _scrape(srv.url)
+            for p in validate_exposition(scrape2):
+                failures.append(f"scrape 2 invalid: {p}")
+            hits1 = _counter_total(scrape1, "gpuscout_cache_hits_total")
+            hits2 = _counter_total(scrape2, "gpuscout_cache_hits_total")
+            if hits2 <= hits1:
+                failures.append(
+                    f"cache-hit counters did not move on the warm "
+                    f"pass: {hits1} -> {hits2}")
+            reqs = _counter_total(scrape2, "gpuscout_http_requests_total")
+            if reqs < 2:
+                failures.append(
+                    f"http request counter too low: {reqs}")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print("metrics smoke OK: exposition valid, all families present, "
+          "cache-hit counters moved between scrapes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

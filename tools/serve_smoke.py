@@ -46,8 +46,13 @@ def main() -> int:
         with ScoutServer(workers=2, cache_dir=cache_dir).start() as srv:
             with urllib.request.urlopen(srv.url + "/healthz",
                                         timeout=30) as resp:
-                if json.loads(resp.read()) != {"ok": True}:
-                    failures.append("healthz did not report ok")
+                health = json.loads(resp.read())
+                if health.get("ok") is not True:
+                    failures.append(f"healthz did not report ok: {health}")
+                pool_health = health.get("pool", {})
+                if pool_health.get("workers") != 2:
+                    failures.append(
+                        f"healthz pool shape wrong: {health}")
 
             first = _post(srv.url, "/v1/batch", BATCH)
             if not first.get("ok"):

@@ -1,0 +1,47 @@
+"""Validate a Prometheus text exposition file (or stdin).
+
+Pipes a ``GET /metrics`` scrape through the structural validator in
+:mod:`repro.obs.metrics`: parseable samples, TYPE-before-samples,
+contiguous families, ``_total`` counters, ordered cumulative histogram
+buckets with ``+Inf``/``_sum``/``_count``.  Exits non-zero and prints
+one line per problem when the exposition is malformed.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_metrics.py scrape.txt
+    curl -s http://127.0.0.1:8000/metrics | \
+        PYTHONPATH=src python tools/validate_metrics.py -
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.metrics import validate_exposition  # noqa: E402
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: validate_metrics.py <file | ->", file=sys.stderr)
+        return 64
+    text = (sys.stdin.read() if argv[0] == "-"
+            else pathlib.Path(argv[0]).read_text())
+    problems = validate_exposition(text)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#"))
+    print(f"metrics exposition OK: {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
